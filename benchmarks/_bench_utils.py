@@ -1,0 +1,18 @@
+"""Shared helpers for the benchmark harness (imported by the bench modules).
+
+Every benchmark regenerates one of the paper's exhibits (table or figure).
+Because pytest captures stdout, each exhibit is also written to
+``benchmarks/results/<name>.txt`` so the regenerated rows/series survive the
+run; pass ``-s`` to watch them scroll by live.
+"""
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def publish(name: str, text: str) -> None:
+    """Print an exhibit and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}\n")

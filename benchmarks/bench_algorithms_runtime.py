@@ -1,0 +1,88 @@
+"""Wall-clock micro-benchmarks of all six join executors at laptop scale.
+
+The paper reports communication costs, not wall-clock; these benchmarks keep
+the executors honest (no accidental quadratic-in-the-wrong-place regressions)
+and give users a feel for simulation throughput.
+"""
+
+import random
+
+import pytest
+
+from repro.core.base import JoinContext
+from repro.core.algorithm1 import algorithm1
+from repro.core.algorithm1v import algorithm1_variant
+from repro.core.algorithm2 import algorithm2
+from repro.core.algorithm3 import algorithm3
+from repro.core.algorithm4 import algorithm4
+from repro.core.algorithm5 import algorithm5
+from repro.core.algorithm6 import algorithm6
+from repro.crypto.provider import FastProvider
+from repro.relational.generate import equijoin_workload
+from repro.relational.predicates import BinaryAsMulti, Equality
+
+PRED = BinaryAsMulti(Equality("key"))
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return equijoin_workload(
+        left_size=16, right_size=16, result_size=10,
+        rng=random.Random(123), max_matches=2,
+    )
+
+
+def fresh():
+    return JoinContext.fresh(provider=FastProvider(b"bench-key-0123456789abcd"))
+
+
+def test_algorithm1_runtime(benchmark, workload):
+    out = benchmark(
+        lambda: algorithm1(fresh(), workload.left, workload.right, Equality("key"),
+                           workload.max_matches)
+    )
+    assert len(out.result) == workload.result_size
+
+
+def test_algorithm1_variant_runtime(benchmark, workload):
+    out = benchmark(
+        lambda: algorithm1_variant(fresh(), workload.left, workload.right,
+                                   Equality("key"), workload.max_matches)
+    )
+    assert len(out.result) == workload.result_size
+
+
+def test_algorithm2_runtime(benchmark, workload):
+    out = benchmark(
+        lambda: algorithm2(fresh(), workload.left, workload.right, Equality("key"),
+                           workload.max_matches, memory=1)
+    )
+    assert len(out.result) == workload.result_size
+
+
+def test_algorithm3_runtime(benchmark, workload):
+    out = benchmark(
+        lambda: algorithm3(fresh(), workload.left, workload.right, "key",
+                           workload.max_matches)
+    )
+    assert len(out.result) == workload.result_size
+
+
+def test_algorithm4_runtime(benchmark, workload):
+    out = benchmark(lambda: algorithm4(fresh(), [workload.left, workload.right], PRED))
+    assert len(out.result) == workload.result_size
+
+
+def test_algorithm5_runtime(benchmark, workload):
+    out = benchmark(
+        lambda: algorithm5(fresh(), [workload.left, workload.right], PRED, memory=4)
+    )
+    assert len(out.result) == workload.result_size
+
+
+def test_algorithm6_runtime(benchmark, workload):
+    out = benchmark(
+        lambda: algorithm6(fresh(), [workload.left, workload.right], PRED, memory=4,
+                           epsilon=1e-4)
+    )
+    assert len(out.result) == workload.result_size

@@ -1,0 +1,39 @@
+"""Figure 4.1: the performance relationship among Algorithms 1, 2 and 3.
+
+Regenerates the (alpha, gamma) winner map over the Section 4.6 normalized
+cost forms and verifies the figure's three structural claims: Algorithm 2
+owns the gamma = 1 row, Algorithm 1 takes over general joins at high gamma,
+and Algorithm 3 owns the equijoin region for gamma >= 4.
+"""
+
+from _bench_utils import publish
+
+from repro.analysis.figures import figure_4_1
+from repro.analysis.report import render_table
+from repro.costs.chapter4 import algorithm1_beats_algorithm2_threshold
+
+
+def test_figure_4_1(benchmark):
+    cells = benchmark(figure_4_1, 10_000)
+    rows = [
+        {
+            "alpha": cell.alpha,
+            "gamma": cell.gamma,
+            "general join winner": cell.general_winner,
+            "equijoin winner": cell.equijoin_winner,
+        }
+        for cell in cells
+    ]
+    publish(
+        "fig4_1",
+        render_table(rows, title="Figure 4.1 winner regions (|B| = 10,000)"),
+    )
+    for cell in cells:
+        if cell.gamma == 1:
+            assert cell.general_winner == "algorithm2"
+            assert cell.equijoin_winner == "algorithm2"
+        if cell.gamma >= 4:
+            assert cell.equijoin_winner == "algorithm3"
+        threshold = algorithm1_beats_algorithm2_threshold(10_000, cell.alpha)
+        if cell.gamma > threshold:
+            assert cell.general_winner == "algorithm1"

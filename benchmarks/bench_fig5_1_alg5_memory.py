@@ -1,0 +1,22 @@
+"""Figure 5.1: Algorithm 5's communication cost as a function of memory M.
+
+Setting: L = 640,000 and S = 6,400.  Verifies the figure's shape — cost
+falls roughly as 1/M, the savings concentrate at small M, and the curve
+bottoms out at the L + S floor once M reaches S.
+"""
+
+from _bench_utils import publish
+
+from repro.analysis.figures import figure_5_1
+from repro.analysis.report import render_series
+from repro.analysis.settings import SETTING_1
+from repro.costs.chapter5 import minimum_cost
+
+
+def test_figure_5_1(benchmark):
+    series = benchmark(figure_5_1)
+    publish("fig5_1", render_series(series, title="Figure 5.1 (reproduced)"))
+    assert series.is_monotone_decreasing()
+    assert series.y[-1] == minimum_cost(SETTING_1.total, SETTING_1.results)
+    # Roughly 1/M: doubling M from the smallest point nearly halves the cost.
+    assert series.y[1] / series.y[0] < 0.62

@@ -1,0 +1,25 @@
+"""Figure 5.2: Algorithm 6's communication cost as a function of epsilon.
+
+Setting: L = 640,000, S = 6,400, M = 64.  Verifies the figure's headline
+observation: cost decreases monotonically in epsilon and the marginal saving
+shrinks as epsilon grows ("it is more profitable to trade privacy preserving
+level with efficiency when epsilon is small").
+"""
+
+from _bench_utils import publish
+
+from repro.analysis.figures import figure_5_2
+from repro.analysis.report import render_series
+
+
+def test_figure_5_2(benchmark):
+    series = benchmark(figure_5_2)
+    publish("fig5_2", render_series(series, title="Figure 5.2 (reproduced)"))
+    assert series.is_monotone_decreasing()
+    # Diminishing returns: each decade of epsilon saves less than the last.
+    drops = [a - b for a, b in zip(series.y, series.y[1:])]
+    assert drops[0] > drops[-1]
+    # The paper quantifies the 1e-60 -> 1e-50 drop at > 1.3e7 tuples vs the
+    # 1e-20 -> 1e-10 drop at < 1e7.
+    assert drops[0] > 1.0e7
+    assert drops[-1] < 1.0e7

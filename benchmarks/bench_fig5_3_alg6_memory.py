@@ -1,0 +1,22 @@
+"""Figure 5.3: Algorithm 6's communication cost as a function of memory M.
+
+Setting: L = 640,000, S = 6,400, epsilon = 1e-20.  Verifies the figure's
+shape: monotone decreasing, bigger savings at small M, and the L + S floor
+once M >= S (where n* = L and the screening pass answers outright).
+"""
+
+from _bench_utils import publish
+
+from repro.analysis.figures import figure_5_3
+from repro.analysis.report import render_series
+from repro.analysis.settings import SETTING_1
+from repro.costs.chapter5 import minimum_cost
+
+
+def test_figure_5_3(benchmark):
+    series = benchmark(figure_5_3)
+    publish("fig5_3", render_series(series, title="Figure 5.3 (reproduced)"))
+    assert series.is_monotone_decreasing()
+    assert series.y[-1] == minimum_cost(SETTING_1.total, SETTING_1.results)
+    drops = [a - b for a, b in zip(series.y, series.y[1:])]
+    assert drops[0] > drops[-1]

@@ -1,0 +1,26 @@
+"""Figure 5.4: Algorithm 6's cost vs epsilon under the three Table 5.2 settings.
+
+Verifies the figure's comparative claims: every curve decreases in epsilon;
+tuning epsilon is more effective for the small-memory setting 1 than for
+setting 2; and the larger-scale setting 3 sits above setting 2 throughout.
+"""
+
+from _bench_utils import publish
+
+from repro.analysis.figures import figure_5_4
+from repro.analysis.report import render_many_series
+
+
+def test_figure_5_4(benchmark):
+    series = benchmark(figure_5_4)
+    publish(
+        "fig5_4",
+        render_many_series(series, title="Figure 5.4 (reproduced, tuple transfers)"),
+    )
+    s1, s2, s3 = series
+    for s in series:
+        assert s.is_monotone_decreasing()
+    relative_gain_1 = (s1.y[0] - s1.y[-1]) / s1.y[0]
+    relative_gain_2 = (s2.y[0] - s2.y[-1]) / s2.y[0]
+    assert relative_gain_1 > relative_gain_2
+    assert all(y3 > y2 for y2, y3 in zip(s2.y, s3.y))

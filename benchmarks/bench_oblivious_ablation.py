@@ -1,0 +1,96 @@
+"""Ablations of the oblivious building blocks.
+
+Two design choices DESIGN.md calls out get dedicated benches:
+
+* **Optimized decoy filter vs whole-list sort** (Section 5.2.2's
+  contribution): sweep the swap size delta on a real traced execution and
+  confirm the Eq. 5.1 optimum is where the measured transfers bottom out,
+  and that it beats the naive single-sort-of-everything baseline.
+* **MLFSR random order vs materialized permutation**: the MLFSR streams a
+  permutation in O(1) memory; the bench shows its per-element cost is flat.
+"""
+
+import struct
+
+from _bench_utils import publish
+
+from repro.analysis.report import render_table
+from repro.core.base import decoy_priority, make_decoy, make_real
+from repro.costs.chapter5 import exact_filter_transfers
+from repro.costs.filter_opt import optimal_delta
+from repro.crypto.mlfsr import RandomOrder
+from repro.crypto.provider import FastProvider
+from repro.hardware.coprocessor import SecureCoprocessor
+from repro.hardware.host import HostMemory
+from repro.oblivious.filterbuf import oblivious_filter
+from repro.oblivious.networks import exact_transfers
+from repro.oblivious.sort import oblivious_sort
+
+OMEGA, MU = 512, 16
+
+
+def _loaded_rig(flags):
+    host = HostMemory()
+    t = SecureCoprocessor(host, FastProvider(b"ablation-key-0123456789"))
+    host.allocate("src", len(flags))
+    for i, flag in enumerate(flags):
+        t.put("src", i, make_real(struct.pack(">q", i)) if flag else make_decoy(8))
+    t.reset_trace()
+    return host, t
+
+
+def test_filter_delta_sweep(benchmark):
+    flags = [1 if i % (OMEGA // MU) == 0 else 0 for i in range(OMEGA)]
+    best_delta = optimal_delta(MU, OMEGA)
+
+    def run(delta):
+        host, t = _loaded_rig(flags)
+        oblivious_filter(t, "src", OMEGA, keep=MU, delta=delta,
+                         priority=decoy_priority)
+        return t.trace.transfer_count()
+
+    deltas = sorted({2, 8, 16, best_delta, 64, 128, OMEGA - MU})
+    measured = {delta: run(delta) for delta in deltas}
+    benchmark.pedantic(run, args=(best_delta,), rounds=1, iterations=1)
+
+    whole_list_sort = exact_transfers(OMEGA)
+    rows = [
+        {
+            "delta": delta,
+            "measured transfers": count,
+            "exact model": exact_filter_transfers(OMEGA, MU, delta),
+            "optimal?": "<-- delta*" if delta == best_delta else "",
+        }
+        for delta, count in measured.items()
+    ]
+    rows.append({"delta": "whole-list sort", "measured transfers": whole_list_sort,
+                 "exact model": whole_list_sort, "optimal?": "(naive baseline)"})
+    publish("ablation_filter_delta",
+            render_table(rows, title=f"Oblivious filter ablation (omega={OMEGA}, mu={MU})"))
+
+    for delta, count in measured.items():
+        assert count == exact_filter_transfers(OMEGA, MU, delta)
+    assert measured[best_delta] == min(measured.values())
+    assert measured[best_delta] < whole_list_sort
+
+
+def test_oblivious_sort_runtime(benchmark):
+    def run():
+        host = HostMemory()
+        t = SecureCoprocessor(host, FastProvider(b"ablation-key-0123456789"))
+        host.allocate("R", 64)
+        for i in range(64):
+            t.put("R", i, struct.pack(">q", 64 - i))
+        oblivious_sort(t, "R", 64, key=lambda p: p)
+        return t
+
+    t = benchmark(run)
+    assert t.trace.transfer_count() >= exact_transfers(64)
+
+
+def test_mlfsr_stream_runtime(benchmark):
+    def run():
+        return sum(1 for _ in RandomOrder(4096, seed=3))
+
+    count = benchmark(run)
+    assert count == 4096

@@ -1,0 +1,46 @@
+"""Section 4.6.5: Algorithm 1 vs secure function evaluation, in bits.
+
+Evaluates the SFE communication formula at the paper's minimum security
+parameters (k0=64, k1=100, l=n=50, Ge(w)=2w) against Algorithm 1's cost
+converted to bits, sweeping alpha, and verifies the paper's conclusion that
+"SFE can be orders of magnitude slower" for low alpha.
+"""
+
+from _bench_utils import publish
+
+from repro.analysis.report import render_table
+from repro.costs.smc import algorithm1_cost_bits, sfe_cost_bits, sfe_slowdown
+
+B_SIZE = 10_000
+WIDTH = 256  # tuple width in bits
+
+
+def test_sfe_comparison(benchmark):
+    def build():
+        rows = []
+        for n_max in (1, 10, 100, 1_000, 10_000):
+            alpha = n_max / B_SIZE
+            rows.append(
+                {
+                    "alpha": alpha,
+                    "N": n_max,
+                    "algorithm 1 (bits)": algorithm1_cost_bits(
+                        B_SIZE, B_SIZE, n_max, WIDTH
+                    ),
+                    "SFE (bits)": sfe_cost_bits(B_SIZE, n_max, WIDTH).total,
+                    "SFE slowdown": sfe_slowdown(B_SIZE, n_max, WIDTH),
+                }
+            )
+        return rows
+
+    rows = benchmark(build)
+    publish(
+        "sfe_comparison",
+        render_table(
+            rows,
+            title=f"Section 4.6.5: SFE vs Algorithm 1 (|A|=|B|={B_SIZE}, w={WIDTH} bits)",
+        ),
+    )
+    # Orders of magnitude at low alpha, still winning at alpha = 1.
+    assert rows[0]["SFE slowdown"] > 100
+    assert all(row["SFE slowdown"] > 1 for row in rows)

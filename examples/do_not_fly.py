@@ -1,0 +1,89 @@
+"""The do-not-fly scenario from the paper's introduction, end to end.
+
+"Airlines and government agencies may wish to discover whether people are
+both on a passenger list and a list of potential terrorists, without
+revealing their respective lists."
+
+This example drives the full network-service flow of Section 3.2: outbound
+authentication, a digital contract, encrypted ingestion from two mutually
+distrustful parties, the join inside the coprocessor, and delivery to a
+third-party recipient.  The match is deliberately fuzzy — same name AND birth
+year within one — to showcase an arbitrary (non-equality) predicate.
+
+Run:  python examples/do_not_fly.py
+"""
+
+from repro.core.service import Contract, JoinService, Party
+from repro.relational.generate import people_schema
+from repro.relational.predicates import BandJoin, BinaryAsMulti, Equality
+from repro.relational.relation import Relation
+
+PASSENGERS = [
+    (101, "ana petrova", 1975),
+    (102, "john smith", 1982),
+    (103, "wei chen", 1990),
+    (104, "john smith", 1969),
+    (105, "maria silva", 1988),
+    (106, "omar hassan", 1979),
+]
+
+WATCH_LIST = [
+    (901, "john smith", 1983),   # fuzzy match: birth year off by one
+    (902, "li na", 1971),
+    (903, "omar hassan", 1979),  # exact match
+    (904, "john smith", 1950),   # same name, wrong generation: no match
+]
+
+
+def main() -> None:
+    schema_passengers = people_schema("passengers")
+    schema_watch = people_schema("watch_list")
+    airline_data = Relation.from_values(schema_passengers, PASSENGERS)
+    agency_data = Relation.from_values(schema_watch, WATCH_LIST)
+
+    service = JoinService(memory=8)
+
+    # 1. Outbound authentication: would you trust this coprocessor?
+    attestation = service.attest()
+    trusted = attestation.verify(JoinService.expected_application_hash(), "ibm-miniboot")
+    print(f"coprocessor attestation verified: {trusted}")
+    assert trusted
+
+    # 2. The digital contract T arbitrates (Section 3.3.3).
+    fuzzy = Equality("name") & BandJoin("birth_year", 1)
+    contract = Contract(
+        contract_id="DNF-2008",
+        data_owners=("airline", "agency"),
+        recipient="screening-office",
+        permitted_predicate=fuzzy.description,
+    )
+    service.register_contract(contract)
+
+    # 3. Encrypted ingestion from the two data owners.
+    airline, agency = Party("airline"), Party("agency")
+    service.ingest(airline, "DNF-2008", airline_data)
+    service.ingest(agency, "DNF-2008", agency_data)
+    print(f"ingested {len(airline_data)} passengers and {len(agency_data)} watch entries")
+
+    # 4. The privacy preserving join (Algorithm 6, privacy level 1 - 1e-20).
+    result = service.execute(
+        "DNF-2008", BinaryAsMulti(fuzzy), algorithm="algorithm6", epsilon=1e-20
+    )
+    print(f"join ran with {result.transfers} tuple transfers; "
+          f"meta: S={result.meta['S']}, blemish={result.meta['blemish']}")
+
+    # 5. Delivery to the contracted recipient only.
+    screening_office = Party("screening-office")
+    hits = service.deliver(result, screening_office, "DNF-2008")
+    print(f"\n{len(hits)} screening hits delivered:")
+    for record in hits:
+        values = record.as_dict()
+        print(f"  passenger #{values['person_id']} {values['name']!r} "
+              f"(born {values['birth_year']})")
+    names = {r["name"] for r in hits}
+    assert names == {"john smith", "omar hassan"}
+    assert all(r["person_id"] in (102, 106) for r in hits)
+
+
+if __name__ == "__main__":
+    main()

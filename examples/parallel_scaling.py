@@ -1,0 +1,56 @@
+"""Parallel scaling: linear speed-up with multiple secure coprocessors.
+
+Sections 4.4.4 and 5.3.5 claim the algorithms parallelize with linear
+speed-up when a server hosts several coprocessors.  This example runs
+Algorithm 2 (A partitioned) and Algorithm 5 (output ranges coordinated) on
+clusters of 1, 2, and 4 coprocessors and prints the measured makespans.
+
+Run:  python examples/parallel_scaling.py
+"""
+
+import random
+
+from repro.core.base import JoinContext
+from repro.core.parallel import parallel_algorithm2, parallel_algorithm5
+from repro.crypto.provider import FastProvider
+from repro.hardware.cluster import Cluster
+from repro.relational.generate import equijoin_workload
+from repro.relational.predicates import BinaryAsMulti, Equality
+
+
+def rig(processors: int):
+    provider = FastProvider(b"parallel-example-key-000001")
+    context = JoinContext.fresh(provider=provider)
+    return context, Cluster(context.host, provider, count=processors)
+
+
+def main() -> None:
+    workload = equijoin_workload(16, 16, 12, rng=random.Random(7), max_matches=2)
+
+    print("Algorithm 2 (Chapter 4), A partitioned across coprocessors:")
+    baseline = None
+    for processors in (1, 2, 4):
+        context, cluster = rig(processors)
+        out = parallel_algorithm2(context, cluster, workload.left, workload.right,
+                                  Equality("key"), workload.max_matches, memory=2)
+        assert len(out.result) == workload.result_size
+        baseline = baseline or out.makespan_transfers
+        print(f"  P={processors}: makespan {out.makespan_transfers:>7} transfers, "
+              f"speedup {baseline / out.makespan_transfers:4.2f}x "
+              f"(ideal {processors}x)")
+
+    print("\nAlgorithm 5 (Chapter 5), output ranges coordinated:")
+    baseline = None
+    for processors in (1, 2, 4):
+        context, cluster = rig(processors)
+        out = parallel_algorithm5(context, cluster, [workload.left, workload.right],
+                                  BinaryAsMulti(Equality("key")), memory=2)
+        assert len(out.result) == workload.result_size
+        makespan = max(s.total for s in out.per_coprocessor[1:] or out.per_coprocessor)
+        baseline = baseline or makespan
+        print(f"  P={processors}: worker makespan {makespan:>7} transfers, "
+              f"speedup {baseline / makespan:4.2f}x (ideal {processors}x)")
+
+
+if __name__ == "__main__":
+    main()

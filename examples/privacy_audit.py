@@ -1,0 +1,80 @@
+"""Privacy audit: watch the unsafe algorithms leak and the safe ones resist.
+
+Plays the honest-but-curious host of Section 3.3 against four join
+implementations.  For the naive nested loop the adversary reconstructs the
+exact joining pairs from the access trace alone; for the unsafe sort-merge it
+reads off per-tuple match counts; Algorithm 1 and Algorithm 5 — run on two
+completely different inputs with the same public parameters — produce
+byte-identical traces, so the same adversary learns nothing.
+
+Run:  python examples/privacy_audit.py
+"""
+
+import random
+
+from repro import Equality, JoinContext
+from repro.core.algorithm1 import algorithm1
+from repro.core.algorithm5 import algorithm5
+from repro.core.naive import unsafe_nested_loop, unsafe_sort_merge
+from repro.privacy.attacks import (
+    infer_matches_from_nested_loop,
+    match_counts_from_sort_merge,
+)
+from repro.relational.generate import equijoin_workload
+from repro.relational.predicates import BinaryAsMulti
+
+
+def banner(text: str) -> None:
+    print(f"\n=== {text} ===")
+
+
+def main() -> None:
+    wl = equijoin_workload(6, 8, 5, rng=random.Random(42), max_matches=2)
+    predicate = Equality("key")
+    truth = {
+        (i, j)
+        for i, a in enumerate(wl.left)
+        for j, b in enumerate(wl.right)
+        if predicate.matches(a, b)
+    }
+
+    banner("unsafe nested loop (Section 3.4.1)")
+    out = unsafe_nested_loop(JoinContext.fresh(), wl.left, wl.right, predicate)
+    stolen = infer_matches_from_nested_loop(out.trace)
+    print(f"adversary reconstructed {len(stolen)} joining pairs from the trace")
+    print(f"ground truth pairs:     {len(truth)}")
+    print(f"reconstruction exact:   {stolen == truth}")
+    assert stolen == truth
+
+    banner("unsafe sort-merge join (Section 4.5.1)")
+    out = unsafe_sort_merge(JoinContext.fresh(), wl.left, wl.right, "key")
+    counts = match_counts_from_sort_merge(out.trace)
+    print(f"adversary read per-A-tuple match counts from the trace: {counts}")
+    assert sum(counts) == len(truth)
+
+    banner("Algorithm 1 (safe): identical traces across different inputs")
+    traces = []
+    for seed in (1, 2):
+        other = equijoin_workload(6, 8, 5, rng=random.Random(seed), max_matches=2)
+        result = algorithm1(JoinContext.fresh(), other.left, other.right, predicate, 2)
+        traces.append(result.trace)
+    print(f"trace lengths: {len(traces[0])} vs {len(traces[1])}")
+    print(f"traces identical: {traces[0] == traces[1]}")
+    assert traces[0] == traces[1]
+    stolen = infer_matches_from_nested_loop(traces[0])
+    print(f"nested-loop attack applied to Algorithm 1's trace finds: {stolen or 'nothing'}")
+
+    banner("Algorithm 5 (safe): identical traces across different inputs")
+    traces = []
+    for seed in (3, 4):
+        other = equijoin_workload(6, 8, 5, rng=random.Random(seed))
+        result = algorithm5(JoinContext.fresh(), [other.left, other.right],
+                            BinaryAsMulti(predicate), memory=2)
+        traces.append(result.trace)
+    print(f"traces identical: {traces[0] == traces[1]}")
+    assert traces[0] == traces[1]
+    print("\naudit complete: leaks demonstrated, safe algorithms unscathed")
+
+
+if __name__ == "__main__":
+    main()

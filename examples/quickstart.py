@@ -1,0 +1,52 @@
+"""Quickstart: a privacy preserving equijoin in ~30 lines.
+
+Two parties hold keyed tables; the simulated secure coprocessor computes
+their equijoin with Algorithm 5 so that the untrusted host learns nothing
+beyond the public parameters (L, S, M) — and we print the evidence: the
+transfer statistics and a re-run on different data showing the identical
+access trace.
+
+Run:  python examples/quickstart.py
+"""
+
+import random
+
+from repro import BinaryAsMulti, Equality, JoinContext, algorithm5
+from repro.relational.generate import equijoin_workload
+from repro.relational.joins import nested_loop_join
+
+
+def run_once(seed: int):
+    workload = equijoin_workload(
+        left_size=30, right_size=30, result_size=12, rng=random.Random(seed)
+    )
+    context = JoinContext.fresh()
+    out = algorithm5(
+        context,
+        [workload.left, workload.right],
+        BinaryAsMulti(Equality("key")),
+        memory=4,
+    )
+    reference = nested_loop_join(workload.left, workload.right, Equality("key"))
+    assert out.result.same_multiset(reference), "secure join must equal plaintext join"
+    return out
+
+
+def main() -> None:
+    first = run_once(seed=1)
+    print(f"join produced {len(first.result)} tuples")
+    print(f"coprocessor made {first.transfers} tuple transfers "
+          f"({first.meta['scans']} scans over L={first.meta['L']} iTuples)")
+    print(f"transfer breakdown: {first.stats.describe()}")
+
+    # The privacy property, demonstrated: different data, same public
+    # parameters -> byte-identical access pattern.
+    second = run_once(seed=2)
+    assert first.trace == second.trace
+    print("\nre-ran on completely different tables with the same (L, S, M):")
+    print(f"access traces identical: {first.trace == second.trace} "
+          f"({len(first.trace)} events)")
+
+
+if __name__ == "__main__":
+    main()

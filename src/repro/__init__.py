@@ -1,0 +1,90 @@
+"""repro: Privacy Preserving Joins on Secure Coprocessors (Li & Chen, ICDE 2008).
+
+A full reproduction of the paper's system: a relational substrate, a simulated
+host + secure coprocessor with access-pattern tracing, OCB authenticated
+encryption, oblivious sorting/filtering primitives, the six join algorithms
+(Chapters 4 and 5), their closed-form cost models, the privacy-definition
+checkers, and the numerical evaluation (every table and figure).
+
+Quick start::
+
+    from repro import JoinContext, algorithm5, BinaryAsMulti, Equality
+    from repro.relational.generate import equijoin_workload
+    import random
+
+    wl = equijoin_workload(left_size=40, right_size=40, result_size=12,
+                           rng=random.Random(7))
+    ctx = JoinContext.fresh()
+    out = algorithm5(ctx, [wl.left, wl.right],
+                     BinaryAsMulti(Equality("key")), memory=8)
+    print(len(out.result), "join results,", out.transfers, "tuple transfers")
+"""
+
+from repro.core import (
+    JoinContext,
+    JoinResult,
+    JoinService,
+    Party,
+    algorithm1,
+    algorithm1_variant,
+    algorithm2,
+    algorithm3,
+    algorithm4,
+    algorithm5,
+    algorithm6,
+)
+from repro.errors import (
+    AuthenticationError,
+    BlemishError,
+    ConfigurationError,
+    EnclaveMemoryError,
+    ReproError,
+)
+from repro.relational import (
+    BandJoin,
+    BinaryAsMulti,
+    Custom,
+    CustomMulti,
+    Equality,
+    JaccardSimilarity,
+    PairwiseAll,
+    Predicate,
+    Record,
+    Relation,
+    Schema,
+    Theta,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AuthenticationError",
+    "BandJoin",
+    "BinaryAsMulti",
+    "BlemishError",
+    "ConfigurationError",
+    "Custom",
+    "CustomMulti",
+    "EnclaveMemoryError",
+    "Equality",
+    "JaccardSimilarity",
+    "JoinContext",
+    "JoinResult",
+    "JoinService",
+    "PairwiseAll",
+    "Party",
+    "Predicate",
+    "Record",
+    "Relation",
+    "ReproError",
+    "Schema",
+    "Theta",
+    "algorithm1",
+    "algorithm1_variant",
+    "algorithm2",
+    "algorithm3",
+    "algorithm4",
+    "algorithm5",
+    "algorithm6",
+    "__version__",
+]

@@ -1,0 +1,61 @@
+"""Reproduction of the paper's numerical evaluation (tables and figures)."""
+
+from repro.analysis.figures import (
+    DEFAULT_EPSILONS,
+    Series,
+    figure_4_1,
+    figure_5_1,
+    figure_5_2,
+    figure_5_3,
+    figure_5_4,
+)
+from repro.analysis.report import render_many_series, render_series, render_table
+from repro.analysis.settings import (
+    EPSILON_RELAXED,
+    EPSILON_STRICT,
+    FIGURE_BASE,
+    SETTING_1,
+    SETTING_2,
+    SETTING_3,
+    TABLE_5_2,
+    Setting,
+)
+from repro.analysis.verification import (
+    ExhibitStatus,
+    render_report,
+    verify_reproduction,
+)
+from repro.analysis.tables import (
+    PAPER_TABLE_5_3,
+    TABLE_5_1,
+    table_5_1_rows,
+    table_5_3_rows,
+)
+
+__all__ = [
+    "DEFAULT_EPSILONS",
+    "EPSILON_RELAXED",
+    "EPSILON_STRICT",
+    "FIGURE_BASE",
+    "PAPER_TABLE_5_3",
+    "SETTING_1",
+    "SETTING_2",
+    "SETTING_3",
+    "Series",
+    "Setting",
+    "TABLE_5_1",
+    "TABLE_5_2",
+    "ExhibitStatus",
+    "render_report",
+    "verify_reproduction",
+    "figure_4_1",
+    "figure_5_1",
+    "figure_5_2",
+    "figure_5_3",
+    "figure_5_4",
+    "render_many_series",
+    "render_series",
+    "render_table",
+    "table_5_1_rows",
+    "table_5_3_rows",
+]

@@ -1,0 +1,126 @@
+"""Series builders for the paper's figures (4.1, 5.1, 5.2, 5.3, 5.4).
+
+Each function returns an x-series and y-series (or a winner grid for Figure
+4.1) computed from the paper's cost formulas, so the benchmark harness can
+print the same curves the paper plots and the tests can assert their shapes
+(monotonicity, plateaus, crossovers).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.analysis.settings import FIGURE_BASE, TABLE_5_2, Setting
+from repro.costs.chapter5 import paper_algorithm5, paper_algorithm6
+from repro.costs.regions import RegionCell, region_grid
+
+
+@dataclass(frozen=True)
+class Series:
+    """One plotted curve: labelled x/y value lists."""
+
+    label: str
+    x_label: str
+    y_label: str
+    x: tuple[float, ...]
+    y: tuple[float, ...]
+
+    def is_monotone_decreasing(self) -> bool:
+        return all(b <= a for a, b in zip(self.y, self.y[1:]))
+
+    def is_monotone_nonincreasing_within(self, tolerance: float) -> bool:
+        return all(b <= a * (1 + tolerance) for a, b in zip(self.y, self.y[1:]))
+
+
+def figure_4_1(b: int = 10_000) -> list[RegionCell]:
+    """Figure 4.1: the (alpha, gamma) winner regions among Algorithms 1-3."""
+    alphas = [10 ** (-e) for e in range(0, 5)]  # 1, 0.1, ..., 1e-4
+    gammas = [1, 2, 3, 4, 5, 8, 16, 64, 256]
+    return region_grid(b, alphas, gammas)
+
+
+def figure_5_1(setting: Setting = FIGURE_BASE, max_memory: int | None = None) -> Series:
+    """Figure 5.1: Algorithm 5 communication cost as a function of M."""
+    limit = max_memory if max_memory is not None else setting.results
+    memories = sorted({2 ** k for k in range(0, int(math.log2(limit)) + 1)} | {limit})
+    costs = [
+        paper_algorithm5(setting.total, setting.results, m).total for m in memories
+    ]
+    return Series(
+        label=f"Algorithm 5, L={setting.total}, S={setting.results}",
+        x_label="memory size M (tuples)",
+        y_label="communication cost (tuples)",
+        x=tuple(float(m) for m in memories),
+        y=tuple(costs),
+    )
+
+
+DEFAULT_EPSILONS = tuple(10.0 ** (-e) for e in range(60, 0, -10))  # 1e-60 .. 1e-10
+
+
+def figure_5_2(
+    setting: Setting = FIGURE_BASE, epsilons: tuple[float, ...] = DEFAULT_EPSILONS
+) -> Series:
+    """Figure 5.2: Algorithm 6 communication cost as a function of epsilon."""
+    costs = [
+        paper_algorithm6(setting.total, setting.results, setting.memory, eps).total
+        for eps in epsilons
+    ]
+    return Series(
+        label=(
+            f"Algorithm 6, L={setting.total}, S={setting.results}, M={setting.memory}"
+        ),
+        x_label="epsilon",
+        y_label="communication cost (tuples)",
+        x=tuple(epsilons),
+        y=tuple(costs),
+    )
+
+
+def figure_5_3(
+    setting: Setting = FIGURE_BASE, epsilon: float = 1e-20,
+    max_memory: int | None = None,
+) -> Series:
+    """Figure 5.3: Algorithm 6 communication cost as a function of M."""
+    limit = max_memory if max_memory is not None else setting.results
+    memories = sorted({2 ** k for k in range(4, int(math.log2(limit)) + 1)} | {limit})
+    costs = [
+        paper_algorithm6(setting.total, setting.results, m, epsilon).total
+        for m in memories
+    ]
+    return Series(
+        label=(
+            f"Algorithm 6, L={setting.total}, S={setting.results}, eps={epsilon:.0e}"
+        ),
+        x_label="memory size M (tuples)",
+        y_label="communication cost (tuples)",
+        x=tuple(float(m) for m in memories),
+        y=tuple(costs),
+    )
+
+
+def figure_5_4(
+    settings: tuple[Setting, ...] = TABLE_5_2,
+    epsilons: tuple[float, ...] = DEFAULT_EPSILONS,
+) -> list[Series]:
+    """Figure 5.4: Algorithm 6 cost vs epsilon under the Table 5.2 settings."""
+    series = []
+    for setting in settings:
+        costs = [
+            paper_algorithm6(setting.total, setting.results, setting.memory, eps).total
+            for eps in epsilons
+        ]
+        series.append(
+            Series(
+                label=(
+                    f"{setting.name}: L={setting.total}, S={setting.results}, "
+                    f"M={setting.memory}"
+                ),
+                x_label="epsilon",
+                y_label="communication cost (tuples, log scale)",
+                x=tuple(epsilons),
+                y=tuple(costs),
+            )
+        )
+    return series

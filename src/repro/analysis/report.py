@@ -1,0 +1,58 @@
+"""Plain-text rendering of the reproduced tables and figure series."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.analysis.figures import Series
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, float):
+        if 0.005 <= abs(value) < 1:
+            return f"{value:.2%}"  # fractions like the Table 5.3 reduction row
+        return f"{value:.3g}"      # everything else, including tiny epsilons
+    return str(value)
+
+
+def render_table(rows: Sequence[dict[str, Any]], title: str = "") -> str:
+    """Render a list of dict rows as an aligned text table."""
+    if not rows:
+        return title
+    columns = list(rows[0].keys())
+    cells = [[_format_value(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(line[i]) for line in cells)) for i, col in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(w) for col, w in zip(columns, widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row_cells in cells:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row_cells, widths)))
+    return "\n".join(lines)
+
+
+def render_series(series: Series, title: str = "") -> str:
+    """Render one figure curve as an x/y text table."""
+    rows = [
+        {series.x_label: x, series.y_label: y} for x, y in zip(series.x, series.y)
+    ]
+    heading = title or series.label
+    return render_table(rows, title=heading)
+
+
+def render_many_series(series_list: Sequence[Series], title: str = "") -> str:
+    """Render multiple curves sharing an x axis side by side."""
+    if not series_list:
+        return title
+    x_label = series_list[0].x_label
+    rows = []
+    for i, x in enumerate(series_list[0].x):
+        row: dict[str, Any] = {x_label: x}
+        for series in series_list:
+            row[series.label] = series.y[i]
+        rows.append(row)
+    return render_table(rows, title=title)

@@ -1,0 +1,31 @@
+"""Table 5.2: the (L, S, M) settings of the numerical experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Setting:
+    """One numerical-experiment configuration."""
+
+    name: str
+    total: int      # L = |X1 x ... x XJ|
+    results: int    # S = |join output|
+    memory: int     # M = coprocessor free memory, in tuples
+
+
+#: Table 5.2 verbatim.  Setting 2 quadruples M over setting 1; setting 3
+#: quadruples L and S over setting 2 at the same M.
+SETTING_1 = Setting("setting 1", total=640_000, results=6_400, memory=64)
+SETTING_2 = Setting("setting 2", total=640_000, results=6_400, memory=256)
+SETTING_3 = Setting("setting 3", total=2_560_000, results=25_600, memory=256)
+
+TABLE_5_2 = (SETTING_1, SETTING_2, SETTING_3)
+
+#: The two privacy levels Table 5.3 evaluates Algorithm 6 at.
+EPSILON_STRICT = 1e-20
+EPSILON_RELAXED = 1e-10
+
+#: The Figure 5.1 - 5.3 base configuration (L = 640,000, S = 6,400).
+FIGURE_BASE = SETTING_1

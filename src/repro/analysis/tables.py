@@ -1,0 +1,97 @@
+"""Builders for the paper's tables (5.1 and 5.3).
+
+Each builder returns plain data structures (lists of dicts) so benchmarks,
+tests, and reports can all consume the same rows; :mod:`repro.analysis.report`
+renders them as text.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.analysis.settings import (
+    EPSILON_RELAXED,
+    EPSILON_STRICT,
+    TABLE_5_2,
+    Setting,
+)
+from repro.costs.chapter5 import paper_algorithm4, paper_algorithm5, paper_algorithm6
+from repro.costs.smc import smc_cost_tuples
+
+#: Table 5.1 — privacy level and cost formula per Chapter 5 algorithm.
+TABLE_5_1 = (
+    {
+        "algorithm": "algorithm 4",
+        "privacy_level": "100%",
+        "formula": "2L + ((L-S)/Delta*) (S+Delta*) [log2(S+Delta*)]^2",
+    },
+    {
+        "algorithm": "algorithm 5",
+        "privacy_level": "100%",
+        "formula": "S + ceil(S/M) L",
+    },
+    {
+        "algorithm": "algorithm 6",
+        "privacy_level": "(1 - epsilon) x 100%",
+        "formula": "2L + ceil(L/n*) M + ((ceil(L/n*) M - S)/Delta*) (S+Delta*) [log2(S+Delta*)]^2",
+    },
+)
+
+
+def table_5_1_rows() -> list[dict[str, str]]:
+    """Table 5.1: level of privacy preserving vs. communication cost."""
+    return [dict(row) for row in TABLE_5_1]
+
+
+def table_5_3_rows(settings: tuple[Setting, ...] = TABLE_5_2) -> list[dict[str, Any]]:
+    """Table 5.3: communication costs (tuples) across the Table 5.2 settings.
+
+    Rows: the SMC reference [32], Algorithms 4, 5, and 6 at epsilon = 1e-20
+    and 1e-10, plus the cost-reduction row of Algorithm 6 (strict) vs 5.
+    """
+    rows: list[dict[str, Any]] = []
+
+    def add_row(label: str, fn) -> dict[str, Any]:
+        row: dict[str, Any] = {"method": label}
+        for setting in settings:
+            row[setting.name] = fn(setting)
+        rows.append(row)
+        return row
+
+    add_row("SMC in [32]", lambda s: smc_cost_tuples(s.total, s.results).total)
+    add_row("algorithm 4", lambda s: paper_algorithm4(s.total, s.results).total)
+    add_row(
+        "algorithm 5", lambda s: paper_algorithm5(s.total, s.results, s.memory).total
+    )
+    alg6_strict = add_row(
+        f"algorithm 6 (eps={EPSILON_STRICT:.0e})",
+        lambda s: paper_algorithm6(s.total, s.results, s.memory, EPSILON_STRICT).total,
+    )
+    add_row(
+        f"algorithm 6 (eps={EPSILON_RELAXED:.0e})",
+        lambda s: paper_algorithm6(s.total, s.results, s.memory, EPSILON_RELAXED).total,
+    )
+
+    alg5_row = rows[2]
+    reduction = {"method": "cost reduction: alg 6 (strict) vs alg 5"}
+    for setting in settings:
+        reduction[setting.name] = 1.0 - alg6_strict[setting.name] / alg5_row[setting.name]
+    rows.append(reduction)
+    return rows
+
+
+#: Paper-reported Table 5.3 values for the EXPERIMENTS.md comparison.
+PAPER_TABLE_5_3 = {
+    "SMC in [32]": {"setting 1": 1.1e10, "setting 2": 1.1e10, "setting 3": 4.5e10},
+    "algorithm 4": {"setting 1": 2.3e8, "setting 2": 2.3e8, "setting 3": 1.2e9},
+    "algorithm 5": {"setting 1": 6.4e7, "setting 2": 1.6e7, "setting 3": 2.6e8},
+    "algorithm 6 (eps=1e-20)": {
+        "setting 1": 7.4e6, "setting 2": 3.4e6, "setting 3": 1.8e7,
+    },
+    "algorithm 6 (eps=1e-10)": {
+        "setting 1": 4.6e6, "setting 2": 2.8e6, "setting 3": 1.5e7,
+    },
+    "cost reduction: alg 6 (strict) vs alg 5": {
+        "setting 1": 0.88, "setting 2": 0.79, "setting 3": 0.93,
+    },
+}

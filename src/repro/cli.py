@@ -1,0 +1,169 @@
+"""Command-line interface: regenerate paper exhibits and run demo joins.
+
+Usage::
+
+    python -m repro table5.1            # print a reproduced table
+    python -m repro table5.3
+    python -m repro fig4.1 fig5.1 fig5.2 fig5.3 fig5.4
+    python -m repro costs --total 640000 --results 6400 --memory 64
+    python -m repro demo --algorithm algorithm6 --left 20 --right 20 --results 8
+    python -m repro errata              # the paper errata found while reproducing
+    python -m repro report              # run the full reproduction report card
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+
+from repro.analysis.figures import figure_4_1, figure_5_1, figure_5_2, figure_5_3, figure_5_4
+from repro.analysis.report import render_many_series, render_series, render_table
+from repro.analysis.tables import table_5_1_rows, table_5_3_rows
+
+ERRATA = """Paper errata found during reproduction (details in EXPERIMENTS.md):
+ 1. Algorithm 2: `last := 0` skips a match at B position 0 (we use -1).
+ 2. Algorithm 5: pseudocode flushes mid-scan, contradicting its own proof;
+    the while-loop does not terminate for S = 0 or after the last scan.
+ 3. Algorithm 6: per-segment flush is M oTuples, not "max(S, M)".
+ 4. Eq. 5.6: `arg min n` should be the LARGEST feasible n.
+ 5. Eq. 5.7: the filter log term must be squared (as in Eq. 5.2).
+ 6. Eq. 5.1: the printed stationarity condition uses log2 where the true
+    optimum of the printed cost uses ln (off by a factor ln 2)."""
+
+
+def _exhibit(name: str) -> str:
+    if name == "table5.1":
+        return render_table(table_5_1_rows(), title="Table 5.1 (reproduced)")
+    if name == "table5.3":
+        return render_table(table_5_3_rows(), title="Table 5.3 (reproduced)")
+    if name == "fig4.1":
+        cells = figure_4_1()
+        rows = [
+            {"alpha": c.alpha, "gamma": c.gamma, "general": c.general_winner,
+             "equijoin": c.equijoin_winner}
+            for c in cells
+        ]
+        return render_table(rows, title="Figure 4.1 winner regions (|B|=10,000)")
+    if name == "fig5.1":
+        return render_series(figure_5_1(), title="Figure 5.1 (reproduced)")
+    if name == "fig5.2":
+        return render_series(figure_5_2(), title="Figure 5.2 (reproduced)")
+    if name == "fig5.3":
+        return render_series(figure_5_3(), title="Figure 5.3 (reproduced)")
+    if name == "fig5.4":
+        return render_many_series(figure_5_4(), title="Figure 5.4 (reproduced)")
+    raise SystemExit(f"unknown exhibit {name!r}")
+
+
+EXHIBITS = ("table5.1", "table5.3", "fig4.1", "fig5.1", "fig5.2", "fig5.3", "fig5.4")
+
+
+def _cmd_costs(args: argparse.Namespace) -> None:
+    from repro.costs.chapter5 import (
+        minimum_cost,
+        paper_algorithm4,
+        paper_algorithm5,
+        paper_algorithm6,
+    )
+    from repro.costs.smc import smc_cost_tuples
+
+    rows = [
+        {"method": "SMC [32]", "transfers": smc_cost_tuples(args.total, args.results).total},
+        {"method": "algorithm 4", "transfers": paper_algorithm4(args.total, args.results).total},
+        {"method": "algorithm 5",
+         "transfers": paper_algorithm5(args.total, args.results, args.memory).total},
+        {"method": f"algorithm 6 (eps={args.epsilon:.0e})",
+         "transfers": paper_algorithm6(args.total, args.results, args.memory,
+                                       args.epsilon).total},
+        {"method": "floor (L + S)",
+         "transfers": float(minimum_cost(args.total, args.results))},
+    ]
+    print(render_table(rows, title=(
+        f"predicted costs: L={args.total:,}, S={args.results:,}, M={args.memory}"
+    )))
+
+
+def _cmd_demo(args: argparse.Namespace) -> None:
+    from repro.core.algorithm4 import algorithm4
+    from repro.core.algorithm5 import algorithm5
+    from repro.core.algorithm6 import algorithm6
+    from repro.core.base import JoinContext
+    from repro.relational.generate import equijoin_workload
+    from repro.relational.predicates import BinaryAsMulti, Equality
+
+    workload = equijoin_workload(args.left, args.right, args.results,
+                                 rng=random.Random(args.seed))
+    predicate = BinaryAsMulti(Equality("key"))
+    context = JoinContext.fresh(seed=args.seed)
+    if args.algorithm == "algorithm4":
+        out = algorithm4(context, [workload.left, workload.right], predicate)
+    elif args.algorithm == "algorithm5":
+        out = algorithm5(context, [workload.left, workload.right], predicate,
+                         memory=args.memory)
+    else:
+        out = algorithm6(context, [workload.left, workload.right], predicate,
+                         memory=args.memory, epsilon=args.epsilon)
+    print(f"{args.algorithm}: {len(out.result)} join tuples, "
+          f"{out.transfers} T/H transfers")
+    interesting = {k: v for k, v in out.meta.items() if k != "algorithm"}
+    print(f"meta: {interesting}")
+    print(f"trace fingerprint: {out.trace.fingerprint()[:16]}... "
+          f"(depends only on public parameters)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Privacy Preserving Joins (ICDE 2008) reproduction"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name in EXHIBITS:
+        sub.add_parser(name, help=f"print the reproduced {name}")
+
+    costs = sub.add_parser("costs", help="predicted costs for a deployment")
+    costs.add_argument("--total", type=int, default=640_000, help="L")
+    costs.add_argument("--results", type=int, default=6_400, help="S")
+    costs.add_argument("--memory", type=int, default=64, help="M")
+    costs.add_argument("--epsilon", type=float, default=1e-20)
+
+    demo = sub.add_parser("demo", help="run a real traced join")
+    demo.add_argument("--algorithm", default="algorithm5",
+                      choices=["algorithm4", "algorithm5", "algorithm6"])
+    demo.add_argument("--left", type=int, default=20)
+    demo.add_argument("--right", type=int, default=20)
+    demo.add_argument("--results", type=int, default=8)
+    demo.add_argument("--memory", type=int, default=4)
+    demo.add_argument("--epsilon", type=float, default=1e-6)
+    demo.add_argument("--seed", type=int, default=1)
+
+    sub.add_parser("errata", help="paper errata found during reproduction")
+    sub.add_parser("report", help="run the full reproduction report card")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command in EXHIBITS:
+            print(_exhibit(args.command))
+        elif args.command == "costs":
+            _cmd_costs(args)
+        elif args.command == "demo":
+            _cmd_demo(args)
+        elif args.command == "errata":
+            print(ERRATA)
+        elif args.command == "report":
+            from repro.analysis.verification import render_report, verify_reproduction
+
+            statuses = verify_reproduction()
+            print(render_report(statuses))
+            if not all(s.ok for s in statuses):
+                return 1
+    except BrokenPipeError:  # e.g. piping into `head`
+        return 0
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,247 @@
+"""Privacy preserving aggregation over joins (Chapter 6 extension).
+
+The paper's conclusions single this out: "Aggregation queries output
+statistics over the join of two tables.  It is not necessary to materialize
+the join result ... we only need to worry about leaking information when
+accessing the input tables, but not the output tables.  Do efficient
+algorithms exist for this simplified task?"
+
+The answer built here: yes — one fixed-order scan of the L iTuples with the
+accumulator held inside the enclave.  The access pattern is a pure function
+of L (a single sequential read pass, zero data-dependent writes), so the
+algorithm is privacy preserving under Definition 3 *without* decoys,
+oblivious sorts, or multiple passes; the total cost is L reads plus one
+output tuple.  This beats every join-materializing algorithm by construction
+and gives the paper's open question a concrete affirmative answer with a
+machine-checked cost of ``J*L + 1`` transfers.
+
+Supported aggregates: COUNT, SUM, AVG, MIN, MAX over an attribute of the
+(virtual) joined tuple, plus GROUP-BY variants with a *declared* group
+universe (the group keys must be public for the output size — and hence the
+access pattern — to stay data-independent, mirroring how Definition 3 treats
+S as public).
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass
+from typing import Any, Hashable, Sequence
+
+from repro.core.base import OUTPUT_REGION, JoinContext
+from repro.core.cartesian import upload_tables
+from repro.errors import ConfigurationError
+from repro.hardware.counters import TransferStats
+from repro.hardware.events import Trace
+from repro.relational.predicates import MultiPredicate
+from repro.relational.relation import Relation
+from repro.relational.tuples import Record
+
+
+class AggregateKind(enum.Enum):
+    COUNT = "count"
+    SUM = "sum"
+    AVG = "avg"
+    MIN = "min"
+    MAX = "max"
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """An aggregate specification: what to compute over which attribute.
+
+    ``table`` and ``attr`` locate the value inside the iTuple's component
+    records; COUNT ignores them.
+    """
+
+    kind: AggregateKind
+    table: int = 0
+    attr: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind is not AggregateKind.COUNT and not self.attr:
+            raise ConfigurationError(f"{self.kind.value} needs an attribute name")
+
+
+def count() -> Aggregate:
+    return Aggregate(AggregateKind.COUNT)
+
+
+def agg_sum(table: int, attr: str) -> Aggregate:
+    return Aggregate(AggregateKind.SUM, table, attr)
+
+
+def avg(table: int, attr: str) -> Aggregate:
+    return Aggregate(AggregateKind.AVG, table, attr)
+
+
+def agg_min(table: int, attr: str) -> Aggregate:
+    return Aggregate(AggregateKind.MIN, table, attr)
+
+
+def agg_max(table: int, attr: str) -> Aggregate:
+    return Aggregate(AggregateKind.MAX, table, attr)
+
+
+class _Accumulator:
+    """In-enclave running state for one aggregate (O(1) memory)."""
+
+    def __init__(self, spec: Aggregate) -> None:
+        self.spec = spec
+        self.count = 0
+        self.total = 0.0
+        self.minimum: Any = None
+        self.maximum: Any = None
+
+    def feed(self, records: Sequence[Record]) -> None:
+        self.count += 1
+        if self.spec.kind is AggregateKind.COUNT:
+            return
+        value = records[self.spec.table][self.spec.attr]
+        self.total += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+
+    def result(self) -> Any:
+        kind = self.spec.kind
+        if kind is AggregateKind.COUNT:
+            return self.count
+        if kind is AggregateKind.SUM:
+            return self.total
+        if kind is AggregateKind.AVG:
+            return self.total / self.count if self.count else None
+        if kind is AggregateKind.MIN:
+            return self.minimum
+        return self.maximum
+
+
+@dataclass
+class AggregateResult:
+    """Outcome of a privacy preserving aggregation."""
+
+    values: dict[str, Any]
+    trace: Trace
+    stats: TransferStats
+    meta: dict[str, Any]
+
+    @property
+    def transfers(self) -> int:
+        return self.stats.total
+
+
+def _label(spec: Aggregate) -> str:
+    if spec.kind is AggregateKind.COUNT:
+        return "count"
+    return f"{spec.kind.value}(X{spec.table}.{spec.attr})"
+
+
+def aggregate_join(
+    context: JoinContext,
+    relations: Sequence[Relation],
+    predicate: MultiPredicate,
+    aggregates: Sequence[Aggregate],
+) -> AggregateResult:
+    """Compute aggregates over the join of ``relations`` in one fixed scan.
+
+    The coprocessor reads every iTuple exactly once in logical-index order,
+    feeding matching iTuples to the in-enclave accumulators, and writes a
+    single fixed-size result tuple at the end — an access pattern that is a
+    function of L alone, hence privacy preserving under Definition 3.
+    """
+    if not relations:
+        raise ConfigurationError("at least one relation is required")
+    if not aggregates:
+        raise ConfigurationError("at least one aggregate is required")
+    coprocessor = context.coprocessor
+    reader = upload_tables(context, relations)
+    total = len(reader.space)
+    context.allocate_output()
+
+    accumulators = [_Accumulator(spec) for spec in aggregates]
+    with coprocessor.hold(2):  # one iTuple + the accumulator block
+        for logical in range(total):
+            records = reader.read(logical)
+            if predicate.satisfies(records):
+                for accumulator in accumulators:
+                    accumulator.feed(records)
+        # One fixed-size output write, unconditionally (even for zero matches).
+        payload = b"".join(
+            struct.pack(">d", float(a.result() if a.result() is not None else 0.0))
+            for a in accumulators
+        )
+        coprocessor.put_append(OUTPUT_REGION, payload)
+
+    trace = coprocessor.reset_trace()
+    values = {_label(spec): acc.result() for spec, acc in zip(aggregates, accumulators)}
+    return AggregateResult(
+        values=values,
+        trace=trace,
+        stats=TransferStats.from_trace(trace),
+        meta={"algorithm": "aggregate_join", "L": total,
+              "aggregates": [_label(s) for s in aggregates]},
+    )
+
+
+def group_by_aggregate(
+    context: JoinContext,
+    relations: Sequence[Relation],
+    predicate: MultiPredicate,
+    group_table: int,
+    group_attr: str,
+    groups: Sequence[Hashable],
+    aggregate: Aggregate,
+) -> AggregateResult:
+    """GROUP BY over a *declared* group universe, one scan, fixed output.
+
+    ``groups`` must enumerate every possible group key (public knowledge,
+    like a schema).  The output is one fixed-size tuple per declared group —
+    present or not in the data — so the write pattern is a function of
+    (L, |groups|) alone and Definition 3 is preserved.
+    """
+    if not groups:
+        raise ConfigurationError("the group universe must be declared and non-empty")
+    if len(set(groups)) != len(groups):
+        raise ConfigurationError("group keys must be distinct")
+    coprocessor = context.coprocessor
+    reader = upload_tables(context, relations)
+    total = len(reader.space)
+    context.allocate_output()
+
+    accumulators = {g: _Accumulator(aggregate) for g in groups}
+    with coprocessor.hold(2 + len(groups)):
+        for logical in range(total):
+            records = reader.read(logical)
+            if predicate.satisfies(records):
+                key = records[group_table][group_attr]
+                accumulator = accumulators.get(key)
+                if accumulator is not None:
+                    accumulator.feed(records)
+        for group in groups:
+            result = accumulators[group].result()
+            payload = struct.pack(">d", float(result if result is not None else 0.0))
+            coprocessor.put_append(OUTPUT_REGION, payload)
+
+    trace = coprocessor.reset_trace()
+    values = {g: accumulators[g].result() for g in groups}
+    return AggregateResult(
+        values=values,
+        trace=trace,
+        stats=TransferStats.from_trace(trace),
+        meta={"algorithm": "group_by_aggregate", "L": total,
+              "groups": list(groups), "aggregate": _label(aggregate)},
+    )
+
+
+def paper_aggregation_cost(total: int, tables: int = 2, groups: int = 1) -> int:
+    """Exact transfer count of the aggregation scan: ``J*L`` reads + outputs.
+
+    Compare with the cheapest join-materializing alternative (Algorithm 5 at
+    M >= S: ``J*L + S``): aggregation removes the dependence on S entirely,
+    answering the Chapter 6 open question affirmatively.
+    """
+    if total < 1 or tables < 1 or groups < 1:
+        raise ConfigurationError("sizes must be positive")
+    return tables * total + groups

@@ -1,0 +1,107 @@
+"""Algorithm 2 — general join for secure coprocessors with larger memories.
+
+Section 4.4.3.  Define ``gamma = max(1, ceil(N / (M - delta)))``.  For every
+tuple ``a`` of A the coprocessor scans B ``gamma`` times; during pass ``i`` it
+collects the i-th group of ``blk = ceil(N / gamma)`` matching tuples in its
+own memory and flushes exactly ``blk`` oTuples (matches padded with decoys) to
+the host at the end of the pass.  The output size per pass is fixed, so the
+access pattern depends only on |A|, |B|, N, gamma — never on the data.
+
+Cost (paper, tuple transfers): ``|A| + N|A| + gamma |A| |B|`` (the N|A| term
+is exactly ``gamma * blk * |A|`` when gamma divides N).
+
+Paper erratum: the pseudocode initializes ``last := 0`` and stores a match
+only when ``current > last``, which would skip a match at B position 0 on the
+first pass; we initialize ``last := -1``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.base import (
+    OUTPUT_REGION,
+    JoinContext,
+    JoinResult,
+    finish,
+    joined_payload,
+    make_decoy,
+    make_real,
+    two_party_output_schema,
+    validate_two_party_inputs,
+)
+from repro.errors import ConfigurationError
+from repro.relational.predicates import Predicate
+from repro.relational.relation import Relation
+from repro.relational.tuples import TupleCodec
+
+
+def gamma_for(n_max: int, memory: int, delta: int = 0) -> int:
+    """``gamma = max(1, ceil(N / (M - delta)))`` — passes over B per A tuple."""
+    usable = memory - delta
+    if usable < 1:
+        raise ConfigurationError("coprocessor memory leaves no room for results")
+    return max(1, math.ceil(n_max / usable))
+
+
+def algorithm2(
+    context: JoinContext,
+    left: Relation,
+    right: Relation,
+    predicate: Predicate,
+    n_max: int,
+    memory: int,
+    delta: int = 0,
+) -> JoinResult:
+    """Run Algorithm 2 with result-buffer capacity ``memory`` (= M) tuples."""
+    validate_two_party_inputs(left, right)
+    if not 1 <= n_max <= len(right):
+        raise ConfigurationError(f"N must be in [1, |B|], got {n_max}")
+
+    gamma = gamma_for(n_max, memory, delta)
+    blk = math.ceil(n_max / gamma)
+
+    coprocessor = context.coprocessor
+    out_schema = two_party_output_schema(left, right)
+    out_codec = TupleCodec(out_schema)
+    payload_size = out_codec.record_size
+
+    left_codec = context.upload_relation("A", left)
+    right_codec = context.upload_relation("B", right)
+    context.allocate_output()
+
+    for a_index in range(len(left)):
+        with coprocessor.hold(1):
+            a = left_codec.decode(coprocessor.get("A", a_index))
+            last = -1  # position of the last matched B tuple (paper erratum fixed)
+            for _ in range(gamma):
+                joined = coprocessor.buffer(blk)
+                matches = 0
+                for current in range(len(right)):
+                    with coprocessor.hold(1):
+                        b = right_codec.decode(coprocessor.get("B", current))
+                        if current > last and matches < blk:
+                            if predicate.matches(a, b):
+                                joined.append(
+                                    make_real(joined_payload(a, b, out_schema, out_codec))
+                                )
+                                matches += 1
+                                last = current
+                # Pad the pass output to exactly blk oTuples with decoys.
+                while len(joined) < blk:
+                    joined.append(make_decoy(payload_size))
+                for plain in joined.drain():
+                    coprocessor.put_append(OUTPUT_REGION, plain)
+                joined.release()
+
+    return finish(
+        context,
+        out_schema,
+        meta={
+            "algorithm": "algorithm2",
+            "N": n_max,
+            "gamma": gamma,
+            "blk": blk,
+            "output_slots": gamma * blk * len(left),
+        },
+    )

@@ -1,0 +1,104 @@
+"""Algorithm 3 — the safe sort-based equijoin (Section 4.5.2).
+
+A specialization of Algorithm 1 for equality predicates.  B is first sorted
+obliviously on the join attribute; the key insight is that the B tuples
+joining with any A tuple then occupy at most N *consecutive* positions, so a
+circular N-slot ``scratch[]`` array suffices and no per-round oblivious sorts
+are needed.  For the i-th B tuple the coprocessor always reads
+``scratch[i mod N]`` and always writes the same slot back — either the join
+result (on match) or the re-encrypted previous value (no match), which the
+semantically secure encryption renders indistinguishable.
+
+Cost (paper, tuple transfers):
+``|A| + |A| N + |B| (log2 |B|)^2 + 3 |A| |B|`` — or without the sort term when
+the provider ships B pre-sorted (``presorted=True``).
+"""
+
+from __future__ import annotations
+
+from repro.core.base import (
+    OUTPUT_REGION,
+    JoinContext,
+    JoinResult,
+    finish,
+    joined_payload,
+    make_decoy,
+    make_real,
+    two_party_output_schema,
+    validate_two_party_inputs,
+)
+from repro.errors import ConfigurationError
+from repro.oblivious.sort import oblivious_sort
+from repro.relational.predicates import Equality
+from repro.relational.relation import Relation
+from repro.relational.tuples import TupleCodec
+
+SCRATCH_REGION = "scratch3"
+
+
+def algorithm3(
+    context: JoinContext,
+    left: Relation,
+    right: Relation,
+    on: str | Equality,
+    n_max: int,
+    presorted: bool = False,
+) -> JoinResult:
+    """Run Algorithm 3.  ``on`` names the equijoin attribute.
+
+    ``presorted=True`` models data providers sending sorted data, skipping
+    the initial oblivious sort (last paragraph of Section 4.5.2).
+    """
+    validate_two_party_inputs(left, right)
+    if not 1 <= n_max <= len(right):
+        raise ConfigurationError(f"N must be in [1, |B|], got {n_max}")
+    eq = on if isinstance(on, Equality) else Equality(on)
+
+    coprocessor = context.coprocessor
+    host = context.host
+    out_schema = two_party_output_schema(left, right)
+    out_codec = TupleCodec(out_schema)
+    payload_size = out_codec.record_size
+
+    left_codec = context.upload_relation("A", left)
+    upload_right = right.sorted_by(eq.right_attr) if presorted else right
+    right_codec = context.upload_relation("B", upload_right)
+    right_position = right.schema.position(eq.right_attr)
+
+    if not presorted:
+        def sort_key(plaintext: bytes):
+            return right_codec.decode(plaintext).values[right_position]
+
+        oblivious_sort(coprocessor, "B", len(right), key=sort_key)
+
+    if host.has_region(SCRATCH_REGION):
+        host.free(SCRATCH_REGION)
+    host.allocate(SCRATCH_REGION, n_max)
+    context.allocate_output()
+
+    for a_index in range(len(left)):
+        with coprocessor.hold(1):
+            a = left_codec.decode(coprocessor.get("A", a_index))
+            for slot in range(n_max):
+                coprocessor.put(SCRATCH_REGION, slot, make_decoy(payload_size))
+            for i in range(len(right)):
+                with coprocessor.hold(2):
+                    b = right_codec.decode(coprocessor.get("B", i))
+                    previous = coprocessor.get(SCRATCH_REGION, i % n_max)
+                    if eq.matches(a, b):
+                        plain = make_real(joined_payload(a, b, out_schema, out_codec))
+                    else:
+                        plain = previous  # re-encrypted under a fresh nonce below
+                    coprocessor.put(SCRATCH_REGION, i % n_max, plain)
+        host.host_copy(SCRATCH_REGION, 0, n_max, OUTPUT_REGION)
+
+    return finish(
+        context,
+        out_schema,
+        meta={
+            "algorithm": "algorithm3",
+            "N": n_max,
+            "presorted": presorted,
+            "output_slots": n_max * len(left),
+        },
+    )

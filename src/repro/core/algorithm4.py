@@ -1,0 +1,106 @@
+"""Algorithm 4 — privacy preserving join for coprocessors with small memory.
+
+Section 5.3.1.  The coprocessor scans the L iTuples of D = X1 x ... x XJ in a
+fixed order and *always* writes one oTuple per iTuple — the encrypted join
+result on a match, an encrypted decoy otherwise — so the communication
+pattern is a function of L alone.  It then removes the L - S decoys with the
+optimized oblivious filter (Section 5.2.2) and outputs the S real results.
+
+The enclave footprint is two tuples (one iTuple component + one oTuple), plus
+two during the oblivious sorts: the minimal-memory end of the spectrum.
+
+Cost (paper, Eq. 5.2):
+``2L + ((L - S)/delta*) (S + delta*) [log2(S + delta*)]^2``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.base import (
+    JoinContext,
+    JoinResult,
+    decoy_priority,
+    finish,
+    is_real,
+    make_decoy,
+    make_real,
+    multi_party_output_schema,
+)
+from repro.core.cartesian import joined_values, upload_tables
+from repro.costs.filter_opt import optimal_delta
+from repro.errors import ConfigurationError
+from repro.oblivious.filterbuf import emit_kept, oblivious_filter
+from repro.relational.predicates import MultiPredicate
+from repro.relational.relation import Relation
+from repro.relational.tuples import Record, TupleCodec
+
+OTUPLE_REGION = "otuples"
+
+
+def algorithm4(
+    context: JoinContext,
+    relations: Sequence[Relation],
+    predicate: MultiPredicate,
+    delta: int | None = None,
+) -> JoinResult:
+    """Run Algorithm 4 over any number of participating tables.
+
+    ``delta`` overrides the filter swap-area size (defaults to the Eq. 5.1
+    optimum for the observed output size S).
+    """
+    if not relations:
+        raise ConfigurationError("at least one relation is required")
+    coprocessor = context.coprocessor
+    host = context.host
+
+    out_schema = multi_party_output_schema(relations)
+    out_codec = TupleCodec(out_schema)
+    payload_size = out_codec.record_size
+
+    reader = upload_tables(context, relations)
+    total = len(reader.space)
+    if host.has_region(OTUPLE_REGION):
+        host.free(OTUPLE_REGION)
+    host.allocate(OTUPLE_REGION, total)
+    output = context.allocate_output()
+
+    # Scan: one oTuple out per iTuple in, unconditionally.
+    result_count = 0
+    with coprocessor.hold(2):
+        for logical in range(total):
+            records = reader.read(logical)
+            if predicate.satisfies(records):
+                payload = out_codec.encode(Record(out_schema, joined_values(records)))
+                plain = make_real(payload)
+                result_count += 1
+            else:
+                plain = make_decoy(payload_size)
+            coprocessor.put(OTUPLE_REGION, logical, plain)
+
+    # Oblivious decoy removal: keep the S real results.
+    chosen_delta = delta if delta is not None else optimal_delta(result_count, total)
+    buffer_region = oblivious_filter(
+        coprocessor,
+        OTUPLE_REGION,
+        total,
+        keep=result_count,
+        delta=chosen_delta,
+        priority=decoy_priority,
+    )
+    emitted = emit_kept(
+        coprocessor, buffer_region, result_count, output, is_real=is_real, strip=1
+    )
+
+    return finish(
+        context,
+        out_schema,
+        meta={
+            "algorithm": "algorithm4",
+            "L": total,
+            "S": result_count,
+            "delta": chosen_delta,
+            "emitted": emitted,
+        },
+        flagged=False,
+    )

@@ -1,0 +1,107 @@
+"""Algorithm 5 — privacy preserving join for coprocessors with large memory.
+
+Section 5.3.2.  The coprocessor scans the L iTuples in a fixed order,
+accumulating up to M join results in its memory, and flushes the M buffered
+results to the host only *after completing the scan* — flushing mid-scan
+would reveal how many results occur in each stretch of iTuples.  It re-scans,
+skipping results at or before the last flushed index, until every result is
+out: ceil(S/M) scans, write cost exactly S (no decoys at all).
+
+Cost (paper, Eq. 5.3): ``S + ceil(S/M) L``.
+
+Paper errata handled here (see DESIGN.md):
+
+* the pseudocode's mid-scan flush contradicts the security proof; we flush at
+  end of scan as the proof requires;
+* the pseudocode's ``while pindex < lindex`` loop does not terminate when
+  S = 0 or after the final scan; we terminate when a scan ends with a
+  non-full buffer (then no result can remain unflushed);
+* without prior knowledge of S the coprocessor needs ``floor(S/M) + 1`` scans
+  (when M divides S the last full buffer cannot be distinguished from "more
+  results pending"); passing ``known_result_size`` — e.g. from a screening
+  pass — restores the paper's ``ceil(S/M)`` scan count.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.core.base import (
+    OUTPUT_REGION,
+    JoinContext,
+    JoinResult,
+    finish,
+    multi_party_output_schema,
+)
+from repro.core.cartesian import joined_values, upload_tables
+from repro.errors import ConfigurationError
+from repro.relational.predicates import MultiPredicate
+from repro.relational.relation import Relation
+from repro.relational.tuples import Record, TupleCodec
+
+
+def algorithm5(
+    context: JoinContext,
+    relations: Sequence[Relation],
+    predicate: MultiPredicate,
+    memory: int,
+    known_result_size: int | None = None,
+) -> JoinResult:
+    """Run Algorithm 5 with an M-result enclave buffer."""
+    if not relations:
+        raise ConfigurationError("at least one relation is required")
+    if memory < 1:
+        raise ConfigurationError("M must be at least 1")
+
+    coprocessor = context.coprocessor
+    out_schema = multi_party_output_schema(relations)
+    out_codec = TupleCodec(out_schema)
+
+    reader = upload_tables(context, relations)
+    total = len(reader.space)
+    context.allocate_output()
+
+    flushed = 0
+    scans = 0
+    pindex = -1  # index of the last iTuple whose result has been flushed
+    while True:
+        buffer = coprocessor.buffer(memory)
+        lindex = pindex  # last index stored THIS scan
+        with coprocessor.hold(1):
+            for logical in range(total):
+                records = reader.read(logical)
+                if logical > pindex and not buffer.full and predicate.satisfies(records):
+                    payload = out_codec.encode(Record(out_schema, joined_values(records)))
+                    buffer.append(payload)
+                    lindex = logical
+        scans += 1
+        was_full = buffer.full
+        for payload in buffer.drain():
+            coprocessor.put_append(OUTPUT_REGION, payload)
+            flushed += 1
+        buffer.release()
+        pindex = lindex
+        if not was_full:
+            break  # every remaining result fit: nothing is left unflushed
+        if known_result_size is not None and flushed >= known_result_size:
+            break
+
+    expected_scans = (
+        max(1, math.ceil(known_result_size / memory))
+        if known_result_size is not None
+        else flushed // memory + 1
+    )
+    return finish(
+        context,
+        out_schema,
+        meta={
+            "algorithm": "algorithm5",
+            "L": total,
+            "S": flushed,
+            "M": memory,
+            "scans": scans,
+            "expected_scans": expected_scans,
+        },
+        flagged=False,
+    )

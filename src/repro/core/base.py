@@ -1,0 +1,216 @@
+"""Shared machinery for the privacy preserving join algorithms.
+
+Wire format
+-----------
+Every *output* tuple (oTuple) that crosses the T/H boundary is a plaintext of
+``1 + payload_size`` bytes: a flag byte (0 = real join result, 1 = decoy)
+followed by the fixed-width encoding of the joined record.  Decoys carry a
+fixed ``0xFF`` pattern of the same length, so after encryption under fresh
+nonces a decoy is indistinguishable from a real result (Section 4.3,
+"Decoys").  The recipient decrypts, drops the decoys, and decodes the rest.
+
+Context
+-------
+:class:`JoinContext` bundles the host, the coprocessor, and the crypto
+provider.  Algorithms receive a context, upload their input relations to host
+regions, run, and return a :class:`JoinResult` carrying the decoded output
+relation, the recorded trace, and per-run metadata (N, gamma, segment sizes,
+blemish flags, ...).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.crypto.provider import CryptoProvider, OcbProvider
+from repro.errors import ConfigurationError
+from repro.hardware.coprocessor import SecureCoprocessor
+from repro.hardware.counters import TransferStats
+from repro.hardware.events import Trace
+from repro.hardware.host import HostMemory
+from repro.relational.joins import joined_schema, multiway_schema
+from repro.relational.predicates import Predicate
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.relational.tuples import Record, TupleCodec
+
+REAL_FLAG = 0
+DECOY_FLAG = 1
+_DECOY_FILL = 0xFF
+
+OUTPUT_REGION = "output"
+
+
+def make_real(payload: bytes) -> bytes:
+    """Wrap a joined-record payload as a real oTuple plaintext."""
+    return bytes([REAL_FLAG]) + payload
+
+
+def make_decoy(payload_size: int) -> bytes:
+    """A decoy oTuple plaintext: fixed pattern, same size as a real one."""
+    return bytes([DECOY_FLAG]) + bytes([_DECOY_FILL]) * payload_size
+
+
+def is_real(plaintext: bytes) -> bool:
+    """True when an oTuple plaintext carries a real join result."""
+    return plaintext[0] == REAL_FLAG
+
+
+def decoy_priority(plaintext: bytes) -> int:
+    """Sort key that orders real results strictly before decoys."""
+    return plaintext[0]
+
+
+@dataclass
+class JoinContext:
+    """Host + coprocessor + crypto provider for one join computation."""
+
+    host: HostMemory
+    coprocessor: SecureCoprocessor
+    provider: CryptoProvider
+    rng: random.Random = field(default_factory=lambda: random.Random(0))
+
+    @classmethod
+    def fresh(
+        cls,
+        memory_limit: int | None = None,
+        provider: CryptoProvider | None = None,
+        seed: int = 0,
+        key: bytes = b"repro-session-key",
+    ) -> "JoinContext":
+        """A new context with a single coprocessor attached to a new host."""
+        host = HostMemory()
+        provider = provider if provider is not None else OcbProvider(key)
+        coprocessor = SecureCoprocessor(host, provider, memory_limit=memory_limit)
+        return cls(host=host, coprocessor=coprocessor, provider=provider,
+                   rng=random.Random(seed))
+
+    def upload_relation(self, region: str, relation: Relation) -> TupleCodec:
+        """Encrypt a relation tuple-by-tuple into a host region.
+
+        Models the data providers sending their encrypted relations to H,
+        which stores them on its local disk (Section 4.1).  The upload happens
+        before the join and is not part of the coprocessor's trace.  An
+        existing region of the same name is replaced, so one context can run
+        several joins in sequence.
+        """
+        codec = relation.codec()
+        ciphertexts = [self.provider.encrypt(codec.encode(r)) for r in relation]
+        if self.host.has_region(region):
+            self.host.free(region)
+        self.host.allocate_from(region, ciphertexts)
+        return codec
+
+    def allocate_output(self, region: str = OUTPUT_REGION) -> str:
+        if self.host.has_region(region):
+            self.host.free(region)
+        self.host.allocate(region, 0)
+        return region
+
+    def download_output(
+        self, out_schema: Schema, region: str = OUTPUT_REGION, flagged: bool = True
+    ) -> Relation:
+        """Decrypt the output region as the recipient P_C would.
+
+        When ``flagged`` is True the slots carry flag-byte oTuples and decoys
+        are filtered out; otherwise the slots are bare record payloads.
+        """
+        codec = TupleCodec(out_schema)
+        out = Relation(out_schema)
+        for ciphertext in self.host.region_bytes(region):
+            if ciphertext is None:
+                continue
+            plain = self.provider.decrypt(ciphertext)
+            if flagged:
+                if not is_real(plain):
+                    continue
+                plain = plain[1:]
+            out.append(codec.decode(plain))
+        return out
+
+
+@dataclass
+class JoinResult:
+    """Outcome of one privacy preserving join run."""
+
+    result: Relation
+    trace: Trace
+    stats: TransferStats
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def transfers(self) -> int:
+        """Total tuple transfers in and out of T's memory."""
+        return self.stats.total
+
+
+def finish(
+    context: JoinContext,
+    out_schema: Schema,
+    meta: dict[str, Any],
+    region: str = OUTPUT_REGION,
+    flagged: bool = True,
+) -> JoinResult:
+    """Collect the trace and decode the output into a JoinResult."""
+    trace = context.coprocessor.reset_trace()
+    return JoinResult(
+        result=context.download_output(out_schema, region=region, flagged=flagged),
+        trace=trace,
+        stats=TransferStats.from_trace(trace),
+        meta=meta,
+    )
+
+
+def two_party_output_schema(left: Relation, right: Relation) -> Schema:
+    """Output schema of a two-party join."""
+    return joined_schema(left.schema, right.schema)
+
+
+def multi_party_output_schema(relations: Sequence[Relation]) -> Schema:
+    """Output schema of an m-way join."""
+    return multiway_schema([r.schema for r in relations])
+
+
+def compute_n_exactly(
+    context: JoinContext,
+    left_region: str,
+    right_region: str,
+    left_size: int,
+    right_size: int,
+    left_codec: TupleCodec,
+    right_codec: TupleCodec,
+    predicate: Predicate,
+) -> int:
+    """The safe N-estimation pass of Section 4.3.
+
+    "A safe way to compute exact N would be to run a nested loop join, but
+    without outputting any result tuple.  Note that this preprocessing step
+    does not leak information."  The access pattern is a full A x B scan with
+    no writes, hence data-independent.
+    """
+    coprocessor = context.coprocessor
+    best = 0
+    with coprocessor.hold(2):
+        for i in range(left_size):
+            a = left_codec.decode(coprocessor.get(left_region, i))
+            matches = 0
+            for j in range(right_size):
+                b = right_codec.decode(coprocessor.get(right_region, j))
+                if predicate.matches(a, b):
+                    matches += 1
+            best = max(best, matches)
+    return best
+
+
+def validate_two_party_inputs(left: Relation, right: Relation) -> None:
+    if len(left) == 0 or len(right) == 0:
+        raise ConfigurationError("both input relations must be non-empty")
+
+
+def joined_payload(
+    a: Record, b: Record, out_schema: Schema, out_codec: TupleCodec
+) -> bytes:
+    """Encode the concatenation of two records as an oTuple payload."""
+    return out_codec.encode(Record(out_schema, a.values + b.values))

@@ -1,0 +1,112 @@
+"""Logical indexing of the cartesian product D = X1 x ... x XJ (Section 5.2.1).
+
+Chapter 5's algorithms conceptually scan every iTuple of D, but "in real
+implementation, a logical index can be easily converted into the individual
+index of each of the J tuples and D need not be materialized".
+:class:`CartesianSpace` is that conversion: a mixed-radix codec between a
+logical index in {0, ..., L-1} and a J-tuple of per-table indices.
+
+:class:`CartesianReader` fetches the component tuples of an iTuple through
+the coprocessor (J gets per iTuple).  The paper's cost formulas charge one
+transfer per iTuple; our exact models charge J per iTuple — a constant-factor
+difference recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+from repro.hardware.coprocessor import SecureCoprocessor
+from repro.relational.relation import Relation
+from repro.relational.tuples import Record, TupleCodec
+
+
+class CartesianSpace:
+    """Mixed-radix codec between logical indices and per-table indices."""
+
+    def __init__(self, sizes: Sequence[int]) -> None:
+        if not sizes:
+            raise ConfigurationError("cartesian space needs at least one table")
+        if any(s < 1 for s in sizes):
+            raise ConfigurationError("all table sizes must be at least 1")
+        self.sizes = tuple(sizes)
+        self.total = math.prod(sizes)
+        # Strides for row-major order: the first table varies slowest.
+        strides = []
+        stride = self.total
+        for size in sizes:
+            stride //= size
+            strides.append(stride)
+        self.strides = tuple(strides)
+
+    def __len__(self) -> int:
+        return self.total
+
+    def decompose(self, logical: int) -> tuple[int, ...]:
+        """Logical index -> per-table indices."""
+        if not 0 <= logical < self.total:
+            raise ConfigurationError(f"logical index {logical} out of range [0, {self.total})")
+        out = []
+        for stride, size in zip(self.strides, self.sizes):
+            out.append((logical // stride) % size)
+        return tuple(out)
+
+    def compose(self, indices: Sequence[int]) -> int:
+        """Per-table indices -> logical index."""
+        if len(indices) != len(self.sizes):
+            raise ConfigurationError("index arity does not match table count")
+        logical = 0
+        for index, stride, size in zip(indices, self.strides, self.sizes):
+            if not 0 <= index < size:
+                raise ConfigurationError(f"component index {index} out of range [0, {size})")
+            logical += index * stride
+        return logical
+
+
+class CartesianReader:
+    """Reads iTuples of the (virtual) product table through the coprocessor."""
+
+    def __init__(
+        self,
+        coprocessor: SecureCoprocessor,
+        regions: Sequence[str],
+        codecs: Sequence[TupleCodec],
+        space: CartesianSpace,
+    ) -> None:
+        if not len(regions) == len(codecs) == len(space.sizes):
+            raise ConfigurationError("regions, codecs and space arity must agree")
+        self._coprocessor = coprocessor
+        self._regions = tuple(regions)
+        self._codecs = tuple(codecs)
+        self.space = space
+
+    @property
+    def tables(self) -> int:
+        return len(self._regions)
+
+    def read(self, logical: int) -> tuple[Record, ...]:
+        """Fetch and decode the component records of one iTuple (J gets)."""
+        components = self.space.decompose(logical)
+        records = []
+        for region, codec, index in zip(self._regions, self._codecs, components):
+            records.append(codec.decode(self._coprocessor.get(region, index)))
+        return tuple(records)
+
+
+def upload_tables(context, relations: Sequence[Relation]) -> CartesianReader:
+    """Upload every participating table and build a reader over their product."""
+    regions = []
+    codecs = []
+    for i, relation in enumerate(relations):
+        region = f"X{i}"
+        codecs.append(context.upload_relation(region, relation))
+        regions.append(region)
+    space = CartesianSpace([len(r) for r in relations])
+    return CartesianReader(context.coprocessor, regions, codecs, space)
+
+
+def joined_values(records: Sequence[Record]) -> tuple:
+    """Concatenated value tuple of an iTuple's component records."""
+    return tuple(v for record in records for v in record.values)

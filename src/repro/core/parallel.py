@@ -1,0 +1,364 @@
+"""Parallel variants of the join algorithms (Sections 4.4.4 and 5.3.5).
+
+The paper observes that Algorithms 1-3 "are easy to parallelize with a linear
+speed-up in the number of processors" and describes the Chapter 5 schemes:
+partition the iTuples for Algorithm 4, coordinate per-coprocessor output
+ranges for Algorithm 5, and share an MLFSR seed for Algorithm 6.  The
+simulation executes the coprocessors' shares sequentially but accounts
+transfers per coprocessor; the modelled parallel makespan is the busiest
+coprocessor's transfer count, so linear speedup appears as
+``speedup ~= P``.
+
+Oblivious decoy filtering in parallel needs a parallel bitonic sort, which
+the paper lists as future work ("implementing a parallel bitonic sort is
+tricky due to synchronization"); Algorithm 4's filter phase uses the
+implementation in :mod:`repro.oblivious.parallel_filter`, while Algorithm 6's
+variant keeps the serial filter (its omega is small relative to the scans).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.core.base import (
+    JoinContext,
+    decoy_priority,
+    is_real,
+    make_decoy,
+    make_real,
+    multi_party_output_schema,
+)
+from repro.core.cartesian import CartesianReader, CartesianSpace, joined_values
+from repro.costs.filter_opt import optimal_delta
+from repro.errors import BlemishError, ConfigurationError
+from repro.hardware.cluster import Cluster
+from repro.hardware.counters import TransferStats
+from repro.oblivious.filterbuf import emit_kept, oblivious_filter
+from repro.relational.predicates import MultiPredicate, Predicate
+from repro.relational.relation import Relation
+from repro.relational.tuples import Record, TupleCodec
+
+
+@dataclass
+class ParallelJoinResult:
+    """Outcome of a parallel join: result plus per-coprocessor accounting."""
+
+    result: Relation
+    per_coprocessor: list[TransferStats]
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def total_transfers(self) -> int:
+        return sum(s.total for s in self.per_coprocessor)
+
+    @property
+    def makespan_transfers(self) -> int:
+        return max(s.total for s in self.per_coprocessor)
+
+    @property
+    def speedup(self) -> float:
+        makespan = self.makespan_transfers
+        return self.total_transfers / makespan if makespan else float("nan")
+
+
+def _upload_multi(context: JoinContext, relations: Sequence[Relation]):
+    regions, codecs = [], []
+    for i, relation in enumerate(relations):
+        region = f"X{i}"
+        codecs.append(context.upload_relation(region, relation))
+        regions.append(region)
+    space = CartesianSpace([len(r) for r in relations])
+    return regions, codecs, space
+
+
+def parallel_algorithm2(
+    context: JoinContext,
+    cluster: Cluster,
+    left: Relation,
+    right: Relation,
+    predicate: Predicate,
+    n_max: int,
+    memory: int,
+) -> ParallelJoinResult:
+    """Algorithm 2 with A partitioned across the cluster (Section 4.4.4)."""
+    if not 1 <= n_max <= len(right):
+        raise ConfigurationError(f"N must be in [1, |B|], got {n_max}")
+    gamma = max(1, math.ceil(n_max / memory))
+    blk = math.ceil(n_max / gamma)
+    out_schema = left.schema.joined_with(right.schema)
+    out_codec = TupleCodec(out_schema)
+    payload_size = out_codec.record_size
+    left_codec = context.upload_relation("A", left)
+    right_codec = context.upload_relation("B", right)
+    context.allocate_output()
+
+    def work(coprocessor, index_range):
+        for a_index in index_range:
+            with coprocessor.hold(1):
+                a = left_codec.decode(coprocessor.get("A", a_index))
+                last = -1
+                for _ in range(gamma):
+                    joined = coprocessor.buffer(blk)
+                    matches = 0
+                    for current in range(len(right)):
+                        with coprocessor.hold(1):
+                            b = right_codec.decode(coprocessor.get("B", current))
+                            if current > last and matches < blk and predicate.matches(a, b):
+                                joined.append(
+                                    make_real(
+                                        out_codec.encode(
+                                            Record(out_schema, a.values + b.values)
+                                        )
+                                    )
+                                )
+                                matches += 1
+                                last = current
+                    while len(joined) < blk:
+                        joined.append(make_decoy(payload_size))
+                    for plain in joined.drain():
+                        coprocessor.put_append("output", plain)
+                    joined.release()
+
+    cluster.run_partitioned(len(left), work)
+    result = context.download_output(out_schema)
+    return ParallelJoinResult(
+        result=result,
+        per_coprocessor=[TransferStats.from_trace(t.trace) for t in cluster],
+        meta={"algorithm": "parallel_algorithm2", "gamma": gamma, "blk": blk,
+              "P": len(cluster)},
+    )
+
+
+def parallel_algorithm4(
+    context: JoinContext,
+    cluster: Cluster,
+    relations: Sequence[Relation],
+    predicate: MultiPredicate,
+) -> ParallelJoinResult:
+    """Algorithm 4 with the iTuples partitioned across the cluster."""
+    out_schema = multi_party_output_schema(relations)
+    out_codec = TupleCodec(out_schema)
+    payload_size = out_codec.record_size
+    regions, codecs, space = _upload_multi(context, relations)
+    total = len(space)
+    context.host.allocate("otuples", total)
+    output = context.allocate_output()
+    counts = [0] * len(cluster)
+
+    def work(coprocessor, index_range):
+        reader = CartesianReader(coprocessor, regions, codecs, space)
+        slot = coprocessor.name
+        with coprocessor.hold(2):
+            for logical in index_range:
+                records = reader.read(logical)
+                if predicate.satisfies(records):
+                    plain = make_real(
+                        out_codec.encode(Record(out_schema, joined_values(records)))
+                    )
+                    counts[int(slot[1:])] += 1
+                else:
+                    plain = make_decoy(payload_size)
+                coprocessor.put("otuples", logical, plain)
+
+    cluster.run_partitioned(total, work)
+    result_count = sum(counts)
+    scan_stats = [TransferStats.from_trace(t.trace) for t in cluster]
+
+    # Filter phase: all coprocessors cooperate via the parallel bitonic sort
+    # (Section 5.3.5's "oblivious filtering out decoys in parallel").
+    from repro.oblivious.parallel_filter import parallel_oblivious_filter
+
+    filter_report = parallel_oblivious_filter(
+        cluster, "otuples", total, keep=result_count,
+        delta=optimal_delta(result_count, total), priority=decoy_priority,
+    )
+    emit_kept(cluster[0], filter_report.buffer_region, result_count, output,
+              is_real=is_real, strip=1)
+    result = context.download_output(out_schema, flagged=False)
+    return ParallelJoinResult(
+        result=result,
+        per_coprocessor=scan_stats,
+        meta={
+            "algorithm": "parallel_algorithm4",
+            "P": len(cluster),
+            "S": result_count,
+            "filter_parallel": filter_report.parallel,
+            "filter_makespan": filter_report.makespan,
+            "filter_sorts": filter_report.sorts,
+        },
+    )
+
+
+def parallel_algorithm5(
+    context: JoinContext,
+    cluster: Cluster,
+    relations: Sequence[Relation],
+    predicate: MultiPredicate,
+    memory: int,
+) -> ParallelJoinResult:
+    """Algorithm 5 parallelized by output ranges (Section 5.3.5).
+
+    A coordinator coprocessor screens the iTuples to learn S, then assigns the
+    i-th coprocessor the results with ordinal positions
+    [i*blk, (i+1)*blk); every coprocessor scans the iTuples in the same fixed
+    order and outputs only its share.
+    """
+    out_schema = multi_party_output_schema(relations)
+    out_codec = TupleCodec(out_schema)
+    regions, codecs, space = _upload_multi(context, relations)
+    total = len(space)
+    context.allocate_output()
+
+    # Screening by the coordinator (T0).
+    coordinator = cluster[0]
+    reader0 = CartesianReader(coordinator, regions, codecs, space)
+    result_count = 0
+    with coordinator.hold(1):
+        for logical in range(total):
+            if predicate.satisfies(reader0.read(logical)):
+                result_count += 1
+
+    share = math.ceil(result_count / len(cluster)) if result_count else 0
+
+    for p, coprocessor in enumerate(cluster):
+        lo, hi = p * share, min((p + 1) * share, result_count)
+        if lo >= hi:
+            continue
+        reader = CartesianReader(coprocessor, regions, codecs, space)
+        scans = max(1, math.ceil((hi - lo) / memory))
+        emitted = lo
+        pending = coprocessor.buffer(memory)
+        with coprocessor.hold(1):
+            for _ in range(scans):
+                ordinal = 0
+                for logical in range(total):
+                    records = reader.read(logical)
+                    if predicate.satisfies(records):
+                        if emitted <= ordinal < hi and not pending.full:
+                            pending.append(
+                                out_codec.encode(
+                                    Record(out_schema, joined_values(records))
+                                )
+                            )
+                        ordinal += 1
+                for payload in pending.drain():
+                    coprocessor.put_append("output", payload)
+                    emitted += 1
+        pending.release()
+
+    result = context.download_output(out_schema, flagged=False)
+    return ParallelJoinResult(
+        result=result,
+        per_coprocessor=[TransferStats.from_trace(t.trace) for t in cluster],
+        meta={"algorithm": "parallel_algorithm5", "P": len(cluster),
+              "S": result_count, "share": share},
+    )
+
+
+def parallel_algorithm6(
+    context: JoinContext,
+    cluster: Cluster,
+    relations: Sequence[Relation],
+    predicate: MultiPredicate,
+    memory: int,
+    epsilon: float = 1e-20,
+    seed: int = 1,
+    segment_size: int | None = None,
+) -> ParallelJoinResult:
+    """Algorithm 6 parallelized by MLFSR position ranges (Section 5.3.5).
+
+    "All T seed their maximal LFSR with the same value ... each T is then
+    responsible for a particular range of the sequence of random numbers
+    generated."  We partition the shared random order into contiguous
+    position ranges aligned to whole segments, so every segment is owned by
+    exactly one coprocessor; segment flushes land in per-segment slots of a
+    shared host region and one coprocessor runs the final decoy filter (the
+    parallel-filter construction lives in
+    :mod:`repro.oblivious.parallel_sort`).
+    """
+    from repro.costs.segments import optimal_segment_size, segment_count
+    from repro.crypto.mlfsr import RandomOrder
+
+    if memory < 1:
+        raise ConfigurationError("M must be at least 1")
+    out_schema = multi_party_output_schema(relations)
+    out_codec = TupleCodec(out_schema)
+    payload_size = out_codec.record_size
+    regions, codecs, space = _upload_multi(context, relations)
+    total = len(space)
+    output = context.allocate_output()
+
+    # Screening by the coordinator to learn S (no writes).
+    coordinator = cluster[0]
+    reader0 = CartesianReader(coordinator, regions, codecs, space)
+    result_count = 0
+    with coordinator.hold(1):
+        for logical in range(total):
+            if predicate.satisfies(reader0.read(logical)):
+                result_count += 1
+
+    n_star = segment_size if segment_size is not None else optimal_segment_size(
+        total, result_count, memory, epsilon
+    )
+    segments = segment_count(total, n_star)
+    omega = segments * memory
+    context.host.allocate("psegments", omega)
+
+    # The shared random order, materialized once per coprocessor via the
+    # identical seed; coprocessor p owns segments [p*per, (p+1)*per).
+    per = math.ceil(segments / len(cluster))
+    order = list(RandomOrder(total, seed=seed))
+    blemish = False
+    for p, coprocessor in enumerate(cluster):
+        first_segment = p * per
+        last_segment = min((p + 1) * per, segments)
+        if first_segment >= last_segment:
+            continue
+        reader = CartesianReader(coprocessor, regions, codecs, space)
+        buffer = coprocessor.buffer(memory)
+        with coprocessor.hold(1):
+            for seg in range(first_segment, last_segment):
+                positions = order[seg * n_star: (seg + 1) * n_star]
+                for logical in positions:
+                    records = reader.read(logical)
+                    if predicate.satisfies(records):
+                        if buffer.full:
+                            blemish = True
+                            break
+                        buffer.append(
+                            out_codec.encode(Record(out_schema, joined_values(records)))
+                        )
+                slot = seg * memory
+                for plain_payload in buffer.drain():
+                    coprocessor.put("psegments", slot, make_real(plain_payload))
+                    slot += 1
+                while slot < (seg + 1) * memory:
+                    coprocessor.put("psegments", slot, make_decoy(payload_size))
+                    slot += 1
+                if blemish:
+                    break
+        buffer.release()
+        if blemish:
+            break
+
+    if blemish:
+        raise BlemishError(
+            "segment produced more than M results during parallel Algorithm 6; "
+            "rerun with a smaller epsilon or larger memory"
+        )
+
+    filter_t = cluster[0]
+    buffer_region = oblivious_filter(
+        filter_t, "psegments", omega, keep=result_count,
+        delta=optimal_delta(result_count, omega), priority=decoy_priority,
+    )
+    emit_kept(filter_t, buffer_region, result_count, output, is_real=is_real, strip=1)
+    result = context.download_output(out_schema, flagged=False)
+    return ParallelJoinResult(
+        result=result,
+        per_coprocessor=[TransferStats.from_trace(t.trace) for t in cluster],
+        meta={"algorithm": "parallel_algorithm6", "P": len(cluster),
+              "S": result_count, "segments": segments, "segment_size": n_star},
+    )

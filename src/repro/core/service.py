@@ -1,0 +1,217 @@
+"""The privacy preserving join network service (Sections 3.2 and 3.3.3).
+
+The computation model: a *service provider* (host H + secure coprocessor T)
+and any number of *service requestors* — data owners and result recipients.
+This module wires the pieces into the end-to-end flow the paper describes:
+
+1. **Outbound authentication** — the coprocessor presents an attestation
+   (a signed statement of the application/OS/bootstrap code it runs);
+   requestors verify it before trusting the service.  Simulated by hash
+   chains over the simulated software stack.
+2. **Digital contract** — the parties sign a contract naming who shares what
+   and which join computations are permissible; T holds a copy and arbitrates
+   (Section 3.3.3).
+3. **Ingestion** — each party encrypts its relation, prepending the contract
+   ID, under a session key shared with T; T authenticates the upload,
+   verifies the contract ID, and re-encrypts tuples under its working key
+   into host regions.
+4. **Join** — any of Algorithms 4/5/6 (or the Chapter 4 algorithms for the
+   two-party case) runs over the host regions.
+5. **Delivery** — T re-encrypts the result for the recipient, who decrypts
+   and (for Chapter 4 algorithms) discards decoys.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Callable, Literal
+
+from repro.core.algorithm4 import algorithm4
+from repro.core.algorithm5 import algorithm5
+from repro.core.algorithm6 import algorithm6
+from repro.core.base import JoinContext, JoinResult
+from repro.crypto.provider import FastProvider, OcbProvider
+from repro.errors import AuthenticationError, ContractError
+from repro.relational.predicates import MultiPredicate
+from repro.relational.relation import Relation
+
+AlgorithmName = Literal["algorithm4", "algorithm5", "algorithm6"]
+
+
+@dataclass(frozen=True)
+class Attestation:
+    """The coprocessor's outbound-authentication statement (Section 2.2.2)."""
+
+    bootstrap_hash: str
+    os_hash: str
+    application_hash: str
+    signature: str
+
+    def verify(self, expected_application: str, root_of_trust: str) -> bool:
+        """Check the chain: signature binds the stack to the manufacturer root."""
+        material = f"{root_of_trust}|{self.bootstrap_hash}|{self.os_hash}|{self.application_hash}"
+        return (
+            self.signature == hashlib.sha256(material.encode()).hexdigest()
+            and self.application_hash == expected_application
+        )
+
+
+def issue_attestation(application_code: str, root_of_trust: str = "ibm-miniboot") -> Attestation:
+    """Build the signed certificate chain for a software stack."""
+    bootstrap = hashlib.sha256(b"miniboot-v2").hexdigest()
+    os_hash = hashlib.sha256(b"cp/q-os").hexdigest()
+    app = hashlib.sha256(application_code.encode()).hexdigest()
+    material = f"{root_of_trust}|{bootstrap}|{os_hash}|{app}"
+    return Attestation(
+        bootstrap_hash=bootstrap,
+        os_hash=os_hash,
+        application_hash=app,
+        signature=hashlib.sha256(material.encode()).hexdigest(),
+    )
+
+
+@dataclass(frozen=True)
+class Contract:
+    """The digital contract T arbitrates: who may share what, computed how."""
+
+    contract_id: str
+    data_owners: tuple[str, ...]
+    recipient: str
+    permitted_predicate: str
+
+    def permits(self, party: str) -> bool:
+        return party in self.data_owners
+
+
+@dataclass
+class Party:
+    """A service requestor: data owner and/or result recipient."""
+
+    name: str
+    key: bytes = b""
+
+    def __post_init__(self) -> None:
+        if not self.key:
+            self.key = hashlib.sha256(b"party-key" + self.name.encode()).digest()
+
+    def provider(self):
+        return FastProvider(self.key)
+
+    def encrypt_upload(self, contract_id: str, relation: Relation) -> list[bytes]:
+        """Encrypt (contract_id || tuple) per record, as Section 3.3.3 requires."""
+        provider = self.provider()
+        codec = relation.codec()
+        header = contract_id.encode("utf-8").ljust(16, b"\x00")
+        return [provider.encrypt(header + codec.encode(r)) for r in relation]
+
+
+class JoinService:
+    """The PPJ service provider: host + coprocessor + contract arbitration."""
+
+    APPLICATION_CODE = "repro-ppj-service-v1"
+
+    def __init__(self, memory: int = 64, seed: int = 0) -> None:
+        self.context = JoinContext.fresh(
+            provider=OcbProvider(b"service-working-key-0001"), seed=seed
+        )
+        self.memory = memory
+        self._contracts: dict[str, Contract] = {}
+        self._uploads: dict[tuple[str, str], Relation] = {}
+
+    # -- handshake ----------------------------------------------------------
+    def attest(self) -> Attestation:
+        """The coprocessor's outbound authentication statement."""
+        return issue_attestation(self.APPLICATION_CODE)
+
+    @classmethod
+    def expected_application_hash(cls) -> str:
+        return hashlib.sha256(cls.APPLICATION_CODE.encode()).hexdigest()
+
+    # -- contracts ----------------------------------------------------------
+    def register_contract(self, contract: Contract) -> None:
+        if contract.contract_id in self._contracts:
+            raise ContractError(f"contract {contract.contract_id!r} already registered")
+        self._contracts[contract.contract_id] = contract
+
+    # -- ingestion ----------------------------------------------------------
+    def ingest(self, party: Party, contract_id: str, relation: Relation) -> int:
+        """Accept a party's encrypted upload after contract checks.
+
+        T decrypts with the party's session key, verifies each tuple's
+        embedded contract ID, and retains the plaintext relation for staging
+        into host regions at join time (where it is re-encrypted under the
+        working key).  Returns the number of tuples accepted.
+        """
+        contract = self._contracts.get(contract_id)
+        if contract is None:
+            raise ContractError(f"unknown contract {contract_id!r}")
+        if not contract.permits(party.name):
+            raise ContractError(
+                f"party {party.name!r} is not a data owner under contract {contract_id!r}"
+            )
+        ciphertexts = party.encrypt_upload(contract_id, relation)
+        provider = party.provider()
+        codec = relation.codec()
+        header = contract_id.encode("utf-8").ljust(16, b"\x00")
+        accepted = Relation(relation.schema)
+        for ciphertext in ciphertexts:
+            plain = provider.decrypt(ciphertext)  # AuthenticationError on tamper
+            if plain[:16] != header:
+                raise AuthenticationError("tuple bound to a different contract")
+            accepted.append(codec.decode(plain[16:]))
+        self._uploads[(contract_id, party.name)] = accepted
+        return len(accepted)
+
+    # -- the join -----------------------------------------------------------
+    def execute(
+        self,
+        contract_id: str,
+        predicate: MultiPredicate,
+        algorithm: AlgorithmName = "algorithm5",
+        epsilon: float = 1e-20,
+    ) -> JoinResult:
+        """Run the contracted join over every registered owner's upload."""
+        contract = self._contracts.get(contract_id)
+        if contract is None:
+            raise ContractError(f"unknown contract {contract_id!r}")
+        if predicate.description != contract.permitted_predicate:
+            raise ContractError(
+                f"predicate {predicate.description!r} is not permitted by "
+                f"contract {contract_id!r} (expected {contract.permitted_predicate!r})"
+            )
+        relations: list[Relation] = []
+        for owner in contract.data_owners:
+            upload = self._uploads.get((contract_id, owner))
+            if upload is None:
+                raise ContractError(f"owner {owner!r} has not uploaded data yet")
+            relations.append(upload)
+
+        runner: Callable[..., JoinResult]
+        if algorithm == "algorithm4":
+            return algorithm4(self.context, relations, predicate)
+        if algorithm == "algorithm5":
+            return algorithm5(self.context, relations, predicate, memory=self.memory)
+        if algorithm == "algorithm6":
+            return algorithm6(
+                self.context, relations, predicate, memory=self.memory, epsilon=epsilon
+            )
+        raise ContractError(f"unknown algorithm {algorithm!r}")
+
+    def deliver(self, result: JoinResult, recipient: Party, contract_id: str) -> Relation:
+        """Re-encrypt the result for the recipient and decrypt on their side."""
+        contract = self._contracts.get(contract_id)
+        if contract is None:
+            raise ContractError(f"unknown contract {contract_id!r}")
+        if recipient.name != contract.recipient:
+            raise ContractError(
+                f"{recipient.name!r} is not the contracted recipient "
+                f"({contract.recipient!r})"
+            )
+        provider = recipient.provider()
+        codec = result.result.codec()
+        wire = [provider.encrypt(codec.encode(r)) for r in result.result]
+        delivered = Relation(result.result.schema)
+        for ciphertext in wire:
+            delivered.append(codec.decode(provider.decrypt(ciphertext)))
+        return delivered

@@ -1,0 +1,29 @@
+"""Oblivious-sort cost views shared by the Chapter 4/5 cost models.
+
+Two views of the same operation:
+
+* ``exact_sort_transfers(n)`` — the comparator count of the actual network
+  our executor runs, times 4 (two gets + two puts per comparator).  Tests
+  assert the traced executor performs exactly this many transfers.
+* ``paper_sort_transfers(n)`` — the paper's approximation ``n (log2 n)^2``
+  used when regenerating its tables and figures.
+"""
+
+from __future__ import annotations
+
+from repro.oblivious.networks import exact_transfers, paper_comparisons, paper_transfers
+
+
+def exact_sort_transfers(n: int) -> int:
+    """Exact T/H transfers of one oblivious bitonic sort of n elements."""
+    return exact_transfers(n)
+
+
+def paper_sort_transfers(n: int) -> float:
+    """The paper's ``n (log2 n)^2`` transfer approximation."""
+    return paper_transfers(n)
+
+
+def paper_sort_comparisons(n: int) -> float:
+    """The paper's ``(1/4) n (log2 n)^2`` comparison approximation."""
+    return paper_comparisons(n)

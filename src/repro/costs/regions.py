@@ -1,0 +1,85 @@
+"""The Figure 4.1 performance relationship among Algorithms 1, 2 and 3.
+
+Section 4.6 compares the normalized cost forms over the two operating
+parameters ``alpha = N/|B|`` and ``gamma = ceil(N/M)`` and summarizes the
+winners in Figure 4.1:
+
+* gamma = 1            -> Algorithm 2 dominates (Section 4.6.1);
+* general joins        -> Algorithm 1 overtakes Algorithm 2 once
+                          gamma > 2 + alpha + 2 (log2 2 alpha |B|)^2
+                          (> 4 at the smallest alpha, Section 4.6.2);
+* equijoins            -> Algorithm 3 always beats Algorithm 1; Algorithm 2
+                          wins for gamma <= 3, Algorithm 3 for gamma >= 4,
+                          with a |B|-dependent crossover at 3 < gamma < 4
+                          (Section 4.6.3).
+
+:func:`best_general_join` / :func:`best_equijoin` evaluate the actual
+formulas; :func:`region_grid` produces the (alpha, gamma) -> winner map that
+regenerates the figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.costs.chapter4 import (
+    normalized_algorithm1,
+    normalized_algorithm2,
+    normalized_algorithm3,
+)
+
+
+def best_general_join(b: int, alpha: float, gamma: float) -> str:
+    """Cheaper of Algorithms 1 and 2 (the only general-join options)."""
+    cost1 = normalized_algorithm1(b, alpha)
+    cost2 = normalized_algorithm2(b, alpha, gamma)
+    return "algorithm1" if cost1 < cost2 else "algorithm2"
+
+
+def best_equijoin(b: int, alpha: float, gamma: float) -> str:
+    """Cheapest of Algorithms 1, 2 and 3 when the predicate is equality."""
+    costs = {
+        "algorithm1": normalized_algorithm1(b, alpha),
+        "algorithm2": normalized_algorithm2(b, alpha, gamma),
+        "algorithm3": normalized_algorithm3(b, alpha),
+    }
+    return min(costs, key=costs.get)
+
+
+@dataclass(frozen=True)
+class RegionCell:
+    alpha: float
+    gamma: float
+    general_winner: str
+    equijoin_winner: str
+
+
+def region_grid(
+    b: int, alphas: list[float], gammas: list[float]
+) -> list[RegionCell]:
+    """The (alpha, gamma) winner map behind Figure 4.1."""
+    cells = []
+    for alpha in alphas:
+        for gamma in gammas:
+            cells.append(
+                RegionCell(
+                    alpha=alpha,
+                    gamma=gamma,
+                    general_winner=best_general_join(b, alpha, gamma),
+                    equijoin_winner=best_equijoin(b, alpha, gamma),
+                )
+            )
+    return cells
+
+
+def equijoin_gamma_crossover(b: int, alpha: float) -> float:
+    """The gamma at which Algorithm 3 starts beating Algorithm 2.
+
+    Section 4.6.3 reduces the comparison to
+    ``3 |B|^2 + |B| (log2 |B|)^2  vs  gamma |B|^2`` i.e. the crossover is at
+    ``gamma = 3 + (log2 |B|)^2 / |B|`` (plus the shared alpha term), always in
+    (3, 4) for |B| >= 17.
+    """
+    import math
+
+    return 3 + math.log2(b) ** 2 / b

@@ -1,0 +1,92 @@
+"""Cost models of the secure-computation baselines the paper compares against.
+
+The paper never runs an SMC system; it evaluates the published cost formulas
+of the Fairplay/Pinkas constructions [32, 34], and so do we.
+
+* :func:`sfe_cost_bits` — Section 4.6.5's two-party secure function
+  evaluation cost in bits, compared against Algorithm 1 (also in bits).
+* :func:`smc_cost_tuples` — Eq. 5.8, the Chapter 5 numerical baseline in
+  tuple units (tuple width ``varpi = 1``), with privacy parameters
+  ``xi1 = xi2 = 67`` giving level ``1 - 10^-20`` as in Section 5.4.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.costs.chapter4 import CostBreakdown, paper_algorithm1
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class SfeParameters:
+    """Section 4.6.5 security parameters (minimum practical values from [32])."""
+
+    k0: int = 64     # supplemental key bits while building the circuit
+    k1: int = 100    # oblivious-transfer security parameter
+    l: int = 50      # cheating probability of P_A is 2^-l
+    n: int = 50      # cheating probability of P_B is 2^-n
+
+
+def gate_count(width_bits: int) -> int:
+    """``Ge(w) = 2w``: the paper's simple L1-norm matching circuit size."""
+    if width_bits < 1:
+        raise ConfigurationError("tuple width must be positive")
+    return 2 * width_bits
+
+
+def sfe_cost_bits(
+    b: int, n_max: int, width_bits: int, params: SfeParameters = SfeParameters()
+) -> CostBreakdown:
+    """Total SFE communication (bits), Section 4.6.5.
+
+    ``8 l k0 |B|^2 Ge(w) + 32 l k1 (|B| w) + 2 n l N k1 (|B| w)``.
+    """
+    if b < 1 or n_max < 1:
+        raise ConfigurationError("sizes must be positive")
+    ge = gate_count(width_bits)
+    return CostBreakdown.of(
+        encrypted_circuits=8 * params.l * params.k0 * b**2 * ge,
+        oblivious_transfers=32 * params.l * params.k1 * b * width_bits,
+        commitments=2 * params.n * params.l * n_max * params.k1 * b * width_bits,
+    )
+
+
+def algorithm1_cost_bits(a: int, b: int, n_max: int, width_bits: int) -> float:
+    """Algorithm 1's transfer cost converted to bits (Section 4.6.5)."""
+    return paper_algorithm1(a, b, n_max).total * width_bits
+
+
+def sfe_slowdown(b: int, n_max: int, width_bits: int,
+                 params: SfeParameters = SfeParameters()) -> float:
+    """How many times more bits SFE moves than Algorithm 1 (|A| = |B|)."""
+    return sfe_cost_bits(b, n_max, width_bits, params).total / algorithm1_cost_bits(
+        b, b, n_max, width_bits
+    )
+
+
+@dataclass(frozen=True)
+class SmcParameters:
+    """Eq. 5.8 parameters as instantiated in Section 5.4."""
+
+    kappa0: int = 64
+    kappa1: int = 100
+    xi1: int = 67      # privacy level 1 - 10^-20
+    xi2: int = 67
+    width: int = 1     # tuple width in tuple units (varpi = 1)
+
+
+def smc_cost_tuples(
+    total: int, results: int, params: SmcParameters = SmcParameters()
+) -> CostBreakdown:
+    """Eq. 5.8: ``xi1 k0 L Ge(w) + 32 xi1 k1 w sqrt(L) + 2 xi2 xi1 k1 S w``."""
+    if total < 1 or results < 0:
+        raise ConfigurationError("sizes must be non-negative and L positive")
+    ge = 2 * params.width
+    return CostBreakdown.of(
+        circuits=params.xi1 * params.kappa0 * total * ge,
+        oblivious_transfers=32 * params.xi1 * params.kappa1
+        * params.width * math.sqrt(total),
+        commitments=2 * params.xi2 * params.xi1 * params.kappa1 * results * params.width,
+    )

@@ -1,0 +1,39 @@
+"""Cryptographic building blocks: block cipher, OCB mode, providers, MLFSR."""
+
+from repro.crypto.blockcipher import BLOCK_SIZE, BlockCipher, gf_double, xor_bytes
+from repro.crypto.mlfsr import MAXIMAL_TAPS, Mlfsr, RandomOrder, width_for
+from repro.crypto.ocb import NONCE_SIZE, TAG_SIZE, Ocb
+from repro.crypto.ocb_stream import (
+    OcbStageCipher,
+    StagedArrayCipher,
+    sequential_applications,
+)
+from repro.crypto.provider import (
+    CryptoProvider,
+    FastProvider,
+    NullProvider,
+    OcbProvider,
+    default_provider,
+)
+
+__all__ = [
+    "BLOCK_SIZE",
+    "BlockCipher",
+    "CryptoProvider",
+    "FastProvider",
+    "MAXIMAL_TAPS",
+    "Mlfsr",
+    "NONCE_SIZE",
+    "NullProvider",
+    "Ocb",
+    "OcbStageCipher",
+    "StagedArrayCipher",
+    "sequential_applications",
+    "OcbProvider",
+    "RandomOrder",
+    "TAG_SIZE",
+    "default_provider",
+    "gf_double",
+    "width_for",
+    "xor_bytes",
+]

@@ -1,0 +1,156 @@
+"""Per-tuple encryption providers used by hosts, coprocessors, and parties.
+
+All traffic between the data providers, the host ``H`` and the secure
+coprocessor ``T`` is encrypted tuple-by-tuple (Section 3.2).  The algorithms
+only need three properties from the scheme, captured by the
+:class:`CryptoProvider` interface:
+
+* **semantic security** — two encryptions of the same plaintext (decoys!) are
+  indistinguishable, implemented by drawing a fresh nonce per encryption;
+* **authenticity** — decryption of a tampered ciphertext raises
+  :class:`AuthenticationError` (Section 3.3.1);
+* **fixed expansion** — equal-length plaintexts yield equal-length
+  ciphertexts, preserving the *Fixed Size* principle.
+
+Three implementations trade fidelity for speed:
+
+* :class:`OcbProvider` — the paper's OCB mode, faithful structure;
+* :class:`FastProvider` — SHA-256 keystream + truncated MAC, ~4x faster,
+  used for larger benchmark runs;
+* :class:`NullProvider` — no confidentiality (checksum-only integrity), for
+  cost-model validation runs where only access patterns and transfer counts
+  matter.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from typing import Protocol, runtime_checkable
+
+from repro.crypto.ocb import NONCE_SIZE, TAG_SIZE, Ocb
+from repro.errors import AuthenticationError, ConfigurationError
+
+
+@runtime_checkable
+class CryptoProvider(Protocol):
+    """Semantically secure authenticated encryption of byte strings."""
+
+    #: Bytes added to every plaintext (nonce + tag).
+    overhead: int
+
+    def encrypt(self, plaintext: bytes) -> bytes:
+        """Encrypt under a fresh nonce; output is nonce || ciphertext || tag."""
+        ...
+
+    def decrypt(self, ciphertext: bytes) -> bytes:
+        """Decrypt and authenticate; raises AuthenticationError on tamper."""
+        ...
+
+
+class _NonceCounter:
+    """Deterministic nonce sequence; uniqueness is all OCB requires."""
+
+    def __init__(self) -> None:
+        self._counter = itertools.count(1)
+
+    def next_nonce(self) -> bytes:
+        return next(self._counter).to_bytes(NONCE_SIZE, "big")
+
+
+class OcbProvider:
+    """The paper's OCB authenticated encryption (Section 3.3.3)."""
+
+    overhead = NONCE_SIZE + TAG_SIZE
+
+    def __init__(self, key: bytes) -> None:
+        self._ocb = Ocb(key)
+        self._nonces = _NonceCounter()
+
+    def encrypt(self, plaintext: bytes) -> bytes:
+        nonce = self._nonces.next_nonce()
+        return nonce + self._ocb.encrypt(nonce, plaintext)
+
+    def decrypt(self, ciphertext: bytes) -> bytes:
+        if len(ciphertext) <= NONCE_SIZE + TAG_SIZE:
+            raise AuthenticationError("ciphertext too short")
+        nonce, body = ciphertext[:NONCE_SIZE], ciphertext[NONCE_SIZE:]
+        return self._ocb.decrypt(nonce, body)
+
+
+class FastProvider:
+    """Keystream + MAC authenticated encryption (fast simulation substitute)."""
+
+    overhead = NONCE_SIZE + TAG_SIZE
+
+    def __init__(self, key: bytes) -> None:
+        if len(key) < 16:
+            raise ConfigurationError("keys must be at least 16 bytes")
+        self._enc_key = hashlib.sha256(b"fast-enc" + key).digest()
+        self._mac_key = hashlib.sha256(b"fast-mac" + key).digest()
+        self._nonces = _NonceCounter()
+
+    def _keystream(self, nonce: bytes, length: int) -> bytes:
+        out = bytearray()
+        counter = 0
+        while len(out) < length:
+            out += hashlib.sha256(self._enc_key + nonce + counter.to_bytes(4, "big")).digest()
+            counter += 1
+        return bytes(out[:length])
+
+    def _mac(self, nonce: bytes, body: bytes) -> bytes:
+        return hashlib.sha256(self._mac_key + nonce + body).digest()[:TAG_SIZE]
+
+    def encrypt(self, plaintext: bytes) -> bytes:
+        nonce = self._nonces.next_nonce()
+        stream = self._keystream(nonce, len(plaintext))
+        body = bytes(p ^ s for p, s in zip(plaintext, stream))
+        return nonce + body + self._mac(nonce, body)
+
+    def decrypt(self, ciphertext: bytes) -> bytes:
+        if len(ciphertext) < NONCE_SIZE + TAG_SIZE + 1:
+            raise AuthenticationError("ciphertext too short")
+        nonce = ciphertext[:NONCE_SIZE]
+        body = ciphertext[NONCE_SIZE:-TAG_SIZE]
+        tag = ciphertext[-TAG_SIZE:]
+        if self._mac(nonce, body) != tag:
+            raise AuthenticationError("MAC mismatch: ciphertext was tampered with")
+        stream = self._keystream(nonce, len(body))
+        return bytes(c ^ s for c, s in zip(body, stream))
+
+
+class NullProvider:
+    """No confidentiality; integrity via checksum.  For cost-only experiments.
+
+    Encryptions still carry a fresh nonce so equal plaintexts remain
+    byte-distinct (the property the algorithms rely on for decoys), but the
+    plaintext is stored in the clear.
+    """
+
+    overhead = NONCE_SIZE + TAG_SIZE
+
+    def __init__(self, key: bytes = b"") -> None:
+        self._nonces = _NonceCounter()
+
+    @staticmethod
+    def _checksum(nonce: bytes, body: bytes) -> bytes:
+        return hashlib.sha256(b"null" + nonce + body).digest()[:TAG_SIZE]
+
+    def encrypt(self, plaintext: bytes) -> bytes:
+        nonce = self._nonces.next_nonce()
+        return nonce + plaintext + self._checksum(nonce, plaintext)
+
+    def decrypt(self, ciphertext: bytes) -> bytes:
+        if len(ciphertext) < NONCE_SIZE + TAG_SIZE + 1:
+            raise AuthenticationError("ciphertext too short")
+        nonce = ciphertext[:NONCE_SIZE]
+        body = ciphertext[NONCE_SIZE:-TAG_SIZE]
+        tag = ciphertext[-TAG_SIZE:]
+        if self._checksum(nonce, body) != tag:
+            raise AuthenticationError("checksum mismatch: ciphertext was tampered with")
+        return body
+
+
+def default_provider(key: bytes) -> CryptoProvider:
+    """The provider algorithms use unless told otherwise (faithful OCB)."""
+    return OcbProvider(key)

@@ -1,0 +1,56 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError`, so callers
+can catch the whole family with one clause.  The subclasses mirror the paper's
+failure modes: authentication failures detected by the secure coprocessor
+(Section 3.3.1), enclave memory exhaustion (the M-tuple budget of Section 4.1
+and 5.2.1), and the Algorithm 6 *blemish* event (Section 5.3.3).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class SchemaError(ReproError):
+    """A record does not conform to its declared schema."""
+
+
+class CodecError(ReproError):
+    """A value cannot be encoded into, or decoded from, its fixed-width slot."""
+
+
+class AuthenticationError(ReproError):
+    """Authenticated decryption failed: the ciphertext or tag was tampered with.
+
+    Per Section 3.3.1, the secure coprocessor terminates the computation
+    immediately when it detects memory tampering; this exception models that
+    termination.
+    """
+
+
+class EnclaveMemoryError(ReproError):
+    """The secure coprocessor's free-memory budget of M tuples was exceeded."""
+
+
+class HostMemoryError(ReproError):
+    """An access to host memory referenced an unknown region or bad index."""
+
+
+class BlemishError(ReproError):
+    """Algorithm 6 hit a *blemish*: a segment produced more than M results.
+
+    The paper bounds the probability of this event by epsilon (Eq. 5.6) and
+    prescribes a "salvage" action which may leak information; callers choose
+    between raising this error and running the salvage fallback.
+    """
+
+
+class ContractError(ReproError):
+    """A join request violates the digital contract held by the coprocessor."""
+
+
+class ConfigurationError(ReproError):
+    """An algorithm or cost model was given inconsistent parameters."""

@@ -1,0 +1,36 @@
+"""Hardware simulation: host memory, secure coprocessor, traces, clusters."""
+
+from repro.hardware.adversary import ReplayingHost, TamperingHost
+from repro.hardware.cluster import Cluster
+from repro.hardware.coprocessor import EnclaveBuffer, SecureCoprocessor
+from repro.hardware.counters import TransferStats
+from repro.hardware.events import GET, PUT, AccessEvent, Trace
+from repro.hardware.host import HostMemory
+from repro.hardware.timing import (
+    ConstantTimeMulti,
+    ConstantTimePredicate,
+    TimedPredicate,
+    VirtualClock,
+    constant_time,
+    short_circuit_cost,
+)
+
+__all__ = [
+    "AccessEvent",
+    "Cluster",
+    "ConstantTimeMulti",
+    "ConstantTimePredicate",
+    "EnclaveBuffer",
+    "GET",
+    "HostMemory",
+    "PUT",
+    "ReplayingHost",
+    "SecureCoprocessor",
+    "TamperingHost",
+    "TimedPredicate",
+    "Trace",
+    "TransferStats",
+    "VirtualClock",
+    "constant_time",
+    "short_circuit_cost",
+]

@@ -1,0 +1,89 @@
+"""Multiple coprocessors on one host (Sections 4.4.4 and 5.3.5).
+
+"Consider a server which has more than one secure coprocessor attached" — the
+parallel variants of the algorithms partition work across the P coprocessors
+of a :class:`Cluster`.  The simulation runs the coprocessors' work sequentially
+but accounts it per-coprocessor; the modelled parallel makespan is the maximum
+per-coprocessor transfer count, so linear speedup shows up as
+``makespan ~= total / P``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.crypto.provider import CryptoProvider
+from repro.errors import ConfigurationError
+from repro.hardware.coprocessor import SecureCoprocessor
+from repro.hardware.host import HostMemory
+
+
+class Cluster:
+    """P secure coprocessors attached to a single host.
+
+    All coprocessors share one crypto provider: in the real deployment they
+    would hold the same session keys after the contract handshake, and sharing
+    the provider's nonce counter preserves nonce uniqueness across devices.
+    """
+
+    def __init__(
+        self,
+        host: HostMemory,
+        provider: CryptoProvider,
+        count: int,
+        memory_limit: int | None = None,
+    ) -> None:
+        if count < 1:
+            raise ConfigurationError("a cluster needs at least one coprocessor")
+        self.host = host
+        self.provider = provider
+        self.coprocessors = [
+            SecureCoprocessor(host, provider, memory_limit=memory_limit, name=f"T{i}")
+            for i in range(count)
+        ]
+
+    def __len__(self) -> int:
+        return len(self.coprocessors)
+
+    def __iter__(self):
+        return iter(self.coprocessors)
+
+    def __getitem__(self, index: int) -> SecureCoprocessor:
+        return self.coprocessors[index]
+
+    # -- work partitioning helpers -------------------------------------------
+    def partition_range(self, size: int) -> list[range]:
+        """Split [0, size) into len(self) nearly equal contiguous ranges."""
+        count = len(self.coprocessors)
+        base, extra = divmod(size, count)
+        ranges = []
+        start = 0
+        for i in range(count):
+            length = base + (1 if i < extra else 0)
+            ranges.append(range(start, start + length))
+            start += length
+        return ranges
+
+    # -- accounting -------------------------------------------------------------
+    def total_transfers(self) -> int:
+        return sum(t.trace.transfer_count() for t in self.coprocessors)
+
+    def makespan_transfers(self) -> int:
+        """The modelled parallel completion time: the busiest coprocessor."""
+        return max(t.trace.transfer_count() for t in self.coprocessors)
+
+    def speedup(self) -> float:
+        """total / makespan — equals P under a perfectly balanced partition."""
+        makespan = self.makespan_transfers()
+        if makespan == 0:
+            return float(len(self.coprocessors))
+        return self.total_transfers() / makespan
+
+    def run_partitioned(
+        self, size: int, work: Callable[[SecureCoprocessor, range], None]
+    ) -> list[range]:
+        """Apply ``work(coprocessor, index_range)`` over a balanced partition."""
+        ranges = self.partition_range(size)
+        for coprocessor, index_range in zip(self.coprocessors, ranges):
+            work(coprocessor, index_range)
+        return ranges

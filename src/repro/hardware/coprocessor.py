@@ -1,0 +1,163 @@
+"""The secure coprocessor T.
+
+``T`` is the only trusted component (Section 3.3).  Everything it reads from
+the host is decrypted and authenticated on entry; everything it writes is
+encrypted under a fresh nonce on exit.  Every crossing of the T/H boundary is
+recorded in a :class:`~repro.hardware.events.Trace` — the observable over
+which the privacy definitions quantify and in which every cost formula is
+stated.
+
+Memory is the coprocessor's scarce resource (4 MB in an IBM 4758, 64 MB in an
+IBM 4764).  The class enforces a *tuple-slot budget*: algorithms acquire slots
+via :meth:`hold` or :meth:`buffer` and exceeding the budget raises
+:class:`EnclaveMemoryError`.  This turns the paper's memory claims ("Algorithm
+4 only requires a memory size of two") into machine-checked invariants.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.crypto.provider import CryptoProvider
+from repro.errors import EnclaveMemoryError
+from repro.hardware.events import GET, PUT, Trace
+from repro.hardware.host import HostMemory
+
+
+class EnclaveBuffer:
+    """A bounded in-enclave list of plaintext tuples (e.g. Algorithm 5's store).
+
+    Appending beyond ``capacity`` raises :class:`EnclaveMemoryError`; this is
+    precisely the *blemish* trigger of Algorithm 6 (Section 5.3.3).
+    """
+
+    def __init__(self, coprocessor: "SecureCoprocessor", capacity: int) -> None:
+        self._coprocessor = coprocessor
+        self.capacity = capacity
+        self._items: list[bytes] = []
+        self._released = False
+
+    def append(self, plaintext: bytes) -> None:
+        if len(self._items) >= self.capacity:
+            raise EnclaveMemoryError(
+                f"enclave buffer overflow: capacity {self.capacity} exceeded"
+            )
+        self._items.append(plaintext)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[bytes]:
+        return iter(self._items)
+
+    def __getitem__(self, index: int) -> bytes:
+        return self._items[index]
+
+    @property
+    def full(self) -> bool:
+        return len(self._items) >= self.capacity
+
+    def drain(self) -> list[bytes]:
+        """Remove and return all buffered tuples."""
+        items, self._items = self._items, []
+        return items
+
+    def clear(self) -> None:
+        self._items.clear()
+
+    def release(self) -> None:
+        """Return the reserved slots to the coprocessor's free pool."""
+        if not self._released:
+            self._coprocessor._release(self.capacity)
+            self._released = True
+
+
+class SecureCoprocessor:
+    """One secure coprocessor attached to a host."""
+
+    def __init__(
+        self,
+        host: HostMemory,
+        provider: CryptoProvider,
+        memory_limit: int | None = None,
+        name: str = "T0",
+    ) -> None:
+        self.host = host
+        self.provider = provider
+        self.memory_limit = memory_limit
+        self.name = name
+        self.trace = Trace()
+        self._in_use = 0
+        self.peak_in_use = 0
+        self.encryptions = 0
+        self.decryptions = 0
+
+    # -- memory accounting ---------------------------------------------------
+    def _reserve(self, slots: int) -> None:
+        if slots < 0:
+            raise EnclaveMemoryError("cannot reserve a negative number of slots")
+        if self.memory_limit is not None and self._in_use + slots > self.memory_limit:
+            raise EnclaveMemoryError(
+                f"{self.name}: requested {slots} slots with {self._in_use} in use "
+                f"exceeds the limit of {self.memory_limit}"
+            )
+        self._in_use += slots
+        self.peak_in_use = max(self.peak_in_use, self._in_use)
+
+    def _release(self, slots: int) -> None:
+        self._in_use -= slots
+        if self._in_use < 0:
+            raise EnclaveMemoryError("released more slots than were reserved")
+
+    @property
+    def slots_in_use(self) -> int:
+        return self._in_use
+
+    @contextmanager
+    def hold(self, slots: int):
+        """Reserve ``slots`` tuple slots for the duration of a with-block."""
+        self._reserve(slots)
+        try:
+            yield
+        finally:
+            self._release(slots)
+
+    def buffer(self, capacity: int) -> EnclaveBuffer:
+        """Reserve a bounded result buffer (caller must release())."""
+        self._reserve(capacity)
+        return EnclaveBuffer(self, capacity)
+
+    # -- the traced T/H boundary ----------------------------------------------
+    def get(self, region: str, index: int) -> bytes:
+        """Read one host slot into the enclave: decrypt + authenticate.
+
+        Raises :class:`~repro.errors.AuthenticationError` when the host (or a
+        malicious adversary controlling it) tampered with the slot —
+        Section 3.3.1's detect-and-terminate behaviour.
+        """
+        ciphertext = self.host.read_slot(region, index)
+        self.trace.record(GET, region, index)
+        self.decryptions += 1
+        return self.provider.decrypt(ciphertext)
+
+    def put(self, region: str, index: int, plaintext: bytes) -> None:
+        """Write one plaintext out to a host slot, encrypting under a fresh nonce."""
+        ciphertext = self.provider.encrypt(plaintext)
+        self.host.write_slot(region, index, ciphertext)
+        self.trace.record(PUT, region, index)
+        self.encryptions += 1
+
+    def put_append(self, region: str, plaintext: bytes) -> int:
+        """Append an encrypted tuple to a growable host region."""
+        ciphertext = self.provider.encrypt(plaintext)
+        index = self.host.append_slot(region, ciphertext)
+        self.trace.record(PUT, region, index)
+        self.encryptions += 1
+        return index
+
+    # -- statistics -----------------------------------------------------------
+    def reset_trace(self) -> Trace:
+        """Swap in a fresh trace, returning the old one."""
+        old, self.trace = self.trace, Trace()
+        return old

@@ -1,0 +1,41 @@
+"""Transfer statistics derived from traces.
+
+Every cost expression in the paper counts "tuple transfers in and out of T's
+memory"; :class:`TransferStats` computes those counts (total and per-region,
+split by direction) from a recorded trace so tests and benchmarks can compare
+measured behaviour against the closed-form models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hardware.events import GET, PUT, Trace
+
+
+@dataclass(frozen=True)
+class TransferStats:
+    """Counts of T/H tuple transfers extracted from one trace."""
+
+    total: int
+    gets: int
+    puts: int
+    by_region: dict[tuple[str, str], int] = field(default_factory=dict)
+
+    @classmethod
+    def from_trace(cls, trace: Trace) -> "TransferStats":
+        by_region = dict(trace.by_region())
+        gets = sum(v for (op, _), v in by_region.items() if op == GET)
+        puts = sum(v for (op, _), v in by_region.items() if op == PUT)
+        return cls(total=gets + puts, gets=gets, puts=puts, by_region=by_region)
+
+    def region_total(self, region: str) -> int:
+        """All transfers touching one region, regardless of direction."""
+        return sum(v for (_, r), v in self.by_region.items() if r == region)
+
+    def describe(self) -> str:
+        """A one-line human-readable summary."""
+        parts = [f"total={self.total}", f"gets={self.gets}", f"puts={self.puts}"]
+        for (op, region), count in sorted(self.by_region.items()):
+            parts.append(f"{op}:{region}={count}")
+        return " ".join(parts)

@@ -1,0 +1,99 @@
+"""Access events and traces: the observable of the security definitions.
+
+Definitions 1 and 3 are both phrased over "the ordered list of server
+locations read and written by the secure coprocessor".  :class:`AccessEvent`
+is one such location access and :class:`Trace` is the ordered list.  The
+privacy checker (:mod:`repro.privacy`) decides safety by comparing whole
+traces across runs on different data; the cost models are validated against
+the per-region transfer counts a trace exposes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, NamedTuple
+
+GET = "get"  # transfer host -> coprocessor (implies one decryption in T)
+PUT = "put"  # transfer coprocessor -> host (implies one encryption in T)
+
+
+class AccessEvent(NamedTuple):
+    """One access by the coprocessor to a host memory location."""
+
+    op: str       # GET or PUT
+    region: str   # named host region, e.g. "A", "B", "scratch", "output"
+    index: int    # tuple index within the region
+
+
+@dataclass
+class Trace:
+    """The ordered list of host locations a coprocessor read and wrote."""
+
+    events: list[AccessEvent] = field(default_factory=list)
+
+    def record(self, op: str, region: str, index: int) -> None:
+        self.events.append(AccessEvent(op, region, index))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[AccessEvent]:
+        return iter(self.events)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Trace):
+            return NotImplemented
+        return self.events == other.events
+
+    def __getitem__(self, index):
+        return self.events[index]
+
+    # -- summaries ---------------------------------------------------------
+    def transfer_count(self) -> int:
+        """Total tuple transfers in and out of the coprocessor's memory.
+
+        This is the quantity every cost formula in the paper is stated in.
+        """
+        return len(self.events)
+
+    def count(self, op: str | None = None, region: str | None = None) -> int:
+        """Transfers matching an (op, region) filter; None means any."""
+        return sum(
+            1
+            for event in self.events
+            if (op is None or event.op == op) and (region is None or event.region == region)
+        )
+
+    def by_region(self) -> Counter:
+        """Counter keyed by (op, region)."""
+        return Counter((event.op, event.region) for event in self.events)
+
+    def regions(self) -> set[str]:
+        return {event.region for event in self.events}
+
+    def fingerprint(self) -> str:
+        """A stable hash of the whole trace, for cheap equality bookkeeping."""
+        digest = hashlib.sha256()
+        for event in self.events:
+            digest.update(event.op.encode())
+            digest.update(event.region.encode())
+            digest.update(event.index.to_bytes(8, "big", signed=True))
+        return digest.hexdigest()
+
+    def extend(self, events: Iterable[AccessEvent]) -> None:
+        self.events.extend(events)
+
+    def first_divergence(self, other: "Trace") -> int | None:
+        """Index of the first differing event, or None when traces agree.
+
+        Used by the privacy checker to report *where* an unsafe algorithm's
+        access pattern depends on the data.
+        """
+        for i, (a, b) in enumerate(zip(self.events, other.events)):
+            if a != b:
+                return i
+        if len(self.events) != len(other.events):
+            return min(len(self.events), len(other.events))
+        return None

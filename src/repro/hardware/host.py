@@ -1,0 +1,119 @@
+"""The untrusted host H: named regions of ciphertext tuple slots.
+
+The host is "a general purpose computer which provides additional memory and
+disk space for T" (Section 3.2).  For the algorithms' purposes memory and disk
+are one address space ("we refer to H's memory and disk as its memory"), so
+:class:`HostMemory` models a dictionary of named, fixed-size regions of
+ciphertext slots.  The host is honest-but-curious: it stores and serves bytes
+faithfully but sees every slot and every access.  Host-side operations that do
+not cross the T/H boundary (e.g. "request H to write the first N of scratch[]
+to disk", Algorithm 1) are modelled by :meth:`host_copy` / :meth:`host_append`
+and are *not* counted as coprocessor transfers, matching the paper's cost
+accounting.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import HostMemoryError
+
+
+class HostMemory:
+    """Named regions of ciphertext slots plus an append-only output area."""
+
+    def __init__(self) -> None:
+        self._regions: dict[str, list[bytes | None]] = {}
+
+    # -- region management --------------------------------------------------
+    def allocate(self, name: str, size: int) -> None:
+        """Create an empty region of ``size`` tuple slots."""
+        if name in self._regions:
+            raise HostMemoryError(f"region {name!r} already exists")
+        if size < 0:
+            raise HostMemoryError("region size must be non-negative")
+        self._regions[name] = [None] * size
+
+    def allocate_from(self, name: str, ciphertexts: Iterable[bytes]) -> None:
+        """Create a region pre-loaded with ciphertexts (a provider's upload)."""
+        if name in self._regions:
+            raise HostMemoryError(f"region {name!r} already exists")
+        self._regions[name] = list(ciphertexts)
+
+    def free(self, name: str) -> None:
+        try:
+            del self._regions[name]
+        except KeyError:
+            raise HostMemoryError(f"region {name!r} does not exist") from None
+
+    def has_region(self, name: str) -> bool:
+        return name in self._regions
+
+    def size(self, name: str) -> int:
+        return len(self._region(name))
+
+    def region_names(self) -> list[str]:
+        return list(self._regions)
+
+    def _region(self, name: str) -> list[bytes | None]:
+        try:
+            return self._regions[name]
+        except KeyError:
+            raise HostMemoryError(f"region {name!r} does not exist") from None
+
+    # -- slot access (used by the coprocessor and by host-side ops) ---------
+    def read_slot(self, name: str, index: int) -> bytes:
+        region = self._region(name)
+        if not 0 <= index < len(region):
+            raise HostMemoryError(f"index {index} out of range for region {name!r}")
+        value = region[index]
+        if value is None:
+            raise HostMemoryError(f"slot {name}[{index}] was never written")
+        return value
+
+    def write_slot(self, name: str, index: int, ciphertext: bytes) -> None:
+        region = self._region(name)
+        if not 0 <= index < len(region):
+            raise HostMemoryError(f"index {index} out of range for region {name!r}")
+        region[index] = ciphertext
+
+    def append_slot(self, name: str, ciphertext: bytes) -> int:
+        """Grow a region by one slot; returns the new slot's index."""
+        region = self._region(name)
+        region.append(ciphertext)
+        return len(region) - 1
+
+    # -- host-side operations (no T/H transfer, not traced by T) ------------
+    def host_copy(self, src: str, src_start: int, count: int, dst: str) -> None:
+        """Copy ciphertext slots between regions entirely on the host.
+
+        Models server-side requests like Algorithm 1's "Request H to write
+        first N of scratch[] to disk": the bytes never re-enter T, so no
+        transfer or crypto operation is charged.
+        """
+        source = self._region(src)
+        if src_start < 0 or src_start + count > len(source):
+            raise HostMemoryError(f"copy range out of bounds for region {src!r}")
+        destination = self._region(dst)
+        destination.extend(source[src_start:src_start + count])
+
+    def host_copy_into(
+        self, src: str, src_start: int, count: int, dst: str, dst_start: int
+    ) -> None:
+        """Copy ciphertext slots into existing destination slots, host-side.
+
+        Used by the oblivious decoy filter (Section 5.2.2): refilling the swap
+        area of the sort buffer is a pure host operation — ciphertexts move
+        without ever entering T, so no transfer is charged.
+        """
+        source = self._region(src)
+        if src_start < 0 or src_start + count > len(source):
+            raise HostMemoryError(f"copy range out of bounds for region {src!r}")
+        destination = self._region(dst)
+        if dst_start < 0 or dst_start + count > len(destination):
+            raise HostMemoryError(f"copy range out of bounds for region {dst!r}")
+        destination[dst_start:dst_start + count] = source[src_start:src_start + count]
+
+    def region_bytes(self, name: str) -> list[bytes | None]:
+        """The raw slot contents — what an honest-but-curious host observes."""
+        return list(self._region(name))

@@ -1,0 +1,163 @@
+"""Constant-time predicate evaluation (Sections 3.3.2 and 4.3).
+
+"One example of a timing attack is when an adversary can tell whether two
+tuples match or not if it observes that T takes a different amount of time
+when comparing two tuples that match and ones that do not.  The standard
+approach to avoid timing attacks is to pad the variance in processing steps
+to constant time by burning CPU cycles as needed."
+
+The simulation models time as a virtual cycle counter on a
+:class:`VirtualClock`.  A raw predicate consumes data-dependent cycles (its
+cost model decides how many); :func:`constant_time` wraps it so that every
+evaluation is padded up to a declared worst case, making the clock's
+per-comparison advance independent of the data — the *Fixed Time* design
+principle of Section 3.4.3, machine-checkable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.errors import ConfigurationError
+from repro.relational.predicates import MultiPredicate, Predicate
+from repro.relational.tuples import Record
+
+#: Maps one predicate evaluation to its (simulated) cycle cost.
+CostModel = Callable[[Record, Record, bool], int]
+
+
+@dataclass
+class VirtualClock:
+    """A virtual cycle counter with a per-observation history.
+
+    The history is what a timing adversary sees: the cycle gap between
+    consecutive externally visible events.
+    """
+
+    cycles: int = 0
+    observations: list[int] = field(default_factory=list)
+
+    def tick(self, cycles: int) -> None:
+        if cycles < 0:
+            raise ConfigurationError("cannot tick a negative number of cycles")
+        self.cycles += cycles
+
+    def observe(self) -> None:
+        """Mark an externally visible moment (e.g. a host access)."""
+        self.observations.append(self.cycles)
+
+    def gaps(self) -> list[int]:
+        """Cycle distances between consecutive observations."""
+        return [b - a for a, b in zip(self.observations, self.observations[1:])]
+
+
+def short_circuit_cost(left: Record, right: Record, matched: bool) -> int:
+    """A deliberately leaky cost model: matches take longer than mismatches.
+
+    Mimics the real-world hazard — composing the joined tuple and encrypting
+    it costs extra work that a naive implementation only spends on matches
+    (the Section 3.4.2 observation that "since encryption takes significant
+    time, [the adversary] can determine whether there was a match").
+    """
+    return 120 if matched else 35
+
+
+class TimedPredicate(Predicate):
+    """A predicate that charges its evaluation cost to a virtual clock."""
+
+    def __init__(
+        self,
+        inner: Predicate,
+        clock: VirtualClock,
+        cost_model: CostModel = short_circuit_cost,
+    ) -> None:
+        self.inner = inner
+        self.clock = clock
+        self.cost_model = cost_model
+        self.description = inner.description
+
+    def matches(self, left: Record, right: Record) -> bool:
+        matched = self.inner.matches(left, right)
+        self.clock.tick(self.cost_model(left, right, matched))
+        self.clock.observe()
+        return matched
+
+
+def constant_time(
+    inner: Predicate,
+    clock: VirtualClock,
+    cost_model: CostModel = short_circuit_cost,
+    worst_case: int | None = None,
+) -> "ConstantTimePredicate":
+    """Wrap a predicate so every evaluation consumes exactly ``worst_case``.
+
+    ``worst_case`` defaults to the cost model's match branch — the padding
+    target the paper prescribes.  Cycles the real evaluation did not use are
+    burned.
+    """
+    return ConstantTimePredicate(inner, clock, cost_model, worst_case)
+
+
+class ConstantTimePredicate(Predicate):
+    """The Section 3.3.2 fix: pad every evaluation to the worst case."""
+
+    def __init__(
+        self,
+        inner: Predicate,
+        clock: VirtualClock,
+        cost_model: CostModel = short_circuit_cost,
+        worst_case: int | None = None,
+    ) -> None:
+        self.inner = inner
+        self.clock = clock
+        self.cost_model = cost_model
+        self.worst_case = worst_case
+        self.description = inner.description
+        self.burned = 0
+
+    def matches(self, left: Record, right: Record) -> bool:
+        matched = self.inner.matches(left, right)
+        spent = self.cost_model(left, right, matched)
+        target = self.worst_case
+        if target is None:
+            target = max(
+                self.cost_model(left, right, True),
+                self.cost_model(left, right, False),
+            )
+        if spent > target:
+            raise ConfigurationError(
+                f"declared worst case {target} below actual cost {spent}"
+            )
+        self.burned += target - spent
+        self.clock.tick(target)
+        self.clock.observe()
+        return matched
+
+
+class ConstantTimeMulti(MultiPredicate):
+    """Constant-time padding for m-way satisfy() functions."""
+
+    def __init__(
+        self,
+        inner: MultiPredicate,
+        clock: VirtualClock,
+        cost: Callable[[Sequence[Record], bool], int],
+        worst_case: int,
+    ) -> None:
+        self.inner = inner
+        self.clock = clock
+        self.cost = cost
+        self.worst_case = worst_case
+        self.description = inner.description
+
+    def satisfies(self, records: Sequence[Record]) -> bool:
+        satisfied = self.inner.satisfies(records)
+        spent = self.cost(records, satisfied)
+        if spent > self.worst_case:
+            raise ConfigurationError(
+                f"declared worst case {self.worst_case} below actual cost {spent}"
+            )
+        self.clock.tick(self.worst_case)
+        self.clock.observe()
+        return satisfied

@@ -1,0 +1,48 @@
+"""Data-oblivious primitives: bitonic networks, sort, shuffle, decoy filter."""
+
+from repro.oblivious.filterbuf import emit_kept, oblivious_filter
+from repro.oblivious.networks import (
+    Comparator,
+    bitonic_network,
+    comparator_count,
+    comparators,
+    exact_transfers,
+    is_sorting_network,
+    paper_comparisons,
+    paper_transfers,
+)
+from repro.oblivious.parallel_filter import (
+    ParallelFilterReport,
+    parallel_oblivious_filter,
+)
+from repro.oblivious.parallel_sort import (
+    ParallelSortReport,
+    network_stages,
+    parallel_oblivious_sort,
+    parallel_sort_makespan,
+)
+from repro.oblivious.shuffle import oblivious_shuffle
+from repro.oblivious.sort import KeyFunction, oblivious_sort, oblivious_sort_indices
+
+__all__ = [
+    "Comparator",
+    "KeyFunction",
+    "bitonic_network",
+    "comparator_count",
+    "comparators",
+    "emit_kept",
+    "exact_transfers",
+    "is_sorting_network",
+    "oblivious_filter",
+    "oblivious_shuffle",
+    "oblivious_sort",
+    "oblivious_sort_indices",
+    "ParallelFilterReport",
+    "parallel_oblivious_filter",
+    "ParallelSortReport",
+    "network_stages",
+    "parallel_oblivious_sort",
+    "parallel_sort_makespan",
+    "paper_comparisons",
+    "paper_transfers",
+]

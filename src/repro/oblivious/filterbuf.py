@@ -1,0 +1,102 @@
+"""The optimized oblivious decoy filter of Section 5.2.2.
+
+Problem: a host region holds ``omega`` encrypted oTuples of which at most
+``mu`` are real join results and the rest are decoys; remove the decoys
+without revealing which positions held them.  The naive answer — one oblivious
+sort of the whole list — costs ``omega (log2 omega)^2`` transfers.  The
+paper's optimization sorts a small buffer of ``mu + delta`` elements
+repeatedly:
+
+1. copy the first ``mu + delta`` source elements into the buffer and
+   obliviously sort it, real results first;
+2. the bottom ``delta`` slots now hold only expendable elements (at most
+   ``mu`` elements are ever kept), so overwrite them with the next ``delta``
+   source elements and re-sort;
+3. repeat until the source is exhausted; the top ``mu`` buffer slots hold
+   every real result.
+
+The refill copies are pure host-side ciphertext moves (no transfer charged);
+only the sorts cross the T/H boundary, giving the cost expression
+``C(omega, mu)(delta) = ((omega - mu)/delta) * ((mu+delta)/4) * [log2(mu+delta)]^2``
+comparisons (Section 5.2.2) whose optimal ``delta*`` is computed in
+:mod:`repro.costs.filter_opt`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.hardware.coprocessor import SecureCoprocessor
+from repro.oblivious.sort import KeyFunction, oblivious_sort
+
+
+def oblivious_filter(
+    coprocessor: SecureCoprocessor,
+    source_region: str,
+    source_size: int,
+    keep: int,
+    delta: int,
+    priority: KeyFunction,
+    buffer_region: str = "__filter",
+) -> str:
+    """Condense ``source_region`` so its real elements occupy the buffer top.
+
+    ``priority`` must order real elements strictly before decoys (e.g. return
+    the decoy flag byte).  At most ``keep`` (= mu) elements may be real.
+    Returns the buffer region name; its first ``keep`` slots contain every
+    real element (padded with decoys when there are fewer than ``keep``).
+    """
+    if keep < 0 or source_size < 0:
+        raise ConfigurationError("sizes must be non-negative")
+    if keep > source_size:
+        raise ConfigurationError("cannot keep more elements than the source holds")
+    host = coprocessor.host
+    if host.has_region(buffer_region):
+        host.free(buffer_region)
+
+    if keep == source_size:
+        # Nothing to remove; the source is the answer.
+        host.allocate(buffer_region, source_size)
+        host.host_copy_into(source_region, 0, source_size, buffer_region, 0)
+        return buffer_region
+
+    delta = max(1, min(delta, source_size - keep))
+    buffer_size = min(keep + delta, source_size)
+    host.allocate(buffer_region, buffer_size)
+    host.host_copy_into(source_region, 0, buffer_size, buffer_region, 0)
+    oblivious_sort(coprocessor, buffer_region, buffer_size, key=priority)
+    position = buffer_size
+    while position < source_size:
+        take = min(delta, source_size - position)
+        # Overwrite the lowest-priority slots with fresh source elements;
+        # ciphertexts move host-side, so this is transfer-free.
+        host.host_copy_into(source_region, position, take, buffer_region, buffer_size - take)
+        position += take
+        oblivious_sort(coprocessor, buffer_region, buffer_size, key=priority)
+    return buffer_region
+
+
+def emit_kept(
+    coprocessor: SecureCoprocessor,
+    buffer_region: str,
+    keep: int,
+    output_region: str,
+    is_real: KeyFunction,
+    strip: int = 0,
+) -> int:
+    """Read the top ``keep`` buffer slots and append the real ones to output.
+
+    This is the final "remove decoys and output S results" step of Algorithms
+    4 and 6: by this point the top slots are exactly the real results possibly
+    followed by decoys, so emitting only reals reveals nothing beyond the
+    output size S, which Definition 3 treats as public.  ``strip`` bytes are
+    removed from the front of each emitted plaintext (flag bytes).
+    Returns the number of real tuples emitted.
+    """
+    emitted = 0
+    with coprocessor.hold(1):
+        for i in range(keep):
+            plain = coprocessor.get(buffer_region, i)
+            if is_real(plain):
+                coprocessor.put_append(output_region, plain[strip:])
+                emitted += 1
+    return emitted

@@ -1,0 +1,153 @@
+"""Bitonic sorting networks for arbitrary input sizes.
+
+Oblivious sorting (Sections 4.4.1 and 5.2.2) is performed with Batcher's
+bitonic network [7]: a fixed sequence of compare-exchange operations whose
+positions depend only on the input *size*, never on the data — which is
+exactly what makes the sort oblivious.  We use the standard arbitrary-n
+variant (merge compares ``i`` with ``i + m`` where ``m`` is the greatest power
+of two below ``n``), so buffers need not be padded to powers of two.
+
+The module also provides the two cost views used throughout the library:
+
+* :func:`comparator_count` / :func:`exact_transfers` — the exact size of the
+  generated network (4 tuple transfers per comparator: two gets, two puts).
+  The traced executor in :mod:`repro.oblivious.sort` performs exactly this
+  many transfers, and tests assert the equality.
+* :func:`paper_comparisons` / :func:`paper_transfers` — the paper's
+  approximation of ``(1/4) n (log2 n)^2`` comparisons and ``n (log2 n)^2``
+  transfers, used when regenerating the paper's tables and figures.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+from typing import Iterator, NamedTuple
+
+from repro.errors import ConfigurationError
+
+
+class Comparator(NamedTuple):
+    """Compare-exchange of positions ``low`` and ``high`` (low < high).
+
+    ``ascending`` tells the executor which way to order the pair: when True,
+    the smaller key ends up at ``low``.
+    """
+
+    low: int
+    high: int
+    ascending: bool
+
+
+def _greatest_power_of_two_below(n: int) -> int:
+    k = 1
+    while k << 1 < n:
+        k <<= 1
+    return k
+
+
+def _merge(lo: int, n: int, ascending: bool, out: list[Comparator]) -> None:
+    if n <= 1:
+        return
+    m = _greatest_power_of_two_below(n)
+    for i in range(lo, lo + n - m):
+        out.append(Comparator(i, i + m, ascending))
+    _merge(lo, m, ascending, out)
+    _merge(lo + m, n - m, ascending, out)
+
+
+def _sort(lo: int, n: int, ascending: bool, out: list[Comparator]) -> None:
+    if n <= 1:
+        return
+    m = n // 2
+    _sort(lo, m, not ascending, out)
+    _sort(lo + m, n - m, ascending, out)
+    _merge(lo, n, ascending, out)
+
+
+@lru_cache(maxsize=256)
+def bitonic_network(n: int) -> tuple[Comparator, ...]:
+    """The full comparator sequence sorting ``n`` elements ascending."""
+    if n < 0:
+        raise ConfigurationError("network size must be non-negative")
+    out: list[Comparator] = []
+    _sort(0, n, True, out)
+    return tuple(out)
+
+
+def comparators(n: int) -> Iterator[Comparator]:
+    """Iterate the comparator sequence for size ``n``."""
+    return iter(bitonic_network(n))
+
+
+@lru_cache(maxsize=256)
+def bitonic_merge_network(n: int) -> tuple[Comparator, ...]:
+    """Comparators that sort any *bitonic* sequence of length ``n`` ascending.
+
+    The half-cost primitive behind the parallel sort's block exchanges: two
+    sorted runs laid head-to-tail (one reversed) form a bitonic sequence,
+    which this network sorts in ~(n/2) log2 n comparators instead of the full
+    sorting network's ~(n/4) (log2 n)^2.
+    """
+    if n < 0:
+        raise ConfigurationError("network size must be non-negative")
+    out: list[Comparator] = []
+    _merge(0, n, True, out)
+    return tuple(out)
+
+
+def merge_comparator_count(n: int) -> int:
+    """Exact number of compare-exchanges in the size-``n`` merge network."""
+    return len(bitonic_merge_network(n))
+
+
+def comparator_count(n: int) -> int:
+    """Exact number of compare-exchanges in the size-``n`` network."""
+    return len(bitonic_network(n))
+
+
+def exact_transfers(n: int) -> int:
+    """Exact T/H tuple transfers to obliviously sort ``n`` host slots.
+
+    Each comparator brings both elements into the coprocessor and writes both
+    back re-encrypted: 2 gets + 2 puts.
+    """
+    return 4 * comparator_count(n)
+
+
+def paper_comparisons(n: int) -> float:
+    """The paper's approximation: (1/4) n (log2 n)^2 comparisons."""
+    if n <= 1:
+        return 0.0
+    return 0.25 * n * math.log2(n) ** 2
+
+
+def paper_transfers(n: int) -> float:
+    """The paper's approximation: n (log2 n)^2 element transfers."""
+    if n <= 1:
+        return 0.0
+    return n * math.log2(n) ** 2
+
+
+def is_sorting_network(n: int, trials: int | None = None) -> bool:
+    """Verify the network sorts via the 0-1 principle.
+
+    Exhaustive over all 2^n boolean inputs when ``trials`` is None (use only
+    for small n); otherwise samples ``trials`` random boolean inputs.
+    """
+    import random
+
+    network = bitonic_network(n)
+
+    def run(bits: list[int]) -> bool:
+        values = list(bits)
+        for comp in network:
+            a, b = values[comp.low], values[comp.high]
+            if (a > b) == comp.ascending:
+                values[comp.low], values[comp.high] = b, a
+        return values == sorted(values)
+
+    if trials is None:
+        return all(run([(mask >> i) & 1 for i in range(n)]) for mask in range(1 << n))
+    rng = random.Random(0xBEEF)
+    return all(run([rng.randint(0, 1) for _ in range(n)]) for _ in range(trials))

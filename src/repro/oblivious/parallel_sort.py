@@ -1,0 +1,192 @@
+"""Parallel oblivious bitonic sort across multiple coprocessors.
+
+Section 5.3.5 sketches the scheme and Chapter 6 flags implementing it as
+future work ("implementing a parallel bitonic sort is tricky due to
+synchronization").  The construction here follows the sketch:
+
+1. **Local phase** — each of the P coprocessors obliviously sorts its
+   contiguous chunk of N/P slots (all chunks concurrently).
+2. **Global phase** — a bitonic comparator network over the P chunks,
+   "treating each list as one single element": every comparator becomes a
+   *block compare-exchange* realized as a bitonic **merge** of the two sorted
+   chunks.  Laying one chunk out head-to-tail after the other *reversed*
+   yields a bitonic sequence, so the ~m log 2m merge network (not the full
+   (m/2)(log 2m)^2 sort) suffices.  The trickiness the paper alludes to is
+   real: a merge leaves the second chunk sorted *backwards*, so the scheduler
+   tracks a per-chunk orientation flag and reads flipped chunks in reverse,
+   physically normalizing any still-reversed chunks at the end.  Replacing
+   comparators with min/max block exchanges preserves the network's
+   correctness by the 0-1-principle-on-block-counts argument, and every step
+   is data-oblivious.
+
+Synchronization appears in the accounting: :func:`network_stages` schedules
+the comparator network into minimal dependency stages (ASAP); comparators in
+one stage touch disjoint chunk pairs and run concurrently, so a stage's
+modelled makespan is a single block merge.  The executor charges each merge
+to the lower chunk's owning coprocessor so per-device totals are
+inspectable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.hardware.cluster import Cluster
+from repro.oblivious.networks import (
+    Comparator,
+    bitonic_merge_network,
+    bitonic_network,
+    exact_transfers,
+    merge_comparator_count,
+)
+from repro.oblivious.sort import KeyFunction, oblivious_sort
+
+
+def network_stages(n: int) -> list[list[Comparator]]:
+    """Schedule a bitonic network's comparators into minimal parallel stages.
+
+    ASAP list scheduling: a comparator runs one stage after the latest prior
+    comparator sharing either of its wires (only the per-wire order matters
+    to a comparator network's function).  Comparators within a stage touch
+    disjoint positions and can run concurrently — the synchronization
+    structure of Section 5.3.5.  For n = 2^k inputs this recovers the
+    classical k(k+1)/2 stage depth.
+    """
+    stages: list[list[Comparator]] = []
+    wire_stage: dict[int, int] = {}
+    for comp in bitonic_network(n):
+        stage = max(wire_stage.get(comp.low, -1), wire_stage.get(comp.high, -1)) + 1
+        if stage == len(stages):
+            stages.append([])
+        stages[stage].append(comp)
+        wire_stage[comp.low] = stage
+        wire_stage[comp.high] = stage
+    return stages
+
+
+@dataclass(frozen=True)
+class ParallelSortReport:
+    """Accounting for one parallel oblivious sort."""
+
+    processors: int
+    chunk: int
+    local_transfers: int          # per-coprocessor local-phase transfers
+    exchange_transfers: int       # transfers of one block merge-exchange
+    global_stages: int            # synchronization barriers in the global phase
+    makespan: int                 # modelled parallel completion (transfers)
+    total: int                    # sum over all coprocessors
+
+    @property
+    def speedup(self) -> float:
+        return self.total / self.makespan if self.makespan else float("nan")
+
+
+def _merge_indices(coprocessor, region: str, indices: list[int], key: KeyFunction) -> None:
+    """Run the ascending bitonic merge network over explicit slot indices."""
+    with coprocessor.hold(2):
+        for comp in bitonic_merge_network(len(indices)):
+            low_index = indices[comp.low]
+            high_index = indices[comp.high]
+            low_plain = coprocessor.get(region, low_index)
+            high_plain = coprocessor.get(region, high_index)
+            if key(low_plain) > key(high_plain):
+                low_plain, high_plain = high_plain, low_plain
+            coprocessor.put(region, low_index, low_plain)
+            coprocessor.put(region, high_index, high_plain)
+
+
+def parallel_oblivious_sort(
+    cluster: Cluster, region: str, size: int, key: KeyFunction
+) -> ParallelSortReport:
+    """Sort ``region[0:size]`` ascending with all coprocessors cooperating.
+
+    ``size`` must be divisible by the cluster size (equal chunks are what
+    makes a block exchange a valid comparator on 0-1 block counts).
+    """
+    processors = len(cluster)
+    if size % processors != 0:
+        raise ConfigurationError(
+            f"size {size} must be divisible by the cluster size {processors}"
+        )
+    chunk = size // processors
+    if chunk == 0:
+        raise ConfigurationError("each coprocessor needs at least one element")
+
+    # Local phase: every coprocessor sorts its own chunk (concurrent).
+    for p, coprocessor in enumerate(cluster):
+        oblivious_sort(coprocessor, region, chunk, key, start=p * chunk)
+
+    # Global phase: bitonic network over chunks; merge-based block exchange
+    # with per-chunk orientation tracking (see module docstring).
+    orientation = [1] * processors  # +1: ascending along natural index order
+
+    def ordered_indices(p: int) -> list[int]:
+        base = list(range(p * chunk, (p + 1) * chunk))
+        return base if orientation[p] == 1 else base[::-1]
+
+    stages = network_stages(processors)
+    exchanges = 0
+    normalized = 0
+    for stage in stages:
+        for comp in stage:
+            # Ascending comparator: the low chunk receives the smaller half.
+            first, second = (
+                (comp.low, comp.high) if comp.ascending else (comp.high, comp.low)
+            )
+            # The merge network expects the shape the sort recursion produces:
+            # first half descending, second half ascending — so the first
+            # chunk is laid out reversed.
+            indices = ordered_indices(first)[::-1] + ordered_indices(second)
+            _merge_indices(cluster[comp.low], region, indices, key)
+            # The merged sequence is ascending along `indices`: chunk `first`
+            # comes out reversed relative to its orientation order, chunk
+            # `second` keeps its orientation.
+            orientation[first] *= -1
+            exchanges += 1
+
+    # Normalization: physically reverse any chunk left in descending
+    # orientation (a data-independent read-and-rewrite pass).
+    for p, coprocessor in enumerate(cluster):
+        if orientation[p] == -1:
+            base = p * chunk
+            with coprocessor.hold(2):
+                for offset in range(chunk // 2):
+                    front = coprocessor.get(region, base + offset)
+                    back = coprocessor.get(region, base + chunk - 1 - offset)
+                    coprocessor.put(region, base + offset, back)
+                    coprocessor.put(region, base + chunk - 1 - offset, front)
+                if chunk % 2:  # re-encrypt the untouched middle for uniformity
+                    middle = coprocessor.get(region, base + chunk // 2)
+                    coprocessor.put(region, base + chunk // 2, middle)
+            orientation[p] = 1
+            normalized += 1
+
+    local = exact_transfers(chunk)
+    exchange = 4 * merge_comparator_count(2 * chunk)
+    normalize = 2 * chunk
+    makespan = local + len(stages) * exchange + (normalize if normalized else 0)
+    total = (
+        processors * local + exchanges * exchange + normalized * normalize
+    )
+    return ParallelSortReport(
+        processors=processors,
+        chunk=chunk,
+        local_transfers=local,
+        exchange_transfers=exchange,
+        global_stages=len(stages),
+        makespan=makespan,
+        total=total,
+    )
+
+
+def parallel_sort_makespan(size: int, processors: int, normalized: bool = True) -> int:
+    """Modelled worst-case makespan of the parallel sort without executing it."""
+    if processors < 1 or size % processors != 0:
+        raise ConfigurationError("size must be divisible by a positive processor count")
+    chunk = size // processors
+    stages = len(network_stages(processors))
+    makespan = exact_transfers(chunk) + stages * 4 * merge_comparator_count(2 * chunk)
+    if normalized and processors > 1:
+        makespan += 2 * chunk
+    return makespan

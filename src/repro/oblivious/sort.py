@@ -1,0 +1,69 @@
+"""Oblivious sorting of host regions through the secure coprocessor.
+
+The executor walks a bitonic comparator network: each comparator brings the
+two encrypted elements into T, decrypts and compares them, and writes both
+back (re-encrypted under fresh nonces) to their original positions, possibly
+swapped (Section 4.4.1).  Because the comparator positions depend only on the
+region size, the recorded access pattern is identical for every input of the
+same size — no observer learns the relationship between input and output
+positions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.hardware.coprocessor import SecureCoprocessor
+from repro.oblivious.networks import comparators
+
+#: Extracts a sort key from a plaintext tuple.  Keys must be comparable.
+KeyFunction = Callable[[bytes], object]
+
+
+def oblivious_sort_indices(
+    coprocessor: SecureCoprocessor,
+    region: str,
+    indices: list[int],
+    key: KeyFunction,
+    ascending: bool = True,
+) -> None:
+    """Obliviously sort the slots at ``indices`` (in index-list order).
+
+    The generalization used by the parallel bitonic sort of Section 5.3.5:
+    a block compare-exchange sorts the union of two coprocessors' chunks,
+    whose slots need not be contiguous.  The comparator positions depend
+    only on ``len(indices)``, so obliviousness is preserved.
+    """
+    with coprocessor.hold(2):
+        for comp in comparators(len(indices)):
+            low_index = indices[comp.low]
+            high_index = indices[comp.high]
+            low_plain = coprocessor.get(region, low_index)
+            high_plain = coprocessor.get(region, high_index)
+            want_ascending = comp.ascending == ascending
+            out_of_order = (key(low_plain) > key(high_plain)) == want_ascending
+            if out_of_order:
+                low_plain, high_plain = high_plain, low_plain
+            coprocessor.put(region, low_index, low_plain)
+            coprocessor.put(region, high_index, high_plain)
+
+
+def oblivious_sort(
+    coprocessor: SecureCoprocessor,
+    region: str,
+    size: int,
+    key: KeyFunction,
+    start: int = 0,
+) -> None:
+    """Sort ``region[start : start+size]`` ascending by ``key``, obliviously.
+
+    Uses exactly two enclave tuple slots regardless of ``size`` — the property
+    that lets even a minimal coprocessor sort arbitrarily large host arrays
+    (Section 5.3.1 notes Algorithm 4 needs "a memory size of two ... during
+    the oblivious shuffling phase").  Both compared positions are always
+    rewritten under fresh nonces, so the host cannot tell whether a swap
+    happened.
+    """
+    oblivious_sort_indices(
+        coprocessor, region, list(range(start, start + size)), key
+    )

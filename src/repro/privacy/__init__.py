@@ -1,0 +1,53 @@
+"""Privacy definitions, the trace-equality checker, and adversary analyses."""
+
+from repro.privacy.attacks import (
+    duplicate_histogram_from_tags,
+    infer_matches_from_nested_loop,
+    match_counts_from_sort_merge,
+    output_burst_profile,
+    reads_between_flushes,
+)
+from repro.privacy.leakage import (
+    estimate_n_from_output_size,
+    estimate_n_from_write_batches,
+    output_is_exact,
+    per_group_match_counts,
+)
+from repro.privacy.checker import (
+    CheckReport,
+    Divergence,
+    check_definition1,
+    check_definition3,
+    check_runs,
+)
+from repro.privacy.definitions import (
+    Definition1Experiment,
+    Definition1Instance,
+    Definition3Experiment,
+    Definition3Instance,
+    reference_output,
+    reference_output_multi,
+)
+
+__all__ = [
+    "CheckReport",
+    "Definition1Experiment",
+    "Definition1Instance",
+    "Definition3Experiment",
+    "Definition3Instance",
+    "Divergence",
+    "check_definition1",
+    "check_definition3",
+    "check_runs",
+    "duplicate_histogram_from_tags",
+    "estimate_n_from_output_size",
+    "estimate_n_from_write_batches",
+    "output_is_exact",
+    "per_group_match_counts",
+    "infer_matches_from_nested_loop",
+    "match_counts_from_sort_merge",
+    "output_burst_profile",
+    "reads_between_flushes",
+    "reference_output",
+    "reference_output_multi",
+]

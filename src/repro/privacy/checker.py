@@ -1,0 +1,113 @@
+"""The trace-equality privacy checker.
+
+To prove an algorithm safe the paper shows "the access pattern does not
+depend on the data in the underlying relations" (Section 4.2).  The checker
+operationalizes that: run the algorithm on every instance of an experiment
+family (inputs agreeing on the public parameters, wildly different contents),
+and verify the recorded traces are event-for-event identical.  For the unsafe
+baselines it reports the first divergence — the exact access where the
+pattern betrays the data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.core.base import JoinContext, JoinResult
+from repro.hardware.events import AccessEvent, Trace
+from repro.privacy.definitions import (
+    Definition1Experiment,
+    Definition1Instance,
+    Definition3Experiment,
+    Definition3Instance,
+)
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """Where two runs' access patterns first differ."""
+
+    run_a: int
+    run_b: int
+    position: int
+    event_a: AccessEvent | None
+    event_b: AccessEvent | None
+
+
+@dataclass
+class CheckReport:
+    """Outcome of a privacy check over a family of runs."""
+
+    safe: bool
+    traces: list[Trace] = field(default_factory=list)
+    results: list[JoinResult] = field(default_factory=list)
+    divergence: Divergence | None = None
+
+    def describe(self) -> str:
+        if self.safe:
+            lengths = {len(t) for t in self.traces}
+            return f"SAFE: {len(self.traces)} runs, identical traces of length {lengths.pop()}"
+        d = self.divergence
+        return (
+            f"UNSAFE: runs {d.run_a} and {d.run_b} diverge at event {d.position}: "
+            f"{d.event_a} vs {d.event_b}"
+        )
+
+
+def check_runs(thunks: Sequence[Callable[[], JoinResult]]) -> CheckReport:
+    """Execute the runs and compare all traces pairwise against the first."""
+    results = [thunk() for thunk in thunks]
+    traces = [r.trace for r in results]
+    reference = traces[0]
+    for index, trace in enumerate(traces[1:], start=1):
+        position = reference.first_divergence(trace)
+        if position is not None:
+            event_a = reference[position] if position < len(reference) else None
+            event_b = trace[position] if position < len(trace) else None
+            return CheckReport(
+                safe=False,
+                traces=traces,
+                results=results,
+                divergence=Divergence(0, index, position, event_a, event_b),
+            )
+    return CheckReport(safe=True, traces=traces, results=results)
+
+
+def check_definition1(
+    experiment: Definition1Experiment,
+    algorithm: Callable[[JoinContext, Definition1Instance, int], JoinResult],
+    seed: int = 0,
+) -> CheckReport:
+    """Check a Chapter 4 algorithm against Definition 1.
+
+    ``algorithm(context, instance, n_max)`` must run the join in the provided
+    fresh context.  Every instance runs with the same seed and the family's
+    shared N, so any trace difference is attributable to the data.
+    """
+
+    def runner(instance: Definition1Instance) -> Callable[[], JoinResult]:
+        def thunk() -> JoinResult:
+            context = JoinContext.fresh(seed=seed)
+            return algorithm(context, instance, experiment.n_max)
+
+        return thunk
+
+    return check_runs([runner(inst) for inst in experiment.instances])
+
+
+def check_definition3(
+    experiment: Definition3Experiment,
+    algorithm: Callable[[JoinContext, Definition3Instance], JoinResult],
+    seed: int = 0,
+) -> CheckReport:
+    """Check a Chapter 5 algorithm against Definition 3."""
+
+    def runner(instance: Definition3Instance) -> Callable[[], JoinResult]:
+        def thunk() -> JoinResult:
+            context = JoinContext.fresh(seed=seed)
+            return algorithm(context, instance)
+
+        return thunk
+
+    return check_runs([runner(inst) for inst in experiment.instances])

@@ -1,0 +1,122 @@
+"""The paper's two privacy definitions as executable experiment specs.
+
+**Definition 1** (Chapter 4): over relations A, C with |A| = |C| and identical
+schemas (likewise B, D) and a *given N*, the ordered access lists J_AB and
+J_CD must be identically distributed.
+
+**Definition 3** (Chapter 5): over database vectors A-bar, B-bar with
+pairwise equal sizes and schemas *and equal output sizes* |f(A-bar)| =
+|f(B-bar)|, the access lists must be identically distributed.  The removal of
+N and the explicit output-size condition are the Chapter 5 refinements.
+
+Our algorithms are deterministic given the public parameters (sizes, N or S,
+M, epsilon, PRNG seed), so "identically distributed" strengthens to "equal",
+which the checker verifies event-by-event.  An experiment bundles the input
+families a definition quantifies over, each constructed to agree on the
+public parameters while differing maximally in content.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.core.base import JoinResult
+from repro.errors import ConfigurationError
+from repro.relational.joins import (
+    max_matches_per_left_tuple,
+    multiway_nested_loop_join,
+    nested_loop_join,
+)
+from repro.relational.predicates import MultiPredicate, Predicate
+from repro.relational.relation import Relation
+
+#: Runs an algorithm on one input instance in a fresh context, returning its result.
+Runner = Callable[..., JoinResult]
+
+
+@dataclass(frozen=True)
+class Definition1Instance:
+    """One (A, B, predicate) input of a Definition 1 experiment."""
+
+    left: Relation
+    right: Relation
+    predicate: Predicate
+
+    def n_max(self) -> int:
+        return max_matches_per_left_tuple(self.left, self.right, self.predicate)
+
+
+@dataclass(frozen=True)
+class Definition1Experiment:
+    """A family of inputs agreeing on (|A|, |B|, schemas, N)."""
+
+    instances: tuple[Definition1Instance, ...]
+    n_max: int
+
+    @classmethod
+    def build(cls, instances: Sequence[Definition1Instance]) -> "Definition1Experiment":
+        if len(instances) < 2:
+            raise ConfigurationError("an experiment needs at least two instances")
+        first = instances[0]
+        n_values = set()
+        for inst in instances:
+            if len(inst.left) != len(first.left) or len(inst.right) != len(first.right):
+                raise ConfigurationError("instances must agree on |A| and |B|")
+            if not inst.left.schema.compatible_with(first.left.schema):
+                raise ConfigurationError("instances must agree on the A schema")
+            if not inst.right.schema.compatible_with(first.right.schema):
+                raise ConfigurationError("instances must agree on the B schema")
+            n_values.add(max(1, inst.n_max()))
+        # Definition 1 quantifies over a *given* N: use the family maximum so
+        # every instance is a legal input at that N.
+        return cls(instances=tuple(instances), n_max=max(n_values))
+
+
+@dataclass(frozen=True)
+class Definition3Instance:
+    """One (X1..XJ, predicate) input of a Definition 3 experiment."""
+
+    relations: tuple[Relation, ...]
+    predicate: MultiPredicate
+
+    def output_size(self) -> int:
+        return len(multiway_nested_loop_join(list(self.relations), self.predicate))
+
+
+@dataclass(frozen=True)
+class Definition3Experiment:
+    """A family of inputs agreeing on (table sizes, schemas, |f(.)| = S)."""
+
+    instances: tuple[Definition3Instance, ...]
+    output_size: int
+
+    @classmethod
+    def build(cls, instances: Sequence[Definition3Instance]) -> "Definition3Experiment":
+        if len(instances) < 2:
+            raise ConfigurationError("an experiment needs at least two instances")
+        first = instances[0]
+        sizes = tuple(len(r) for r in first.relations)
+        s_values = set()
+        for inst in instances:
+            if tuple(len(r) for r in inst.relations) != sizes:
+                raise ConfigurationError("instances must agree on every table size")
+            for r, r0 in zip(inst.relations, first.relations):
+                if not r.schema.compatible_with(r0.schema):
+                    raise ConfigurationError("instances must agree on every schema")
+            s_values.add(inst.output_size())
+        if len(s_values) != 1:
+            raise ConfigurationError(
+                f"Definition 3 requires equal output sizes; got {sorted(s_values)}"
+            )
+        return cls(instances=tuple(instances), output_size=s_values.pop())
+
+
+def reference_output(instance: Definition1Instance) -> Relation:
+    """Ground-truth join of a Definition 1 instance."""
+    return nested_loop_join(instance.left, instance.right, instance.predicate)
+
+
+def reference_output_multi(instance: Definition3Instance) -> Relation:
+    """Ground-truth join of a Definition 3 instance."""
+    return multiway_nested_loop_join(list(instance.relations), instance.predicate)

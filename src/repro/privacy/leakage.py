@@ -1,0 +1,104 @@
+"""The Section 5.1.1 leakage analyses: why Definition 1 is not enough.
+
+Chapter 5 opens by exhibiting two ways the provably-Definition-1-safe
+algorithms of Chapter 4 still reveal more than "input and output alone":
+
+1. **N leaks to network observers.**  Every Chapter 4 algorithm emits a fixed
+   N·|A| oTuples, so "an adversary who sits between H and a recipient ...
+   may estimate N once it observes the size of the output, given it knows
+   |A|", and batch sizes on the T-H link reveal it too.
+2. **Per-tuple match statistics leak to the recipient.**  The padded output
+   arrives in N-sized groups, one per A tuple in upload order; counting the
+   real (non-decoy) tuples per group hands the recipient "statistics of the
+   number of joins per tuple in A" — including which *positions* of A had no
+   match at all, which the bare join result does not disclose.
+
+These functions implement both adversaries.  The tests aim them at
+Algorithms 1-3 (where they succeed, as Section 5.1.1 charges) and at
+Algorithms 4-6 (where they find nothing: the output is exactly S tuples with
+no group structure).
+"""
+
+from __future__ import annotations
+
+from repro.core.base import OUTPUT_REGION, JoinContext, is_real
+from repro.errors import ConfigurationError
+from repro.hardware.events import PUT, Trace
+
+
+def estimate_n_from_output_size(output_slots: int, left_size: int) -> int:
+    """The eavesdropper between H and the recipient: N = output size / |A|.
+
+    Needs only the (observable) ciphertext count and the public |A|.
+    """
+    if left_size < 1:
+        raise ConfigurationError("|A| must be positive")
+    if output_slots % left_size != 0:
+        raise ConfigurationError(
+            "output is not a whole number of per-A-tuple groups; "
+            "this is not a Chapter 4 padded output"
+        )
+    return output_slots // left_size
+
+
+def estimate_n_from_write_batches(
+    trace: Trace, output_region: str = OUTPUT_REGION
+) -> int | None:
+    """The H-side observer: T outputs result tuples "in batches of N".
+
+    Returns the (constant) burst size of output writes, or None when bursts
+    vary — i.e. when the algorithm does not batch by N.  For Algorithm 2 the
+    constant burst is blk = ceil(N/gamma); for Algorithms 1/3 the batching
+    happens in the host-side scratch copy, covered by
+    :func:`estimate_n_from_output_size`.
+    """
+    bursts: list[int] = []
+    current = 0
+    for event in trace:
+        if event.op == PUT and event.region == output_region:
+            current += 1
+        elif current:
+            bursts.append(current)
+            current = 0
+    if current:
+        bursts.append(current)
+    if not bursts:
+        return None
+    return bursts[0] if len(set(bursts)) == 1 else None
+
+
+def per_group_match_counts(
+    context: JoinContext, group_size: int, region: str = OUTPUT_REGION
+) -> list[int]:
+    """The recipient's Section 5.1.1 analysis of a padded (flagged) output.
+
+    Decrypts the delivered output exactly as the legitimate recipient does,
+    then counts real tuples inside each N-sized group.  Group i corresponds
+    to the i-th A tuple in upload order, so the result is the per-A-tuple
+    match histogram — positional information "not available to a recipient
+    had it received only the real join tuples".
+    """
+    if group_size < 1:
+        raise ConfigurationError("group size must be positive")
+    slots = [c for c in context.host.region_bytes(region) if c is not None]
+    if len(slots) % group_size != 0:
+        raise ConfigurationError("output does not divide into N-sized groups")
+    counts = []
+    for start in range(0, len(slots), group_size):
+        group = slots[start:start + group_size]
+        counts.append(
+            sum(1 for ciphertext in group if is_real(context.provider.decrypt(ciphertext)))
+        )
+    return counts
+
+
+def output_is_exact(context: JoinContext, expected_results: int,
+                    region: str = OUTPUT_REGION) -> bool:
+    """True when the delivered output is exactly S tuples with no padding.
+
+    The Chapter 5 requirement ("an explicit requirement of a join algorithm
+    to compute exact join results with no additional padding"): Algorithms
+    4-6 satisfy it, Algorithms 1-3 do not.
+    """
+    slots = [c for c in context.host.region_bytes(region) if c is not None]
+    return len(slots) == expected_results

@@ -1,0 +1,105 @@
+"""CSV import/export for relations.
+
+Real deployments feed the service from files; these helpers round-trip
+relations through CSV with schema-driven parsing (INT/FLOAT/STR/BYTES/INTSET
+columns).  Set-valued cells use ``;``-separated integers; BYTES cells are
+hex-encoded.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Any, TextIO
+
+from repro.errors import CodecError, SchemaError
+from repro.relational.relation import Relation
+from repro.relational.schema import AttrType, Schema
+from repro.relational.tuples import Record
+
+_SET_SEPARATOR = ";"
+
+
+def _parse_cell(attr, text: str) -> Any:
+    kind = attr.type
+    try:
+        if kind is AttrType.INT:
+            return int(text)
+        if kind is AttrType.FLOAT:
+            return float(text)
+        if kind is AttrType.STR:
+            return text
+        if kind is AttrType.BYTES:
+            return bytes.fromhex(text)
+        if kind is AttrType.INTSET:
+            if not text:
+                return frozenset()
+            return frozenset(int(v) for v in text.split(_SET_SEPARATOR))
+    except ValueError as exc:
+        raise CodecError(f"cannot parse {text!r} as {kind.value}") from exc
+    raise CodecError(f"unknown attribute type {kind}")
+
+
+def _render_cell(attr, value: Any) -> str:
+    kind = attr.type
+    if kind is AttrType.BYTES:
+        return value.hex()
+    if kind is AttrType.INTSET:
+        return _SET_SEPARATOR.join(str(v) for v in sorted(value))
+    return str(value)
+
+
+def read_csv(source: TextIO | str | Path, schema: Schema) -> Relation:
+    """Load a relation from CSV with a header row matching the schema."""
+    if isinstance(source, (str, Path)):
+        with open(source, newline="") as handle:
+            return read_csv(handle, schema)
+    reader = csv.reader(source)
+    try:
+        header = next(reader)
+    except StopIteration:
+        raise SchemaError("CSV input is empty (no header row)") from None
+    expected = [a.name for a in schema]
+    if header != expected:
+        raise SchemaError(f"CSV header {header} does not match schema {expected}")
+    relation = Relation(schema)
+    for line_number, row in enumerate(reader, start=2):
+        if not row:
+            continue
+        if len(row) != len(schema):
+            raise SchemaError(
+                f"line {line_number}: {len(row)} cells for {len(schema)} attributes"
+            )
+        values = tuple(
+            _parse_cell(attr, cell) for attr, cell in zip(schema.attributes, row)
+        )
+        relation.append(Record(schema, values))
+    return relation
+
+
+def read_csv_text(text: str, schema: Schema) -> Relation:
+    """Load a relation from a CSV string."""
+    return read_csv(io.StringIO(text), schema)
+
+
+def write_csv(relation: Relation, destination: TextIO | str | Path) -> None:
+    """Write a relation as CSV with a header row."""
+    if isinstance(destination, (str, Path)):
+        with open(destination, "w", newline="") as handle:
+            write_csv(relation, handle)
+            return
+    writer = csv.writer(destination)
+    writer.writerow([a.name for a in relation.schema])
+    for record in relation:
+        writer.writerow([
+            _render_cell(attr, value)
+            for attr, value in zip(relation.schema.attributes, record.values)
+        ])
+
+
+def to_csv_text(relation: Relation) -> str:
+    """The relation rendered as a CSV string."""
+    buffer = io.StringIO()
+    write_csv(relation, buffer)
+    return buffer.getvalue()

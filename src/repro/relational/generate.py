@@ -1,0 +1,310 @@
+"""Synthetic workload generators.
+
+The paper evaluates on parameterized table sizes (|A|, |B|, L, S, M) rather
+than a public dataset, so the generators here manufacture relations with
+*exactly controlled* join structure: total output size S, maximum per-tuple
+match count N, value skew, and predicate selectivity.  They stand in for the
+motivating workloads (do-not-fly screening, genomic/patient matching) while
+exercising the identical code paths.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema, integer, intset, text
+
+
+def people_schema(name: str = "people") -> Schema:
+    """A small person-record schema used by the screening examples."""
+    return Schema.of(integer("person_id"), text("name", 24), integer("birth_year"), name=name)
+
+
+def keyed_schema(name: str = "keyed") -> Schema:
+    """A two-column (key, payload) schema used by most synthetic workloads."""
+    return Schema.of(integer("key"), integer("payload"), name=name)
+
+
+def genome_schema(name: str = "genome", max_markers: int = 16) -> Schema:
+    """Set-valued schema for the Jaccard-similarity epidemiology workload."""
+    return Schema.of(integer("subject_id"), intset("markers", max_markers), name=name)
+
+
+def uniform_keyed(size: int, key_range: int, rng: random.Random, name: str = "rel") -> Relation:
+    """A relation of ``size`` records with keys uniform in [0, key_range)."""
+    schema = keyed_schema(name)
+    rows = [(rng.randrange(key_range), rng.randrange(1 << 30)) for _ in range(size)]
+    return Relation.from_values(schema, rows)
+
+
+def zipf_keyed(
+    size: int, key_range: int, rng: random.Random, exponent: float = 1.2, name: str = "rel"
+) -> Relation:
+    """A relation whose key frequencies follow a Zipf-like distribution.
+
+    Skewed inputs are what break the unsafe hash-join adaptation of Section
+    4.5.1 ("an adversary can distinguish between a uniformly distributed
+    relation A and a highly skewed one B").
+    """
+    schema = keyed_schema(name)
+    weights = [1.0 / ((k + 1) ** exponent) for k in range(key_range)]
+    keys = rng.choices(range(key_range), weights=weights, k=size)
+    rows = [(k, rng.randrange(1 << 30)) for k in keys]
+    return Relation.from_values(schema, rows)
+
+
+@dataclass(frozen=True)
+class EquijoinWorkload:
+    """A pair of relations with exactly known equijoin structure."""
+
+    left: Relation
+    right: Relation
+    join_attr: str
+    result_size: int        # S: exact number of joining pairs
+    max_matches: int        # N: max right-tuples matching one left tuple
+
+
+def equijoin_workload(
+    left_size: int,
+    right_size: int,
+    result_size: int,
+    rng: random.Random,
+    max_matches: int | None = None,
+) -> EquijoinWorkload:
+    """Build two relations whose equijoin has exactly ``result_size`` pairs.
+
+    Matching pairs are planted by giving selected (left, right) record pairs a
+    shared key; every other key is unique, so S and N are exact by
+    construction.  ``max_matches`` caps how many right records may share one
+    left record's key (defaults to an even spread).
+    """
+    if result_size > left_size * right_size:
+        raise ConfigurationError("result_size cannot exceed |A|*|B|")
+    left_schema = keyed_schema("A")
+    right_schema = keyed_schema("B")
+    # Distribute result_size matches across left records, respecting the cap.
+    per_left = [0] * left_size
+    cap = max_matches if max_matches is not None else right_size
+    remaining = result_size
+    index = 0
+    while remaining > 0:
+        if left_size == 0:
+            raise ConfigurationError("cannot plant matches into an empty left relation")
+        if per_left[index % left_size] < cap:
+            per_left[index % left_size] += 1
+            remaining -= 1
+        index += 1
+        if index > 4 * left_size * max(cap, 1):
+            raise ConfigurationError("max_matches too small for requested result_size")
+    if sum(per_left) > right_size:
+        raise ConfigurationError(
+            "not enough right records to host the requested matches without duplicates"
+        )
+
+    # Unique non-colliding keys: evens for unmatched, planted keys are odd.
+    next_unique = 0
+
+    def fresh_unique() -> int:
+        nonlocal next_unique
+        next_unique += 2
+        return next_unique
+
+    next_planted = 1
+
+    def fresh_planted() -> int:
+        nonlocal next_planted
+        next_planted += 2
+        return next_planted
+
+    left_rows = []
+    right_rows: list[tuple[int, int]] = []
+    for count in per_left:
+        if count == 0:
+            left_rows.append((fresh_unique(), rng.randrange(1 << 30)))
+        else:
+            key = fresh_planted()
+            left_rows.append((key, rng.randrange(1 << 30)))
+            right_rows.extend((key, rng.randrange(1 << 30)) for _ in range(count))
+    while len(right_rows) < right_size:
+        right_rows.append((fresh_unique(), rng.randrange(1 << 30)))
+    rng.shuffle(left_rows)
+    rng.shuffle(right_rows)
+    actual_max = max(per_left) if per_left else 0
+    return EquijoinWorkload(
+        left=Relation.from_values(left_schema, left_rows),
+        right=Relation.from_values(right_schema, right_rows),
+        join_attr="key",
+        result_size=result_size,
+        max_matches=actual_max,
+    )
+
+
+@dataclass(frozen=True)
+class MultiwayWorkload:
+    """J relations whose chain-equijoin has exactly known output size."""
+
+    relations: tuple[Relation, ...]
+    join_attr: str
+    result_size: int
+
+
+def multiway_workload(
+    sizes: Sequence[int], result_size: int, rng: random.Random
+) -> MultiwayWorkload:
+    """Build J tables whose chain equijoin (key_1 = key_2 = ... = key_J)
+    yields exactly ``result_size`` tuples.
+
+    Matches are planted as chains: one record per table shares a planted key
+    per chain, every other key is globally unique, so S is exact and each
+    chain contributes exactly one output tuple.
+    """
+    if not sizes or any(s < 1 for s in sizes):
+        raise ConfigurationError("every table needs at least one record")
+    if result_size > min(sizes):
+        raise ConfigurationError(
+            "at most one chain per record of the smallest table is supported"
+        )
+    tables: list[list[tuple[int, int]]] = [[] for _ in sizes]
+    next_key = 0
+
+    def fresh_key() -> int:
+        nonlocal next_key
+        next_key += 1
+        return next_key
+
+    for _ in range(result_size):
+        key = fresh_key()
+        for rows in tables:
+            rows.append((key, rng.randrange(1 << 30)))
+    for size, rows in zip(sizes, tables):
+        while len(rows) < size:
+            rows.append((fresh_key(), rng.randrange(1 << 30)))
+    relations = []
+    for i, rows in enumerate(tables):
+        rng.shuffle(rows)
+        relations.append(Relation.from_values(keyed_schema(f"X{i}"), rows))
+    return MultiwayWorkload(
+        relations=tuple(relations), join_attr="key", result_size=result_size
+    )
+
+
+@dataclass(frozen=True)
+class ThetaWorkload:
+    """A pair of relations with exactly known less-than-join structure."""
+
+    left: Relation
+    right: Relation
+    join_attr: str
+    result_size: int
+
+
+def theta_workload(
+    left_size: int, right_size: int, rng: random.Random, selectivity: float = 0.5
+) -> ThetaWorkload:
+    """Relations whose ``left.key < right.key`` join has a computable size.
+
+    Keys are distinct integers, so the output size is exactly the number of
+    (a, b) pairs with a.key < b.key — controlled by interleaving the two key
+    sequences with the requested ``selectivity`` (0: left keys all above
+    right's; 1: all below).
+    """
+    if not 0.0 <= selectivity <= 1.0:
+        raise ConfigurationError("selectivity must be in [0, 1]")
+    total = left_size + right_size
+    ordered = sorted(rng.sample(range(10 * total), total))
+    # Bias: place `front` of the left keys at the low end of the key order
+    # (each such key sits below every right key, maximizing a < b pairs) and
+    # the rest at the high end.
+    front = round(selectivity * left_size)
+    left_keys = ordered[:front] + ordered[total - (left_size - front):]
+    right_keys = ordered[front:total - (left_size - front)]
+    result = sum(1 for a in left_keys for b in right_keys if a < b)
+    rng.shuffle(left_keys)
+    rng.shuffle(right_keys)
+    left = Relation.from_values(
+        keyed_schema("A"), [(k, rng.randrange(1 << 30)) for k in left_keys]
+    )
+    right = Relation.from_values(
+        keyed_schema("B"), [(k, rng.randrange(1 << 30)) for k in right_keys]
+    )
+    return ThetaWorkload(left=left, right=right, join_attr="key", result_size=result)
+
+
+def similarity_workload(
+    left_size: int,
+    right_size: int,
+    planted_pairs: int,
+    rng: random.Random,
+    threshold: float = 0.5,
+    universe: int = 1024,
+    set_size: int = 8,
+    max_markers: int = 16,
+) -> tuple[Relation, Relation, int]:
+    """Set-valued relations with exactly ``planted_pairs`` Jaccard matches.
+
+    Non-planted records draw their sets from disjoint slices of a large
+    universe (Jaccard 0 across the board); each planted (left, right) pair
+    shares all ``set_size`` elements (Jaccard 1 > threshold).  Returns
+    (left, right, result_size).
+    """
+    if planted_pairs > min(left_size, right_size):
+        raise ConfigurationError("at most one planted pair per record is supported")
+    if universe < (left_size + right_size) * set_size:
+        raise ConfigurationError("universe too small for disjoint background sets")
+    schema_left = genome_schema("L", max_markers)
+    schema_right = genome_schema("R", max_markers)
+    elements = list(range(universe))
+    rng.shuffle(elements)
+    cursor = 0
+
+    def fresh_set() -> frozenset:
+        nonlocal cursor
+        chosen = frozenset(elements[cursor:cursor + set_size])
+        cursor += set_size
+        return chosen
+
+    left_rows, right_rows = [], []
+    for i in range(planted_pairs):
+        shared = fresh_set()
+        left_rows.append((i, shared))
+        right_rows.append((1000 + i, shared))
+    for i in range(planted_pairs, left_size):
+        left_rows.append((i, fresh_set()))
+    for i in range(planted_pairs, right_size):
+        right_rows.append((1000 + i, fresh_set()))
+    rng.shuffle(left_rows)
+    rng.shuffle(right_rows)
+    return (
+        Relation.from_values(schema_left, left_rows),
+        Relation.from_values(schema_right, right_rows),
+        planted_pairs,
+    )
+
+
+def genome_pair(
+    bank_size: int,
+    patient_size: int,
+    rng: random.Random,
+    universe: int = 64,
+    markers_per_subject: int = 8,
+    max_markers: int = 16,
+) -> tuple[Relation, Relation]:
+    """Gene-bank and patient relations for the Jaccard-similarity workload."""
+    schema_bank = genome_schema("gene_bank", max_markers)
+    schema_patients = genome_schema("patients", max_markers)
+    population = list(range(universe))
+
+    def draw() -> frozenset:
+        return frozenset(rng.sample(population, markers_per_subject))
+
+    bank = Relation.from_values(
+        schema_bank, [(i, draw()) for i in range(bank_size)]
+    )
+    patients = Relation.from_values(
+        schema_patients, [(1000 + i, draw()) for i in range(patient_size)]
+    )
+    return bank, patients

@@ -1,0 +1,89 @@
+"""In-memory relations (tables of records)."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from repro.errors import SchemaError
+from repro.relational.schema import Schema
+from repro.relational.tuples import Record, TupleCodec
+
+
+class Relation:
+    """An ordered multiset of records sharing one schema.
+
+    Order matters to the algorithms: the paper's access-pattern arguments are
+    stated over "a pre-defined and fixed order" of tuples (Section 5.3.1), which
+    for us is simply list order.
+    """
+
+    def __init__(self, schema: Schema, records: Iterable[Record] = ()) -> None:
+        self.schema = schema
+        self._records: list[Record] = []
+        for record in records:
+            self.append(record)
+
+    @classmethod
+    def from_values(cls, schema: Schema, rows: Iterable[Sequence[Any]]) -> "Relation":
+        """Build a relation from raw value rows."""
+        return cls(schema, (Record(schema, tuple(row)) for row in rows))
+
+    def append(self, record: Record) -> None:
+        """Append one record, enforcing schema compatibility."""
+        if record.schema is not self.schema and not record.schema.compatible_with(self.schema):
+            raise SchemaError(
+                f"record schema {record.schema.name!r} incompatible with relation "
+                f"schema {self.schema.name!r}"
+            )
+        self._records.append(record)
+
+    def extend(self, records: Iterable[Record]) -> None:
+        for record in records:
+            self.append(record)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[Record]:
+        return iter(self._records)
+
+    def __getitem__(self, index: int) -> Record:
+        return self._records[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return self.schema.compatible_with(other.schema) and self._records == other._records
+
+    def records(self) -> list[Record]:
+        """A copy of the record list."""
+        return list(self._records)
+
+    def sorted_by(self, attr_name: str) -> "Relation":
+        """A new relation sorted ascending on one attribute."""
+        position = self.schema.position(attr_name)
+        return Relation(self.schema, sorted(self._records, key=lambda r: r.values[position]))
+
+    def project_values(self, attr_name: str) -> list[Any]:
+        """All values of one attribute, in record order."""
+        position = self.schema.position(attr_name)
+        return [r.values[position] for r in self._records]
+
+    def filter(self, fn: Callable[[Record], bool]) -> "Relation":
+        """A new relation containing the records satisfying ``fn``."""
+        return Relation(self.schema, (r for r in self._records if fn(r)))
+
+    def codec(self) -> TupleCodec:
+        """A fixed-width codec for this relation's schema."""
+        return TupleCodec(self.schema)
+
+    def multiset(self) -> dict[tuple, int]:
+        """Value-tuple -> multiplicity map, for order-insensitive comparisons."""
+        counts: dict[tuple, int] = {}
+        for record in self._records:
+            counts[record.values] = counts.get(record.values, 0) + 1
+        return counts
+
+    def same_multiset(self, other: "Relation") -> bool:
+        """True when both relations hold the same records regardless of order."""
+        return self.multiset() == other.multiset()

@@ -1,0 +1,165 @@
+"""Relational schemas with fixed-width physical layout.
+
+The paper assumes fixed-size tuples throughout (Section 4.1: "We assume fixed
+size tuples and that the server knows their size").  A :class:`Schema` is an
+ordered list of :class:`Attribute` definitions; each attribute owns a
+fixed-width byte slot, so every record of the schema encodes to exactly
+``schema.record_size`` bytes.  Fixed width is what makes the *Fixed Size*
+design principle (Section 3.4.3) implementable: decoys, join results and input
+tuples are all physically indistinguishable in length.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import SchemaError
+
+
+class AttrType(enum.Enum):
+    """Supported attribute types and their fixed-width encodings."""
+
+    INT = "int"        # signed 64-bit big-endian
+    FLOAT = "float"    # IEEE-754 double, 8 bytes
+    STR = "str"        # UTF-8, null-padded to the declared width
+    BYTES = "bytes"    # raw, null-padded to the declared width
+    INTSET = "intset"  # set of uint32, length-prefixed, padded to the width
+
+
+_FIXED_WIDTHS = {AttrType.INT: 8, AttrType.FLOAT: 8}
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """One column: a name, a type, and (for variable types) a byte width."""
+
+    name: str
+    type: AttrType
+    width: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.isidentifier():
+            raise SchemaError(f"attribute name must be an identifier, got {self.name!r}")
+        if self.type in _FIXED_WIDTHS:
+            fixed = _FIXED_WIDTHS[self.type]
+            if self.width not in (0, fixed):
+                raise SchemaError(
+                    f"{self.type.value} attributes have fixed width {fixed}, got {self.width}"
+                )
+            object.__setattr__(self, "width", fixed)
+        else:
+            if self.width <= 0:
+                raise SchemaError(
+                    f"{self.type.value} attribute {self.name!r} needs an explicit width > 0"
+                )
+            if self.type is AttrType.INTSET and self.width % 4 != 0:
+                raise SchemaError("intset widths must be a multiple of 4 bytes")
+
+    @property
+    def slot_size(self) -> int:
+        """Bytes this attribute occupies inside an encoded record."""
+        if self.type is AttrType.INTSET:
+            return 4 + self.width  # 4-byte element count prefix
+        return self.width
+
+
+def integer(name: str) -> Attribute:
+    """Shorthand for a signed 64-bit integer attribute."""
+    return Attribute(name, AttrType.INT)
+
+
+def real(name: str) -> Attribute:
+    """Shorthand for a double-precision float attribute."""
+    return Attribute(name, AttrType.FLOAT)
+
+
+def text(name: str, width: int) -> Attribute:
+    """Shorthand for a fixed-width UTF-8 string attribute."""
+    return Attribute(name, AttrType.STR, width)
+
+
+def blob(name: str, width: int) -> Attribute:
+    """Shorthand for a fixed-width raw bytes attribute."""
+    return Attribute(name, AttrType.BYTES, width)
+
+
+def intset(name: str, max_elements: int) -> Attribute:
+    """Shorthand for a set-valued attribute holding up to ``max_elements`` uint32s.
+
+    Set-valued attributes support the Jaccard similarity predicates the paper
+    motivates in Chapter 1.
+    """
+    return Attribute(name, AttrType.INTSET, 4 * max_elements)
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An ordered, named collection of attributes with a fixed record size."""
+
+    attributes: tuple[Attribute, ...]
+    name: str = "relation"
+    _index: dict[str, int] = field(init=False, repr=False, compare=False, hash=False, default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if not self.attributes:
+            raise SchemaError("a schema needs at least one attribute")
+        names = [a.name for a in self.attributes]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate attribute names in schema {self.name!r}: {names}")
+        object.__setattr__(self, "_index", {a.name: i for i, a in enumerate(self.attributes)})
+
+    @classmethod
+    def of(cls, *attributes: Attribute, name: str = "relation") -> "Schema":
+        """Build a schema from attribute definitions."""
+        return cls(tuple(attributes), name=name)
+
+    def __len__(self) -> int:
+        return len(self.attributes)
+
+    def __iter__(self):
+        return iter(self.attributes)
+
+    def position(self, attr_name: str) -> int:
+        """Index of ``attr_name`` within the schema, raising on unknown names."""
+        try:
+            return self._index[attr_name]
+        except KeyError:
+            raise SchemaError(f"schema {self.name!r} has no attribute {attr_name!r}") from None
+
+    def attribute(self, attr_name: str) -> Attribute:
+        """The :class:`Attribute` called ``attr_name``."""
+        return self.attributes[self.position(attr_name)]
+
+    @property
+    def record_size(self) -> int:
+        """Encoded size in bytes of every record of this schema."""
+        return sum(a.slot_size for a in self.attributes)
+
+    def compatible_with(self, other: "Schema") -> bool:
+        """True when the two schemas have identical attribute types and widths.
+
+        Definition 1 and Definition 3 both quantify over relations with
+        *identical schemas*; this is the identity the privacy checker uses.
+        """
+        return tuple((a.type, a.width) for a in self.attributes) == tuple(
+            (a.type, a.width) for a in other.attributes
+        )
+
+    def joined_with(self, other: "Schema", name: str = "joined") -> "Schema":
+        """Schema of the concatenation of a record of ``self`` and ``other``.
+
+        Name collisions are resolved by prefixing the right-hand attribute with
+        the right schema's name, as conventional relational engines do.
+        """
+        taken = {a.name for a in self.attributes}
+        right = []
+        for attr in other.attributes:
+            attr_name = attr.name
+            if attr_name in taken:
+                attr_name = f"{other.name}_{attr.name}"
+            if attr_name in taken:
+                raise SchemaError(f"cannot disambiguate attribute {attr.name!r} in join")
+            taken.add(attr_name)
+            right.append(Attribute(attr_name, attr.type, attr.width))
+        return Schema(self.attributes + tuple(right), name=name)

@@ -1,0 +1,35 @@
+"""Shared fixtures and helpers for the test suite."""
+
+import random
+
+import pytest
+
+from repro.core.base import JoinContext
+from repro.crypto.provider import FastProvider
+from repro.relational.generate import equijoin_workload, keyed_schema
+from repro.relational.relation import Relation
+
+KEY = b"test-suite-session-key-000001"
+
+
+def fresh_context(seed: int = 0, memory_limit: int | None = None) -> JoinContext:
+    """A context with the fast provider (OCB is covered by dedicated tests)."""
+    return JoinContext.fresh(
+        memory_limit=memory_limit, provider=FastProvider(KEY), seed=seed
+    )
+
+
+def keyed(name: str, rows) -> Relation:
+    return Relation.from_values(keyed_schema(name), rows)
+
+
+@pytest.fixture
+def context() -> JoinContext:
+    return fresh_context()
+
+
+@pytest.fixture
+def small_workload():
+    return equijoin_workload(
+        left_size=10, right_size=12, result_size=7, rng=random.Random(11), max_matches=3
+    )

@@ -1,0 +1,106 @@
+"""Tests for the table/figure builders and the text renderer."""
+
+import pytest
+
+from repro.analysis.figures import (
+    figure_4_1,
+    figure_5_1,
+    figure_5_2,
+    figure_5_3,
+    figure_5_4,
+)
+from repro.analysis.report import render_many_series, render_series, render_table
+from repro.analysis.settings import SETTING_1, TABLE_5_2
+from repro.analysis.tables import table_5_1_rows
+from repro.costs.chapter5 import minimum_cost
+
+
+class TestFigure41:
+    def test_grid_nonempty_and_consistent(self):
+        cells = figure_4_1(b=10_000)
+        assert len(cells) == 5 * 9
+        for cell in cells:
+            if cell.gamma == 1:
+                assert cell.general_winner == "algorithm2"
+
+
+class TestFigure51:
+    def test_monotone_decreasing_in_memory(self):
+        series = figure_5_1()
+        assert series.is_monotone_decreasing()
+
+    def test_reaches_minimum_at_m_equals_s(self):
+        series = figure_5_1()
+        assert series.y[-1] == minimum_cost(SETTING_1.total, SETTING_1.results)
+
+    def test_reduction_steeper_at_small_m(self):
+        """Figure 5.1 shape: cost ~ 1/M, so early doublings save the most."""
+        series = figure_5_1()
+        first_drop = series.y[0] - series.y[1]
+        late_drop = series.y[-2] - series.y[-1]
+        assert first_drop > late_drop
+
+
+class TestFigure52:
+    def test_monotone_decreasing_in_epsilon(self):
+        series = figure_5_2()
+        assert series.is_monotone_decreasing()
+
+    def test_epsilon_axis_ascends(self):
+        series = figure_5_2()
+        assert list(series.x) == sorted(series.x)
+
+
+class TestFigure53:
+    def test_monotone_decreasing_in_memory(self):
+        series = figure_5_3()
+        assert series.is_monotone_decreasing()
+
+    def test_plateaus_at_minimum(self):
+        series = figure_5_3()
+        assert series.y[-1] == minimum_cost(SETTING_1.total, SETTING_1.results)
+
+
+class TestFigure54:
+    def test_three_settings(self):
+        series = figure_5_4()
+        assert len(series) == len(TABLE_5_2)
+        for s in series:
+            assert s.is_monotone_decreasing()
+
+    def test_setting1_gains_more_than_setting2(self):
+        """Small-M systems benefit more from relaxing epsilon (Section 5.4)."""
+        s1, s2, _ = figure_5_4()
+        gain1 = (s1.y[0] - s1.y[-1]) / s1.y[0]
+        gain2 = (s2.y[0] - s2.y[-1]) / s2.y[0]
+        assert gain1 > gain2
+
+    def test_scale_and_memory_orderings(self):
+        """Setting 3 (4x scale) always beats setting 2's cost upward; setting 1
+        (quarter the memory) always costs more than setting 2.  Settings 1 and
+        3 cross: tiny-epsilon runs are dominated by the memory penalty."""
+        s1, s2, s3 = figure_5_4()
+        assert all(y3 > y2 for y2, y3 in zip(s2.y, s3.y))
+        assert all(y1 > y2 for y1, y2 in zip(s1.y, s2.y))
+        ratios = [y1 / y3 for y1, y3 in zip(s1.y, s3.y)]
+        assert ratios[0] > 1 > ratios[-1]  # the crossover exists
+
+
+class TestRendering:
+    def test_render_table(self):
+        text = render_table(table_5_1_rows(), title="Table 5.1")
+        assert "Table 5.1" in text
+        assert "algorithm 6" in text
+        assert "epsilon" in text
+
+    def test_render_series(self):
+        text = render_series(figure_5_1(), title="Figure 5.1")
+        assert "Figure 5.1" in text
+        assert "memory size M" in text
+
+    def test_render_many_series(self):
+        text = render_many_series(figure_5_4(), title="Figure 5.4")
+        assert "setting 1" in text and "setting 3" in text
+
+    def test_render_empty(self):
+        assert render_table([], title="empty") == "empty"

@@ -1,0 +1,87 @@
+"""Tests for the logical-index codec over D = X1 x ... x XJ (Section 5.2.1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.conftest import fresh_context, keyed
+
+from repro.core.cartesian import CartesianSpace, joined_values, upload_tables
+from repro.errors import ConfigurationError
+
+sizes = st.lists(st.integers(min_value=1, max_value=6), min_size=1, max_size=4)
+
+
+class TestCartesianSpace:
+    def test_total_is_product(self):
+        assert len(CartesianSpace([3, 4, 5])) == 60
+
+    def test_row_major_order(self):
+        space = CartesianSpace([2, 3])
+        decomposed = [space.decompose(i) for i in range(6)]
+        assert decomposed == [(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2)]
+
+    def test_first_table_varies_slowest(self):
+        space = CartesianSpace([2, 2, 2])
+        assert space.decompose(0) == (0, 0, 0)
+        assert space.decompose(7) == (1, 1, 1)
+        assert space.decompose(4) == (1, 0, 0)
+
+    @settings(max_examples=60)
+    @given(sizes, st.data())
+    def test_compose_decompose_roundtrip(self, table_sizes, data):
+        space = CartesianSpace(table_sizes)
+        logical = data.draw(st.integers(min_value=0, max_value=len(space) - 1))
+        assert space.compose(space.decompose(logical)) == logical
+
+    @settings(max_examples=40)
+    @given(sizes)
+    def test_decompose_is_a_bijection(self, table_sizes):
+        space = CartesianSpace(table_sizes)
+        seen = {space.decompose(i) for i in range(len(space))}
+        assert len(seen) == len(space)
+
+    def test_out_of_range_rejected(self):
+        space = CartesianSpace([2, 2])
+        with pytest.raises(ConfigurationError):
+            space.decompose(4)
+        with pytest.raises(ConfigurationError):
+            space.decompose(-1)
+        with pytest.raises(ConfigurationError):
+            space.compose((2, 0))
+        with pytest.raises(ConfigurationError):
+            space.compose((0,))
+
+    def test_empty_and_zero_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CartesianSpace([])
+        with pytest.raises(ConfigurationError):
+            CartesianSpace([3, 0])
+
+
+class TestCartesianReader:
+    def test_reads_the_right_component_records(self):
+        a = keyed("A", [(10, 0), (11, 0)])
+        b = keyed("B", [(20, 0), (21, 0), (22, 0)])
+        context = fresh_context()
+        reader = upload_tables(context, [a, b])
+        records = reader.read(4)  # logical 4 -> (1, 1)
+        assert records[0]["key"] == 11
+        assert records[1]["key"] == 21
+
+    def test_each_read_is_one_get_per_table(self):
+        a = keyed("A", [(1, 0)])
+        b = keyed("B", [(2, 0), (3, 0)])
+        c = keyed("C", [(4, 0)])
+        context = fresh_context()
+        reader = upload_tables(context, [a, b, c])
+        before = context.coprocessor.trace.transfer_count()
+        reader.read(1)
+        assert context.coprocessor.trace.transfer_count() - before == 3
+
+    def test_joined_values_concatenates(self):
+        a = keyed("A", [(1, 2)])
+        b = keyed("B", [(3, 4)])
+        context = fresh_context()
+        reader = upload_tables(context, [a, b])
+        assert joined_values(reader.read(0)) == (1, 2, 3, 4)

@@ -1,0 +1,69 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXHIBITS, main
+
+
+class TestExhibits:
+    @pytest.mark.parametrize("name", ["table5.1", "fig5.1"])
+    def test_exhibit_prints(self, name, capsys):
+        assert main([name]) == 0
+        out = capsys.readouterr().out
+        assert "reproduced" in out
+
+    def test_table_5_3(self, capsys):
+        assert main(["table5.3"]) == 0
+        out = capsys.readouterr().out
+        assert "SMC in [32]" in out
+        assert "algorithm 6" in out
+
+    def test_all_exhibit_names_registered(self):
+        assert set(EXHIBITS) == {
+            "table5.1", "table5.3", "fig4.1", "fig5.1", "fig5.2", "fig5.3", "fig5.4",
+        }
+
+
+class TestCosts:
+    def test_costs_command(self, capsys):
+        assert main(["costs", "--total", "10000", "--results", "100",
+                     "--memory", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "algorithm 5" in out
+        assert "floor" in out
+
+
+class TestDemo:
+    @pytest.mark.parametrize("algorithm", ["algorithm4", "algorithm5", "algorithm6"])
+    def test_demo_runs(self, algorithm, capsys):
+        assert main(["demo", "--algorithm", algorithm, "--left", "8",
+                     "--right", "8", "--results", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "4 join tuples" in out
+        assert "trace fingerprint" in out
+
+    def test_demo_is_reproducible(self, capsys):
+        main(["demo", "--seed", "3", "--left", "8", "--right", "8",
+              "--results", "4"])
+        first = capsys.readouterr().out
+        main(["demo", "--seed", "3", "--left", "8", "--right", "8",
+              "--results", "4"])
+        assert capsys.readouterr().out == first
+
+
+class TestErrata:
+    def test_errata_lists_all_six(self, capsys):
+        assert main(["errata"]) == 0
+        out = capsys.readouterr().out
+        for number in range(1, 7):
+            assert f"{number}." in out
+
+
+class TestParsing:
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,209 @@
+"""Tests for the Chapter 4 cost models and the Section 4.6 claims."""
+
+import math
+
+import pytest
+
+from repro.costs.chapter4 import (
+    algorithm1_beats_algorithm2_threshold,
+    blocking_algorithm2,
+    exact_algorithm2,
+    gamma_of,
+    normalized_algorithm1,
+    normalized_algorithm2,
+    normalized_algorithm3,
+    paper_algorithm1,
+    paper_algorithm1_variant,
+    paper_algorithm2,
+    paper_algorithm3,
+)
+from repro.costs.regions import (
+    best_equijoin,
+    best_general_join,
+    equijoin_gamma_crossover,
+    region_grid,
+)
+from repro.errors import ConfigurationError
+
+
+class TestFormulas:
+    def test_algorithm1_terms(self):
+        cost = paper_algorithm1(a=100, b=200, n=8)
+        assert cost.terms["read_a"] == 100
+        assert cost.terms["decoy_init"] == 2 * 8 * 100
+        assert cost.terms["compare_io"] == 2 * 100 * 200
+        assert cost.terms["sorting"] == pytest.approx(2 * 100 * 200 * math.log2(16) ** 2)
+
+    def test_algorithm1_variant_terms(self):
+        cost = paper_algorithm1_variant(a=100, b=256, n=8)
+        assert cost.terms["sorting"] == pytest.approx(100 * 256 * 8**2)
+
+    def test_algorithm2_terms(self):
+        cost = paper_algorithm2(a=100, b=200, n=10, memory=3)
+        assert gamma_of(10, 3) == 4
+        assert cost.terms["scans"] == 4 * 100 * 200
+        assert cost.terms["output"] == 10 * 100
+
+    def test_algorithm3_presorted_drops_sort(self):
+        with_sort = paper_algorithm3(a=10, b=64, n=2)
+        presorted = paper_algorithm3(a=10, b=64, n=2, presorted=True)
+        assert with_sort.total - presorted.total == pytest.approx(64 * 6**2)
+
+    def test_invalid_n_rejected(self):
+        with pytest.raises(ConfigurationError):
+            paper_algorithm1(10, 10, 11)
+        with pytest.raises(ConfigurationError):
+            paper_algorithm1(10, 10, 0)
+
+    def test_gamma_requires_usable_memory(self):
+        with pytest.raises(ConfigurationError):
+            gamma_of(5, 2, delta=2)
+
+
+class TestSection461Gamma1:
+    def test_algorithm2_dominates_when_gamma_is_1(self):
+        """Section 4.6.1: at gamma = 1 Algorithm 2 beats 1 and 3 everywhere."""
+        for b in (100, 1_000, 100_000):
+            worst_alg2 = normalized_algorithm2(b, alpha=1.0, gamma=1)
+            best_alg1 = normalized_algorithm1(b, alpha=1.0 / b)
+            best_alg3 = normalized_algorithm3(b, alpha=1.0 / b)
+            assert worst_alg2 < best_alg1
+            assert worst_alg2 < best_alg3
+
+    def test_gap_grows_with_relation_size(self):
+        gaps = []
+        for b in (1_000, 10_000, 100_000):
+            gaps.append(
+                normalized_algorithm1(b, 1.0 / b) - normalized_algorithm2(b, 1.0, 1)
+            )
+        assert gaps == sorted(gaps)
+
+
+class TestSection462GeneralJoins:
+    def test_threshold_at_minimum_alpha_is_four(self):
+        """Section 4.6.2: with alpha = 1/|B|, Algorithm 1 wins once gamma > 4."""
+        for b in (100, 10_000):
+            threshold = algorithm1_beats_algorithm2_threshold(b, 1.0 / b)
+            assert threshold == pytest.approx(2 + 1.0 / b + 2.0)
+
+    def test_formula_comparison_matches_threshold(self):
+        b = 10_000
+        for alpha in (1.0 / b, 0.001, 0.01):
+            threshold = algorithm1_beats_algorithm2_threshold(b, alpha)
+            above = math.ceil(threshold) + 1
+            below = max(1, math.floor(threshold) - 1)
+            assert normalized_algorithm1(b, alpha) < normalized_algorithm2(b, alpha, above)
+            assert normalized_algorithm1(b, alpha) > normalized_algorithm2(b, alpha, below)
+
+    def test_threshold_grows_with_alpha(self):
+        b = 10_000
+        thresholds = [
+            algorithm1_beats_algorithm2_threshold(b, a) for a in (1e-4, 1e-3, 1e-2, 0.1)
+        ]
+        assert thresholds == sorted(thresholds)
+
+
+class TestSection463Equijoins:
+    def test_algorithm3_always_beats_algorithm1(self):
+        # alpha ranges over its valid domain [1/|B|, 1] (Section 4.6).
+        for b in (64, 1_000, 100_000):
+            for alpha in (1.0 / b, 10.0 / b, 0.5, 1.0):
+                assert normalized_algorithm3(b, alpha) < normalized_algorithm1(b, alpha)
+
+    def test_algorithm2_wins_for_gamma_up_to_3(self):
+        for b in (100, 10_000, 1_000_000):
+            for gamma in (1, 2, 3):
+                assert normalized_algorithm2(b, 0.001, gamma) < normalized_algorithm3(
+                    b, 0.001
+                )
+
+    def test_algorithm3_wins_for_gamma_at_least_4(self):
+        for b in (100, 10_000, 1_000_000):
+            assert normalized_algorithm3(b, 0.001) < normalized_algorithm2(b, 0.001, 4)
+
+    def test_crossover_lies_between_3_and_4(self):
+        for b in (100, 10_000):
+            assert 3 < equijoin_gamma_crossover(b, 0.001) < 4
+
+
+class TestBlocking:
+    def test_blocking_never_beats_nonblocking(self):
+        """Section 4.4.3: KN' < M implies blocking A costs more transfers."""
+        a = b = 1_000
+        n, memory = 64, 32
+        base = exact_algorithm2(a, b, n, memory).total
+        for block in (2, 4, 8):
+            n_prime = memory // block  # respect K * N' < M
+            if n_prime < 1:
+                continue
+            blocked = blocking_algorithm2(a, b, n, block, n_prime).total
+            assert blocked >= base
+
+
+class TestRegions:
+    def test_grid_covers_figure_regions(self):
+        cells = region_grid(10_000, alphas=[1e-4, 1e-2], gammas=[1, 2, 8, 64])
+        winners_general = {c.general_winner for c in cells}
+        winners_equi = {c.equijoin_winner for c in cells}
+        assert winners_general == {"algorithm1", "algorithm2"}
+        assert {"algorithm2", "algorithm3"} <= winners_equi
+
+    def test_gamma1_cells_choose_algorithm2(self):
+        for cell in region_grid(10_000, alphas=[1e-4, 1e-2, 1.0], gammas=[1]):
+            assert cell.general_winner == "algorithm2"
+            assert cell.equijoin_winner == "algorithm2"
+
+    def test_best_functions_agree_with_formulas(self):
+        b = 10_000
+        assert best_general_join(b, 1e-4, 64) == "algorithm1"
+        assert best_equijoin(b, 1e-4, 64) == "algorithm3"
+
+
+class TestMemoryPartition:
+    """Section 4.4.3 "Parameter Selection"."""
+
+    def test_case1_small_memory(self):
+        from repro.costs.chapter4 import optimal_memory_partition
+
+        partition = optimal_memory_partition(n=100, memory=16)
+        assert partition.case == "N > F"
+        assert partition.f_a == 1
+        assert partition.gamma == math.ceil(100 / 16)
+        assert partition.f_j == math.ceil(100 / partition.gamma)
+        assert partition.f_b >= 0
+
+    def test_case2_large_memory_holds_q_blocks(self):
+        from repro.costs.chapter4 import optimal_memory_partition
+
+        # F = 101, N = 4: Q = floor(101/5) = 20 A tuples + up to 80 matches.
+        partition = optimal_memory_partition(n=4, memory=100)
+        assert partition.case == "N <= F"
+        assert partition.f_a == 20
+        assert partition.f_j == 80
+        assert partition.f_b == 101 - 20 * 5
+        assert partition.gamma == 1
+
+    def test_q_is_maximal(self):
+        from repro.costs.chapter4 import optimal_memory_partition
+
+        partition = optimal_memory_partition(n=4, memory=100)
+        free = 101
+        assert partition.f_a * (1 + 4) <= free
+        assert (partition.f_a + 1) * (1 + 4) > free
+
+    def test_partition_fits_in_memory(self):
+        from repro.costs.chapter4 import optimal_memory_partition
+
+        for n in (1, 5, 50, 500):
+            for memory in (4, 16, 64):
+                partition = optimal_memory_partition(n, memory)
+                assert partition.total <= memory + 1
+
+    def test_invalid_args(self):
+        from repro.costs.chapter4 import optimal_memory_partition
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            optimal_memory_partition(0, 10)
+        with pytest.raises(ConfigurationError):
+            optimal_memory_partition(5, 0)

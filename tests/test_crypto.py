@@ -1,0 +1,149 @@
+"""Unit and property tests for the crypto substrate (block cipher, OCB, providers)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.blockcipher import BLOCK_SIZE, BlockCipher, gf_double, xor_bytes
+from repro.crypto.ocb import NONCE_SIZE, TAG_SIZE, Ocb
+from repro.crypto.provider import FastProvider, NullProvider, OcbProvider
+from repro.errors import AuthenticationError, ConfigurationError
+
+KEY = b"0123456789abcdef0123456789abcdef"
+
+
+class TestBlockCipher:
+    def test_roundtrip(self):
+        cipher = BlockCipher(KEY)
+        block = bytes(range(16))
+        assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+    def test_wrong_block_size_rejected(self):
+        cipher = BlockCipher(KEY)
+        with pytest.raises(ConfigurationError):
+            cipher.encrypt_block(b"short")
+        with pytest.raises(ConfigurationError):
+            cipher.decrypt_block(b"x" * 17)
+
+    def test_short_key_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BlockCipher(b"short")
+
+    def test_permutation_is_injective_on_sample(self):
+        cipher = BlockCipher(KEY)
+        inputs = [i.to_bytes(16, "big") for i in range(256)]
+        outputs = {cipher.encrypt_block(b) for b in inputs}
+        assert len(outputs) == 256
+
+    def test_different_keys_differ(self):
+        block = bytes(16)
+        assert BlockCipher(KEY).encrypt_block(block) != BlockCipher(
+            KEY[::-1]
+        ).encrypt_block(block)
+
+    @settings(max_examples=80)
+    @given(st.binary(min_size=16, max_size=16))
+    def test_roundtrip_property(self, block):
+        cipher = BlockCipher(KEY)
+        assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+
+class TestGfDouble:
+    def test_shifts_left(self):
+        assert gf_double((1).to_bytes(16, "big")) == (2).to_bytes(16, "big")
+
+    def test_reduction_on_overflow(self):
+        top = (1 << 127).to_bytes(16, "big")
+        assert gf_double(top) == (0x87).to_bytes(16, "big")
+
+    def test_xor_bytes(self):
+        assert xor_bytes(b"\x0f\xf0", b"\xff\xff") == b"\xf0\x0f"
+
+
+class TestOcb:
+    def nonce(self, i=1):
+        return i.to_bytes(NONCE_SIZE, "big")
+
+    @pytest.mark.parametrize("size", [1, 15, 16, 17, 31, 32, 33, 100])
+    def test_roundtrip_various_sizes(self, size):
+        ocb = Ocb(KEY)
+        plaintext = bytes(range(256))[:size] or b"\x00"
+        ciphertext = ocb.encrypt(self.nonce(), plaintext)
+        assert len(ciphertext) == size + TAG_SIZE
+        assert ocb.decrypt(self.nonce(), ciphertext) == plaintext
+
+    def test_tamper_detection_every_byte(self):
+        ocb = Ocb(KEY)
+        ciphertext = bytearray(ocb.encrypt(self.nonce(), b"secret join tuple!"))
+        for i in range(len(ciphertext)):
+            corrupted = bytearray(ciphertext)
+            corrupted[i] ^= 0x01
+            with pytest.raises(AuthenticationError):
+                ocb.decrypt(self.nonce(), bytes(corrupted))
+
+    def test_wrong_nonce_fails_authentication(self):
+        ocb = Ocb(KEY)
+        ciphertext = ocb.encrypt(self.nonce(1), b"payload-bytes")
+        with pytest.raises(AuthenticationError):
+            ocb.decrypt(self.nonce(2), ciphertext)
+
+    def test_same_plaintext_different_nonces_differ(self):
+        ocb = Ocb(KEY)
+        assert ocb.encrypt(self.nonce(1), b"decoy!") != ocb.encrypt(self.nonce(2), b"decoy!")
+
+    def test_deterministic_under_same_nonce(self):
+        ocb = Ocb(KEY)
+        assert ocb.encrypt(self.nonce(), b"abc") == ocb.encrypt(self.nonce(), b"abc")
+
+    def test_random_access_offset_matches_sequential(self):
+        """Section 4.4.1: Z[i] reachable by applying f i times from Z[0]."""
+        ocb = Ocb(KEY)
+        nonce = self.nonce(9)
+        sequential = ocb._offsets(nonce, 8)
+        for i in range(8):
+            assert ocb.offset(nonce, i) == sequential[i]
+
+    def test_empty_message_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Ocb(KEY).encrypt(self.nonce(), b"")
+
+    def test_truncated_ciphertext_rejected(self):
+        with pytest.raises(AuthenticationError):
+            Ocb(KEY).decrypt(self.nonce(), b"short")
+
+    @settings(max_examples=60)
+    @given(st.binary(min_size=1, max_size=64), st.integers(min_value=1, max_value=2**64))
+    def test_roundtrip_property(self, plaintext, nonce_value):
+        ocb = Ocb(KEY)
+        nonce = nonce_value.to_bytes(NONCE_SIZE, "big")
+        assert ocb.decrypt(nonce, ocb.encrypt(nonce, plaintext)) == plaintext
+
+
+@pytest.mark.parametrize("provider_cls", [OcbProvider, FastProvider, NullProvider])
+class TestProviders:
+    def test_roundtrip(self, provider_cls):
+        provider = provider_cls(KEY)
+        assert provider.decrypt(provider.encrypt(b"hello tuple")) == b"hello tuple"
+
+    def test_semantic_security(self, provider_cls):
+        """Two encryptions of the same plaintext must be byte-distinct."""
+        provider = provider_cls(KEY)
+        assert provider.encrypt(b"decoy") != provider.encrypt(b"decoy")
+
+    def test_fixed_expansion(self, provider_cls):
+        provider = provider_cls(KEY)
+        c1 = provider.encrypt(b"a" * 24)
+        c2 = provider.encrypt(b"b" * 24)
+        assert len(c1) == len(c2) == 24 + provider.overhead
+
+    def test_tamper_detection(self, provider_cls):
+        provider = provider_cls(KEY)
+        ciphertext = bytearray(provider.encrypt(b"join result payload"))
+        ciphertext[-1] ^= 0xFF
+        with pytest.raises(AuthenticationError):
+            provider.decrypt(bytes(ciphertext))
+
+    def test_too_short_ciphertext(self, provider_cls):
+        provider = provider_cls(KEY)
+        with pytest.raises(AuthenticationError):
+            provider.decrypt(b"tiny")

@@ -1,0 +1,83 @@
+"""Tests for CSV import/export."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CodecError, SchemaError
+from repro.relational.csvio import read_csv, read_csv_text, to_csv_text, write_csv
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema, blob, integer, intset, real, text
+
+SCHEMA = Schema.of(integer("id"), real("score"), text("name", 16),
+                   blob("raw", 4), intset("tags", 4))
+
+
+def sample() -> Relation:
+    return Relation.from_values(SCHEMA, [
+        (1, 0.5, "alice", b"\x01\x02", frozenset({3, 1})),
+        (-7, 2.25, "bob", b"", frozenset()),
+    ])
+
+
+class TestRoundTrip:
+    def test_text_roundtrip(self):
+        relation = sample()
+        assert read_csv_text(to_csv_text(relation), SCHEMA) == relation
+
+    def test_file_roundtrip(self, tmp_path):
+        relation = sample()
+        path = tmp_path / "rel.csv"
+        write_csv(relation, path)
+        assert read_csv(path, SCHEMA) == relation
+
+    def test_header_written(self):
+        assert to_csv_text(sample()).splitlines()[0] == "id,score,name,raw,tags"
+
+    def test_intset_rendering(self):
+        line = to_csv_text(sample()).splitlines()[1]
+        assert line.endswith("1;3")
+
+    @settings(max_examples=50)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=-(2**40), max_value=2**40),
+                st.floats(allow_nan=False, allow_infinity=False, width=32),
+                st.text(
+                    alphabet=st.characters(codec="ascii", categories=["L", "N"]),
+                    max_size=16,
+                ),
+                st.binary(max_size=4).filter(lambda b: not b.endswith(b"\x00")),
+                st.sets(st.integers(min_value=0, max_value=999), max_size=4),
+            ),
+            max_size=8,
+        )
+    )
+    def test_roundtrip_property(self, rows):
+        relation = Relation.from_values(SCHEMA, rows)
+        assert read_csv_text(to_csv_text(relation), SCHEMA) == relation
+
+
+class TestValidation:
+    def test_empty_input_rejected(self):
+        with pytest.raises(SchemaError):
+            read_csv_text("", SCHEMA)
+
+    def test_wrong_header_rejected(self):
+        with pytest.raises(SchemaError):
+            read_csv_text("a,b,c,d,e\n", SCHEMA)
+
+    def test_short_row_rejected(self):
+        text_input = "id,score,name,raw,tags\n1,2.0\n"
+        with pytest.raises(SchemaError):
+            read_csv_text(text_input, SCHEMA)
+
+    def test_unparseable_cell_rejected(self):
+        text_input = "id,score,name,raw,tags\nnot-an-int,2.0,x,,\n"
+        with pytest.raises(CodecError):
+            read_csv_text(text_input, SCHEMA)
+
+    def test_blank_lines_skipped(self):
+        text_input = "id,score,name,raw,tags\n\n1,2.0,x,,\n"
+        assert len(read_csv_text(text_input, SCHEMA)) == 1

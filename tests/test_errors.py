@@ -1,0 +1,31 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+ALL_ERRORS = [
+    errors.SchemaError, errors.CodecError, errors.AuthenticationError,
+    errors.EnclaveMemoryError, errors.HostMemoryError, errors.BlemishError,
+    errors.ContractError, errors.ConfigurationError,
+]
+
+
+def test_all_derive_from_repro_error():
+    for error_cls in ALL_ERRORS:
+        assert issubclass(error_cls, errors.ReproError)
+
+
+def test_catching_the_family():
+    with pytest.raises(errors.ReproError):
+        raise errors.BlemishError("segment overflow")
+
+
+def test_repro_error_derives_from_exception():
+    assert issubclass(errors.ReproError, Exception)
+    assert not issubclass(KeyboardInterrupt, errors.ReproError)
+
+
+def test_distinct_classes():
+    assert len(set(ALL_ERRORS)) == len(ALL_ERRORS)

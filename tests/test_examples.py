@@ -1,0 +1,34 @@
+"""Run every example end-to-end (each asserts its own claims internally).
+
+Keeps the examples/ directory from rotting: any API change that breaks a
+runnable example fails here first.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(p.stem for p in EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs_clean(name, capsys, monkeypatch):
+    script = EXAMPLES_DIR / f"{name}.py"
+    monkeypatch.setattr(sys, "argv", [str(script)])  # hide pytest's own argv
+    sys.path.insert(0, str(EXAMPLES_DIR))
+    try:
+        runpy.run_path(str(script), run_name="__main__")
+    finally:
+        sys.path.remove(str(EXAMPLES_DIR))
+    out = capsys.readouterr().out
+    assert out.strip(), f"example {name} produced no output"
+
+
+def test_expected_examples_present():
+    assert {
+        "quickstart", "do_not_fly", "epidemiology", "privacy_audit",
+        "cost_explorer", "parallel_scaling", "aggregation_stats", "csv_service",
+    } <= set(EXAMPLES)

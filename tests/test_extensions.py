@@ -1,0 +1,202 @@
+"""Tests for the Chapter 6 extension features: parallel Algorithm 6,
+one-pass Algorithm 6, timing-attack padding, and the malicious-host model."""
+
+import random
+
+import pytest
+
+from tests.conftest import KEY, fresh_context, keyed
+
+from repro.core.algorithm4 import algorithm4
+from repro.core.algorithm5 import algorithm5
+from repro.core.algorithm6 import algorithm6
+from repro.core.base import JoinContext
+from repro.core.parallel import parallel_algorithm6
+from repro.costs.chapter5 import exact_algorithm6, paper_algorithm6
+from repro.crypto.provider import FastProvider
+from repro.errors import AuthenticationError, ConfigurationError
+from repro.hardware.adversary import ReplayingHost, TamperingHost
+from repro.hardware.cluster import Cluster
+from repro.hardware.coprocessor import SecureCoprocessor
+from repro.hardware.timing import (
+    TimedPredicate,
+    VirtualClock,
+    constant_time,
+    short_circuit_cost,
+)
+from repro.relational.generate import equijoin_workload
+from repro.relational.joins import nested_loop_join
+from repro.relational.predicates import BinaryAsMulti, Equality
+
+PRED = BinaryAsMulti(Equality("key"))
+
+
+def workload(seed=81, left=9, right=9, results=7):
+    wl = equijoin_workload(left, right, results, rng=random.Random(seed))
+    reference = nested_loop_join(wl.left, wl.right, Equality("key"))
+    return [wl.left, wl.right], reference
+
+
+class TestParallelAlgorithm6:
+    @pytest.mark.parametrize("processors", [1, 2, 3])
+    def test_correct(self, processors):
+        tables, reference = workload()
+        provider = FastProvider(KEY)
+        context = JoinContext.fresh(provider=provider)
+        cluster = Cluster(context.host, provider, count=processors)
+        out = parallel_algorithm6(context, cluster, tables, PRED, memory=3,
+                                  epsilon=0.0, seed=4)
+        assert out.result.same_multiset(reference)
+        assert out.meta["S"] == len(reference)
+
+    def test_segments_distributed(self):
+        tables, _ = workload(seed=82)
+        provider = FastProvider(KEY)
+        context = JoinContext.fresh(provider=provider)
+        cluster = Cluster(context.host, provider, count=2)
+        out = parallel_algorithm6(context, cluster, tables, PRED, memory=3,
+                                  epsilon=0.0, seed=5)
+        # Both coprocessors did segment work (T0 additionally screens/filters).
+        assert all(s.total > 0 for s in out.per_coprocessor)
+
+
+class TestOnePassAlgorithm6:
+    def test_one_pass_correct(self):
+        tables, reference = workload(seed=83, left=10, right=10, results=8)
+        out = algorithm6(fresh_context(), tables, PRED, memory=3, epsilon=1e-4,
+                         known_result_size=len(reference), seed=2)
+        assert out.meta["one_pass"] is True
+        assert not out.meta["blemish"]
+        assert out.result.same_multiset(reference)
+
+    def test_one_pass_saves_a_full_scan(self):
+        tables, reference = workload(seed=84, left=10, right=10, results=8)
+        two_pass = algorithm6(fresh_context(), tables, PRED, memory=3,
+                              epsilon=1e-4, seed=2)
+        one_pass = algorithm6(fresh_context(), tables, PRED, memory=3,
+                              epsilon=1e-4, known_result_size=len(reference), seed=2)
+        # The screening scan costs J*L = 2*100 transfers.
+        assert two_pass.transfers - one_pass.transfers == 2 * 100
+        assert one_pass.result.same_multiset(two_pass.result)
+
+    def test_one_pass_small_result_is_minimal(self):
+        tables, reference = workload(seed=85, results=4)
+        out = algorithm6(fresh_context(), tables, PRED, memory=16,
+                         known_result_size=len(reference))
+        # L iTuple reads (2 gets each) + S writes: the L + S floor.
+        assert out.transfers == 2 * out.meta["L"] + len(reference)
+        assert out.result.same_multiset(reference)
+
+    def test_one_pass_cost_models(self):
+        assert (
+            paper_algorithm6(640_000, 6_400, 64, 1e-20, one_pass=True).total
+            == paper_algorithm6(640_000, 6_400, 64, 1e-20).total - 640_000
+        )
+        assert (
+            exact_algorithm6(640_000, 6_400, 64, 1e-20, one_pass=True).total
+            == exact_algorithm6(640_000, 6_400, 64, 1e-20).total - 2 * 640_000
+        )
+
+    def test_one_pass_trace_still_data_independent(self):
+        traces = []
+        for seed in (1, 2):
+            wl = equijoin_workload(8, 8, 6, rng=random.Random(seed))
+            out = algorithm6(fresh_context(), [wl.left, wl.right], PRED, memory=2,
+                             epsilon=0.0, known_result_size=6, seed=9)
+            traces.append(out.trace)
+        assert traces[0] == traces[1]
+
+
+class TestTimingAttacks:
+    def records(self):
+        a = keyed("A", [(1, 0)])
+        b = keyed("B", [(1, 0), (2, 0)])
+        return a[0], b[0], b[1]
+
+    def test_naive_predicate_leaks_through_the_clock(self):
+        """Match vs non-match show different cycle gaps (Section 3.3.2)."""
+        a, match, miss = self.records()
+        clock = VirtualClock()
+        timed = TimedPredicate(Equality("key"), clock)
+        assert timed.matches(a, match)
+        assert not timed.matches(a, miss)
+        gaps = [clock.observations[0]] + clock.gaps()
+        assert gaps[0] != gaps[1]  # the adversary distinguishes the match
+
+    def test_constant_time_padding_removes_the_leak(self):
+        a, match, miss = self.records()
+        clock = VirtualClock()
+        padded = constant_time(Equality("key"), clock)
+        assert padded.matches(a, match)
+        assert not padded.matches(a, miss)
+        gaps = [clock.observations[0]] + clock.gaps()
+        assert gaps[0] == gaps[1]
+        assert padded.burned == short_circuit_cost(a, miss, True) - short_circuit_cost(
+            a, miss, False
+        )
+
+    def test_declared_worst_case_enforced(self):
+        a, match, _ = self.records()
+        clock = VirtualClock()
+        padded = constant_time(Equality("key"), clock, worst_case=10)
+        with pytest.raises(ConfigurationError):
+            padded.matches(a, match)
+
+    def test_padded_predicate_still_correct_in_a_join(self):
+        wl = equijoin_workload(6, 6, 4, rng=random.Random(86))
+        clock = VirtualClock()
+        padded = constant_time(Equality("key"), clock)
+        out = algorithm4(fresh_context(), [wl.left, wl.right], BinaryAsMulti(padded))
+        assert len(out.result) == 4
+        # Every comparison consumed identical time.
+        assert len(set(clock.gaps())) <= 1
+
+
+class TestMaliciousHost:
+    def context_with_host(self, host):
+        provider = FastProvider(KEY)
+        coprocessor = SecureCoprocessor(host, provider)
+        return JoinContext(host=host, coprocessor=coprocessor, provider=provider,
+                           rng=random.Random(0))
+
+    @pytest.mark.parametrize("tamper_at", [1, 5, 40])
+    def test_algorithms_abort_on_tamper(self, tamper_at):
+        """Section 3.3.1: T terminates immediately on detected tampering."""
+        tables, _ = workload(seed=87)
+        for runner in (
+            lambda ctx: algorithm4(ctx, tables, PRED),
+            lambda ctx: algorithm5(ctx, tables, PRED, memory=3),
+            lambda ctx: algorithm6(ctx, tables, PRED, memory=3, epsilon=0.0),
+        ):
+            host = TamperingHost(tamper_at_read=tamper_at)
+            context = self.context_with_host(host)
+            with pytest.raises(AuthenticationError):
+                runner(context)
+            assert host.tampered
+
+    def test_no_output_emitted_after_abort(self):
+        tables, _ = workload(seed=88)
+        host = TamperingHost(tamper_at_read=1)
+        context = self.context_with_host(host)
+        with pytest.raises(AuthenticationError):
+            algorithm5(context, tables, PRED, memory=3)
+        assert context.coprocessor.trace.count(op="put", region="output") == 0
+
+    def test_replay_is_the_documented_residual_gap(self):
+        """Swapping two validly encrypted slots is NOT caught by per-tuple
+        authentication — the residual the module docstring documents."""
+        host = ReplayingHost(replay_at_read=2, source=("R", 0))
+        provider = FastProvider(KEY)
+        t = SecureCoprocessor(host, provider)
+        host.allocate("R", 2)
+        t.put("R", 0, b"slot-zero")
+        t.put("R", 1, b"slot-one")
+        assert t.get("R", 1) == b"slot-one"   # read #1: honest
+        assert t.get("R", 1) == b"slot-zero"  # read #2: replayed, undetected
+        assert host.replayed
+
+    def test_tampering_host_validation(self):
+        with pytest.raises(ConfigurationError):
+            TamperingHost(tamper_at_read=0)
+        with pytest.raises(ConfigurationError):
+            ReplayingHost(replay_at_read=0, source=("R", 0))

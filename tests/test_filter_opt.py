@@ -1,0 +1,93 @@
+"""Tests for the Eq. 5.1 delta* optimizer."""
+
+import math
+
+import pytest
+
+from repro.costs.filter_opt import (
+    filter_comparisons,
+    filter_transfers,
+    optimal_delta,
+    optimal_filter_transfers,
+    paper_stationary_delta,
+)
+from repro.errors import ConfigurationError
+
+
+class TestFilterCost:
+    def test_transfers_are_four_comparisons(self):
+        assert filter_transfers(100, 10, 5) == 4 * filter_comparisons(100, 10, 5)
+
+    def test_formula_value(self):
+        # ((100-10)/5) * ((10+5)/4) * log2(15)^2 comparisons
+        expected = (90 / 5) * (15 / 4) * math.log2(15) ** 2
+        assert filter_comparisons(100, 10, 5) == pytest.approx(expected)
+
+    def test_omega_equals_mu_is_free(self):
+        assert filter_comparisons(10, 10, 3) == 0.0
+
+    def test_invalid_args(self):
+        with pytest.raises(ConfigurationError):
+            filter_comparisons(100, 10, 0)
+        with pytest.raises(ConfigurationError):
+            filter_comparisons(5, 10, 1)
+
+
+class TestOptimalDelta:
+    def test_satisfies_true_stationarity(self):
+        """delta* sits at delta = mu ln(mu+delta)/2 (the corrected condition)."""
+        for mu in (100, 6400, 25600):
+            delta = optimal_delta(mu)
+            assert delta == pytest.approx(mu * math.log(mu + delta) / 2, rel=0.01)
+
+    def test_paper_printed_condition(self):
+        """The paper's log2 variant (Section 5.2.2 erratum) is also solvable."""
+        for mu in (100, 6400, 25600):
+            delta = paper_stationary_delta(mu)
+            assert delta == pytest.approx(mu * math.log2(mu + delta) / 2, rel=0.01)
+            # The printed condition overshoots the true optimum by ~1/ln2.
+            assert delta > optimal_delta(mu)
+
+    def test_true_optimum_beats_paper_delta(self):
+        mu, omega = 6400, 10_000_000
+        assert filter_transfers(omega, mu, optimal_delta(mu, omega)) <= filter_transfers(
+            omega, mu, min(paper_stationary_delta(mu), omega - mu)
+        )
+
+    def test_is_a_local_minimum(self):
+        mu, omega = 6400, 10_000_000
+        delta = optimal_delta(mu, omega)
+        best = filter_transfers(omega, mu, delta)
+        for neighbor in (delta - 1, delta + 1):
+            assert filter_transfers(omega, mu, neighbor) >= best * (1 - 1e-12)
+
+    def test_independent_of_omega_when_uncapped(self):
+        """Section 5.2.2: "delta* ... does not depend on omega"."""
+        mu = 6400
+        uncapped = optimal_delta(mu)
+        assert optimal_delta(mu, 10_000_000) == pytest.approx(uncapped, abs=2)
+
+    def test_capped_at_omega_minus_mu(self):
+        # Small lists: one sort of everything is optimal.
+        assert optimal_delta(6400, 28_000) == 28_000 - 6400
+
+    def test_cap_reproduces_single_sort_cost(self):
+        omega, mu = 28_000, 6400
+        cost = optimal_filter_transfers(omega, mu)
+        assert cost == pytest.approx(omega * math.log2(omega) ** 2)
+
+    def test_setting1_magnitude(self):
+        # For mu = 6400: true optimum near 3.4e4, paper condition near 5.05e4.
+        assert 30_000 < optimal_delta(6400) < 40_000
+        assert 45_000 < paper_stationary_delta(6400) < 56_000
+
+    def test_mu_zero(self):
+        assert optimal_delta(0, 100) == 100
+
+    def test_omega_equals_mu(self):
+        assert optimal_delta(10, 10) == 1
+        assert optimal_filter_transfers(10, 10) == 0.0
+
+    def test_negative_mu_rejected(self):
+        with pytest.raises(ConfigurationError):
+            optimal_delta(-1)

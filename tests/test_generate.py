@@ -1,0 +1,103 @@
+"""Tests for the synthetic workload generators."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.relational.generate import (
+    equijoin_workload,
+    genome_pair,
+    similarity_workload,
+    theta_workload,
+    uniform_keyed,
+    zipf_keyed,
+)
+from repro.relational.joins import nested_loop_join
+from repro.relational.predicates import Equality, JaccardSimilarity, Theta
+
+
+class TestKeyedGenerators:
+    def test_uniform_size_and_range(self):
+        rel = uniform_keyed(50, key_range=10, rng=random.Random(1))
+        assert len(rel) == 50
+        assert all(0 <= r["key"] < 10 for r in rel)
+
+    def test_zipf_is_skewed(self):
+        rel = zipf_keyed(500, key_range=50, rng=random.Random(2))
+        counts = {}
+        for r in rel:
+            counts[r["key"]] = counts.get(r["key"], 0) + 1
+        top = max(counts.values())
+        assert top > 3 * (500 / 50)  # far above the uniform expectation
+
+
+class TestThetaWorkload:
+    @settings(max_examples=30)
+    @given(
+        st.integers(min_value=1, max_value=12),
+        st.integers(min_value=1, max_value=12),
+        st.floats(min_value=0.0, max_value=1.0),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    def test_result_size_is_exact(self, left, right, selectivity, seed):
+        wl = theta_workload(left, right, random.Random(seed), selectivity)
+        reference = nested_loop_join(wl.left, wl.right, Theta("key", "<"))
+        assert len(reference) == wl.result_size
+        assert len(wl.left) == left and len(wl.right) == right
+
+    def test_selectivity_extremes(self):
+        rng = random.Random(3)
+        full = theta_workload(5, 5, rng, selectivity=1.0)
+        empty = theta_workload(5, 5, rng, selectivity=0.0)
+        assert full.result_size == 25
+        assert empty.result_size == 0
+
+    def test_selectivity_is_monotone(self):
+        sizes = [
+            theta_workload(6, 6, random.Random(4), s).result_size
+            for s in (0.0, 0.25, 0.5, 0.75, 1.0)
+        ]
+        assert sizes == sorted(sizes)
+
+    def test_invalid_selectivity(self):
+        with pytest.raises(ConfigurationError):
+            theta_workload(3, 3, random.Random(0), selectivity=1.5)
+
+
+class TestSimilarityWorkload:
+    @pytest.mark.parametrize("planted", [0, 1, 4])
+    def test_planted_pairs_are_the_only_matches(self, planted):
+        left, right, result = similarity_workload(
+            6, 6, planted, rng=random.Random(5), threshold=0.5
+        )
+        reference = nested_loop_join(left, right, JaccardSimilarity("markers", 0.5))
+        assert len(reference) == result == planted
+
+    def test_too_many_pairs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            similarity_workload(3, 3, 4, rng=random.Random(0))
+
+    def test_universe_too_small_rejected(self):
+        with pytest.raises(ConfigurationError):
+            similarity_workload(8, 8, 1, rng=random.Random(0), universe=32)
+
+
+class TestGenomePair:
+    def test_sizes_and_marker_cardinality(self):
+        bank, patients = genome_pair(10, 7, rng=random.Random(6),
+                                     markers_per_subject=5)
+        assert len(bank) == 10 and len(patients) == 7
+        assert all(len(r["markers"]) == 5 for r in bank)
+
+
+class TestEquijoinEdgeCases:
+    def test_single_row_tables(self):
+        wl = equijoin_workload(1, 1, 1, rng=random.Random(7))
+        assert len(nested_loop_join(wl.left, wl.right, Equality("key"))) == 1
+
+    def test_left_heavier_than_right_rejected_when_overfull(self):
+        with pytest.raises(ConfigurationError):
+            equijoin_workload(2, 1, 2, rng=random.Random(8), max_matches=1)

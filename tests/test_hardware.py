@@ -1,0 +1,233 @@
+"""Tests for the host memory, secure coprocessor, traces, and cluster."""
+
+import pytest
+
+from repro.crypto.provider import FastProvider
+from repro.errors import AuthenticationError, EnclaveMemoryError, HostMemoryError
+from repro.hardware.cluster import Cluster
+from repro.hardware.coprocessor import SecureCoprocessor
+from repro.hardware.counters import TransferStats
+from repro.hardware.events import GET, PUT, AccessEvent, Trace
+from repro.hardware.host import HostMemory
+
+KEY = b"hardware-test-key-0123456789"
+
+
+@pytest.fixture
+def rig():
+    host = HostMemory()
+    provider = FastProvider(KEY)
+    coprocessor = SecureCoprocessor(host, provider, memory_limit=4)
+    return host, provider, coprocessor
+
+
+class TestHostMemory:
+    def test_allocate_and_size(self):
+        host = HostMemory()
+        host.allocate("A", 3)
+        assert host.size("A") == 3
+        assert host.has_region("A")
+
+    def test_double_allocate_rejected(self):
+        host = HostMemory()
+        host.allocate("A", 1)
+        with pytest.raises(HostMemoryError):
+            host.allocate("A", 1)
+
+    def test_unknown_region_rejected(self):
+        host = HostMemory()
+        with pytest.raises(HostMemoryError):
+            host.read_slot("nope", 0)
+        with pytest.raises(HostMemoryError):
+            host.free("nope")
+
+    def test_unwritten_slot_rejected(self):
+        host = HostMemory()
+        host.allocate("A", 1)
+        with pytest.raises(HostMemoryError):
+            host.read_slot("A", 0)
+
+    def test_out_of_range_rejected(self):
+        host = HostMemory()
+        host.allocate("A", 1)
+        with pytest.raises(HostMemoryError):
+            host.write_slot("A", 5, b"x")
+
+    def test_append_grows(self):
+        host = HostMemory()
+        host.allocate("A", 0)
+        assert host.append_slot("A", b"x") == 0
+        assert host.append_slot("A", b"y") == 1
+
+    def test_host_copy_appends(self):
+        host = HostMemory()
+        host.allocate_from("src", [b"a", b"b", b"c"])
+        host.allocate("dst", 0)
+        host.host_copy("src", 1, 2, "dst")
+        assert host.region_bytes("dst") == [b"b", b"c"]
+
+    def test_host_copy_into_positional(self):
+        host = HostMemory()
+        host.allocate_from("src", [b"a", b"b"])
+        host.allocate_from("dst", [b"x", b"y", b"z"])
+        host.host_copy_into("src", 0, 2, "dst", 1)
+        assert host.region_bytes("dst") == [b"x", b"a", b"b"]
+
+    def test_copy_bounds_checked(self):
+        host = HostMemory()
+        host.allocate_from("src", [b"a"])
+        host.allocate("dst", 1)
+        with pytest.raises(HostMemoryError):
+            host.host_copy_into("src", 0, 2, "dst", 0)
+        with pytest.raises(HostMemoryError):
+            host.host_copy_into("src", 0, 1, "dst", 1)
+
+
+class TestCoprocessor:
+    def test_put_get_roundtrip_and_trace(self, rig):
+        host, provider, t = rig
+        host.allocate("R", 2)
+        t.put("R", 1, b"hello")
+        assert t.get("R", 1) == b"hello"
+        assert t.trace.events == [AccessEvent(PUT, "R", 1), AccessEvent(GET, "R", 1)]
+
+    def test_host_stores_only_ciphertext(self, rig):
+        host, provider, t = rig
+        host.allocate("R", 1)
+        t.put("R", 0, b"plaintext-secret")
+        assert b"plaintext-secret" not in host.read_slot("R", 0)
+
+    def test_tamper_detected_on_get(self, rig):
+        host, provider, t = rig
+        host.allocate("R", 1)
+        t.put("R", 0, b"secret")
+        raw = bytearray(host.read_slot("R", 0))
+        raw[-1] ^= 1
+        host.write_slot("R", 0, bytes(raw))
+        with pytest.raises(AuthenticationError):
+            t.get("R", 0)
+
+    def test_memory_limit_enforced(self, rig):
+        host, provider, t = rig
+        with t.hold(3):
+            with pytest.raises(EnclaveMemoryError):
+                with t.hold(2):
+                    pass
+
+    def test_hold_releases_on_exit(self, rig):
+        _, _, t = rig
+        with t.hold(4):
+            pass
+        assert t.slots_in_use == 0
+        with t.hold(4):
+            pass
+
+    def test_peak_tracking(self, rig):
+        _, _, t = rig
+        with t.hold(2):
+            with t.hold(1):
+                pass
+        assert t.peak_in_use == 3
+
+    def test_buffer_overflow_raises(self, rig):
+        _, _, t = rig
+        buffer = t.buffer(2)
+        buffer.append(b"a")
+        buffer.append(b"b")
+        assert buffer.full
+        with pytest.raises(EnclaveMemoryError):
+            buffer.append(b"c")
+        buffer.release()
+
+    def test_buffer_drain_and_release(self, rig):
+        _, _, t = rig
+        buffer = t.buffer(2)
+        buffer.append(b"a")
+        assert buffer.drain() == [b"a"]
+        assert len(buffer) == 0
+        buffer.release()
+        assert t.slots_in_use == 0
+        buffer.release()  # idempotent
+        assert t.slots_in_use == 0
+
+    def test_put_append(self, rig):
+        host, _, t = rig
+        host.allocate("out", 0)
+        assert t.put_append("out", b"r0") == 0
+        assert t.put_append("out", b"r1") == 1
+        assert t.get("out", 1) == b"r1"
+
+    def test_crypto_op_counters(self, rig):
+        host, _, t = rig
+        host.allocate("R", 1)
+        t.put("R", 0, b"x")
+        t.get("R", 0)
+        assert t.encryptions == 1
+        assert t.decryptions == 1
+
+
+class TestTrace:
+    def test_counts_and_regions(self):
+        trace = Trace()
+        trace.record(GET, "A", 0)
+        trace.record(PUT, "B", 1)
+        trace.record(GET, "A", 2)
+        assert trace.transfer_count() == 3
+        assert trace.count(op=GET) == 2
+        assert trace.count(region="A") == 2
+        assert trace.count(op=PUT, region="B") == 1
+        assert trace.regions() == {"A", "B"}
+
+    def test_fingerprint_distinguishes(self):
+        t1, t2 = Trace(), Trace()
+        t1.record(GET, "A", 0)
+        t2.record(GET, "A", 1)
+        assert t1.fingerprint() != t2.fingerprint()
+        t3 = Trace()
+        t3.record(GET, "A", 0)
+        assert t1.fingerprint() == t3.fingerprint()
+
+    def test_first_divergence(self):
+        t1, t2 = Trace(), Trace()
+        for t in (t1, t2):
+            t.record(GET, "A", 0)
+        assert t1.first_divergence(t2) is None
+        t2.record(PUT, "B", 0)
+        assert t1.first_divergence(t2) == 1
+        t1.record(PUT, "C", 0)
+        assert t1.first_divergence(t2) == 1
+
+    def test_transfer_stats(self):
+        trace = Trace()
+        trace.record(GET, "A", 0)
+        trace.record(PUT, "out", 0)
+        trace.record(PUT, "out", 1)
+        stats = TransferStats.from_trace(trace)
+        assert stats.total == 3
+        assert stats.gets == 1
+        assert stats.puts == 2
+        assert stats.region_total("out") == 2
+        assert "total=3" in stats.describe()
+
+
+class TestCluster:
+    def test_partition_balance(self):
+        host = HostMemory()
+        cluster = Cluster(host, FastProvider(KEY), count=3)
+        ranges = cluster.partition_range(10)
+        assert [len(r) for r in ranges] == [4, 3, 3]
+        assert [i for r in ranges for i in r] == list(range(10))
+
+    def test_speedup_accounting(self):
+        host = HostMemory()
+        host.allocate("R", 8)
+        cluster = Cluster(host, FastProvider(KEY), count=2)
+
+        def work(t, index_range):
+            for i in index_range:
+                t.put("R", i, b"x")
+
+        cluster.run_partitioned(8, work)
+        assert cluster.total_transfers() == 8
+        assert cluster.makespan_transfers() == 4
+        assert cluster.speedup() == pytest.approx(2.0)

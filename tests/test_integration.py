@@ -1,0 +1,148 @@
+"""Cross-algorithm integration and property tests.
+
+The strongest correctness statement the library can make: on any workload,
+every privacy preserving algorithm computes exactly the multiset the
+plaintext reference join computes, and all of them agree with each other.
+Hypothesis drives randomized workloads through all six algorithms at once.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.conftest import fresh_context, keyed
+
+from repro.core.algorithm1 import algorithm1
+from repro.core.algorithm1v import algorithm1_variant
+from repro.core.algorithm2 import algorithm2
+from repro.core.algorithm3 import algorithm3
+from repro.core.algorithm4 import algorithm4
+from repro.core.algorithm5 import algorithm5
+from repro.core.algorithm6 import algorithm6
+from repro.relational.generate import equijoin_workload
+from repro.relational.joins import (
+    max_matches_per_left_tuple,
+    multiway_nested_loop_join,
+    nested_loop_join,
+)
+from repro.relational.predicates import (
+    BandJoin,
+    BinaryAsMulti,
+    Custom,
+    Equality,
+    PairwiseAll,
+    Theta,
+)
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema, integer, real
+
+keys = st.lists(st.integers(min_value=0, max_value=5), min_size=2, max_size=7)
+
+
+@settings(max_examples=20, deadline=None)
+@given(keys, keys)
+def test_all_six_algorithms_agree_on_equijoins(left_keys, right_keys):
+    left = keyed("A", [(k, i) for i, k in enumerate(left_keys)])
+    right = keyed("B", [(k, 100 + i) for i, k in enumerate(right_keys)])
+    predicate = Equality("key")
+    reference = nested_loop_join(left, right, predicate)
+    n_max = max(1, max_matches_per_left_tuple(left, right, predicate))
+    multi = BinaryAsMulti(predicate)
+
+    results = {
+        "alg1": algorithm1(fresh_context(), left, right, predicate, n_max).result,
+        "alg1v": algorithm1_variant(fresh_context(), left, right, predicate,
+                                    n_max).result,
+        "alg2": algorithm2(fresh_context(), left, right, predicate, n_max,
+                           memory=2).result,
+        "alg3": algorithm3(fresh_context(), left, right, "key", n_max).result,
+        "alg4": algorithm4(fresh_context(), [left, right], multi).result,
+        "alg5": algorithm5(fresh_context(), [left, right], multi, memory=2).result,
+        "alg6": algorithm6(fresh_context(), [left, right], multi, memory=2,
+                           epsilon=0.0).result,
+    }
+    for name, result in results.items():
+        assert result.same_multiset(reference), name
+
+
+@settings(max_examples=15, deadline=None)
+@given(keys, keys, st.sampled_from(["<", "<=", ">", ">=", "!="]))
+def test_general_join_algorithms_agree_on_theta_joins(left_keys, right_keys, op):
+    left = keyed("A", [(k, i) for i, k in enumerate(left_keys)])
+    right = keyed("B", [(k, 100 + i) for i, k in enumerate(right_keys)])
+    predicate = Theta("key", op)
+    reference = nested_loop_join(left, right, predicate)
+    n_max = max(1, max_matches_per_left_tuple(left, right, predicate))
+    multi = BinaryAsMulti(predicate)
+
+    assert algorithm1(fresh_context(), left, right, predicate, n_max).result.same_multiset(reference)
+    assert algorithm2(fresh_context(), left, right, predicate, n_max,
+                      memory=3).result.same_multiset(reference)
+    assert algorithm4(fresh_context(), [left, right], multi).result.same_multiset(reference)
+    assert algorithm5(fresh_context(), [left, right], multi,
+                      memory=3).result.same_multiset(reference)
+
+
+class TestRealisticScenarios:
+    def test_band_join_on_measurements(self):
+        """Sensor-fusion style band join: readings within 0.5 of each other."""
+        schema_a = Schema.of(integer("sensor"), real("reading"), name="lab_a")
+        schema_b = Schema.of(integer("sensor"), real("reading"), name="lab_b")
+        rng = random.Random(5)
+        a = Relation.from_values(
+            schema_a, [(i, round(rng.uniform(0, 10), 2)) for i in range(12)]
+        )
+        b = Relation.from_values(
+            schema_b, [(100 + i, round(rng.uniform(0, 10), 2)) for i in range(12)]
+        )
+        predicate = BandJoin("reading", 0.5)
+        reference = nested_loop_join(a, b, predicate)
+        out = algorithm4(fresh_context(), [a, b], BinaryAsMulti(predicate))
+        assert out.result.same_multiset(reference)
+
+    def test_composite_predicate_join(self):
+        predicate = Custom(
+            lambda x, y: (x["key"] + y["key"]) % 3 == 0, description="sum mod 3"
+        )
+        left = keyed("A", [(i, 0) for i in range(6)])
+        right = keyed("B", [(i, 1) for i in range(6)])
+        reference = nested_loop_join(left, right, predicate)
+        n_max = max_matches_per_left_tuple(left, right, predicate)
+        out = algorithm2(fresh_context(), left, right, predicate, n_max, memory=2)
+        assert out.result.same_multiset(reference)
+
+    def test_four_way_chain_join(self):
+        tables = [
+            keyed(f"T{i}", [(v, i) for v in range(i, i + 3)]) for i in range(4)
+        ]
+        predicate = PairwiseAll(Theta("key", "<="))
+        reference = multiway_nested_loop_join(tables, predicate)
+        assert len(reference) > 0
+        for runner in (
+            lambda: algorithm4(fresh_context(), tables, predicate),
+            lambda: algorithm5(fresh_context(), tables, predicate, memory=4),
+            lambda: algorithm6(fresh_context(), tables, predicate, memory=4,
+                               epsilon=0.0),
+        ):
+            assert runner().result.same_multiset(reference)
+
+    def test_algorithms_compose_with_workload_generator(self):
+        for seed in range(3):
+            wl = equijoin_workload(7, 9, 5, rng=random.Random(seed))
+            reference = nested_loop_join(wl.left, wl.right, Equality("key"))
+            out = algorithm6(fresh_context(), [wl.left, wl.right],
+                             BinaryAsMulti(Equality("key")), memory=2, epsilon=0.0)
+            assert out.result.same_multiset(reference)
+
+
+class TestOutputSchema:
+    def test_joined_schema_attribute_names(self):
+        left = keyed("A", [(1, 7)])
+        right = keyed("B", [(1, 9)])
+        out = algorithm5(fresh_context(), [left, right],
+                         BinaryAsMulti(Equality("key")), memory=2)
+        record = out.result[0]
+        assert record.as_dict() == {"key": 1, "payload": 7, "B_key": 1,
+                                    "B_payload": 9}

@@ -1,0 +1,113 @@
+"""Tests for the reference plaintext joins (the ground truth)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relational.generate import equijoin_workload, keyed_schema
+from repro.relational.joins import (
+    hash_join,
+    max_matches_per_left_tuple,
+    multiway_nested_loop_join,
+    nested_loop_join,
+    sort_merge_join,
+)
+from repro.relational.predicates import BinaryAsMulti, Equality, PairwiseAll, Theta
+from repro.relational.relation import Relation
+
+SCHEMA_A = keyed_schema("A")
+SCHEMA_B = keyed_schema("B")
+
+
+def make(schema, rows):
+    return Relation.from_values(schema, rows)
+
+
+class TestNestedLoop:
+    def test_simple_equijoin(self):
+        a = make(SCHEMA_A, [(1, 10), (2, 20)])
+        b = make(SCHEMA_B, [(1, 11), (3, 33)])
+        out = nested_loop_join(a, b, Equality("key"))
+        assert len(out) == 1
+        assert out[0].values == (1, 10, 1, 11)
+
+    def test_theta_join(self):
+        a = make(SCHEMA_A, [(1, 0), (5, 0)])
+        b = make(SCHEMA_B, [(3, 0)])
+        out = nested_loop_join(a, b, Theta("key", "<"))
+        assert len(out) == 1
+        assert out[0].values[0] == 1
+
+    def test_duplicates_multiply(self):
+        a = make(SCHEMA_A, [(1, 0), (1, 1)])
+        b = make(SCHEMA_B, [(1, 2), (1, 3)])
+        assert len(nested_loop_join(a, b, Equality("key"))) == 4
+
+    def test_empty_result(self):
+        a = make(SCHEMA_A, [(1, 0)])
+        b = make(SCHEMA_B, [(2, 0)])
+        assert len(nested_loop_join(a, b, Equality("key"))) == 0
+
+
+keys = st.lists(st.integers(min_value=0, max_value=6), min_size=1, max_size=12)
+
+
+@settings(max_examples=100)
+@given(keys, keys)
+def test_equijoin_algorithms_agree(left_keys, right_keys):
+    """Nested loop, sort-merge, and hash join compute the same multiset."""
+    a = make(SCHEMA_A, [(k, i) for i, k in enumerate(left_keys)])
+    b = make(SCHEMA_B, [(k, 100 + i) for i, k in enumerate(right_keys)])
+    reference = nested_loop_join(a, b, Equality("key"))
+    assert sort_merge_join(a, b, "key").same_multiset(reference)
+    assert hash_join(a, b, "key").same_multiset(reference)
+
+
+class TestMultiway:
+    def test_three_way_chain(self):
+        a = make(SCHEMA_A, [(1, 0), (2, 0)])
+        b = make(SCHEMA_B, [(2, 0), (3, 0)])
+        c = make(keyed_schema("C"), [(3, 0), (4, 0)])
+        out = multiway_nested_loop_join([a, b, c], PairwiseAll(Theta("key", "<")))
+        # Increasing chains: (1,2,3), (1,2,4), (1,3,4), (2,3,4)
+        assert len(out) == 4
+
+    def test_two_way_matches_binary(self):
+        a = make(SCHEMA_A, [(1, 0), (2, 0)])
+        b = make(SCHEMA_B, [(1, 5), (2, 6)])
+        multi = multiway_nested_loop_join([a, b], BinaryAsMulti(Equality("key")))
+        binary = nested_loop_join(a, b, Equality("key"))
+        assert multi.same_multiset(binary)
+
+
+class TestMaxMatches:
+    def test_counts_max_run(self):
+        a = make(SCHEMA_A, [(1, 0), (2, 0)])
+        b = make(SCHEMA_B, [(1, 0), (1, 1), (1, 2), (2, 0)])
+        assert max_matches_per_left_tuple(a, b, Equality("key")) == 3
+
+    def test_zero_when_no_matches(self):
+        a = make(SCHEMA_A, [(1, 0)])
+        b = make(SCHEMA_B, [(9, 0)])
+        assert max_matches_per_left_tuple(a, b, Equality("key")) == 0
+
+
+class TestWorkloadGenerator:
+    @pytest.mark.parametrize("left,right,result", [(10, 10, 5), (20, 30, 18), (8, 8, 0)])
+    def test_exact_result_size(self, left, right, result):
+        wl = equijoin_workload(left, right, result, rng=random.Random(1))
+        reference = nested_loop_join(wl.left, wl.right, Equality("key"))
+        assert len(reference) == result == wl.result_size
+
+    def test_max_matches_controls_n(self):
+        wl = equijoin_workload(4, 20, 12, rng=random.Random(2), max_matches=3)
+        n = max_matches_per_left_tuple(wl.left, wl.right, Equality("key"))
+        assert n == wl.max_matches == 3
+
+    def test_impossible_requests_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            equijoin_workload(2, 2, 5, rng=random.Random(0))

@@ -1,0 +1,125 @@
+"""Section 5.1.1 executed: the Chapter 4 algorithms leak N and match
+statistics, the Chapter 5 algorithms do not."""
+
+import random
+
+import pytest
+
+from tests.conftest import fresh_context
+
+from repro.core.algorithm1 import algorithm1
+from repro.core.algorithm2 import algorithm2
+from repro.core.algorithm3 import algorithm3
+from repro.core.algorithm4 import algorithm4
+from repro.core.algorithm5 import algorithm5
+from repro.core.algorithm6 import algorithm6
+from repro.errors import ConfigurationError
+from repro.privacy.leakage import (
+    estimate_n_from_output_size,
+    estimate_n_from_write_batches,
+    output_is_exact,
+    per_group_match_counts,
+)
+from repro.relational.generate import equijoin_workload
+from repro.relational.joins import nested_loop_join
+from repro.relational.predicates import BinaryAsMulti, Equality
+
+PRED = BinaryAsMulti(Equality("key"))
+
+
+@pytest.fixture
+def workload():
+    return equijoin_workload(6, 12, 8, rng=random.Random(31), max_matches=3)
+
+
+def true_match_counts(wl):
+    return [
+        sum(1 for b in wl.right if a["key"] == b["key"]) for a in wl.left
+    ]
+
+
+class TestChapter4Leaks:
+    def test_eavesdropper_recovers_n_from_algorithm1_output(self, workload):
+        context = fresh_context()
+        out = algorithm1(context, workload.left, workload.right, Equality("key"),
+                         workload.max_matches)
+        observed_slots = context.host.size("output")
+        n = estimate_n_from_output_size(observed_slots, len(workload.left))
+        assert n == workload.max_matches
+
+    def test_host_recovers_n_from_algorithm2_batches(self, workload):
+        context = fresh_context()
+        out = algorithm2(context, workload.left, workload.right, Equality("key"),
+                         workload.max_matches, memory=workload.max_matches)
+        burst = estimate_n_from_write_batches(out.trace)
+        # gamma = 1 here, so the constant burst IS N.
+        assert burst == workload.max_matches
+
+    def test_recipient_reads_match_statistics_from_algorithm1(self, workload):
+        context = fresh_context()
+        algorithm1(context, workload.left, workload.right, Equality("key"),
+                   workload.max_matches)
+        counts = per_group_match_counts(context, workload.max_matches)
+        assert counts == true_match_counts(workload)
+
+    def test_recipient_reads_match_statistics_from_algorithm3(self, workload):
+        context = fresh_context()
+        algorithm3(context, workload.left, workload.right, "key",
+                   workload.max_matches)
+        counts = per_group_match_counts(context, workload.max_matches)
+        assert counts == true_match_counts(workload)
+
+    def test_chapter4_output_is_padded(self, workload):
+        context = fresh_context()
+        out = algorithm1(context, workload.left, workload.right, Equality("key"),
+                         workload.max_matches)
+        reference = nested_loop_join(workload.left, workload.right, Equality("key"))
+        assert not output_is_exact(context, len(reference))
+        assert context.host.size("output") == workload.max_matches * len(workload.left)
+
+
+class TestChapter5DoesNotLeak:
+    def test_algorithm4_output_is_exact(self, workload):
+        context = fresh_context()
+        out = algorithm4(context, [workload.left, workload.right], PRED)
+        assert output_is_exact(context, out.meta["S"])
+
+    def test_algorithm5_output_is_exact(self, workload):
+        context = fresh_context()
+        out = algorithm5(context, [workload.left, workload.right], PRED, memory=3)
+        assert output_is_exact(context, out.meta["S"])
+
+    def test_algorithm6_output_is_exact(self, workload):
+        context = fresh_context()
+        out = algorithm6(context, [workload.left, workload.right], PRED,
+                         memory=3, epsilon=0.0)
+        assert output_is_exact(context, out.meta["S"])
+
+    def test_no_group_structure_to_analyze(self, workload):
+        """The recipient-side grouping attack has nothing to grab: S tuples
+        do not divide into |A| equal groups in general."""
+        context = fresh_context()
+        out = algorithm5(context, [workload.left, workload.right], PRED, memory=3)
+        if out.meta["S"] % len(workload.left) != 0:
+            with pytest.raises(ConfigurationError):
+                per_group_match_counts(context, len(workload.left))
+
+    def test_algorithm5_batches_reveal_only_m(self, workload):
+        """Algorithm 5's bursts are M — a device constant, not data."""
+        context = fresh_context()
+        out = algorithm5(context, [workload.left, workload.right], PRED, memory=3)
+        burst = estimate_n_from_write_batches(out.trace)
+        assert burst in (3, None)
+
+
+class TestEstimatorValidation:
+    def test_bad_group_sizes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            estimate_n_from_output_size(10, 0)
+        with pytest.raises(ConfigurationError):
+            estimate_n_from_output_size(10, 3)
+
+    def test_no_bursts_returns_none(self):
+        from repro.hardware.events import Trace
+
+        assert estimate_n_from_write_batches(Trace()) is None

@@ -1,0 +1,113 @@
+"""Enclave memory budgets: the paper's per-algorithm memory claims, enforced.
+
+The coprocessor meters every reserved tuple slot; these tests pin each
+algorithm's peak enclave usage to the bound the paper states (or implies),
+and show the algorithms *fail cleanly* when given less than they need.
+"""
+
+import random
+
+import pytest
+
+from tests.conftest import KEY, keyed
+
+from repro.core.algorithm1 import algorithm1
+from repro.core.algorithm2 import algorithm2
+from repro.core.algorithm3 import algorithm3
+from repro.core.algorithm4 import algorithm4
+from repro.core.algorithm5 import algorithm5
+from repro.core.algorithm6 import algorithm6
+from repro.core.base import JoinContext
+from repro.crypto.provider import FastProvider
+from repro.errors import EnclaveMemoryError
+from repro.relational.generate import equijoin_workload
+from repro.relational.predicates import BinaryAsMulti, Equality
+
+PRED = BinaryAsMulti(Equality("key"))
+
+
+def limited_context(limit):
+    return JoinContext.fresh(memory_limit=limit, provider=FastProvider(KEY))
+
+
+def workload(seed=71):
+    return equijoin_workload(8, 9, 6, rng=random.Random(seed), max_matches=2)
+
+
+class TestChapter4Budgets:
+    def test_algorithm1_peaks_at_three(self):
+        """One A tuple held across the round + two sort slots."""
+        wl = workload()
+        context = limited_context(3)
+        out = algorithm1(context, wl.left, wl.right, Equality("key"), wl.max_matches)
+        assert context.coprocessor.peak_in_use == 3
+        assert len(out.result) == 6
+
+    def test_algorithm2_needs_blk_plus_two(self):
+        wl = workload(seed=72)
+        memory = 2
+        context = limited_context(memory + 2)
+        out = algorithm2(context, wl.left, wl.right, Equality("key"),
+                         wl.max_matches, memory=memory)
+        assert context.coprocessor.peak_in_use <= out.meta["blk"] + 2
+
+    def test_algorithm3_peaks_at_three(self):
+        """a + b + the scratch tuple being re-encrypted."""
+        wl = workload(seed=73)
+        context = limited_context(3)
+        out = algorithm3(context, wl.left, wl.right, "key", wl.max_matches)
+        assert context.coprocessor.peak_in_use == 3
+        assert len(out.result) == 6
+
+
+class TestChapter5Budgets:
+    def test_algorithm4_is_the_minimal_memory_design(self):
+        """Section 5.3.1: "it only requires a memory size of two"."""
+        wl = workload(seed=74)
+        context = limited_context(2)
+        algorithm4(context, [wl.left, wl.right], PRED)
+        assert context.coprocessor.peak_in_use == 2
+
+    def test_algorithm5_holds_m_plus_one(self):
+        wl = workload(seed=75)
+        context = limited_context(4)
+        algorithm5(context, [wl.left, wl.right], PRED, memory=3)
+        assert context.coprocessor.peak_in_use == 4  # M buffer + iTuple slot
+
+    def test_algorithm5_rejected_below_budget(self):
+        wl = workload(seed=76)
+        context = limited_context(3)
+        with pytest.raises(EnclaveMemoryError):
+            algorithm5(context, [wl.left, wl.right], PRED, memory=3)
+
+    def test_algorithm6_holds_m_plus_one(self):
+        wl = workload(seed=77)
+        context = limited_context(4)
+        algorithm6(context, [wl.left, wl.right], PRED, memory=3, epsilon=0.0)
+        assert context.coprocessor.peak_in_use == 4
+
+    def test_budget_failure_happens_before_any_output(self):
+        wl = workload(seed=78)
+        context = limited_context(2)
+        with pytest.raises(EnclaveMemoryError):
+            algorithm5(context, [wl.left, wl.right], PRED, memory=3)
+        assert context.coprocessor.trace.count(op="put") == 0
+
+
+class TestBudgetScaling:
+    @pytest.mark.parametrize("memory", [1, 2, 4])
+    def test_peak_tracks_m_linearly(self, memory):
+        wl = workload(seed=79)
+        context = JoinContext.fresh(provider=FastProvider(KEY))
+        algorithm5(context, [wl.left, wl.right], PRED, memory=memory)
+        assert context.coprocessor.peak_in_use == memory + 1
+
+    def test_oblivious_phases_never_exceed_two(self):
+        """Algorithm 4's filter phase stays within the two-slot minimum even
+        for large host-side buffers."""
+        a = keyed("A", [(i, 0) for i in range(6)])
+        b = keyed("B", [(i, 1) for i in range(6)])
+        context = limited_context(2)
+        out = algorithm4(context, [a, b], PRED)
+        assert context.coprocessor.peak_in_use == 2
+        assert out.meta["S"] == 6

@@ -1,0 +1,146 @@
+"""Validate every exact cost model against the traced executors.
+
+The paper's evaluation is entirely formula-based; these tests close the loop
+by asserting that the executors perform *exactly* the number of T/H tuple
+transfers the exact models predict, across a grid of sizes, memories, and
+match structures.  This is the strongest evidence that the cost expressions
+describe the implemented algorithms.
+"""
+
+import random
+
+import pytest
+
+from tests.conftest import fresh_context
+
+from repro.core.algorithm1 import algorithm1
+from repro.core.algorithm1v import algorithm1_variant
+from repro.core.algorithm2 import algorithm2
+from repro.core.algorithm3 import algorithm3
+from repro.core.algorithm4 import algorithm4
+from repro.core.algorithm5 import algorithm5
+from repro.core.algorithm6 import algorithm6
+from repro.costs.chapter4 import (
+    exact_algorithm1,
+    exact_algorithm1_variant,
+    exact_algorithm2,
+    exact_algorithm3,
+)
+from repro.costs.chapter5 import exact_algorithm4, exact_algorithm5, exact_algorithm6
+from repro.relational.generate import equijoin_workload
+from repro.relational.joins import nested_loop_join
+from repro.relational.predicates import BinaryAsMulti, Equality
+
+PRED = BinaryAsMulti(Equality("key"))
+
+
+def workload(seed, left, right, results, max_matches=None):
+    wl = equijoin_workload(left, right, results, rng=random.Random(seed),
+                           max_matches=max_matches)
+    return wl
+
+
+GRID = [
+    (1, 6, 8, 4, 2),
+    (2, 10, 12, 9, 3),
+    (3, 5, 16, 10, 4),
+]
+
+
+class TestChapter4Models:
+    @pytest.mark.parametrize("seed,left,right,results,max_matches", GRID)
+    def test_algorithm1(self, seed, left, right, results, max_matches):
+        wl = workload(seed, left, right, results, max_matches)
+        out = algorithm1(fresh_context(), wl.left, wl.right, Equality("key"),
+                         wl.max_matches)
+        model = exact_algorithm1(left, right, wl.max_matches)
+        assert out.transfers == model.total
+
+    @pytest.mark.parametrize("seed,left,right,results,max_matches", GRID)
+    def test_algorithm1_variant(self, seed, left, right, results, max_matches):
+        wl = workload(seed, left, right, results, max_matches)
+        out = algorithm1_variant(fresh_context(), wl.left, wl.right, Equality("key"),
+                                 wl.max_matches)
+        model = exact_algorithm1_variant(left, right, wl.max_matches)
+        assert out.transfers == model.total
+
+    @pytest.mark.parametrize("memory", [1, 2, 3, 8])
+    def test_algorithm2(self, memory):
+        wl = workload(4, 8, 12, 10, 4)
+        out = algorithm2(fresh_context(), wl.left, wl.right, Equality("key"),
+                         wl.max_matches, memory=memory)
+        model = exact_algorithm2(8, 12, wl.max_matches, memory)
+        assert out.transfers == model.total
+
+    @pytest.mark.parametrize("presorted", [False, True])
+    def test_algorithm3(self, presorted):
+        wl = workload(5, 7, 11, 8, 3)
+        out = algorithm3(fresh_context(), wl.left, wl.right, "key", wl.max_matches,
+                         presorted=presorted)
+        model = exact_algorithm3(7, 11, wl.max_matches, presorted=presorted)
+        assert out.transfers == model.total
+
+
+class TestChapter5Models:
+    @pytest.mark.parametrize("seed,left,right,results,_", GRID)
+    def test_algorithm4(self, seed, left, right, results, _):
+        wl = workload(seed, left, right, results)
+        out = algorithm4(fresh_context(), [wl.left, wl.right], PRED)
+        model = exact_algorithm4(left * right, results, tables=2,
+                                 delta=out.meta["delta"])
+        assert out.transfers == model.total
+
+    @pytest.mark.parametrize("memory", [1, 2, 4, 50])
+    def test_algorithm5_unknown_s(self, memory):
+        wl = workload(6, 9, 10, 8)
+        out = algorithm5(fresh_context(), [wl.left, wl.right], PRED, memory=memory)
+        model = exact_algorithm5(90, 8, memory, tables=2, known_result_size=False)
+        assert out.transfers == model.total
+
+    def test_algorithm5_known_s(self):
+        wl = workload(7, 9, 10, 8)
+        out = algorithm5(fresh_context(), [wl.left, wl.right], PRED, memory=4,
+                         known_result_size=8)
+        model = exact_algorithm5(90, 8, 4, tables=2, known_result_size=True)
+        assert out.transfers == model.total
+
+    def test_algorithm5_three_tables(self):
+        from tests.conftest import keyed
+        from repro.relational.predicates import PairwiseAll, Theta
+
+        a = keyed("A", [(1, 0), (4, 0), (9, 0)])
+        b = keyed("B", [(2, 0), (5, 0)])
+        c = keyed("C", [(3, 0), (6, 0)])
+        pred = PairwiseAll(Theta("key", "<"))
+        out = algorithm5(fresh_context(), [a, b, c], pred, memory=2)
+        from repro.relational.joins import multiway_nested_loop_join
+
+        s = len(multiway_nested_loop_join([a, b, c], pred))
+        model = exact_algorithm5(12, s, 2, tables=3, known_result_size=False)
+        assert out.transfers == model.total
+
+    def test_algorithm6_fit_in_memory(self):
+        wl = workload(8, 6, 7, 4)
+        out = algorithm6(fresh_context(), [wl.left, wl.right], PRED, memory=16)
+        model = exact_algorithm6(42, 4, 16, 1e-20, tables=2)
+        assert out.transfers == model.total
+
+    @pytest.mark.parametrize("epsilon", [0.0, 1e-4])
+    def test_algorithm6_segmented(self, epsilon):
+        wl = workload(9, 10, 10, 9)
+        out = algorithm6(fresh_context(), [wl.left, wl.right], PRED, memory=3,
+                         epsilon=epsilon, seed=2)
+        assert out.meta["blemish"] is False
+        model = exact_algorithm6(100, 9, 3, epsilon, tables=2,
+                                 segment=out.meta["segment_size"],
+                                 delta=out.meta["delta"])
+        assert out.transfers == model.total
+
+    def test_exact_models_track_chosen_parameters(self):
+        wl = workload(10, 8, 8, 6)
+        out = algorithm6(fresh_context(), [wl.left, wl.right], PRED, memory=2,
+                         epsilon=1e-3, seed=5)
+        if out.meta["blemish"]:
+            pytest.skip("blemish path has no closed-form model")
+        model = exact_algorithm6(64, 6, 2, 1e-3, tables=2)
+        assert out.transfers == model.total

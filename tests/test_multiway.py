@@ -1,0 +1,93 @@
+"""Multiway (J > 2) join coverage: generator, Definition 3, all algorithms."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.conftest import fresh_context
+
+from repro.core.algorithm4 import algorithm4
+from repro.core.algorithm5 import algorithm5
+from repro.core.algorithm6 import algorithm6
+from repro.errors import ConfigurationError
+from repro.privacy.checker import check_definition3
+from repro.privacy.definitions import Definition3Experiment, Definition3Instance
+from repro.relational.generate import multiway_workload
+from repro.relational.joins import multiway_nested_loop_join
+from repro.relational.predicates import Equality, PairwiseAll
+
+CHAIN = PairwiseAll(Equality("key"))
+
+
+class TestMultiwayWorkload:
+    @settings(max_examples=30)
+    @given(
+        st.lists(st.integers(min_value=2, max_value=6), min_size=2, max_size=4),
+        st.data(),
+    )
+    def test_exact_result_size(self, sizes, data):
+        s = data.draw(st.integers(min_value=0, max_value=min(sizes)))
+        wl = multiway_workload(sizes, s, random.Random(data.draw(st.integers(0, 999))))
+        reference = multiway_nested_loop_join(list(wl.relations), CHAIN)
+        assert len(reference) == s == wl.result_size
+        assert [len(r) for r in wl.relations] == sizes
+
+    def test_too_many_chains_rejected(self):
+        with pytest.raises(ConfigurationError):
+            multiway_workload([3, 5], 4, random.Random(0))
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(ConfigurationError):
+            multiway_workload([3, 0], 1, random.Random(0))
+
+
+class TestThreeWayAlgorithms:
+    @pytest.fixture
+    def workload(self):
+        return multiway_workload([4, 5, 4], 3, random.Random(41))
+
+    def test_all_three_chapter5_algorithms(self, workload):
+        reference = multiway_nested_loop_join(list(workload.relations), CHAIN)
+        for runner in (
+            lambda: algorithm4(fresh_context(), list(workload.relations), CHAIN),
+            lambda: algorithm5(fresh_context(), list(workload.relations), CHAIN,
+                               memory=2),
+            lambda: algorithm6(fresh_context(), list(workload.relations), CHAIN,
+                               memory=2, epsilon=0.0),
+        ):
+            out = runner()
+            assert out.result.same_multiset(reference)
+            assert out.meta["L"] == 4 * 5 * 4
+
+    def test_output_schema_spans_all_tables(self, workload):
+        out = algorithm5(fresh_context(), list(workload.relations), CHAIN, memory=2)
+        assert len(out.result.schema) == 6  # (key, payload) x 3 tables
+
+
+class TestMultiwayDefinition3:
+    def test_three_way_families_have_identical_traces(self):
+        instances = []
+        for seed in (11, 22, 33):
+            wl = multiway_workload([4, 4, 3], 2, random.Random(seed))
+            instances.append(Definition3Instance(wl.relations, CHAIN))
+        experiment = Definition3Experiment.build(instances)
+        report = check_definition3(
+            experiment,
+            lambda ctx, inst: algorithm5(ctx, list(inst.relations), inst.predicate,
+                                         memory=2),
+        )
+        assert report.safe, report.describe()
+
+    def test_three_way_algorithm4_families(self):
+        instances = []
+        for seed in (44, 55):
+            wl = multiway_workload([3, 4, 3], 2, random.Random(seed))
+            instances.append(Definition3Instance(wl.relations, CHAIN))
+        experiment = Definition3Experiment.build(instances)
+        report = check_definition3(
+            experiment,
+            lambda ctx, inst: algorithm4(ctx, list(inst.relations), inst.predicate),
+        )
+        assert report.safe, report.describe()

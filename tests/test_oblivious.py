@@ -1,0 +1,244 @@
+"""Tests for the oblivious primitives: networks, sort, shuffle, decoy filter."""
+
+import random
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.base import decoy_priority, is_real, make_decoy, make_real
+from repro.costs.chapter5 import exact_filter_transfers
+from repro.crypto.provider import FastProvider
+from repro.hardware.coprocessor import SecureCoprocessor
+from repro.hardware.host import HostMemory
+from repro.oblivious.filterbuf import emit_kept, oblivious_filter
+from repro.oblivious.networks import (
+    bitonic_network,
+    comparator_count,
+    exact_transfers,
+    is_sorting_network,
+    paper_transfers,
+)
+from repro.oblivious.shuffle import oblivious_shuffle
+from repro.oblivious.sort import oblivious_sort
+
+KEY = b"oblivious-test-key-0123456789ab"
+
+
+def rig(limit=8):
+    host = HostMemory()
+    t = SecureCoprocessor(host, FastProvider(KEY), memory_limit=limit)
+    return host, t
+
+
+class TestNetworks:
+    @pytest.mark.parametrize("n", list(range(0, 13)))
+    def test_zero_one_principle_exhaustive(self, n):
+        assert is_sorting_network(n)
+
+    @pytest.mark.parametrize("n", [17, 23, 31, 32, 45, 100])
+    def test_zero_one_principle_sampled(self, n):
+        assert is_sorting_network(n, trials=300)
+
+    def test_comparators_are_in_bounds_and_ordered(self):
+        for comp in bitonic_network(37):
+            assert 0 <= comp.low < comp.high < 37
+
+    def test_power_of_two_comparator_count_is_classical(self):
+        # Batcher's bitonic network on 2^k inputs has (n/4) k (k+1) comparators.
+        for k in range(1, 8):
+            n = 1 << k
+            assert comparator_count(n) == n * k * (k + 1) // 4
+
+    def test_exact_transfers_is_four_per_comparator(self):
+        assert exact_transfers(16) == 4 * comparator_count(16)
+
+    def test_paper_transfers_formula(self):
+        assert paper_transfers(16) == pytest.approx(16 * 4**2)
+        assert paper_transfers(1) == 0.0
+
+
+class TestObliviousSort:
+    def _load(self, host, t, values):
+        host.allocate("R", len(values))
+        for i, v in enumerate(values):
+            t.put("R", i, struct.pack(">q", v))
+        t.reset_trace()
+
+    def _read(self, host, t, n):
+        return [struct.unpack(">q", t.get("R", i))[0] for i in range(n)]
+
+    def test_sorts_encrypted_values(self):
+        host, t = rig()
+        values = [5, 3, 9, 1, 7, 7, 0]
+        self._load(host, t, values)
+        oblivious_sort(t, "R", len(values), key=lambda p: p)
+        assert self._read(host, t, len(values)) == sorted(values)
+
+    def test_transfer_count_matches_exact_model(self):
+        host, t = rig()
+        values = list(range(10, 0, -1))
+        self._load(host, t, values)
+        oblivious_sort(t, "R", len(values), key=lambda p: p)
+        assert t.trace.transfer_count() == exact_transfers(len(values))
+
+    def test_trace_is_data_independent(self):
+        traces = []
+        for values in ([4, 2, 9, 1, 5, 5], [0, 0, 0, 0, 0, 0]):
+            host, t = rig()
+            self._load(host, t, values)
+            oblivious_sort(t, "R", len(values), key=lambda p: p)
+            traces.append(t.trace)
+        assert traces[0] == traces[1]
+
+    def test_uses_exactly_two_enclave_slots(self):
+        host, t = rig(limit=2)  # a sort fits even in a 2-slot enclave
+        self._load(host, t, [3, 1, 2])
+        oblivious_sort(t, "R", 3, key=lambda p: p)
+        assert t.peak_in_use == 2
+        assert t.slots_in_use == 0
+
+    def test_partial_region_sort_with_start(self):
+        host, t = rig()
+        values = [9, 8, 3, 1, 2, 0]
+        self._load(host, t, values)
+        oblivious_sort(t, "R", 3, key=lambda p: p, start=2)
+        assert self._read(host, t, 6) == [9, 8, 1, 2, 3, 0]
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(min_value=-100, max_value=100), min_size=1, max_size=24))
+    def test_sort_property(self, values):
+        """Signed values need a decoding key (raw big-endian misorders them)."""
+        host, t = rig()
+        self._load(host, t, values)
+        oblivious_sort(t, "R", len(values), key=lambda p: struct.unpack(">q", p)[0])
+        assert self._read(host, t, len(values)) == sorted(values)
+
+
+class TestObliviousShuffle:
+    def test_preserves_multiset(self):
+        host, t = rig()
+        host.allocate("R", 12)
+        values = [struct.pack(">q", i) for i in range(12)]
+        for i, v in enumerate(values):
+            t.put("R", i, v)
+        oblivious_shuffle(t, "R", 12, random.Random(3))
+        out = [t.get("R", i) for i in range(12)]
+        assert sorted(out) == sorted(values)
+
+    def test_actually_permutes(self):
+        host, t = rig()
+        host.allocate("R", 16)
+        for i in range(16):
+            t.put("R", i, struct.pack(">q", i))
+        oblivious_shuffle(t, "R", 16, random.Random(1))
+        out = [struct.unpack(">q", t.get("R", i))[0] for i in range(16)]
+        assert out != list(range(16))
+
+    def test_trace_is_data_independent(self):
+        traces = []
+        for base in (0, 1000):
+            host, t = rig()
+            host.allocate("R", 8)
+            for i in range(8):
+                t.put("R", i, struct.pack(">q", base + i))
+            t.reset_trace()
+            oblivious_shuffle(t, "R", 8, random.Random(7))
+            traces.append(t.trace)
+        assert traces[0] == traces[1]
+
+
+class TestObliviousFilter:
+    def _load_otuples(self, host, t, flags, payload_size=8):
+        host.allocate("src", len(flags))
+        reals = 0
+        for i, flag in enumerate(flags):
+            if flag:
+                t.put("src", i, make_real(struct.pack(">q", i)))
+                reals += 1
+            else:
+                t.put("src", i, make_decoy(payload_size))
+        t.reset_trace()
+        return reals
+
+    @pytest.mark.parametrize(
+        "flags,delta",
+        [
+            ([1, 0, 0, 1, 0, 0, 0, 1, 0, 0], 2),
+            ([0] * 10, 3),
+            ([1] * 6, 2),
+            ([0, 0, 0, 0, 1], 1),
+            ([1, 0] * 8, 5),
+        ],
+    )
+    def test_filter_keeps_all_reals(self, flags, delta):
+        host, t = rig()
+        reals = self._load_otuples(host, t, flags)
+        region = oblivious_filter(t, "src", len(flags), keep=reals, delta=delta,
+                                  priority=decoy_priority)
+        kept = [t.get(region, i) for i in range(reals)]
+        assert all(is_real(p) for p in kept)
+        expected = {struct.pack(">q", i) for i, f in enumerate(flags) if f}
+        assert {p[1:] for p in kept} == expected
+
+    def test_filter_transfers_match_exact_model(self):
+        flags = [1, 0, 0, 1, 0, 0, 0, 1, 0, 0, 0, 0]
+        for delta in (1, 2, 3, 5, 9):
+            host, t = rig()
+            reals = self._load_otuples(host, t, flags)
+            oblivious_filter(t, "src", len(flags), keep=reals, delta=delta,
+                             priority=decoy_priority)
+            assert t.trace.transfer_count() == exact_filter_transfers(
+                len(flags), reals, delta
+            )
+
+    def test_filter_trace_is_position_independent(self):
+        traces = []
+        for flags in ([1, 1, 1, 0, 0, 0, 0, 0], [0, 0, 0, 0, 0, 1, 1, 1]):
+            host, t = rig()
+            reals = self._load_otuples(host, t, flags)
+            oblivious_filter(t, "src", len(flags), keep=reals, delta=2,
+                             priority=decoy_priority)
+            traces.append(t.trace)
+        assert traces[0] == traces[1]
+
+    def test_keep_equals_source_is_a_copy(self):
+        host, t = rig()
+        reals = self._load_otuples(host, t, [1, 1, 1])
+        region = oblivious_filter(t, "src", 3, keep=3, delta=1, priority=decoy_priority)
+        assert t.trace.transfer_count() == 0  # pure host-side copy
+        assert all(is_real(t.get(region, i)) for i in range(reals))
+
+    def test_emit_kept_strips_flag(self):
+        host, t = rig()
+        reals = self._load_otuples(host, t, [1, 0, 1, 0])
+        region = oblivious_filter(t, "src", 4, keep=reals, delta=1,
+                                  priority=decoy_priority)
+        host.allocate("out", 0)
+        emitted = emit_kept(t, region, reals, "out", is_real=is_real, strip=1)
+        assert emitted == reals
+        payloads = {t.get("out", i) for i in range(reals)}
+        assert payloads == {struct.pack(">q", 0), struct.pack(">q", 2)}
+
+    def test_invalid_keep_rejected(self):
+        from repro.errors import ConfigurationError
+
+        host, t = rig()
+        self._load_otuples(host, t, [1, 0])
+        with pytest.raises(ConfigurationError):
+            oblivious_filter(t, "src", 2, keep=3, delta=1, priority=decoy_priority)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(st.booleans(), min_size=1, max_size=20),
+        st.integers(min_value=1, max_value=8),
+    )
+    def test_filter_property(self, flags, delta):
+        host, t = rig()
+        reals = self._load_otuples(host, t, flags)
+        region = oblivious_filter(t, "src", len(flags), keep=reals, delta=delta,
+                                  priority=decoy_priority)
+        kept = [t.get(region, i) for i in range(reals)]
+        expected = {struct.pack(">q", i) for i, f in enumerate(flags) if f}
+        assert {p[1:] for p in kept} == expected

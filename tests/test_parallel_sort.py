@@ -1,0 +1,131 @@
+"""Tests for the parallel oblivious bitonic sort (Section 5.3.5 / Chapter 6)."""
+
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.conftest import KEY
+
+from repro.crypto.provider import FastProvider
+from repro.errors import ConfigurationError
+from repro.hardware.cluster import Cluster
+from repro.hardware.host import HostMemory
+from repro.oblivious.networks import bitonic_network
+from repro.oblivious.parallel_sort import (
+    network_stages,
+    parallel_oblivious_sort,
+    parallel_sort_makespan,
+)
+
+
+def rig(processors):
+    host = HostMemory()
+    cluster = Cluster(host, FastProvider(KEY), count=processors)
+    return host, cluster
+
+
+def load(host, cluster, values):
+    host.allocate("R", len(values))
+    loader = cluster[0]
+    for i, v in enumerate(values):
+        loader.put("R", i, struct.pack(">q", v))
+    for t in cluster:
+        t.reset_trace()
+
+
+def read(cluster, n):
+    return [struct.unpack(">q", cluster[0].get("R", i))[0] for i in range(n)]
+
+
+def key(plaintext):
+    return struct.unpack(">q", plaintext)[0]
+
+
+class TestNetworkStages:
+    @pytest.mark.parametrize("n", [2, 3, 4, 7, 8, 16])
+    def test_stages_preserve_per_wire_order(self, n):
+        """ASAP may reorder independent comparators, but the per-wire order —
+        the only order a comparator network's function depends on — must be
+        preserved."""
+        stages = network_stages(n)
+        flattened = [c for stage in stages for c in stage]
+        assert sorted(flattened) == sorted(bitonic_network(n))
+
+        def wire_sequence(comps):
+            per_wire = {}
+            for c in comps:
+                per_wire.setdefault(c.low, []).append(c)
+                per_wire.setdefault(c.high, []).append(c)
+            return per_wire
+
+        assert wire_sequence(flattened) == wire_sequence(bitonic_network(n))
+
+    @pytest.mark.parametrize("n", [2, 4, 8, 16])
+    def test_stage_comparators_are_disjoint(self, n):
+        for stage in network_stages(n):
+            touched = [i for c in stage for i in (c.low, c.high)]
+            assert len(touched) == len(set(touched))
+
+    def test_power_of_two_stage_count(self):
+        # Bitonic sort on 2^k inputs has k(k+1)/2 stages.
+        for k in range(1, 6):
+            assert len(network_stages(1 << k)) == k * (k + 1) // 2
+
+
+class TestParallelSort:
+    @pytest.mark.parametrize("processors,size", [(1, 8), (2, 8), (4, 16), (3, 12)])
+    def test_sorts_correctly(self, processors, size):
+        host, cluster = rig(processors)
+        values = [((i * 37) % 19) - 9 for i in range(size)]
+        load(host, cluster, values)
+        report = parallel_oblivious_sort(cluster, "R", size, key)
+        assert read(cluster, size) == sorted(values)
+        assert report.processors == processors
+
+    def test_indivisible_size_rejected(self):
+        host, cluster = rig(3)
+        load(host, cluster, list(range(8)))
+        with pytest.raises(ConfigurationError):
+            parallel_oblivious_sort(cluster, "R", 8, key)
+
+    def test_trace_is_data_independent(self):
+        traces = []
+        for base in (0, 500):
+            host, cluster = rig(2)
+            load(host, cluster, [base + ((i * 7) % 5) for i in range(8)])
+            parallel_oblivious_sort(cluster, "R", 8, key)
+            traces.append([t.trace.events[:] for t in cluster])
+        assert traces[0] == traces[1]
+
+    def test_makespan_beats_sequential(self):
+        """The Chapter 6 goal: parallel sorting is faster than one device."""
+        from repro.oblivious.networks import exact_transfers
+
+        size = 64
+        for processors in (2, 4, 8):
+            makespan = parallel_sort_makespan(size, processors)
+            assert makespan < exact_transfers(size)
+
+    def test_report_accounting_matches_traces(self):
+        host, cluster = rig(4)
+        load(host, cluster, list(range(16, 0, -1)))
+        report = parallel_oblivious_sort(cluster, "R", 16, key)
+        assert report.total == sum(t.trace.transfer_count() for t in cluster)
+        assert report.makespan <= parallel_sort_makespan(16, 4)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=4),
+        st.lists(st.integers(min_value=-50, max_value=50), min_size=4, max_size=24),
+    )
+    def test_sort_property(self, processors, values):
+        size = len(values) - (len(values) % processors)
+        if size < processors:
+            return
+        values = values[:size]
+        host, cluster = rig(processors)
+        load(host, cluster, values)
+        parallel_oblivious_sort(cluster, "R", size, key)
+        assert read(cluster, size) == sorted(values)

@@ -1,0 +1,91 @@
+"""Tests for the algorithm-selection planner."""
+
+import random
+
+import pytest
+
+from tests.conftest import fresh_context
+
+from repro.core.planner import execute_plan, plan_join
+from repro.errors import ConfigurationError
+from repro.relational.generate import equijoin_workload
+from repro.relational.joins import nested_loop_join
+from repro.relational.predicates import BinaryAsMulti, Equality
+
+
+class TestPlanSelection:
+    def test_paper_setting1_prefers_algorithm6(self):
+        plan = plan_join(left_size=800, right_size=800, result_size=6_400,
+                         memory=64, epsilon=1e-20)
+        assert plan.algorithm == "algorithm6"
+        assert plan.alternatives["algorithm5"] > plan.predicted_transfers
+
+    def test_large_memory_reaches_the_floor(self):
+        plan = plan_join(left_size=100, right_size=100, result_size=50,
+                         memory=50, epsilon=1e-20)
+        # M >= S: Algorithms 5 and 6 both hit the L + S floor (a tie).
+        assert plan.algorithm in ("algorithm5", "algorithm6")
+        assert plan.predicted_transfers == 100 * 100 + 50
+
+    def test_epsilon_zero_small_memory_excludes_algorithm6(self):
+        plan = plan_join(left_size=100, right_size=100, result_size=500,
+                         memory=8, epsilon=0.0)
+        assert "algorithm6" not in plan.alternatives
+        assert plan.algorithm in ("algorithm4", "algorithm5")
+
+    def test_definition1_admits_chapter4_algorithms(self):
+        plan = plan_join(left_size=100, right_size=100, result_size=100,
+                         memory=8, n_max=1, privacy="definition1",
+                         predicate_class="equality")
+        assert {"algorithm1", "algorithm2", "algorithm3"} <= set(plan.alternatives)
+        # gamma = 1 at N=1: Section 4.6.1 says Algorithm 2 dominates Ch.4 peers.
+        assert plan.alternatives["algorithm2"] < plan.alternatives["algorithm1"]
+        assert plan.alternatives["algorithm2"] < plan.alternatives["algorithm3"]
+
+    def test_definition1_needs_n(self):
+        with pytest.raises(ConfigurationError):
+            plan_join(100, 100, 10, memory=8, privacy="definition1")
+
+    def test_describe_mentions_winner(self):
+        plan = plan_join(50, 50, 10, memory=4)
+        assert plan.algorithm in plan.describe()
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ConfigurationError):
+            plan_join(0, 10, 1, memory=4)
+        with pytest.raises(ConfigurationError):
+            plan_join(3, 3, 10, memory=4)
+
+
+class TestExecutePlan:
+    @pytest.mark.parametrize("epsilon", [0.0, 1e-6])
+    def test_plan_and_execute_end_to_end(self, epsilon):
+        wl = equijoin_workload(10, 10, 8, rng=random.Random(91))
+        reference = nested_loop_join(wl.left, wl.right, Equality("key"))
+        plan = plan_join(10, 10, len(reference), memory=3, epsilon=epsilon)
+        out = execute_plan(plan, fresh_context(), [wl.left, wl.right],
+                           BinaryAsMulti(Equality("key")), epsilon=epsilon)
+        assert out.result.same_multiset(reference)
+        assert out.meta["algorithm"] == plan.algorithm
+
+    def test_chapter4_plan_rejected_by_executor(self):
+        plan = plan_join(100, 100, 100, memory=8, n_max=1,
+                         privacy="definition1", predicate_class="equality")
+        if plan.algorithm.startswith("algorithm") and plan.algorithm in (
+            "algorithm1", "algorithm2", "algorithm3"
+        ):
+            wl = equijoin_workload(4, 4, 2, rng=random.Random(1))
+            with pytest.raises(ConfigurationError):
+                execute_plan(plan, fresh_context(), [wl.left, wl.right],
+                             BinaryAsMulti(Equality("key")))
+
+    def test_context_reuse_across_plans(self):
+        """One context can serve several sequential joins (region reuse)."""
+        context = fresh_context()
+        for seed in (1, 2):
+            wl = equijoin_workload(8, 8, 5, rng=random.Random(seed))
+            plan = plan_join(8, 8, 5, memory=3)
+            out = execute_plan(plan, context, [wl.left, wl.right],
+                               BinaryAsMulti(Equality("key")))
+            reference = nested_loop_join(wl.left, wl.right, Equality("key"))
+            assert out.result.same_multiset(reference)

@@ -1,0 +1,143 @@
+"""Property-based privacy and cost-model consistency checks.
+
+Hypothesis drives randomized workload families through the Definition 3
+checker and cross-validates the paper-approximation cost models against the
+exact ones over a parameter grid.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.conftest import fresh_context
+
+from repro.core.algorithm4 import algorithm4
+from repro.core.algorithm5 import algorithm5
+from repro.core.algorithm6 import algorithm6
+from repro.costs.chapter4 import exact_algorithm1, paper_algorithm1
+from repro.costs.chapter5 import (
+    exact_algorithm5,
+    minimum_cost,
+    paper_algorithm5,
+    paper_algorithm6,
+)
+from repro.relational.generate import equijoin_workload
+from repro.relational.predicates import BinaryAsMulti, Equality
+
+PRED = BinaryAsMulti(Equality("key"))
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    st.integers(min_value=3, max_value=8),   # |A|
+    st.integers(min_value=3, max_value=8),   # |B|
+    st.integers(min_value=0, max_value=6),   # S
+    st.integers(min_value=1, max_value=4),   # M
+    st.tuples(st.integers(0, 10_000), st.integers(10_001, 20_000)),  # seeds
+)
+def test_definition3_property_algorithm5(a_size, b_size, s, memory, seeds):
+    """ANY two same-(sizes, S) workloads give identical Algorithm 5 traces."""
+    s = min(s, b_size)  # the generator plants one right record per match
+    traces = []
+    for seed in seeds:
+        wl = equijoin_workload(a_size, b_size, s, rng=random.Random(seed))
+        out = algorithm5(fresh_context(), [wl.left, wl.right], PRED, memory=memory)
+        traces.append(out.trace)
+    assert traces[0] == traces[1]
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    st.integers(min_value=3, max_value=7),
+    st.integers(min_value=0, max_value=5),
+    st.tuples(st.integers(0, 10_000), st.integers(10_001, 20_000)),
+)
+def test_definition3_property_algorithm4(size, s, seeds):
+    s = min(s, size)
+    traces = []
+    for seed in seeds:
+        wl = equijoin_workload(size, size, s, rng=random.Random(seed))
+        out = algorithm4(fresh_context(), [wl.left, wl.right], PRED)
+        traces.append(out.trace)
+    assert traces[0] == traces[1]
+
+
+@settings(max_examples=6, deadline=None)
+@given(
+    st.integers(min_value=4, max_value=7),
+    st.integers(min_value=2, max_value=6),
+    st.tuples(st.integers(0, 10_000), st.integers(10_001, 20_000)),
+)
+def test_definition3_property_algorithm6(size, s, seeds):
+    s = min(s, size)
+    traces = []
+    for seed in seeds:
+        wl = equijoin_workload(size, size, s, rng=random.Random(seed))
+        out = algorithm6(fresh_context(), [wl.left, wl.right], PRED,
+                         memory=2, epsilon=0.0, seed=11)
+        traces.append(out.trace)
+    assert traces[0] == traces[1]
+
+
+class TestModelConsistency:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=200),
+        st.integers(min_value=2, max_value=200),
+        st.data(),
+    )
+    def test_paper_and_exact_algorithm1_agree_within_bitonic_slack(self, a, b, data):
+        """The only divergence between the two Algorithm 1 models is the
+        bitonic approximation, which stays within a small constant factor."""
+        n = data.draw(st.integers(min_value=1, max_value=b))
+        paper = paper_algorithm1(a, b, n).total
+        exact = exact_algorithm1(a, b, n).total
+        assert exact <= 4 * paper + 64
+        assert paper <= 4 * exact + 64
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=100_000),
+        st.integers(min_value=0, max_value=1_000),
+        st.integers(min_value=1, max_value=512),
+    )
+    def test_algorithm5_models_never_beat_the_floor(self, total, results, memory):
+        results = min(results, total)
+        assert paper_algorithm5(total, results, memory).total >= minimum_cost(
+            total, results
+        ) - total  # paper model reads L once even when S = 0
+        assert exact_algorithm5(total, results, memory).total >= results
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.integers(min_value=1_000, max_value=100_000),
+        st.integers(min_value=1, max_value=64),
+    )
+    def test_algorithm6_cost_monotone_in_epsilon_property(self, total, memory):
+        results = min(total // 10, 1_000)
+        if results <= memory:
+            return
+        costs = [
+            paper_algorithm6(total, results, memory, eps).total
+            for eps in (1e-30, 1e-15, 1e-5)
+        ]
+        assert costs == sorted(costs, reverse=True)
+
+    def test_exact_models_are_integers(self):
+        assert exact_algorithm1(10, 10, 2).total == int(exact_algorithm1(10, 10, 2).total)
+        assert exact_algorithm5(100, 10, 4).total == int(exact_algorithm5(100, 10, 4).total)
+
+
+class TestCrossAlgorithmTraceSeparation:
+    def test_different_public_parameters_give_different_traces(self):
+        """Sanity check on the checker itself: changing a public parameter
+        (here S) must change the trace — otherwise trace equality would be
+        vacuous."""
+        traces = []
+        for s in (2, 5):
+            wl = equijoin_workload(6, 6, s, rng=random.Random(77))
+            out = algorithm5(fresh_context(), [wl.left, wl.right], PRED, memory=2)
+            traces.append(out.trace)
+        assert traces[0] != traces[1]

@@ -1,0 +1,165 @@
+"""Definition 1 / Definition 3 checks: the six algorithms are trace-safe.
+
+Each experiment builds input families that agree on the public parameters
+(sizes + N for Chapter 4; sizes + S for Chapter 5) but differ completely in
+content — different keys, different match positions, different skew.  The
+checker then asserts the coprocessor's access traces are event-for-event
+identical, which is exactly the property the paper's security proofs claim.
+"""
+
+import random
+
+import pytest
+
+from repro.core.algorithm1 import algorithm1
+from repro.core.algorithm1v import algorithm1_variant
+from repro.core.algorithm2 import algorithm2
+from repro.core.algorithm3 import algorithm3
+from repro.core.algorithm4 import algorithm4
+from repro.core.algorithm5 import algorithm5
+from repro.core.algorithm6 import algorithm6
+from repro.privacy.checker import check_definition1, check_definition3
+from repro.privacy.definitions import (
+    Definition1Experiment,
+    Definition1Instance,
+    Definition3Experiment,
+    Definition3Instance,
+    reference_output,
+    reference_output_multi,
+)
+from repro.relational.generate import equijoin_workload
+from repro.relational.predicates import BinaryAsMulti, Equality
+
+
+def definition1_family():
+    """Three equijoin instances: same |A|=8, |B|=10, same N=2, different data."""
+    instances = []
+    for seed, results in ((1, 6), (2, 2), (3, 0)):
+        wl = equijoin_workload(8, 10, results, rng=random.Random(seed), max_matches=2)
+        instances.append(Definition1Instance(wl.left, wl.right, Equality("key")))
+    return Definition1Experiment.build(instances)
+
+
+def definition3_family(results=5):
+    """Instances agreeing on sizes AND output size S, differing in content."""
+    instances = []
+    for seed in (10, 20, 30):
+        wl = equijoin_workload(8, 10, results, rng=random.Random(seed))
+        instances.append(
+            Definition3Instance((wl.left, wl.right), BinaryAsMulti(Equality("key")))
+        )
+    return Definition3Experiment.build(instances)
+
+
+class TestChapter4Safety:
+    @pytest.fixture(scope="class")
+    def family(self):
+        return definition1_family()
+
+    def test_algorithm1_satisfies_definition1(self, family):
+        report = check_definition1(
+            family, lambda ctx, inst, n: algorithm1(ctx, inst.left, inst.right,
+                                                    inst.predicate, n)
+        )
+        assert report.safe, report.describe()
+
+    def test_algorithm1_variant_satisfies_definition1(self, family):
+        report = check_definition1(
+            family, lambda ctx, inst, n: algorithm1_variant(ctx, inst.left, inst.right,
+                                                            inst.predicate, n)
+        )
+        assert report.safe, report.describe()
+
+    @pytest.mark.parametrize("memory", [1, 3])
+    def test_algorithm2_satisfies_definition1(self, family, memory):
+        report = check_definition1(
+            family, lambda ctx, inst, n: algorithm2(ctx, inst.left, inst.right,
+                                                    inst.predicate, n, memory=memory)
+        )
+        assert report.safe, report.describe()
+
+    def test_algorithm3_satisfies_definition1(self, family):
+        report = check_definition1(
+            family, lambda ctx, inst, n: algorithm3(ctx, inst.left, inst.right,
+                                                    "key", n)
+        )
+        assert report.safe, report.describe()
+
+    def test_all_runs_produced_correct_results(self, family):
+        report = check_definition1(
+            family, lambda ctx, inst, n: algorithm1(ctx, inst.left, inst.right,
+                                                    inst.predicate, n)
+        )
+        for result, instance in zip(report.results, family.instances):
+            assert result.result.same_multiset(reference_output(instance))
+
+
+class TestChapter5Safety:
+    @pytest.fixture(scope="class")
+    def family(self):
+        return definition3_family()
+
+    def test_algorithm4_satisfies_definition3(self, family):
+        report = check_definition3(
+            family, lambda ctx, inst: algorithm4(ctx, list(inst.relations),
+                                                 inst.predicate)
+        )
+        assert report.safe, report.describe()
+
+    @pytest.mark.parametrize("memory", [2, 3, 100])
+    def test_algorithm5_satisfies_definition3(self, family, memory):
+        report = check_definition3(
+            family, lambda ctx, inst: algorithm5(ctx, list(inst.relations),
+                                                 inst.predicate, memory=memory)
+        )
+        assert report.safe, report.describe()
+
+    @pytest.mark.parametrize("epsilon,memory", [(0.0, 2), (1e-4, 3), (1e-20, 100)])
+    def test_algorithm6_satisfies_definition3(self, family, epsilon, memory):
+        report = check_definition3(
+            family, lambda ctx, inst: algorithm6(ctx, list(inst.relations),
+                                                 inst.predicate, memory=memory,
+                                                 epsilon=epsilon, seed=3),
+        )
+        assert report.safe, report.describe()
+
+    def test_all_runs_produced_correct_results(self, family):
+        report = check_definition3(
+            family, lambda ctx, inst: algorithm5(ctx, list(inst.relations),
+                                                 inst.predicate, memory=3)
+        )
+        for result, instance in zip(report.results, family.instances):
+            assert result.result.same_multiset(reference_output_multi(instance))
+
+
+class TestDefinitionValidation:
+    def test_definition3_rejects_unequal_output_sizes(self):
+        from repro.errors import ConfigurationError
+
+        wl1 = equijoin_workload(8, 10, 5, rng=random.Random(1))
+        wl2 = equijoin_workload(8, 10, 7, rng=random.Random(2))
+        with pytest.raises(ConfigurationError):
+            Definition3Experiment.build([
+                Definition3Instance((wl1.left, wl1.right), BinaryAsMulti(Equality("key"))),
+                Definition3Instance((wl2.left, wl2.right), BinaryAsMulti(Equality("key"))),
+            ])
+
+    def test_definition1_rejects_unequal_sizes(self):
+        from repro.errors import ConfigurationError
+
+        wl1 = equijoin_workload(8, 10, 5, rng=random.Random(1))
+        wl2 = equijoin_workload(9, 10, 5, rng=random.Random(2))
+        with pytest.raises(ConfigurationError):
+            Definition1Experiment.build([
+                Definition1Instance(wl1.left, wl1.right, Equality("key")),
+                Definition1Instance(wl2.left, wl2.right, Equality("key")),
+            ])
+
+    def test_experiment_needs_two_instances(self):
+        from repro.errors import ConfigurationError
+
+        wl = equijoin_workload(8, 10, 5, rng=random.Random(1))
+        with pytest.raises(ConfigurationError):
+            Definition1Experiment.build(
+                [Definition1Instance(wl.left, wl.right, Equality("key"))]
+            )

@@ -1,0 +1,169 @@
+"""The false starts leak: trace divergence + concrete adversary extractions.
+
+For each unsafe baseline we (a) show the Definition check fails — two inputs
+with identical public parameters produce different access patterns — and (b)
+run the corresponding adversary analysis from :mod:`repro.privacy.attacks`
+and verify it extracts exactly the planted secret, as the paper claims.
+"""
+
+import random
+
+import pytest
+
+from tests.conftest import fresh_context, keyed
+
+from repro.core.naive import (
+    unsafe_blocked_output,
+    unsafe_commutative,
+    unsafe_hash_partition,
+    unsafe_nested_loop,
+    unsafe_sort_merge,
+)
+from repro.privacy.attacks import (
+    duplicate_histogram_from_tags,
+    infer_matches_from_nested_loop,
+    match_counts_from_sort_merge,
+    output_burst_profile,
+    reads_between_flushes,
+)
+from repro.privacy.checker import check_runs
+from repro.relational.generate import uniform_keyed, zipf_keyed
+from repro.relational.joins import nested_loop_join
+from repro.relational.predicates import Equality
+
+
+class TestUnsafeNestedLoop:
+    def test_definition_check_fails(self):
+        """Same sizes, different match structure -> different traces."""
+        a1, b1 = keyed("A", [(1, 0), (2, 0)]), keyed("B", [(1, 0), (9, 0)])
+        a2, b2 = keyed("A", [(1, 0), (2, 0)]), keyed("B", [(8, 0), (9, 0)])
+        report = check_runs([
+            lambda: unsafe_nested_loop(fresh_context(), a1, b1, Equality("key")),
+            lambda: unsafe_nested_loop(fresh_context(), a2, b2, Equality("key")),
+        ])
+        assert not report.safe
+        assert report.divergence is not None
+
+    def test_adversary_recovers_exact_matches(self):
+        """Section 3.4.1's attack, executed: every joining pair is recovered."""
+        a = keyed("A", [(1, 0), (2, 0), (3, 0), (4, 0)])
+        b = keyed("B", [(2, 0), (4, 0), (4, 1), (9, 0)])
+        out = unsafe_nested_loop(fresh_context(), a, b, Equality("key"))
+        recovered = infer_matches_from_nested_loop(out.trace)
+        truth = {
+            (i, j)
+            for i, ra in enumerate(a)
+            for j, rb in enumerate(b)
+            if ra["key"] == rb["key"]
+        }
+        assert recovered == truth
+        assert len(truth) == 3
+
+
+class TestUnsafeBlockedOutput:
+    def test_burst_profile_depends_on_data(self):
+        """Section 3.4.2: blocking does not fix the leak."""
+        profiles = []
+        for keys in ([(1, 0), (1, 1), (9, 0)], [(9, 0), (1, 0), (1, 1)]):
+            a = keyed("A", keys)
+            b = keyed("B", [(1, 5)])
+            out = unsafe_blocked_output(fresh_context(), a, b, Equality("key"), block=2)
+            # Burst positions relative to B reads differ with the data.
+            profiles.append(tuple(
+                (e.op, e.region) for e in out.trace
+            ))
+        assert profiles[0] != profiles[1]
+
+    def test_result_still_correct(self):
+        a = keyed("A", [(1, 0), (2, 0)])
+        b = keyed("B", [(1, 5), (2, 6)])
+        out = unsafe_blocked_output(fresh_context(), a, b, Equality("key"), block=2)
+        assert out.result.same_multiset(nested_loop_join(a, b, Equality("key")))
+
+
+class TestUnsafeSortMerge:
+    def test_adversary_reads_match_counts(self):
+        """Section 4.5.1: per-tuple match counts are visible in the trace."""
+        a = keyed("A", [(1, 0), (2, 0), (3, 0)])
+        b = keyed("B", [(1, 0), (2, 0), (2, 1), (2, 2)])
+        out = unsafe_sort_merge(fresh_context(), a, b, "key")
+        counts = match_counts_from_sort_merge(out.trace)
+        assert counts == [1, 3, 0]  # A sorted by key: 1->1, 2->3, 3->0 matches
+
+    def test_definition_check_fails(self):
+        pairs = [
+            (keyed("A", [(1, 0), (2, 0)]), keyed("B", [(1, 0), (1, 1)])),
+            (keyed("A", [(1, 0), (2, 0)]), keyed("B", [(2, 0), (3, 0)])),
+        ]
+        report = check_runs([
+            (lambda p=pair: unsafe_sort_merge(fresh_context(), p[0], p[1], "key"))
+            for pair in pairs
+        ])
+        assert not report.safe
+
+    def test_result_still_correct(self):
+        a = keyed("A", [(1, 0), (2, 0), (2, 5)])
+        b = keyed("B", [(2, 0), (2, 1), (9, 0)])
+        out = unsafe_sort_merge(fresh_context(), a, b, "key")
+        assert out.result.same_multiset(nested_loop_join(a, b, Equality("key")))
+
+
+class TestUnsafeHashPartition:
+    def test_uniform_vs_skewed_distinguishable(self):
+        """The footnote's distinguisher: flush gaps separate skew from uniform."""
+        rng = random.Random(4)
+        uniform = uniform_keyed(60, key_range=1000, rng=rng, name="R")
+        skewed = keyed("R", [(1, i) for i in range(60)])  # all one key
+        gaps = {}
+        for label, relation in (("uniform", uniform), ("skewed", skewed)):
+            out = unsafe_hash_partition(
+                fresh_context(seed=1), relation, "key", buckets=4, bucket_capacity=5
+            )
+            gaps[label] = reads_between_flushes(out.trace)
+        # Skewed data flushes after ~capacity reads; uniform after ~4x that.
+        assert min(gaps["skewed"][:-1]) <= 6
+        assert min(gaps["uniform"][:-1] or [60]) > 6
+
+
+class TestUnsafeCommutative:
+    def test_host_learns_duplicate_distribution(self):
+        """Section 4.5.1: equal plaintexts -> equal tags -> histogram leaks."""
+        a = keyed("A", [(1, 0), (1, 1), (1, 2), (2, 0), (3, 0)])
+        b = keyed("B", [(1, 0), (2, 0)])
+        context = fresh_context()
+        unsafe_commutative(context, a, b, "key")
+        histogram = duplicate_histogram_from_tags(context.host, "A_tags")
+        assert histogram == {3: 1, 1: 2}  # one key appears 3x, two keys once
+
+    def test_result_still_correct(self):
+        a = keyed("A", [(1, 0), (2, 0)])
+        b = keyed("B", [(1, 9), (7, 0)])
+        out = unsafe_commutative(fresh_context(), a, b, "key")
+        assert out.result.same_multiset(nested_loop_join(a, b, Equality("key")))
+
+
+class TestSafeAlgorithmsResistTheAttacks:
+    def test_nested_loop_attack_finds_nothing_usable_on_algorithm1(self):
+        """Algorithm 1's fixed pattern makes the inference vacuous: the
+        adversary sees identical write behaviour for every pair."""
+        from repro.core.algorithm1 import algorithm1
+
+        a = keyed("A", [(1, 0), (2, 0)])
+        b = keyed("B", [(1, 0), (9, 0)])
+        out = algorithm1(fresh_context(), a, b, Equality("key"), 1)
+        recovered = infer_matches_from_nested_loop(out.trace, output_region="output")
+        assert recovered == set()  # T never writes to "output"; the host does
+
+    def test_algorithm5_burst_profile_is_parameter_determined(self):
+        """Bursts depend on (L, S, M) only: same for different contents."""
+        from repro.core.algorithm5 import algorithm5
+        from repro.relational.generate import equijoin_workload
+        from repro.relational.predicates import BinaryAsMulti
+
+        profiles = []
+        for seed in (1, 2):
+            wl = equijoin_workload(6, 6, 4, rng=random.Random(seed))
+            out = algorithm5(fresh_context(), [wl.left, wl.right],
+                             BinaryAsMulti(Equality("key")), memory=2)
+            profiles.append(output_burst_profile(out.trace))
+        assert profiles[0] == profiles[1]

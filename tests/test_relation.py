@@ -1,0 +1,68 @@
+"""Unit tests for repro.relational.relation."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema, integer, text
+from repro.relational.tuples import Record
+
+SCHEMA = Schema.of(integer("k"), text("name", 8))
+
+
+def rel(*rows):
+    return Relation.from_values(SCHEMA, rows)
+
+
+class TestRelation:
+    def test_from_values_and_len(self):
+        r = rel((1, "a"), (2, "b"))
+        assert len(r) == 2
+        assert r[0]["k"] == 1
+
+    def test_append_enforces_schema(self):
+        other = Schema.of(integer("k"))
+        r = rel((1, "a"))
+        with pytest.raises(SchemaError):
+            r.append(Record.of(other, 2))
+
+    def test_append_accepts_compatible_schema(self):
+        other = Schema.of(integer("x"), text("y", 8), name="other")
+        r = rel((1, "a"))
+        r.append(Record.of(other, 2, "b"))
+        assert len(r) == 2
+
+    def test_sorted_by(self):
+        r = rel((3, "c"), (1, "a"), (2, "b"))
+        assert r.sorted_by("k").project_values("k") == [1, 2, 3]
+
+    def test_sorted_by_does_not_mutate(self):
+        r = rel((3, "c"), (1, "a"))
+        r.sorted_by("k")
+        assert r.project_values("k") == [3, 1]
+
+    def test_filter(self):
+        r = rel((1, "a"), (2, "b"), (3, "c"))
+        assert len(r.filter(lambda rec: rec["k"] > 1)) == 2
+
+    def test_multiset_counts_duplicates(self):
+        r = rel((1, "a"), (1, "a"), (2, "b"))
+        assert r.multiset()[(1, "a")] == 2
+
+    def test_same_multiset_order_insensitive(self):
+        assert rel((1, "a"), (2, "b")).same_multiset(rel((2, "b"), (1, "a")))
+        assert not rel((1, "a")).same_multiset(rel((1, "a"), (1, "a")))
+
+    def test_equality_is_ordered(self):
+        assert rel((1, "a"), (2, "b")) == rel((1, "a"), (2, "b"))
+        assert rel((1, "a"), (2, "b")) != rel((2, "b"), (1, "a"))
+
+    def test_extend(self):
+        r = rel((1, "a"))
+        r.extend([Record.of(SCHEMA, 2, "b"), Record.of(SCHEMA, 3, "c")])
+        assert len(r) == 3
+
+    def test_codec_roundtrip(self):
+        r = rel((1, "a"))
+        codec = r.codec()
+        assert codec.decode(codec.encode(r[0])) == r[0]

@@ -1,0 +1,115 @@
+"""Unit tests for repro.relational.schema."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational.schema import (
+    Attribute,
+    AttrType,
+    Schema,
+    blob,
+    integer,
+    intset,
+    real,
+    text,
+)
+
+
+class TestAttribute:
+    def test_int_has_fixed_width(self):
+        assert integer("x").width == 8
+
+    def test_float_has_fixed_width(self):
+        assert real("x").width == 8
+
+    def test_int_rejects_conflicting_width(self):
+        with pytest.raises(SchemaError):
+            Attribute("x", AttrType.INT, width=4)
+
+    def test_str_requires_width(self):
+        with pytest.raises(SchemaError):
+            Attribute("x", AttrType.STR)
+
+    def test_bytes_requires_width(self):
+        with pytest.raises(SchemaError):
+            Attribute("x", AttrType.BYTES)
+
+    def test_intset_width_multiple_of_four(self):
+        with pytest.raises(SchemaError):
+            Attribute("x", AttrType.INTSET, width=6)
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("not an identifier", AttrType.INT)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("", AttrType.INT)
+
+    def test_intset_slot_includes_count_prefix(self):
+        attr = intset("markers", max_elements=4)
+        assert attr.slot_size == 4 + 16
+
+    def test_text_slot_size(self):
+        assert text("name", 24).slot_size == 24
+
+
+class TestSchema:
+    def test_record_size_sums_slots(self):
+        schema = Schema.of(integer("a"), text("b", 10), real("c"))
+        assert schema.record_size == 8 + 10 + 8
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema.of(integer("a"), real("a"))
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(())
+
+    def test_position_and_attribute_lookup(self):
+        schema = Schema.of(integer("a"), text("b", 4))
+        assert schema.position("b") == 1
+        assert schema.attribute("a").type is AttrType.INT
+
+    def test_unknown_attribute_raises(self):
+        schema = Schema.of(integer("a"))
+        with pytest.raises(SchemaError):
+            schema.position("zzz")
+
+    def test_compatible_ignores_names(self):
+        left = Schema.of(integer("a"), text("b", 4), name="L")
+        right = Schema.of(integer("x"), text("y", 4), name="R")
+        assert left.compatible_with(right)
+
+    def test_incompatible_on_width(self):
+        left = Schema.of(text("a", 4))
+        right = Schema.of(text("a", 8))
+        assert not left.compatible_with(right)
+
+    def test_incompatible_on_type(self):
+        assert not Schema.of(integer("a")).compatible_with(Schema.of(real("a")))
+
+    def test_joined_with_concatenates(self):
+        left = Schema.of(integer("id"), name="A")
+        right = Schema.of(integer("key"), name="B")
+        joined = left.joined_with(right)
+        assert [a.name for a in joined] == ["id", "key"]
+        assert joined.record_size == 16
+
+    def test_joined_with_renames_collisions(self):
+        left = Schema.of(integer("id"), name="A")
+        right = Schema.of(integer("id"), name="B")
+        joined = left.joined_with(right)
+        assert [a.name for a in joined] == ["id", "B_id"]
+
+    def test_joined_with_unresolvable_collision(self):
+        left = Schema.of(integer("id"), integer("B_id"), name="A")
+        right = Schema.of(integer("id"), name="B")
+        with pytest.raises(SchemaError):
+            left.joined_with(right)
+
+    def test_iteration_and_len(self):
+        schema = Schema.of(integer("a"), blob("b", 3))
+        assert len(schema) == 2
+        assert [a.name for a in schema] == ["a", "b"]

@@ -1,0 +1,98 @@
+"""End-to-end tests for the PPJ network service facade (Sections 3.2-3.3)."""
+
+import random
+
+import pytest
+
+from repro.core.service import Contract, JoinService, Party, issue_attestation
+from repro.errors import ContractError
+from repro.relational.generate import equijoin_workload
+from repro.relational.joins import nested_loop_join
+from repro.relational.predicates import BinaryAsMulti, Equality
+
+
+@pytest.fixture
+def scenario():
+    wl = equijoin_workload(8, 10, 5, rng=random.Random(77))
+    service = JoinService(memory=4)
+    contract = Contract(
+        contract_id="C-001",
+        data_owners=("airline", "agency"),
+        recipient="screening-office",
+        permitted_predicate="key = key",
+    )
+    service.register_contract(contract)
+    airline = Party("airline")
+    agency = Party("agency")
+    recipient = Party("screening-office")
+    return wl, service, contract, airline, agency, recipient
+
+
+class TestAttestation:
+    def test_valid_attestation_verifies(self):
+        service = JoinService()
+        attestation = service.attest()
+        assert attestation.verify(JoinService.expected_application_hash(), "ibm-miniboot")
+
+    def test_wrong_application_rejected(self):
+        attestation = issue_attestation("malicious-code")
+        assert not attestation.verify(JoinService.expected_application_hash(),
+                                      "ibm-miniboot")
+
+    def test_wrong_root_of_trust_rejected(self):
+        service = JoinService()
+        attestation = service.attest()
+        assert not attestation.verify(JoinService.expected_application_hash(),
+                                      "rogue-root")
+
+
+class TestContractArbitration:
+    def test_unknown_contract_rejected(self, scenario):
+        wl, service, _, airline, _, _ = scenario
+        with pytest.raises(ContractError):
+            service.ingest(airline, "C-404", wl.left)
+
+    def test_non_owner_rejected(self, scenario):
+        wl, service, _, _, _, recipient = scenario
+        with pytest.raises(ContractError):
+            service.ingest(recipient, "C-001", wl.left)
+
+    def test_duplicate_contract_rejected(self, scenario):
+        _, service, contract, _, _, _ = scenario
+        with pytest.raises(ContractError):
+            service.register_contract(contract)
+
+    def test_predicate_must_match_contract(self, scenario):
+        wl, service, _, airline, agency, _ = scenario
+        service.ingest(airline, "C-001", wl.left)
+        service.ingest(agency, "C-001", wl.right)
+        with pytest.raises(ContractError):
+            service.execute("C-001", BinaryAsMulti(Equality("payload")))
+
+    def test_missing_upload_rejected(self, scenario):
+        wl, service, _, airline, _, _ = scenario
+        service.ingest(airline, "C-001", wl.left)
+        with pytest.raises(ContractError):
+            service.execute("C-001", BinaryAsMulti(Equality("key")))
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("algorithm", ["algorithm4", "algorithm5", "algorithm6"])
+    def test_full_flow(self, scenario, algorithm):
+        wl, service, _, airline, agency, recipient = scenario
+        reference = nested_loop_join(wl.left, wl.right, Equality("key"))
+        assert service.ingest(airline, "C-001", wl.left) == len(wl.left)
+        assert service.ingest(agency, "C-001", wl.right) == len(wl.right)
+        result = service.execute(
+            "C-001", BinaryAsMulti(Equality("key")), algorithm=algorithm
+        )
+        delivered = service.deliver(result, recipient, "C-001")
+        assert delivered.same_multiset(reference)
+
+    def test_delivery_restricted_to_contracted_recipient(self, scenario):
+        wl, service, _, airline, agency, _ = scenario
+        service.ingest(airline, "C-001", wl.left)
+        service.ingest(agency, "C-001", wl.right)
+        result = service.execute("C-001", BinaryAsMulti(Equality("key")))
+        with pytest.raises(ContractError):
+            service.deliver(result, Party("eavesdropper"), "C-001")

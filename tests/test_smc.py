@@ -1,0 +1,89 @@
+"""Tests for the SFE/SMC baseline cost models (Section 4.6.5 and Eq. 5.8)."""
+
+import math
+
+import pytest
+
+from repro.costs.smc import (
+    SfeParameters,
+    SmcParameters,
+    algorithm1_cost_bits,
+    gate_count,
+    sfe_cost_bits,
+    sfe_slowdown,
+    smc_cost_tuples,
+)
+from repro.errors import ConfigurationError
+
+
+class TestGateCount:
+    def test_l1_circuit_is_2w(self):
+        assert gate_count(256) == 512
+
+    def test_positive_width_required(self):
+        with pytest.raises(ConfigurationError):
+            gate_count(0)
+
+
+class TestSfeFormula:
+    def test_components(self):
+        params = SfeParameters()
+        b, n, w = 1_000, 10, 128
+        cost = sfe_cost_bits(b, n, w, params)
+        assert cost.terms["encrypted_circuits"] == 8 * 50 * 64 * b**2 * 2 * w
+        assert cost.terms["oblivious_transfers"] == 32 * 50 * 100 * b * w
+        assert cost.terms["commitments"] == 2 * 50 * 50 * n * 100 * b * w
+
+    def test_defaults_are_paper_minimums(self):
+        params = SfeParameters()
+        assert (params.k0, params.k1, params.l, params.n) == (64, 100, 50, 50)
+
+    def test_quadratic_in_relation_size(self):
+        small = sfe_cost_bits(100, 1, 64).terms["encrypted_circuits"]
+        large = sfe_cost_bits(200, 1, 64).terms["encrypted_circuits"]
+        assert large == 4 * small
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ConfigurationError):
+            sfe_cost_bits(0, 1, 64)
+
+
+class TestSlowdown:
+    def test_orders_of_magnitude_at_low_alpha(self):
+        """The Section 4.6.5 headline: SFE is orders of magnitude slower."""
+        assert sfe_slowdown(10_000, 1, 256) > 1_000
+
+    def test_sfe_never_wins(self):
+        for n in (1, 10, 100, 1_000, 10_000):
+            assert sfe_slowdown(10_000, n, 256) > 1
+
+    def test_algorithm1_bits_is_cost_times_width(self):
+        from repro.costs.chapter4 import paper_algorithm1
+
+        assert algorithm1_cost_bits(100, 100, 5, 64) == pytest.approx(
+            paper_algorithm1(100, 100, 5).total * 64
+        )
+
+
+class TestSmcEq58:
+    def test_setting_values_match_table(self):
+        # Verified against Table 5.3 in test_costs_chapter5; spot-check terms.
+        cost = smc_cost_tuples(2_560_000, 25_600)
+        assert cost.terms["circuits"] == 67 * 64 * 2_560_000 * 2
+        assert cost.terms["oblivious_transfers"] == pytest.approx(
+            32 * 67 * 100 * math.sqrt(2_560_000)
+        )
+        assert cost.total == pytest.approx(4.5e10, rel=0.02)
+
+    def test_default_privacy_level_parameters(self):
+        params = SmcParameters()
+        assert params.xi1 == params.xi2 == 67  # privacy level 1 - 1e-20
+
+    def test_linear_in_l_dominates(self):
+        small = smc_cost_tuples(100_000, 1_000).total
+        large = smc_cost_tuples(1_000_000, 1_000).total
+        assert large / small > 5  # circuits term (linear in L) dominates
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ConfigurationError):
+            smc_cost_tuples(0, 0)

@@ -1,0 +1,95 @@
+"""Unit and property tests for the fixed-width tuple codec."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CodecError, SchemaError
+from repro.relational.schema import Schema, blob, integer, intset, real, text
+from repro.relational.tuples import Record, TupleCodec
+
+SCHEMA = Schema.of(
+    integer("id"), real("score"), text("name", 12), blob("raw", 6), intset("tags", 4)
+)
+CODEC = TupleCodec(SCHEMA)
+
+
+class TestRecord:
+    def test_value_count_must_match(self):
+        with pytest.raises(SchemaError):
+            Record(SCHEMA, (1, 2.0, "x"))
+
+    def test_getitem_by_name(self):
+        record = Record.of(SCHEMA, 7, 0.5, "alice", b"ab", {1, 2})
+        assert record["id"] == 7
+        assert record["name"] == "alice"
+
+    def test_intset_normalized_to_frozenset(self):
+        record = Record.of(SCHEMA, 7, 0.5, "a", b"", [3, 1, 3])
+        assert record["tags"] == frozenset({1, 3})
+
+    def test_as_dict(self):
+        record = Record.of(SCHEMA, 7, 0.5, "a", b"x", set())
+        assert record.as_dict()["id"] == 7
+
+    def test_joined_with(self):
+        left_schema = Schema.of(integer("a"), name="L")
+        right_schema = Schema.of(integer("b"), name="R")
+        joined = Record.of(left_schema, 1).joined_with(Record.of(right_schema, 2))
+        assert joined.values == (1, 2)
+
+
+class TestCodec:
+    def test_roundtrip(self):
+        record = Record.of(SCHEMA, -42, 3.25, "bob", b"\x01\x02", {5, 9, 100})
+        assert CODEC.decode(CODEC.encode(record)) == record
+
+    def test_encoded_size_is_fixed(self):
+        r1 = Record.of(SCHEMA, 0, 0.0, "", b"", set())
+        r2 = Record.of(SCHEMA, 2**62, -1.5, "abcdefghijkl", b"abcdef", {1, 2, 3, 4})
+        assert len(CODEC.encode(r1)) == len(CODEC.encode(r2)) == SCHEMA.record_size
+
+    def test_string_too_long_raises(self):
+        with pytest.raises(CodecError):
+            CODEC.encode(Record.of(SCHEMA, 0, 0.0, "x" * 13, b"", set()))
+
+    def test_bytes_too_long_raises(self):
+        with pytest.raises(CodecError):
+            CODEC.encode(Record.of(SCHEMA, 0, 0.0, "", b"1234567", set()))
+
+    def test_intset_too_large_raises(self):
+        with pytest.raises(CodecError):
+            CODEC.encode(Record.of(SCHEMA, 0, 0.0, "", b"", {1, 2, 3, 4, 5}))
+
+    def test_int_out_of_range_raises(self):
+        with pytest.raises(CodecError):
+            CODEC.encode(Record.of(SCHEMA, 2**63, 0.0, "", b"", set()))
+
+    def test_decode_wrong_size_raises(self):
+        with pytest.raises(CodecError):
+            CODEC.decode(b"\x00" * (SCHEMA.record_size + 1))
+
+    def test_incompatible_record_rejected(self):
+        other = Schema.of(integer("x"))
+        with pytest.raises(CodecError):
+            CODEC.encode(Record.of(other, 1))
+
+    def test_encode_all(self):
+        records = [Record.of(SCHEMA, i, 0.0, "", b"", set()) for i in range(3)]
+        assert len(CODEC.encode_all(records)) == 3
+
+
+@settings(max_examples=150)
+@given(
+    st.integers(min_value=-(2**63), max_value=2**63 - 1),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(
+        alphabet=st.characters(codec="ascii", exclude_characters="\x00"), max_size=12
+    ),
+    st.binary(max_size=6).filter(lambda b: not b.endswith(b"\x00")),
+    st.sets(st.integers(min_value=0, max_value=2**32 - 1), max_size=4),
+)
+def test_codec_roundtrip_property(i, f, s, raw, tags):
+    """Every representable record survives encode/decode exactly."""
+    record = Record.of(SCHEMA, i, f, s, raw, tags)
+    assert CODEC.decode(CODEC.encode(record)) == record

@@ -1,0 +1,44 @@
+"""Tests for the reproduction report card."""
+
+import pytest
+
+from repro.analysis.verification import (
+    ExhibitStatus,
+    render_report,
+    verify_reproduction,
+)
+
+
+@pytest.fixture(scope="module")
+def statuses():
+    return verify_reproduction()
+
+
+class TestReportCard:
+    def test_all_checks_pass(self, statuses):
+        failed = [s for s in statuses if not s.ok]
+        assert not failed, render_report(statuses)
+
+    def test_covers_every_section(self, statuses):
+        exhibits = " ".join(s.exhibit for s in statuses)
+        for fragment in ("Table 5.3", "Figure 5.1", "Figure 5.2", "Figure 5.3",
+                         "Figure 5.4", "Figure 4.1", "SFE", "Execution"):
+            assert fragment in exhibits
+
+    def test_grades_are_from_the_vocabulary(self, statuses):
+        allowed = {"exact", "tolerance", "shape", "verified"}
+        assert {s.status for s in statuses} <= allowed
+
+    def test_exact_rows_present(self, statuses):
+        exact = {s.exhibit for s in statuses if s.status == "exact"}
+        assert "Table 5.3: SMC row" in exact
+        assert "Table 5.3: Algorithm 5 row" in exact
+
+    def test_render_summarizes(self, statuses):
+        text = render_report(statuses)
+        assert f"{len(statuses)}/{len(statuses)} checks passed" in text
+
+    def test_failed_status_detectable(self):
+        bad = ExhibitStatus("synthetic", "FAILED", "intentionally failing")
+        assert not bad.ok
+        assert "FAILED" in render_report([bad])
