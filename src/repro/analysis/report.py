@@ -35,6 +35,41 @@ def render_table(rows: Sequence[dict[str, Any]], title: str = "") -> str:
     return "\n".join(lines)
 
 
+def render_phase_table(phases: dict[str, dict[str, Any]], title: str = "") -> str:
+    """Render a ``meta["phases"]`` breakdown (see PhaseProfile) as a table.
+
+    One row per phase, in execution order, plus a totals row.  Seconds are
+    pre-formatted (``_format_value`` would render sub-second floats as
+    percentages, which suits Table 5.3 fractions but not durations).
+    """
+    rows = []
+    for name, stats in phases.items():
+        rows.append(
+            {
+                "phase": name,
+                "calls": stats["calls"],
+                "gets": stats["gets"],
+                "puts": stats["puts"],
+                "transfers": stats["transfers"],
+                "seconds": stats["seconds"],
+            }
+        )
+    if rows:
+        rows.append(
+            {
+                "phase": "total",
+                "calls": sum(r["calls"] for r in rows),
+                "gets": sum(r["gets"] for r in rows),
+                "puts": sum(r["puts"] for r in rows),
+                "transfers": sum(r["transfers"] for r in rows),
+                "seconds": sum(r["seconds"] for r in rows),
+            }
+        )
+    for row in rows:
+        row["seconds"] = f"{row['seconds']:.4f}"
+    return render_table(rows, title=title)
+
+
 def render_series(series: Series, title: str = "") -> str:
     """Render one figure curve as an x/y text table."""
     rows = [

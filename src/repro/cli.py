@@ -106,10 +106,83 @@ def _cmd_demo(args: argparse.Namespace) -> None:
                          memory=args.memory, epsilon=args.epsilon)
     print(f"{args.algorithm}: {len(out.result)} join tuples, "
           f"{out.transfers} T/H transfers")
-    interesting = {k: v for k, v in out.meta.items() if k != "algorithm"}
+    # phases carry wall-clock seconds, so they would break the demo's
+    # byte-for-byte reproducibility; `repro trace` renders them instead.
+    interesting = {k: v for k, v in out.meta.items()
+                   if k not in ("algorithm", "phases")}
     print(f"meta: {interesting}")
     print(f"trace fingerprint: {out.trace.fingerprint()[:16]}... "
           f"(depends only on public parameters)")
+
+
+def _run_workload_join(args: argparse.Namespace, trace_factory=None):
+    """Run the demo workload join once; shared by trace/metrics commands."""
+    from repro.core.algorithm4 import algorithm4
+    from repro.core.algorithm5 import algorithm5
+    from repro.core.algorithm6 import algorithm6
+    from repro.core.base import JoinContext
+    from repro.relational.generate import equijoin_workload
+    from repro.relational.predicates import BinaryAsMulti, Equality
+
+    workload = equijoin_workload(args.left, args.right, args.results,
+                                 rng=random.Random(args.seed))
+    predicate = BinaryAsMulti(Equality("key"))
+    context = JoinContext.fresh(seed=args.seed, trace_factory=trace_factory)
+    if args.algorithm == "algorithm4":
+        return algorithm4(context, [workload.left, workload.right], predicate)
+    if args.algorithm == "algorithm5":
+        return algorithm5(context, [workload.left, workload.right], predicate,
+                          memory=args.memory)
+    return algorithm6(context, [workload.left, workload.right], predicate,
+                      memory=args.memory, epsilon=args.epsilon)
+
+
+def _cmd_trace(args: argparse.Namespace) -> None:
+    from repro.analysis.report import render_phase_table, render_table
+    from repro.hardware.events import GET, PUT
+    from repro.obs.sinks import JsonlTrace, StreamingTrace, one_shot
+
+    factory = None
+    if args.sink == "streaming":
+        factory = StreamingTrace
+    elif args.sink == "jsonl":
+        factory = one_shot(lambda: JsonlTrace(args.output))
+    out = _run_workload_join(args, trace_factory=factory)
+    if args.sink == "jsonl":
+        out.trace.close()
+        print(f"trace written to {args.output}")
+    print(f"{args.algorithm}: {len(out.result)} join tuples, sink={args.sink}")
+    print(f"fingerprint: {out.trace.fingerprint()}")
+    print(f"events: {out.trace.transfer_count()} "
+          f"(gets={out.stats.gets}, puts={out.stats.puts})")
+    regions = sorted({region for (_, region) in out.stats.by_region})
+    region_rows = [
+        {
+            "region": region,
+            "gets": out.stats.by_region.get((GET, region), 0),
+            "puts": out.stats.by_region.get((PUT, region), 0),
+        }
+        for region in regions
+    ]
+    print(render_table(region_rows, title="transfers by region"))
+    phases = out.meta.get("phases")
+    if phases:
+        print(render_phase_table(phases, title="phase breakdown"))
+
+
+def _cmd_metrics(args: argparse.Namespace) -> None:
+    import json
+
+    from repro.obs.metrics import MetricsRegistry, instrument_join
+
+    registry = MetricsRegistry()
+    for _ in range(args.runs):
+        out = _run_workload_join(args)
+        instrument_join(registry, args.algorithm, out)
+    if args.format == "json":
+        print(json.dumps(registry.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(registry.render_prometheus(), end="")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -137,6 +210,34 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--epsilon", type=float, default=1e-6)
     demo.add_argument("--seed", type=int, default=1)
 
+    def add_workload_args(command: argparse.ArgumentParser) -> None:
+        command.add_argument("--algorithm", default="algorithm5",
+                             choices=["algorithm4", "algorithm5", "algorithm6"])
+        command.add_argument("--left", type=int, default=20)
+        command.add_argument("--right", type=int, default=20)
+        command.add_argument("--results", type=int, default=8)
+        command.add_argument("--memory", type=int, default=4)
+        command.add_argument("--epsilon", type=float, default=1e-6)
+        command.add_argument("--seed", type=int, default=1)
+
+    trace = sub.add_parser(
+        "trace", help="run a join and inspect its access trace through a chosen sink"
+    )
+    add_workload_args(trace)
+    trace.add_argument("--sink", default="streaming",
+                       choices=["list", "streaming", "jsonl"],
+                       help="list: materialized; streaming: O(1) fingerprint; "
+                            "jsonl: stream events to --output")
+    trace.add_argument("--output", default="trace.jsonl",
+                       help="event file path for --sink jsonl")
+
+    metrics = sub.add_parser(
+        "metrics", help="run instrumented joins and export the metrics registry"
+    )
+    add_workload_args(metrics)
+    metrics.add_argument("--runs", type=int, default=1)
+    metrics.add_argument("--format", default="json", choices=["json", "prom"])
+
     sub.add_parser("errata", help="paper errata found during reproduction")
     sub.add_parser("report", help="run the full reproduction report card")
     return parser
@@ -151,6 +252,10 @@ def main(argv: list[str] | None = None) -> int:
             _cmd_costs(args)
         elif args.command == "demo":
             _cmd_demo(args)
+        elif args.command == "trace":
+            _cmd_trace(args)
+        elif args.command == "metrics":
+            _cmd_metrics(args)
         elif args.command == "errata":
             print(ERRATA)
         elif args.command == "report":

@@ -35,6 +35,7 @@ from repro.core.base import (
 )
 from repro.errors import ConfigurationError
 from repro.oblivious.sort import oblivious_sort
+from repro.obs.spans import PhaseProfile
 from repro.relational.predicates import Predicate
 from repro.relational.relation import Relation
 from repro.relational.tuples import TupleCodec
@@ -71,32 +72,38 @@ def algorithm1(
     host.allocate(SCRATCH_REGION, 2 * n_max)
     context.allocate_output()
 
+    profile = PhaseProfile.for_coprocessor(coprocessor)
     rounds_per_a = math.ceil(len(right) / n_max)
-    for a_index in range(len(left)):
-        # Initialize scratch[] with 2N fresh decoys.
-        with coprocessor.hold(1):
-            for slot in range(2 * n_max):
-                coprocessor.put(SCRATCH_REGION, slot, make_decoy(payload_size))
-        with coprocessor.hold(1):
-            a = left_codec.decode(coprocessor.get("A", a_index))
-            i = 0
-            for b_index in range(len(right)):
-                with coprocessor.hold(1):
-                    b = right_codec.decode(coprocessor.get("B", b_index))
-                    if predicate.matches(a, b):
-                        plain = make_real(joined_payload(a, b, out_schema, out_codec))
-                    else:
-                        plain = make_decoy(payload_size)
-                    coprocessor.put(SCRATCH_REGION, (i % n_max) + n_max, plain)
-                i += 1
-                if i % n_max == 0:
-                    oblivious_sort(
-                        coprocessor, SCRATCH_REGION, 2 * n_max, key=decoy_priority
-                    )
-            if i % n_max != 0:
-                oblivious_sort(coprocessor, SCRATCH_REGION, 2 * n_max, key=decoy_priority)
-        # "Request H to write first N of scratch[] to disk" — host-side copy.
-        host.host_copy(SCRATCH_REGION, 0, n_max, OUTPUT_REGION)
+    with profile.span("scan"):
+        for a_index in range(len(left)):
+            # Initialize scratch[] with 2N fresh decoys.
+            with profile.span("init"), coprocessor.hold(1):
+                for slot in range(2 * n_max):
+                    coprocessor.put(SCRATCH_REGION, slot, make_decoy(payload_size))
+            with coprocessor.hold(1):
+                a = left_codec.decode(coprocessor.get("A", a_index))
+                i = 0
+                for b_index in range(len(right)):
+                    with coprocessor.hold(1):
+                        b = right_codec.decode(coprocessor.get("B", b_index))
+                        if predicate.matches(a, b):
+                            plain = make_real(joined_payload(a, b, out_schema, out_codec))
+                        else:
+                            plain = make_decoy(payload_size)
+                        coprocessor.put(SCRATCH_REGION, (i % n_max) + n_max, plain)
+                    i += 1
+                    if i % n_max == 0:
+                        with profile.span("sort"):
+                            oblivious_sort(
+                                coprocessor, SCRATCH_REGION, 2 * n_max, key=decoy_priority
+                            )
+                if i % n_max != 0:
+                    with profile.span("sort"):
+                        oblivious_sort(
+                            coprocessor, SCRATCH_REGION, 2 * n_max, key=decoy_priority
+                        )
+            # "Request H to write first N of scratch[] to disk" — host-side copy.
+            host.host_copy(SCRATCH_REGION, 0, n_max, OUTPUT_REGION)
 
     return finish(
         context,
@@ -107,4 +114,5 @@ def algorithm1(
             "rounds_per_a": rounds_per_a,
             "output_slots": n_max * len(left),
         },
+        profile=profile,
     )

@@ -31,6 +31,7 @@ from repro.core.base import (
     validate_two_party_inputs,
 )
 from repro.errors import ConfigurationError
+from repro.obs.spans import PhaseProfile
 from repro.relational.predicates import Predicate
 from repro.relational.relation import Relation
 from repro.relational.tuples import TupleCodec
@@ -70,29 +71,32 @@ def algorithm2(
     right_codec = context.upload_relation("B", right)
     context.allocate_output()
 
-    for a_index in range(len(left)):
-        with coprocessor.hold(1):
-            a = left_codec.decode(coprocessor.get("A", a_index))
-            last = -1  # position of the last matched B tuple (paper erratum fixed)
-            for _ in range(gamma):
-                joined = coprocessor.buffer(blk)
-                matches = 0
-                for current in range(len(right)):
-                    with coprocessor.hold(1):
-                        b = right_codec.decode(coprocessor.get("B", current))
-                        if current > last and matches < blk:
-                            if predicate.matches(a, b):
-                                joined.append(
-                                    make_real(joined_payload(a, b, out_schema, out_codec))
-                                )
-                                matches += 1
-                                last = current
-                # Pad the pass output to exactly blk oTuples with decoys.
-                while len(joined) < blk:
-                    joined.append(make_decoy(payload_size))
-                for plain in joined.drain():
-                    coprocessor.put_append(OUTPUT_REGION, plain)
-                joined.release()
+    profile = PhaseProfile.for_coprocessor(coprocessor)
+    with profile.span("scan"):
+        for a_index in range(len(left)):
+            with coprocessor.hold(1):
+                a = left_codec.decode(coprocessor.get("A", a_index))
+                last = -1  # position of the last matched B tuple (paper erratum fixed)
+                for _ in range(gamma):
+                    joined = coprocessor.buffer(blk)
+                    matches = 0
+                    for current in range(len(right)):
+                        with coprocessor.hold(1):
+                            b = right_codec.decode(coprocessor.get("B", current))
+                            if current > last and matches < blk:
+                                if predicate.matches(a, b):
+                                    joined.append(
+                                        make_real(joined_payload(a, b, out_schema, out_codec))
+                                    )
+                                    matches += 1
+                                    last = current
+                    # Pad the pass output to exactly blk oTuples with decoys.
+                    while len(joined) < blk:
+                        joined.append(make_decoy(payload_size))
+                    with profile.span("flush"):
+                        for plain in joined.drain():
+                            coprocessor.put_append(OUTPUT_REGION, plain)
+                    joined.release()
 
     return finish(
         context,
@@ -104,4 +108,5 @@ def algorithm2(
             "blk": blk,
             "output_slots": gamma * blk * len(left),
         },
+        profile=profile,
     )

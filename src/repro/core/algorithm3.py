@@ -29,6 +29,7 @@ from repro.core.base import (
 )
 from repro.errors import ConfigurationError
 from repro.oblivious.sort import oblivious_sort
+from repro.obs.spans import PhaseProfile
 from repro.relational.predicates import Equality
 from repro.relational.relation import Relation
 from repro.relational.tuples import TupleCodec
@@ -65,32 +66,36 @@ def algorithm3(
     right_codec = context.upload_relation("B", upload_right)
     right_position = right.schema.position(eq.right_attr)
 
+    profile = PhaseProfile.for_coprocessor(coprocessor)
     if not presorted:
         def sort_key(plaintext: bytes):
             return right_codec.decode(plaintext).values[right_position]
 
-        oblivious_sort(coprocessor, "B", len(right), key=sort_key)
+        with profile.span("sort"):
+            oblivious_sort(coprocessor, "B", len(right), key=sort_key)
 
     if host.has_region(SCRATCH_REGION):
         host.free(SCRATCH_REGION)
     host.allocate(SCRATCH_REGION, n_max)
     context.allocate_output()
 
-    for a_index in range(len(left)):
-        with coprocessor.hold(1):
-            a = left_codec.decode(coprocessor.get("A", a_index))
-            for slot in range(n_max):
-                coprocessor.put(SCRATCH_REGION, slot, make_decoy(payload_size))
-            for i in range(len(right)):
-                with coprocessor.hold(2):
-                    b = right_codec.decode(coprocessor.get("B", i))
-                    previous = coprocessor.get(SCRATCH_REGION, i % n_max)
-                    if eq.matches(a, b):
-                        plain = make_real(joined_payload(a, b, out_schema, out_codec))
-                    else:
-                        plain = previous  # re-encrypted under a fresh nonce below
-                    coprocessor.put(SCRATCH_REGION, i % n_max, plain)
-        host.host_copy(SCRATCH_REGION, 0, n_max, OUTPUT_REGION)
+    with profile.span("scan"):
+        for a_index in range(len(left)):
+            with coprocessor.hold(1):
+                a = left_codec.decode(coprocessor.get("A", a_index))
+                with profile.span("init"):
+                    for slot in range(n_max):
+                        coprocessor.put(SCRATCH_REGION, slot, make_decoy(payload_size))
+                for i in range(len(right)):
+                    with coprocessor.hold(2):
+                        b = right_codec.decode(coprocessor.get("B", i))
+                        previous = coprocessor.get(SCRATCH_REGION, i % n_max)
+                        if eq.matches(a, b):
+                            plain = make_real(joined_payload(a, b, out_schema, out_codec))
+                        else:
+                            plain = previous  # re-encrypted under a fresh nonce below
+                        coprocessor.put(SCRATCH_REGION, i % n_max, plain)
+            host.host_copy(SCRATCH_REGION, 0, n_max, OUTPUT_REGION)
 
     return finish(
         context,
@@ -101,4 +106,5 @@ def algorithm3(
             "presorted": presorted,
             "output_slots": n_max * len(left),
         },
+        profile=profile,
     )

@@ -31,6 +31,7 @@ from repro.core.cartesian import joined_values, upload_tables
 from repro.costs.filter_opt import optimal_delta
 from repro.errors import ConfigurationError
 from repro.oblivious.filterbuf import emit_kept, oblivious_filter
+from repro.obs.spans import PhaseProfile
 from repro.relational.predicates import MultiPredicate
 from repro.relational.relation import Relation
 from repro.relational.tuples import Record, TupleCodec
@@ -65,9 +66,11 @@ def algorithm4(
     host.allocate(OTUPLE_REGION, total)
     output = context.allocate_output()
 
+    profile = PhaseProfile.for_coprocessor(coprocessor)
+
     # Scan: one oTuple out per iTuple in, unconditionally.
     result_count = 0
-    with coprocessor.hold(2):
+    with profile.span("scan"), coprocessor.hold(2):
         for logical in range(total):
             records = reader.read(logical)
             if predicate.satisfies(records):
@@ -80,17 +83,19 @@ def algorithm4(
 
     # Oblivious decoy removal: keep the S real results.
     chosen_delta = delta if delta is not None else optimal_delta(result_count, total)
-    buffer_region = oblivious_filter(
-        coprocessor,
-        OTUPLE_REGION,
-        total,
-        keep=result_count,
-        delta=chosen_delta,
-        priority=decoy_priority,
-    )
-    emitted = emit_kept(
-        coprocessor, buffer_region, result_count, output, is_real=is_real, strip=1
-    )
+    with profile.span("filter"):
+        buffer_region = oblivious_filter(
+            coprocessor,
+            OTUPLE_REGION,
+            total,
+            keep=result_count,
+            delta=chosen_delta,
+            priority=decoy_priority,
+        )
+    with profile.span("emit"):
+        emitted = emit_kept(
+            coprocessor, buffer_region, result_count, output, is_real=is_real, strip=1
+        )
 
     return finish(
         context,
@@ -103,4 +108,5 @@ def algorithm4(
             "emitted": emitted,
         },
         flagged=False,
+        profile=profile,
     )

@@ -36,6 +36,7 @@ from repro.core.base import (
 )
 from repro.core.cartesian import joined_values, upload_tables
 from repro.errors import ConfigurationError
+from repro.obs.spans import PhaseProfile
 from repro.relational.predicates import MultiPredicate
 from repro.relational.relation import Relation
 from repro.relational.tuples import Record, TupleCodec
@@ -62,13 +63,14 @@ def algorithm5(
     total = len(reader.space)
     context.allocate_output()
 
+    profile = PhaseProfile.for_coprocessor(coprocessor)
     flushed = 0
     scans = 0
     pindex = -1  # index of the last iTuple whose result has been flushed
     while True:
         buffer = coprocessor.buffer(memory)
         lindex = pindex  # last index stored THIS scan
-        with coprocessor.hold(1):
+        with profile.span("scan"), coprocessor.hold(1):
             for logical in range(total):
                 records = reader.read(logical)
                 if logical > pindex and not buffer.full and predicate.satisfies(records):
@@ -77,9 +79,10 @@ def algorithm5(
                     lindex = logical
         scans += 1
         was_full = buffer.full
-        for payload in buffer.drain():
-            coprocessor.put_append(OUTPUT_REGION, payload)
-            flushed += 1
+        with profile.span("flush"):
+            for payload in buffer.drain():
+                coprocessor.put_append(OUTPUT_REGION, payload)
+                flushed += 1
         buffer.release()
         pindex = lindex
         if not was_full:
@@ -104,4 +107,5 @@ def algorithm5(
             "expected_scans": expected_scans,
         },
         flagged=False,
+        profile=profile,
     )

@@ -26,9 +26,10 @@ from typing import Any, Sequence
 
 from repro.crypto.provider import CryptoProvider, OcbProvider
 from repro.errors import ConfigurationError
-from repro.hardware.coprocessor import SecureCoprocessor
+from repro.hardware.coprocessor import SecureCoprocessor, TraceFactory
 from repro.hardware.counters import TransferStats
 from repro.hardware.events import Trace
+from repro.obs.spans import PhaseProfile
 from repro.hardware.host import HostMemory
 from repro.relational.joins import joined_schema, multiway_schema
 from repro.relational.predicates import Predicate
@@ -79,11 +80,18 @@ class JoinContext:
         provider: CryptoProvider | None = None,
         seed: int = 0,
         key: bytes = b"repro-session-key",
+        trace_factory: TraceFactory | None = None,
     ) -> "JoinContext":
-        """A new context with a single coprocessor attached to a new host."""
+        """A new context with a single coprocessor attached to a new host.
+
+        ``trace_factory`` selects how the coprocessor captures its access
+        stream — the default materialized :class:`Trace`, or one of the
+        bounded-memory sinks from :mod:`repro.obs.sinks`.
+        """
         host = HostMemory()
         provider = provider if provider is not None else OcbProvider(key)
-        coprocessor = SecureCoprocessor(host, provider, memory_limit=memory_limit)
+        coprocessor = SecureCoprocessor(host, provider, memory_limit=memory_limit,
+                                        trace_factory=trace_factory)
         return cls(host=host, coprocessor=coprocessor, provider=provider,
                    rng=random.Random(seed))
 
@@ -152,9 +160,16 @@ def finish(
     meta: dict[str, Any],
     region: str = OUTPUT_REGION,
     flagged: bool = True,
+    profile: PhaseProfile | None = None,
 ) -> JoinResult:
-    """Collect the trace and decode the output into a JoinResult."""
+    """Collect the trace and decode the output into a JoinResult.
+
+    When the run carried a :class:`PhaseProfile`, its per-phase time/transfer
+    breakdown lands in ``meta["phases"]``.
+    """
     trace = context.coprocessor.reset_trace()
+    if profile is not None:
+        meta["phases"] = profile.breakdown()
     return JoinResult(
         result=context.download_output(out_schema, region=region, flagged=flagged),
         trace=trace,

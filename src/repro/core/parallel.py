@@ -36,6 +36,7 @@ from repro.errors import BlemishError, ConfigurationError
 from repro.hardware.cluster import Cluster
 from repro.hardware.counters import TransferStats
 from repro.oblivious.filterbuf import emit_kept, oblivious_filter
+from repro.obs.spans import PhaseProfile
 from repro.relational.predicates import MultiPredicate, Predicate
 from repro.relational.relation import Relation
 from repro.relational.tuples import Record, TupleCodec
@@ -59,8 +60,12 @@ class ParallelJoinResult:
 
     @property
     def speedup(self) -> float:
+        """total / makespan; P for an all-idle run (trivially balanced),
+        matching :meth:`repro.hardware.cluster.Cluster.speedup`."""
         makespan = self.makespan_transfers
-        return self.total_transfers / makespan if makespan else float("nan")
+        if makespan == 0:
+            return float(len(self.per_coprocessor))
+        return self.total_transfers / makespan
 
 
 def _upload_multi(context: JoinContext, relations: Sequence[Relation]):
@@ -94,7 +99,9 @@ def parallel_algorithm2(
     right_codec = context.upload_relation("B", right)
     context.allocate_output()
 
-    def work(coprocessor, index_range):
+    profile = PhaseProfile.for_cluster(cluster)
+
+    def work(coprocessor, index_range, worker):
         for a_index in index_range:
             with coprocessor.hold(1):
                 a = left_codec.decode(coprocessor.get("A", a_index))
@@ -117,17 +124,19 @@ def parallel_algorithm2(
                                 last = current
                     while len(joined) < blk:
                         joined.append(make_decoy(payload_size))
-                    for plain in joined.drain():
-                        coprocessor.put_append("output", plain)
+                    with profile.span("flush"):
+                        for plain in joined.drain():
+                            coprocessor.put_append("output", plain)
                     joined.release()
 
-    cluster.run_partitioned(len(left), work)
+    with profile.span("scan"):
+        cluster.run_partitioned(len(left), work)
     result = context.download_output(out_schema)
     return ParallelJoinResult(
         result=result,
         per_coprocessor=[TransferStats.from_trace(t.trace) for t in cluster],
         meta={"algorithm": "parallel_algorithm2", "gamma": gamma, "blk": blk,
-              "P": len(cluster)},
+              "P": len(cluster), "phases": profile.breakdown()},
     )
 
 
@@ -146,10 +155,10 @@ def parallel_algorithm4(
     context.host.allocate("otuples", total)
     output = context.allocate_output()
     counts = [0] * len(cluster)
+    profile = PhaseProfile.for_cluster(cluster)
 
-    def work(coprocessor, index_range):
+    def work(coprocessor, index_range, worker):
         reader = CartesianReader(coprocessor, regions, codecs, space)
-        slot = coprocessor.name
         with coprocessor.hold(2):
             for logical in index_range:
                 records = reader.read(logical)
@@ -157,12 +166,13 @@ def parallel_algorithm4(
                     plain = make_real(
                         out_codec.encode(Record(out_schema, joined_values(records)))
                     )
-                    counts[int(slot[1:])] += 1
+                    counts[worker] += 1
                 else:
                     plain = make_decoy(payload_size)
                 coprocessor.put("otuples", logical, plain)
 
-    cluster.run_partitioned(total, work)
+    with profile.span("scan"):
+        cluster.run_partitioned(total, work)
     result_count = sum(counts)
     scan_stats = [TransferStats.from_trace(t.trace) for t in cluster]
 
@@ -170,12 +180,14 @@ def parallel_algorithm4(
     # (Section 5.3.5's "oblivious filtering out decoys in parallel").
     from repro.oblivious.parallel_filter import parallel_oblivious_filter
 
-    filter_report = parallel_oblivious_filter(
-        cluster, "otuples", total, keep=result_count,
-        delta=optimal_delta(result_count, total), priority=decoy_priority,
-    )
-    emit_kept(cluster[0], filter_report.buffer_region, result_count, output,
-              is_real=is_real, strip=1)
+    with profile.span("filter"):
+        filter_report = parallel_oblivious_filter(
+            cluster, "otuples", total, keep=result_count,
+            delta=optimal_delta(result_count, total), priority=decoy_priority,
+        )
+    with profile.span("emit"):
+        emit_kept(cluster[0], filter_report.buffer_region, result_count, output,
+                  is_real=is_real, strip=1)
     result = context.download_output(out_schema, flagged=False)
     return ParallelJoinResult(
         result=result,
@@ -187,6 +199,8 @@ def parallel_algorithm4(
             "filter_parallel": filter_report.parallel,
             "filter_makespan": filter_report.makespan,
             "filter_sorts": filter_report.sorts,
+            "per_worker_results": list(counts),
+            "phases": profile.breakdown(),
         },
     )
 
@@ -211,49 +225,53 @@ def parallel_algorithm5(
     total = len(space)
     context.allocate_output()
 
+    profile = PhaseProfile.for_cluster(cluster)
+
     # Screening by the coordinator (T0).
     coordinator = cluster[0]
     reader0 = CartesianReader(coordinator, regions, codecs, space)
     result_count = 0
-    with coordinator.hold(1):
+    with profile.span("screen"), coordinator.hold(1):
         for logical in range(total):
             if predicate.satisfies(reader0.read(logical)):
                 result_count += 1
 
     share = math.ceil(result_count / len(cluster)) if result_count else 0
 
-    for p, coprocessor in enumerate(cluster):
-        lo, hi = p * share, min((p + 1) * share, result_count)
-        if lo >= hi:
-            continue
-        reader = CartesianReader(coprocessor, regions, codecs, space)
-        scans = max(1, math.ceil((hi - lo) / memory))
-        emitted = lo
-        pending = coprocessor.buffer(memory)
-        with coprocessor.hold(1):
-            for _ in range(scans):
-                ordinal = 0
-                for logical in range(total):
-                    records = reader.read(logical)
-                    if predicate.satisfies(records):
-                        if emitted <= ordinal < hi and not pending.full:
-                            pending.append(
-                                out_codec.encode(
-                                    Record(out_schema, joined_values(records))
+    with profile.span("scan"):
+        for p, coprocessor in enumerate(cluster):
+            lo, hi = p * share, min((p + 1) * share, result_count)
+            if lo >= hi:
+                continue
+            reader = CartesianReader(coprocessor, regions, codecs, space)
+            scans = max(1, math.ceil((hi - lo) / memory))
+            emitted = lo
+            pending = coprocessor.buffer(memory)
+            with coprocessor.hold(1):
+                for _ in range(scans):
+                    ordinal = 0
+                    for logical in range(total):
+                        records = reader.read(logical)
+                        if predicate.satisfies(records):
+                            if emitted <= ordinal < hi and not pending.full:
+                                pending.append(
+                                    out_codec.encode(
+                                        Record(out_schema, joined_values(records))
+                                    )
                                 )
-                            )
-                        ordinal += 1
-                for payload in pending.drain():
-                    coprocessor.put_append("output", payload)
-                    emitted += 1
-        pending.release()
+                            ordinal += 1
+                    with profile.span("flush"):
+                        for payload in pending.drain():
+                            coprocessor.put_append("output", payload)
+                            emitted += 1
+            pending.release()
 
     result = context.download_output(out_schema, flagged=False)
     return ParallelJoinResult(
         result=result,
         per_coprocessor=[TransferStats.from_trace(t.trace) for t in cluster],
         meta={"algorithm": "parallel_algorithm5", "P": len(cluster),
-              "S": result_count, "share": share},
+              "S": result_count, "share": share, "phases": profile.breakdown()},
     )
 
 
@@ -290,11 +308,13 @@ def parallel_algorithm6(
     total = len(space)
     output = context.allocate_output()
 
+    profile = PhaseProfile.for_cluster(cluster)
+
     # Screening by the coordinator to learn S (no writes).
     coordinator = cluster[0]
     reader0 = CartesianReader(coordinator, regions, codecs, space)
     result_count = 0
-    with coordinator.hold(1):
+    with profile.span("screen"), coordinator.hold(1):
         for logical in range(total):
             if predicate.satisfies(reader0.read(logical)):
                 result_count += 1
@@ -311,37 +331,39 @@ def parallel_algorithm6(
     per = math.ceil(segments / len(cluster))
     order = list(RandomOrder(total, seed=seed))
     blemish = False
-    for p, coprocessor in enumerate(cluster):
-        first_segment = p * per
-        last_segment = min((p + 1) * per, segments)
-        if first_segment >= last_segment:
-            continue
-        reader = CartesianReader(coprocessor, regions, codecs, space)
-        buffer = coprocessor.buffer(memory)
-        with coprocessor.hold(1):
-            for seg in range(first_segment, last_segment):
-                positions = order[seg * n_star: (seg + 1) * n_star]
-                for logical in positions:
-                    records = reader.read(logical)
-                    if predicate.satisfies(records):
-                        if buffer.full:
-                            blemish = True
-                            break
-                        buffer.append(
-                            out_codec.encode(Record(out_schema, joined_values(records)))
-                        )
-                slot = seg * memory
-                for plain_payload in buffer.drain():
-                    coprocessor.put("psegments", slot, make_real(plain_payload))
-                    slot += 1
-                while slot < (seg + 1) * memory:
-                    coprocessor.put("psegments", slot, make_decoy(payload_size))
-                    slot += 1
-                if blemish:
-                    break
-        buffer.release()
-        if blemish:
-            break
+    with profile.span("random_scan"):
+        for p, coprocessor in enumerate(cluster):
+            first_segment = p * per
+            last_segment = min((p + 1) * per, segments)
+            if first_segment >= last_segment:
+                continue
+            reader = CartesianReader(coprocessor, regions, codecs, space)
+            buffer = coprocessor.buffer(memory)
+            with coprocessor.hold(1):
+                for seg in range(first_segment, last_segment):
+                    positions = order[seg * n_star: (seg + 1) * n_star]
+                    for logical in positions:
+                        records = reader.read(logical)
+                        if predicate.satisfies(records):
+                            if buffer.full:
+                                blemish = True
+                                break
+                            buffer.append(
+                                out_codec.encode(Record(out_schema, joined_values(records)))
+                            )
+                    with profile.span("flush"):
+                        slot = seg * memory
+                        for plain_payload in buffer.drain():
+                            coprocessor.put("psegments", slot, make_real(plain_payload))
+                            slot += 1
+                        while slot < (seg + 1) * memory:
+                            coprocessor.put("psegments", slot, make_decoy(payload_size))
+                            slot += 1
+                    if blemish:
+                        break
+            buffer.release()
+            if blemish:
+                break
 
     if blemish:
         raise BlemishError(
@@ -350,15 +372,19 @@ def parallel_algorithm6(
         )
 
     filter_t = cluster[0]
-    buffer_region = oblivious_filter(
-        filter_t, "psegments", omega, keep=result_count,
-        delta=optimal_delta(result_count, omega), priority=decoy_priority,
-    )
-    emit_kept(filter_t, buffer_region, result_count, output, is_real=is_real, strip=1)
+    with profile.span("filter"):
+        buffer_region = oblivious_filter(
+            filter_t, "psegments", omega, keep=result_count,
+            delta=optimal_delta(result_count, omega), priority=decoy_priority,
+        )
+    with profile.span("emit"):
+        emit_kept(filter_t, buffer_region, result_count, output,
+                  is_real=is_real, strip=1)
     result = context.download_output(out_schema, flagged=False)
     return ParallelJoinResult(
         result=result,
         per_coprocessor=[TransferStats.from_trace(t.trace) for t in cluster],
         meta={"algorithm": "parallel_algorithm6", "P": len(cluster),
-              "S": result_count, "segments": segments, "segment_size": n_star},
+              "S": result_count, "segments": segments, "segment_size": n_star,
+              "phases": profile.breakdown()},
     )

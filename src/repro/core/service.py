@@ -33,6 +33,7 @@ from repro.core.algorithm6 import algorithm6
 from repro.core.base import JoinContext, JoinResult
 from repro.crypto.provider import FastProvider, OcbProvider
 from repro.errors import AuthenticationError, ContractError
+from repro.obs.metrics import MetricsRegistry, instrument_join
 from repro.relational.predicates import MultiPredicate
 from repro.relational.relation import Relation
 
@@ -116,6 +117,7 @@ class JoinService:
             provider=OcbProvider(b"service-working-key-0001"), seed=seed
         )
         self.memory = memory
+        self.metrics = MetricsRegistry()
         self._contracts: dict[str, Contract] = {}
         self._uploads: dict[tuple[str, str], Relation] = {}
 
@@ -187,16 +189,22 @@ class JoinService:
                 raise ContractError(f"owner {owner!r} has not uploaded data yet")
             relations.append(upload)
 
-        runner: Callable[..., JoinResult]
+        runner: Callable[[], JoinResult]
         if algorithm == "algorithm4":
-            return algorithm4(self.context, relations, predicate)
-        if algorithm == "algorithm5":
-            return algorithm5(self.context, relations, predicate, memory=self.memory)
-        if algorithm == "algorithm6":
-            return algorithm6(
+            runner = lambda: algorithm4(self.context, relations, predicate)
+        elif algorithm == "algorithm5":
+            runner = lambda: algorithm5(
+                self.context, relations, predicate, memory=self.memory
+            )
+        elif algorithm == "algorithm6":
+            runner = lambda: algorithm6(
                 self.context, relations, predicate, memory=self.memory, epsilon=epsilon
             )
-        raise ContractError(f"unknown algorithm {algorithm!r}")
+        else:
+            raise ContractError(f"unknown algorithm {algorithm!r}")
+        result = runner()
+        instrument_join(self.metrics, algorithm, result)
+        return result
 
     def deliver(self, result: JoinResult, recipient: Party, contract_id: str) -> Relation:
         """Re-encrypt the result for the recipient and decrypt on their side."""

@@ -14,7 +14,7 @@ from typing import Callable
 
 from repro.crypto.provider import CryptoProvider
 from repro.errors import ConfigurationError
-from repro.hardware.coprocessor import SecureCoprocessor
+from repro.hardware.coprocessor import SecureCoprocessor, TraceFactory
 from repro.hardware.host import HostMemory
 
 
@@ -32,13 +32,15 @@ class Cluster:
         provider: CryptoProvider,
         count: int,
         memory_limit: int | None = None,
+        trace_factory: TraceFactory | None = None,
     ) -> None:
         if count < 1:
             raise ConfigurationError("a cluster needs at least one coprocessor")
         self.host = host
         self.provider = provider
         self.coprocessors = [
-            SecureCoprocessor(host, provider, memory_limit=memory_limit, name=f"T{i}")
+            SecureCoprocessor(host, provider, memory_limit=memory_limit, name=f"T{i}",
+                              trace_factory=trace_factory)
             for i in range(count)
         ]
 
@@ -80,10 +82,17 @@ class Cluster:
         return self.total_transfers() / makespan
 
     def run_partitioned(
-        self, size: int, work: Callable[[SecureCoprocessor, range], None]
+        self, size: int, work: Callable[[SecureCoprocessor, range, int], None]
     ) -> list[range]:
-        """Apply ``work(coprocessor, index_range)`` over a balanced partition."""
+        """Apply ``work(coprocessor, index_range, worker)`` over a balanced partition.
+
+        ``worker`` is the coprocessor's position in the cluster — the
+        authoritative identity for per-worker accounting (never parse it back
+        out of the coprocessor's display name).
+        """
         ranges = self.partition_range(size)
-        for coprocessor, index_range in zip(self.coprocessors, ranges):
-            work(coprocessor, index_range)
+        for worker, (coprocessor, index_range) in enumerate(
+            zip(self.coprocessors, ranges)
+        ):
+            work(coprocessor, index_range, worker)
         return ranges

@@ -17,12 +17,16 @@ via :meth:`hold` or :meth:`buffer` and exceeding the budget raises
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Iterator
+from typing import Callable, Iterator
 
 from repro.crypto.provider import CryptoProvider
 from repro.errors import EnclaveMemoryError
 from repro.hardware.events import GET, PUT, Trace
 from repro.hardware.host import HostMemory
+
+#: Builds a fresh trace sink (the default materializes a :class:`Trace`; the
+#: bounded-memory sinks live in :mod:`repro.obs.sinks`).
+TraceFactory = Callable[[], "Trace"]
 
 
 class EnclaveBuffer:
@@ -82,12 +86,14 @@ class SecureCoprocessor:
         provider: CryptoProvider,
         memory_limit: int | None = None,
         name: str = "T0",
+        trace_factory: TraceFactory | None = None,
     ) -> None:
         self.host = host
         self.provider = provider
         self.memory_limit = memory_limit
         self.name = name
-        self.trace = Trace()
+        self.trace_factory: TraceFactory = trace_factory or Trace
+        self.trace = self.trace_factory()
         self._in_use = 0
         self.peak_in_use = 0
         self.encryptions = 0
@@ -158,6 +164,6 @@ class SecureCoprocessor:
 
     # -- statistics -----------------------------------------------------------
     def reset_trace(self) -> Trace:
-        """Swap in a fresh trace, returning the old one."""
-        old, self.trace = self.trace, Trace()
+        """Swap in a fresh trace (from the configured factory), returning the old one."""
+        old, self.trace = self.trace, self.trace_factory()
         return old

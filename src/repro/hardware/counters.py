@@ -24,6 +24,8 @@ class TransferStats:
 
     @classmethod
     def from_trace(cls, trace: Trace) -> "TransferStats":
+        """Build from any trace sink exposing ``by_region()`` (materialized
+        :class:`Trace` or the streaming sinks in :mod:`repro.obs.sinks`)."""
         by_region = dict(trace.by_region())
         gets = sum(v for (op, _), v in by_region.items() if op == GET)
         puts = sum(v for (op, _), v in by_region.items() if op == PUT)

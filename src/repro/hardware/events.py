@@ -27,6 +27,16 @@ class AccessEvent(NamedTuple):
     index: int    # tuple index within the region
 
 
+def event_digest_bytes(op: str, region: str, index: int) -> bytes:
+    """The canonical byte encoding of one event for fingerprinting.
+
+    Shared by :meth:`Trace.fingerprint` and the streaming sinks in
+    :mod:`repro.obs.sinks`, so a streaming fingerprint is bit-identical to the
+    materialized one over the same event sequence.
+    """
+    return op.encode() + region.encode() + index.to_bytes(8, "big", signed=True)
+
+
 @dataclass
 class Trace:
     """The ordered list of host locations a coprocessor read and wrote."""
@@ -77,9 +87,7 @@ class Trace:
         """A stable hash of the whole trace, for cheap equality bookkeeping."""
         digest = hashlib.sha256()
         for event in self.events:
-            digest.update(event.op.encode())
-            digest.update(event.region.encode())
-            digest.update(event.index.to_bytes(8, "big", signed=True))
+            digest.update(event_digest_bytes(event.op, event.region, event.index))
         return digest.hexdigest()
 
     def extend(self, events: Iterable[AccessEvent]) -> None:

@@ -1,0 +1,214 @@
+"""A small metrics registry: counters, gauges, histograms.
+
+Where trace sinks answer *what did T touch, in what order*, metrics answer
+*where do transfers and time go* across many runs: joins served, transfers
+per algorithm, per-phase timings.  No external dependencies — the registry
+exports plain dicts (JSON) and the Prometheus text exposition format, so a
+deployment can scrape it with standard tooling or snapshot it in tests.
+
+Label handling follows the Prometheus model: a metric name plus a sorted
+label set identifies one time series; ``registry.counter("x", algo="a")`` and
+``registry.counter("x", algo="b")`` are distinct series under one family.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.errors import ConfigurationError
+
+#: Default histogram buckets, tuned for transfer counts and sub-second spans.
+DEFAULT_BUCKETS = (
+    0.005, 0.05, 0.5, 1.0, 10.0, 100.0, 1_000.0, 10_000.0,
+    100_000.0, 1_000_000.0, 10_000_000.0,
+)
+
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict[str, str]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _render_labels(key: LabelKey, extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = key + extra
+    if not pairs:
+        return ""
+    inner = ",".join(f'{name}="{value}"' for name, value in pairs)
+    return "{" + inner + "}"
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing count (transfers, runs, events)."""
+
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ConfigurationError("counters only go up; use a gauge")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """A value that can go up and down (slots in use, last result size)."""
+
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+@dataclass
+class Histogram:
+    """Observations bucketed by upper bound, with running sum and count."""
+
+    buckets: tuple[float, ...] = DEFAULT_BUCKETS
+    counts: list[int] = field(default_factory=list)
+    total: float = 0.0
+    observations: int = 0
+
+    def __post_init__(self) -> None:
+        if list(self.buckets) != sorted(self.buckets):
+            raise ConfigurationError("histogram bucket bounds must be sorted")
+        if not self.counts:
+            self.counts = [0] * (len(self.buckets) + 1)  # + overflow bucket
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.total += value
+        self.observations += 1
+
+    def cumulative(self) -> list[tuple[float, int]]:
+        """(upper_bound, cumulative_count) pairs, ending with +Inf."""
+        out = []
+        running = 0
+        for bound, count in zip(self.buckets, self.counts):
+            running += count
+            out.append((bound, running))
+        out.append((float("inf"), running + self.counts[-1]))
+        return out
+
+
+class MetricsRegistry:
+    """Named, labelled metric families with JSON and Prometheus export."""
+
+    def __init__(self, prefix: str = "repro") -> None:
+        self.prefix = prefix
+        self._families: dict[str, tuple[str, str, dict[LabelKey, Any]]] = {}
+
+    # -- creation / lookup ---------------------------------------------------
+    def _series(self, kind: str, name: str, help_text: str, labels: dict[str, str],
+                factory) -> Any:
+        family = self._families.get(name)
+        if family is None:
+            family = (kind, help_text, {})
+            self._families[name] = family
+        elif family[0] != kind:
+            raise ConfigurationError(
+                f"metric {name!r} already registered as a {family[0]}"
+            )
+        series = family[2]
+        key = _label_key(labels)
+        if key not in series:
+            series[key] = factory()
+        return series[key]
+
+    def counter(self, name: str, help_text: str = "", **labels: str) -> Counter:
+        return self._series("counter", name, help_text, labels, Counter)
+
+    def gauge(self, name: str, help_text: str = "", **labels: str) -> Gauge:
+        return self._series("gauge", name, help_text, labels, Gauge)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+        **labels: str,
+    ) -> Histogram:
+        return self._series(
+            "histogram", name, help_text, labels, lambda: Histogram(buckets=buckets)
+        )
+
+    def __iter__(self) -> Iterator[tuple[str, str, LabelKey, Any]]:
+        for name, (kind, _, series) in sorted(self._families.items()):
+            for key, metric in sorted(series.items()):
+                yield name, kind, key, metric
+
+    # -- export --------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-friendly snapshot of every series."""
+        out: dict[str, Any] = {}
+        for name, kind, key, metric in self:
+            entry = out.setdefault(name, {"type": kind, "series": []})
+            labels = dict(key)
+            if kind == "histogram":
+                entry["series"].append({
+                    "labels": labels,
+                    "sum": metric.total,
+                    "count": metric.observations,
+                    "buckets": [
+                        {"le": bound, "count": cum}
+                        for bound, cum in metric.cumulative()
+                    ],
+                })
+            else:
+                entry["series"].append({"labels": labels, "value": metric.value})
+        return out
+
+    def render_prometheus(self) -> str:
+        """The Prometheus text exposition format (version 0.0.4)."""
+        lines: list[str] = []
+        for name, (kind, help_text, series) in sorted(self._families.items()):
+            full = f"{self.prefix}_{name}" if self.prefix else name
+            if help_text:
+                lines.append(f"# HELP {full} {help_text}")
+            lines.append(f"# TYPE {full} {kind}")
+            for key, metric in sorted(series.items()):
+                if kind == "histogram":
+                    for bound, cum in metric.cumulative():
+                        le = "+Inf" if bound == float("inf") else f"{bound:g}"
+                        labels = _render_labels(key, (("le", le),))
+                        lines.append(f"{full}_bucket{labels} {cum}")
+                    labels = _render_labels(key)
+                    lines.append(f"{full}_sum{labels} {metric.total:g}")
+                    lines.append(f"{full}_count{labels} {metric.observations}")
+                else:
+                    labels = _render_labels(key)
+                    lines.append(f"{full}{labels} {metric.value:g}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def instrument_join(registry: MetricsRegistry, algorithm: str, result) -> None:
+    """Record the standard per-join metrics from a Join/ParallelJoinResult.
+
+    Feeds the counters the service and CLI export: runs, transfers, result
+    sizes, and — when the run carried a phase breakdown — per-phase time and
+    transfer totals.
+    """
+    registry.counter("joins_total", "join runs executed",
+                     algorithm=algorithm).inc()
+    transfers = getattr(result, "transfers", None)
+    if transfers is None:
+        transfers = result.total_transfers
+    registry.counter("transfers_total", "T/H tuple transfers",
+                     algorithm=algorithm).inc(transfers)
+    registry.histogram("join_transfers", "transfers per join run",
+                       algorithm=algorithm).observe(transfers)
+    registry.gauge("last_result_size", "tuples in the most recent join result",
+                   algorithm=algorithm).set(len(result.result))
+    for phase, totals in result.meta.get("phases", {}).items():
+        registry.counter("phase_seconds_total", "wall time per phase",
+                         algorithm=algorithm, phase=phase).inc(totals["seconds"])
+        registry.counter("phase_transfers_total", "transfers per phase",
+                         algorithm=algorithm, phase=phase).inc(totals["transfers"])

@@ -1,0 +1,112 @@
+"""Span-based phase timing: where a join's time and transfers go.
+
+Every algorithm is a sequence of phases the paper reasons about separately —
+scan, sort, flush, filter — but until now a run reported only one aggregate
+transfer count.  A :class:`PhaseProfile` is bound to a transfer source (one
+coprocessor or a whole cluster) and hands out ``with profile.span("scan"):``
+blocks; on exit each span charges its wall time and the gets/puts that
+crossed the T/H boundary inside it to the phase's bucket.
+
+Spans nest: a child's gross totals are subtracted from its parent, so
+``scan`` containing ``sort`` reports scan's *own* work and the breakdown's
+phases sum to the whole run without double counting.  Re-entering the same
+phase name accumulates (Algorithm 1 sorts once per round; the breakdown shows
+one ``sort`` row with the total).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Any, Callable, Iterator
+
+#: Returns the (gets, puts) consumed so far by the profiled device(s).
+TransferSource = Callable[[], tuple[int, int]]
+
+
+class _Frame:
+    __slots__ = ("name", "child_seconds", "child_gets", "child_puts")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.child_seconds = 0.0
+        self.child_gets = 0
+        self.child_puts = 0
+
+
+class _Totals:
+    __slots__ = ("seconds", "gets", "puts", "calls")
+
+    def __init__(self) -> None:
+        self.seconds = 0.0
+        self.gets = 0
+        self.puts = 0
+        self.calls = 0
+
+
+class PhaseProfile:
+    """Accumulates per-phase (self-)time and transfer counts."""
+
+    def __init__(self, transfer_source: TransferSource | None = None) -> None:
+        self._source = transfer_source or (lambda: (0, 0))
+        self._stack: list[_Frame] = []
+        self._totals: dict[str, _Totals] = {}
+
+    @classmethod
+    def for_coprocessor(cls, coprocessor) -> "PhaseProfile":
+        """Profile one coprocessor (gets = decryptions, puts = encryptions)."""
+        return cls(lambda: (coprocessor.decryptions, coprocessor.encryptions))
+
+    @classmethod
+    def for_cluster(cls, cluster) -> "PhaseProfile":
+        """Profile a cluster: transfers summed over every coprocessor."""
+        def source() -> tuple[int, int]:
+            gets = sum(t.decryptions for t in cluster)
+            puts = sum(t.encryptions for t in cluster)
+            return gets, puts
+
+        return cls(source)
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[None]:
+        """Attribute the enclosed block's time and transfers to ``name``."""
+        start = perf_counter()
+        gets0, puts0 = self._source()
+        frame = _Frame(name)
+        self._stack.append(frame)
+        try:
+            yield
+        finally:
+            self._stack.pop()
+            gross_seconds = perf_counter() - start
+            gets1, puts1 = self._source()
+            gross_gets = gets1 - gets0
+            gross_puts = puts1 - puts0
+            totals = self._totals.setdefault(name, _Totals())
+            totals.seconds += gross_seconds - frame.child_seconds
+            totals.gets += gross_gets - frame.child_gets
+            totals.puts += gross_puts - frame.child_puts
+            totals.calls += 1
+            if self._stack:
+                parent = self._stack[-1]
+                parent.child_seconds += gross_seconds
+                parent.child_gets += gross_gets
+                parent.child_puts += gross_puts
+
+    def breakdown(self) -> dict[str, dict[str, Any]]:
+        """Phase -> {seconds, gets, puts, transfers, calls}, insertion order.
+
+        Suitable for ``JoinResult.meta["phases"]`` and for feeding a metrics
+        registry; transfer fields sum to the run's total transfer count when
+        every boundary crossing happened inside some span.
+        """
+        return {
+            name: {
+                "seconds": totals.seconds,
+                "gets": totals.gets,
+                "puts": totals.puts,
+                "transfers": totals.gets + totals.puts,
+                "calls": totals.calls,
+            }
+            for name, totals in self._totals.items()
+        }

@@ -7,21 +7,49 @@ family (inputs agreeing on the public parameters, wildly different contents),
 and verify the recorded traces are event-for-event identical.  For the unsafe
 baselines it reports the first divergence — the exact access where the
 pattern betrays the data.
+
+Two capture modes:
+
+* **list** (default) — every run materializes its full :class:`Trace` and
+  traces are compared event-for-event.  Exact, but O(total transfers) memory
+  per run.
+* **streaming** — every run records into a bounded-memory
+  :class:`~repro.obs.sinks.StreamingTrace`; safety is decided by comparing
+  the SHA-256 stream fingerprints (bit-identical to ``Trace.fingerprint()``).
+  When fingerprints differ the checker re-runs the reference with a JSONL
+  file sink and replays it against the diverging run through a
+  :class:`~repro.obs.sinks.DivergenceTrace`, locating the first differing
+  event with O(1) process memory.  Runs must be deterministic given the
+  instance and seed — which every algorithm here is — since localization
+  re-executes them.
 """
 
 from __future__ import annotations
 
+import os
+import tempfile
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 from repro.core.base import JoinContext, JoinResult
+from repro.hardware.coprocessor import TraceFactory
 from repro.hardware.events import AccessEvent, Trace
+from repro.obs.sinks import (
+    DivergenceTrace,
+    JsonlTrace,
+    StreamingTrace,
+    one_shot,
+    read_jsonl_events,
+)
 from repro.privacy.definitions import (
     Definition1Experiment,
     Definition1Instance,
     Definition3Experiment,
     Definition3Instance,
 )
+
+#: Runs one experiment instance in a fresh context built with the given sink.
+FactoryRunner = Callable[[TraceFactory], JoinResult]
 
 
 @dataclass(frozen=True)
@@ -43,11 +71,19 @@ class CheckReport:
     traces: list[Trace] = field(default_factory=list)
     results: list[JoinResult] = field(default_factory=list)
     divergence: Divergence | None = None
+    mode: str = "list"
+    fingerprints: list[str] = field(default_factory=list)
 
     def describe(self) -> str:
         if self.safe:
             lengths = {len(t) for t in self.traces}
-            return f"SAFE: {len(self.traces)} runs, identical traces of length {lengths.pop()}"
+            summary = (
+                f"SAFE: {len(self.traces)} runs, identical traces of "
+                f"length {lengths.pop()}"
+            )
+            if self.mode == "streaming":
+                summary += f" (streaming fingerprint {self.fingerprints[0][:16]}...)"
+            return summary
         d = self.divergence
         return (
             f"UNSAFE: runs {d.run_a} and {d.run_b} diverge at event {d.position}: "
@@ -71,43 +107,119 @@ def check_runs(thunks: Sequence[Callable[[], JoinResult]]) -> CheckReport:
                 results=results,
                 divergence=Divergence(0, index, position, event_a, event_b),
             )
-    return CheckReport(safe=True, traces=traces, results=results)
+    return CheckReport(
+        safe=True, traces=traces, results=results,
+        fingerprints=[reference.fingerprint()],
+    )
+
+
+def check_runs_streaming(
+    runners: Sequence[FactoryRunner], locate_divergence: bool = True
+) -> CheckReport:
+    """Fingerprint-compare the runs without materializing any trace.
+
+    Each runner receives a trace factory and must execute its join in a
+    context built with it.  Memory is O(1) in the trace length; an unsafe
+    verdict optionally re-runs the reference into a JSONL file and replays it
+    to pin down the first divergence.
+    """
+    results = [runner(StreamingTrace) for runner in runners]
+    fingerprints = [r.trace.fingerprint() for r in results]
+    reference = fingerprints[0]
+    for index, fingerprint in enumerate(fingerprints[1:], start=1):
+        if fingerprint == reference:
+            continue
+        divergence = None
+        if locate_divergence:
+            divergence = _locate_divergence(runners[0], runners[index], index)
+        return CheckReport(
+            safe=False,
+            traces=[r.trace for r in results],
+            results=results,
+            divergence=divergence,
+            mode="streaming",
+            fingerprints=fingerprints,
+        )
+    return CheckReport(
+        safe=True,
+        traces=[r.trace for r in results],
+        results=results,
+        mode="streaming",
+        fingerprints=fingerprints,
+    )
+
+
+def _locate_divergence(
+    reference_runner: FactoryRunner, other_runner: FactoryRunner, other_index: int
+) -> Divergence:
+    """Re-run both sides to find the first differing event, O(1) memory.
+
+    The reference run streams its events to a JSONL file; the diverging run
+    replays that file through a :class:`DivergenceTrace`.
+    """
+    handle, path = tempfile.mkstemp(suffix=".trace.jsonl", prefix="repro-ref-")
+    os.close(handle)
+    try:
+        reference_runner(one_shot(lambda: JsonlTrace(path))).trace.close()
+        recorded = DivergenceTrace(read_jsonl_events(path))
+        other_runner(one_shot(lambda: recorded))
+        stream_divergence = recorded.finish()
+        if stream_divergence is None:  # pragma: no cover - fingerprints differed
+            raise AssertionError("fingerprints differ but no event divergence found")
+        return Divergence(
+            run_a=0,
+            run_b=other_index,
+            position=stream_divergence.position,
+            event_a=stream_divergence.expected,
+            event_b=stream_divergence.got,
+        )
+    finally:
+        os.unlink(path)
 
 
 def check_definition1(
     experiment: Definition1Experiment,
     algorithm: Callable[[JoinContext, Definition1Instance, int], JoinResult],
     seed: int = 0,
+    streaming: bool = False,
 ) -> CheckReport:
     """Check a Chapter 4 algorithm against Definition 1.
 
     ``algorithm(context, instance, n_max)`` must run the join in the provided
     fresh context.  Every instance runs with the same seed and the family's
     shared N, so any trace difference is attributable to the data.
+    ``streaming=True`` decides safety from bounded-memory fingerprints.
     """
 
-    def runner(instance: Definition1Instance) -> Callable[[], JoinResult]:
-        def thunk() -> JoinResult:
-            context = JoinContext.fresh(seed=seed)
+    def runner(instance: Definition1Instance) -> FactoryRunner:
+        def run(trace_factory: TraceFactory) -> JoinResult:
+            context = JoinContext.fresh(seed=seed, trace_factory=trace_factory)
             return algorithm(context, instance, experiment.n_max)
 
-        return thunk
+        return run
 
-    return check_runs([runner(inst) for inst in experiment.instances])
+    runners = [runner(inst) for inst in experiment.instances]
+    if streaming:
+        return check_runs_streaming(runners)
+    return check_runs([lambda r=r: r(Trace) for r in runners])
 
 
 def check_definition3(
     experiment: Definition3Experiment,
     algorithm: Callable[[JoinContext, Definition3Instance], JoinResult],
     seed: int = 0,
+    streaming: bool = False,
 ) -> CheckReport:
     """Check a Chapter 5 algorithm against Definition 3."""
 
-    def runner(instance: Definition3Instance) -> Callable[[], JoinResult]:
-        def thunk() -> JoinResult:
-            context = JoinContext.fresh(seed=seed)
+    def runner(instance: Definition3Instance) -> FactoryRunner:
+        def run(trace_factory: TraceFactory) -> JoinResult:
+            context = JoinContext.fresh(seed=seed, trace_factory=trace_factory)
             return algorithm(context, instance)
 
-        return thunk
+        return run
 
-    return check_runs([runner(inst) for inst in experiment.instances])
+    runners = [runner(inst) for inst in experiment.instances]
+    if streaming:
+        return check_runs_streaming(runners)
+    return check_runs([lambda r=r: r(Trace) for r in runners])

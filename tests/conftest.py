@@ -12,11 +12,30 @@ from repro.relational.relation import Relation
 KEY = b"test-suite-session-key-000001"
 
 
-def fresh_context(seed: int = 0, memory_limit: int | None = None) -> JoinContext:
+def fresh_context(
+    seed: int = 0, memory_limit: int | None = None, trace_factory=None
+) -> JoinContext:
     """A context with the fast provider (OCB is covered by dedicated tests)."""
     return JoinContext.fresh(
-        memory_limit=memory_limit, provider=FastProvider(KEY), seed=seed
+        memory_limit=memory_limit, provider=FastProvider(KEY), seed=seed,
+        trace_factory=trace_factory,
     )
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--runslow", action="store_true", default=False,
+        help="run tests marked slow (long randomized sweeps)",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--runslow"):
+        return
+    skip_slow = pytest.mark.skip(reason="needs --runslow")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)
 
 
 def keyed(name: str, rows) -> Relation:

@@ -51,6 +51,57 @@ class TestDemo:
         assert capsys.readouterr().out == first
 
 
+class TestTrace:
+    @pytest.mark.parametrize("sink", ["list", "streaming"])
+    def test_trace_prints_fingerprint_and_phases(self, sink, capsys):
+        assert main(["trace", "--sink", sink, "--left", "8", "--right", "8",
+                     "--results", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "fingerprint:" in out
+        assert "transfers by region" in out
+        assert "phase breakdown" in out
+        assert "scan" in out
+
+    def test_trace_sinks_agree_on_fingerprint(self, capsys):
+        args = ["--left", "8", "--right", "8", "--results", "4", "--seed", "2"]
+        main(["trace", "--sink", "list", *args])
+        materialized = capsys.readouterr().out
+        main(["trace", "--sink", "streaming", *args])
+        streaming = capsys.readouterr().out
+        line = next(l for l in materialized.splitlines() if "fingerprint" in l)
+        assert line in streaming
+
+    def test_trace_jsonl_writes_events(self, tmp_path, capsys):
+        path = str(tmp_path / "events.jsonl")
+        assert main(["trace", "--sink", "jsonl", "--output", path,
+                     "--left", "6", "--right", "6", "--results", "3"]) == 0
+        out = capsys.readouterr().out
+        assert path in out
+        events_line = next(l for l in out.splitlines() if l.startswith("events:"))
+        count = int(events_line.split()[1])
+        with open(path, encoding="utf-8") as handle:
+            assert sum(1 for _ in handle) == count
+
+
+class TestMetrics:
+    def test_metrics_json(self, capsys):
+        assert main(["metrics", "--runs", "2", "--left", "6", "--right", "6",
+                     "--results", "3"]) == 0
+        import json
+
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot["joins_total"]["series"][0]["value"] == 2
+        assert "phase_transfers_total" in snapshot
+
+    def test_metrics_prometheus(self, capsys):
+        assert main(["metrics", "--format", "prom", "--left", "6",
+                     "--right", "6", "--results", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_joins_total counter" in out
+        assert 'repro_joins_total{algorithm="algorithm5"} 1' in out
+        assert "repro_join_transfers_bucket" in out
+
+
 class TestErrata:
     def test_errata_lists_all_six(self, capsys):
         assert main(["errata"]) == 0

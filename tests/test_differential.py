@@ -1,0 +1,245 @@
+"""Differential testing: every secure algorithm vs the plaintext reference.
+
+Each case draws a randomized workload (sizes, predicate, planted result
+structure), a randomized memory budget, and — for the parallel variants — a
+randomized cluster size, then asserts the secure join's output equals the
+plaintext nested-loop reference as a *multiset*.  Seeds are fixed per case so
+failures replay deterministically.
+"""
+
+import random
+
+import pytest
+
+from tests.conftest import KEY, fresh_context
+
+from repro.core.algorithm1 import algorithm1
+from repro.core.algorithm1v import algorithm1_variant
+from repro.core.algorithm2 import algorithm2
+from repro.core.algorithm3 import algorithm3
+from repro.core.algorithm4 import algorithm4
+from repro.core.algorithm5 import algorithm5
+from repro.core.algorithm6 import algorithm6
+from repro.core.base import JoinContext
+from repro.core.parallel import (
+    parallel_algorithm2,
+    parallel_algorithm4,
+    parallel_algorithm5,
+    parallel_algorithm6,
+)
+from repro.crypto.provider import FastProvider
+from repro.hardware.cluster import Cluster
+from repro.relational.generate import (
+    equijoin_workload,
+    multiway_workload,
+    theta_workload,
+)
+from repro.relational.joins import (
+    max_matches_per_left_tuple,
+    multiway_nested_loop_join,
+    nested_loop_join,
+)
+from repro.relational.predicates import (
+    BinaryAsMulti,
+    Equality,
+    PairwiseAll,
+    Theta,
+)
+
+CHAIN = PairwiseAll(Equality("key"))
+SEEDS = range(6)
+
+
+def equijoin_case(seed: int):
+    """A random equijoin workload plus its plaintext reference."""
+    rng = random.Random(1000 + seed)
+    left = rng.randrange(3, 10)
+    right = rng.randrange(3, 12)
+    results = rng.randrange(0, min(left, right))
+    wl = equijoin_workload(left, right, results, rng=rng)
+    reference = nested_loop_join(wl.left, wl.right, Equality("key"))
+    assert len(reference) == results
+    return rng, wl, reference
+
+
+def theta_case(seed: int):
+    """A random less-than join workload plus its plaintext reference."""
+    rng = random.Random(2000 + seed)
+    left = rng.randrange(3, 8)
+    right = rng.randrange(3, 8)
+    wl = theta_workload(left, right, rng=rng, selectivity=rng.random())
+    predicate = Theta("key", "<")
+    reference = nested_loop_join(wl.left, wl.right, predicate)
+    assert len(reference) == wl.result_size
+    return rng, wl, predicate, reference
+
+
+def multiway_case(seed: int):
+    """A random 3-way chain equijoin plus its plaintext reference."""
+    rng = random.Random(3000 + seed)
+    sizes = [rng.randrange(2, 6) for _ in range(3)]
+    results = rng.randrange(0, min(sizes) + 1)
+    wl = multiway_workload(sizes, results, rng=rng)
+    reference = multiway_nested_loop_join(list(wl.relations), CHAIN)
+    assert len(reference) == results
+    return rng, wl, reference
+
+
+class TestChapter4Differential:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_algorithm1_equijoin(self, seed):
+        rng, wl, reference = equijoin_case(seed)
+        out = algorithm1(fresh_context(seed), wl.left, wl.right, Equality("key"),
+                         max(1, wl.max_matches))
+        assert out.result.same_multiset(reference)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_algorithm1_theta(self, seed):
+        rng, wl, predicate, reference = theta_case(seed)
+        n = max(1, max_matches_per_left_tuple(wl.left, wl.right, predicate))
+        out = algorithm1(fresh_context(seed), wl.left, wl.right, predicate, n)
+        assert out.result.same_multiset(reference)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_algorithm1_variant(self, seed):
+        rng, wl, reference = equijoin_case(seed)
+        out = algorithm1_variant(fresh_context(seed), wl.left, wl.right,
+                                 Equality("key"), max(1, wl.max_matches))
+        assert out.result.same_multiset(reference)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_algorithm2_random_memory(self, seed):
+        rng, wl, reference = equijoin_case(seed)
+        n = max(1, wl.max_matches)
+        out = algorithm2(fresh_context(seed), wl.left, wl.right, Equality("key"),
+                         n, memory=rng.randrange(1, n + 2))
+        assert out.result.same_multiset(reference)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_algorithm3_equijoin(self, seed):
+        rng, wl, reference = equijoin_case(seed)
+        out = algorithm3(fresh_context(seed), wl.left, wl.right, "key",
+                         max(1, wl.max_matches))
+        assert out.result.same_multiset(reference)
+
+
+class TestChapter5Differential:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_algorithm4_equijoin(self, seed):
+        rng, wl, reference = equijoin_case(seed)
+        out = algorithm4(fresh_context(seed), [wl.left, wl.right],
+                         BinaryAsMulti(Equality("key")))
+        assert out.result.same_multiset(reference)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_algorithm4_theta(self, seed):
+        rng, wl, predicate, reference = theta_case(seed)
+        out = algorithm4(fresh_context(seed), [wl.left, wl.right],
+                         BinaryAsMulti(predicate))
+        assert out.result.same_multiset(reference)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_algorithm5_random_memory(self, seed):
+        rng, wl, reference = equijoin_case(seed)
+        out = algorithm5(fresh_context(seed), [wl.left, wl.right],
+                         BinaryAsMulti(Equality("key")),
+                         memory=rng.randrange(1, 7))
+        assert out.result.same_multiset(reference)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_algorithm5_multiway(self, seed):
+        rng, wl, reference = multiway_case(seed)
+        out = algorithm5(fresh_context(seed), list(wl.relations), CHAIN,
+                         memory=rng.randrange(1, 5))
+        assert out.result.same_multiset(reference)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_algorithm6_random_memory(self, seed):
+        rng, wl, reference = equijoin_case(seed)
+        out = algorithm6(fresh_context(seed), [wl.left, wl.right],
+                         BinaryAsMulti(Equality("key")),
+                         memory=rng.randrange(2, 7), epsilon=1e-20)
+        assert out.result.same_multiset(reference)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_algorithm6_multiway(self, seed):
+        rng, wl, reference = multiway_case(seed)
+        out = algorithm6(fresh_context(seed), list(wl.relations), CHAIN,
+                         memory=rng.randrange(2, 5), epsilon=1e-20)
+        assert out.result.same_multiset(reference)
+
+
+def parallel_rig(rng):
+    provider = FastProvider(KEY)
+    context = JoinContext.fresh(provider=provider)
+    cluster = Cluster(context.host, provider, count=rng.randrange(1, 5))
+    return context, cluster
+
+
+class TestParallelDifferential:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_parallel_algorithm2(self, seed):
+        rng, wl, reference = equijoin_case(seed)
+        context, cluster = parallel_rig(rng)
+        n = max(1, wl.max_matches)
+        out = parallel_algorithm2(context, cluster, wl.left, wl.right,
+                                  Equality("key"), n,
+                                  memory=rng.randrange(1, n + 2))
+        assert out.result.same_multiset(reference)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_parallel_algorithm4(self, seed):
+        rng, wl, reference = equijoin_case(seed)
+        context, cluster = parallel_rig(rng)
+        out = parallel_algorithm4(context, cluster, [wl.left, wl.right],
+                                  BinaryAsMulti(Equality("key")))
+        assert out.result.same_multiset(reference)
+        assert sum(out.meta["per_worker_results"]) == len(reference)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_parallel_algorithm5(self, seed):
+        rng, wl, reference = equijoin_case(seed)
+        context, cluster = parallel_rig(rng)
+        out = parallel_algorithm5(context, cluster, [wl.left, wl.right],
+                                  BinaryAsMulti(Equality("key")),
+                                  memory=rng.randrange(1, 7))
+        assert out.result.same_multiset(reference)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_parallel_algorithm6(self, seed):
+        rng, wl, reference = equijoin_case(seed)
+        context, cluster = parallel_rig(rng)
+        out = parallel_algorithm6(context, cluster, [wl.left, wl.right],
+                                  BinaryAsMulti(Equality("key")),
+                                  memory=rng.randrange(2, 7), epsilon=1e-20)
+        assert out.result.same_multiset(reference)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_parallel_multiway(self, seed):
+        rng, wl, reference = multiway_case(seed)
+        context, cluster = parallel_rig(rng)
+        out = parallel_algorithm5(context, cluster, list(wl.relations), CHAIN,
+                                  memory=rng.randrange(1, 5))
+        assert out.result.same_multiset(reference)
+
+
+@pytest.mark.slow
+class TestDifferentialSweep:
+    """Wider randomized sweep, run in CI with --runslow."""
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_algorithm5_and_6_agree_with_reference(self, seed):
+        rng = random.Random(7000 + seed)
+        left = rng.randrange(4, 14)
+        right = rng.randrange(4, 14)
+        results = rng.randrange(0, min(left, right))
+        wl = equijoin_workload(left, right, results, rng=rng)
+        reference = nested_loop_join(wl.left, wl.right, Equality("key"))
+        pred = BinaryAsMulti(Equality("key"))
+        memory = rng.randrange(1, 9)
+        out5 = algorithm5(fresh_context(seed), [wl.left, wl.right], pred,
+                          memory=memory)
+        out6 = algorithm6(fresh_context(seed), [wl.left, wl.right], pred,
+                          memory=max(2, memory), epsilon=1e-20)
+        assert out5.result.same_multiset(reference)
+        assert out6.result.same_multiset(reference)

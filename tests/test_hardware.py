@@ -223,11 +223,15 @@ class TestCluster:
         host.allocate("R", 8)
         cluster = Cluster(host, FastProvider(KEY), count=2)
 
-        def work(t, index_range):
+        workers = []
+
+        def work(t, index_range, worker):
+            workers.append(worker)
             for i in index_range:
                 t.put("R", i, b"x")
 
         cluster.run_partitioned(8, work)
+        assert workers == [0, 1]
         assert cluster.total_transfers() == 8
         assert cluster.makespan_transfers() == 4
         assert cluster.speedup() == pytest.approx(2.0)

@@ -96,3 +96,19 @@ class TestEndToEnd:
         result = service.execute("C-001", BinaryAsMulti(Equality("key")))
         with pytest.raises(ContractError):
             service.deliver(result, Party("eavesdropper"), "C-001")
+
+
+class TestServiceMetrics:
+    def test_execute_instruments_registry(self, scenario):
+        wl, service, _, airline, agency, _ = scenario
+        service.ingest(airline, "C-001", wl.left)
+        service.ingest(agency, "C-001", wl.right)
+        first = service.execute("C-001", BinaryAsMulti(Equality("key")))
+        service.execute("C-001", BinaryAsMulti(Equality("key")))
+        snapshot = service.metrics.to_dict()
+        (joins,) = snapshot["joins_total"]["series"]
+        assert joins["labels"] == {"algorithm": "algorithm5"}
+        assert joins["value"] == 2
+        (transfers,) = snapshot["transfers_total"]["series"]
+        assert transfers["value"] == 2 * first.transfers  # identical runs
+        assert "repro_joins_total" in service.metrics.render_prometheus()

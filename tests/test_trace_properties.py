@@ -1,0 +1,263 @@
+"""Property-based trace invariance: the security claim, fuzzed.
+
+For every safe algorithm, the access-pattern fingerprint must be a function
+of the public parameters alone.  Each test here fixes the public parameters
+(sizes, N or S, M, epsilon, seed) and runs the algorithm over many
+seeded-random data instantiations — different keys, payloads, match
+placements — asserting every run produces the identical fingerprint.  All
+runs record through the O(1)-memory :class:`StreamingTrace`, so the property
+holds for the streaming capture path, not just the materialized one.
+
+A second group cross-validates the sinks themselves (streaming vs
+materialized via a tee), and a third checks the privacy checker's streaming
+mode reaches the same verdicts as the list-based mode on the Section 5.1.1
+leakage scenarios.
+"""
+
+import random
+
+import pytest
+
+from tests.conftest import fresh_context
+
+from repro.core.algorithm1 import algorithm1
+from repro.core.algorithm1v import algorithm1_variant
+from repro.core.algorithm2 import algorithm2
+from repro.core.algorithm3 import algorithm3
+from repro.core.algorithm4 import algorithm4
+from repro.core.algorithm5 import algorithm5
+from repro.core.algorithm6 import algorithm6
+from repro.core.base import JoinContext
+from repro.core.parallel import (
+    parallel_algorithm2,
+    parallel_algorithm4,
+    parallel_algorithm5,
+    parallel_algorithm6,
+)
+from repro.crypto.provider import FastProvider
+from repro.hardware.cluster import Cluster
+from repro.hardware.counters import TransferStats
+from repro.hardware.events import Trace
+from repro.obs.sinks import StreamingTrace, TeeTrace
+from repro.privacy.checker import check_runs, check_runs_streaming
+from repro.relational.generate import equijoin_workload
+from repro.relational.predicates import BinaryAsMulti, Equality
+
+INSTANTIATIONS = 20
+PRED = BinaryAsMulti(Equality("key"))
+KEY = b"property-test-key-0123456789"
+
+# Fixed public parameters for every instantiation in a family.
+LEFT, RIGHT = 6, 8
+N_MAX = 2
+RESULTS = 5  # S, public under Definition 3
+MEMORY = 3
+
+
+def chapter4_instances(master_seed: int):
+    """Workloads agreeing on (|A|, |B|, N<=N_MAX); S varies — it is private."""
+    rng = random.Random(master_seed)
+    for _ in range(INSTANTIATIONS):
+        result_size = rng.randrange(0, N_MAX * LEFT // 2)
+        yield equijoin_workload(
+            LEFT, RIGHT, result_size, rng=random.Random(rng.randrange(1 << 30)),
+            max_matches=N_MAX,
+        )
+
+
+def chapter5_instances(master_seed: int):
+    """Workloads agreeing on (|A|, |B|) AND S = RESULTS; contents vary."""
+    rng = random.Random(master_seed)
+    for _ in range(INSTANTIATIONS):
+        yield equijoin_workload(
+            LEFT, RIGHT, RESULTS, rng=random.Random(rng.randrange(1 << 30))
+        )
+
+
+def streamed(run):
+    """Run a thunk in a fresh streaming-sink context; return the fingerprint."""
+    context = fresh_context(trace_factory=StreamingTrace)
+    return run(context).trace.fingerprint()
+
+
+def assert_single_fingerprint(fingerprints):
+    distinct = set(fingerprints)
+    assert len(distinct) == 1, (
+        f"{len(distinct)} distinct access patterns across "
+        f"{len(fingerprints)} instantiations with equal public parameters"
+    )
+
+
+class TestChapter4FingerprintInvariance:
+    def test_algorithm1(self):
+        assert_single_fingerprint([
+            streamed(lambda c, wl=wl: algorithm1(
+                c, wl.left, wl.right, Equality("key"), N_MAX))
+            for wl in chapter4_instances(101)
+        ])
+
+    def test_algorithm1_variant(self):
+        assert_single_fingerprint([
+            streamed(lambda c, wl=wl: algorithm1_variant(
+                c, wl.left, wl.right, Equality("key"), N_MAX))
+            for wl in chapter4_instances(102)
+        ])
+
+    @pytest.mark.parametrize("memory", [1, 2])
+    def test_algorithm2(self, memory):
+        assert_single_fingerprint([
+            streamed(lambda c, wl=wl: algorithm2(
+                c, wl.left, wl.right, Equality("key"), N_MAX, memory=memory))
+            for wl in chapter4_instances(103)
+        ])
+
+    def test_algorithm3(self):
+        assert_single_fingerprint([
+            streamed(lambda c, wl=wl: algorithm3(
+                c, wl.left, wl.right, "key", N_MAX))
+            for wl in chapter4_instances(104)
+        ])
+
+
+class TestChapter5FingerprintInvariance:
+    def test_algorithm4(self):
+        assert_single_fingerprint([
+            streamed(lambda c, wl=wl: algorithm4(c, [wl.left, wl.right], PRED))
+            for wl in chapter5_instances(105)
+        ])
+
+    @pytest.mark.parametrize("memory", [2, MEMORY])
+    def test_algorithm5(self, memory):
+        assert_single_fingerprint([
+            streamed(lambda c, wl=wl: algorithm5(
+                c, [wl.left, wl.right], PRED, memory=memory))
+            for wl in chapter5_instances(106)
+        ])
+
+    def test_algorithm6(self):
+        assert_single_fingerprint([
+            streamed(lambda c, wl=wl: algorithm6(
+                c, [wl.left, wl.right], PRED, memory=MEMORY, epsilon=1e-20))
+            for wl in chapter5_instances(107)
+        ])
+
+    def test_algorithm6_one_pass(self):
+        assert_single_fingerprint([
+            streamed(lambda c, wl=wl: algorithm6(
+                c, [wl.left, wl.right], PRED, memory=MEMORY, epsilon=1e-20,
+                known_result_size=RESULTS))
+            for wl in chapter5_instances(108)
+        ])
+
+
+def parallel_fingerprints(master_seed, processors, run, instances=None):
+    """Per-coprocessor fingerprint tuples across random instantiations."""
+    out = []
+    for wl in (instances or chapter5_instances)(master_seed):
+        provider = FastProvider(KEY)
+        context = JoinContext.fresh(provider=provider)
+        cluster = Cluster(context.host, provider, count=processors,
+                          trace_factory=StreamingTrace)
+        run(context, cluster, wl)
+        out.append(tuple(t.trace.fingerprint() for t in cluster))
+    return out
+
+
+class TestParallelFingerprintInvariance:
+    @pytest.mark.parametrize("processors", [2, 3])
+    def test_parallel_algorithm2(self, processors):
+        assert_single_fingerprint(parallel_fingerprints(
+            201, processors,
+            lambda c, cl, wl: parallel_algorithm2(
+                c, cl, wl.left, wl.right, Equality("key"), N_MAX, memory=2),
+            instances=chapter4_instances,
+        ))
+
+    @pytest.mark.parametrize("processors", [2, 3])
+    def test_parallel_algorithm4(self, processors):
+        assert_single_fingerprint(parallel_fingerprints(
+            202, processors,
+            lambda c, cl, wl: parallel_algorithm4(c, cl, [wl.left, wl.right], PRED),
+        ))
+
+    @pytest.mark.parametrize("processors", [2, 3])
+    def test_parallel_algorithm5(self, processors):
+        assert_single_fingerprint(parallel_fingerprints(
+            203, processors,
+            lambda c, cl, wl: parallel_algorithm5(
+                c, cl, [wl.left, wl.right], PRED, memory=MEMORY),
+        ))
+
+    @pytest.mark.parametrize("processors", [2, 3])
+    def test_parallel_algorithm6(self, processors):
+        assert_single_fingerprint(parallel_fingerprints(
+            204, processors,
+            lambda c, cl, wl: parallel_algorithm6(
+                c, cl, [wl.left, wl.right], PRED, memory=MEMORY, epsilon=1e-20),
+        ))
+
+
+class TestSinkCrossValidation:
+    """A tee of (materialized, streaming) must agree event-for-event."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_streaming_equals_materialized(self, seed):
+        rng = random.Random(seed)
+        wl = equijoin_workload(
+            rng.randrange(4, 10), rng.randrange(4, 12),
+            rng.randrange(0, 8), rng=rng,
+        )
+        trace, streaming = Trace(), StreamingTrace()
+        context = fresh_context(trace_factory=lambda: TeeTrace(trace, streaming))
+        algorithm5(context, [wl.left, wl.right], PRED,
+                   memory=rng.randrange(1, 5))
+        assert streaming.fingerprint() == trace.fingerprint()
+        assert len(streaming) == len(trace)
+        assert streaming.by_region() == trace.by_region()
+        assert (TransferStats.from_trace(streaming)
+                == TransferStats.from_trace(trace))
+
+
+class TestCheckerModeParity:
+    """Streaming and list-based checking agree on the leakage scenarios."""
+
+    @staticmethod
+    def _runners(result_sizes, memory=MEMORY):
+        """One algorithm5 runner per workload; equal sizes, chosen S values."""
+        runners = []
+        for i, s in enumerate(result_sizes):
+            wl = equijoin_workload(LEFT, RIGHT, s, rng=random.Random(40 + i))
+
+            def run(trace_factory, wl=wl):
+                context = fresh_context(trace_factory=trace_factory)
+                return algorithm5(context, [wl.left, wl.right], PRED,
+                                  memory=memory)
+
+            runners.append(run)
+        return runners
+
+    def test_safe_family_agrees(self):
+        runners = self._runners([RESULTS, RESULTS, RESULTS])
+        list_report = check_runs([lambda r=r: r(Trace) for r in runners])
+        stream_report = check_runs_streaming(runners)
+        assert list_report.safe and stream_report.safe
+        assert stream_report.fingerprints[0] == list_report.traces[0].fingerprint()
+
+    def test_unsafe_family_agrees_on_divergence(self):
+        """Different S changes Algorithm 5's access pattern (that is exactly
+        what Definition 3 declares public); both modes must flag it at the
+        same event."""
+        runners = self._runners([2, 7])
+        list_report = check_runs([lambda r=r: r(Trace) for r in runners])
+        stream_report = check_runs_streaming(runners)
+        assert not list_report.safe and not stream_report.safe
+        assert (stream_report.divergence.position
+                == list_report.divergence.position)
+        assert stream_report.divergence.event_a == list_report.divergence.event_a
+        assert stream_report.divergence.event_b == list_report.divergence.event_b
+
+    def test_streaming_verdict_without_localization(self):
+        runners = self._runners([2, 7])
+        report = check_runs_streaming(runners, locate_divergence=False)
+        assert not report.safe
+        assert report.divergence is None
