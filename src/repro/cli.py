@@ -129,12 +129,12 @@ def _run_workload_join(args: argparse.Namespace, trace_factory=None):
     predicate = BinaryAsMulti(Equality("key"))
     context = JoinContext.fresh(seed=args.seed, trace_factory=trace_factory)
     if args.algorithm == "algorithm4":
-        return algorithm4(context, [workload.left, workload.right], predicate)
+        return algorithm4(context, [workload.left, workload.right], predicate), context
     if args.algorithm == "algorithm5":
         return algorithm5(context, [workload.left, workload.right], predicate,
-                          memory=args.memory)
+                          memory=args.memory), context
     return algorithm6(context, [workload.left, workload.right], predicate,
-                      memory=args.memory, epsilon=args.epsilon)
+                      memory=args.memory, epsilon=args.epsilon), context
 
 
 def _cmd_trace(args: argparse.Namespace) -> None:
@@ -147,7 +147,7 @@ def _cmd_trace(args: argparse.Namespace) -> None:
         factory = StreamingTrace
     elif args.sink == "jsonl":
         factory = one_shot(lambda: JsonlTrace(args.output))
-    out = _run_workload_join(args, trace_factory=factory)
+    out, context = _run_workload_join(args, trace_factory=factory)
     if args.sink == "jsonl":
         out.trace.close()
         print(f"trace written to {args.output}")
@@ -155,6 +155,10 @@ def _cmd_trace(args: argparse.Namespace) -> None:
     print(f"fingerprint: {out.trace.fingerprint()}")
     print(f"events: {out.trace.transfer_count()} "
           f"(gets={out.stats.gets}, puts={out.stats.puts})")
+    coprocessor = context.coprocessor
+    print(f"crypto fast path: {coprocessor.physical_decryptions} physical "
+          f"decryptions for {coprocessor.decryptions} modeled "
+          f"({coprocessor.cache_hits} cache hits)")
     regions = sorted({region for (_, region) in out.stats.by_region})
     region_rows = [
         {
@@ -173,12 +177,13 @@ def _cmd_trace(args: argparse.Namespace) -> None:
 def _cmd_metrics(args: argparse.Namespace) -> None:
     import json
 
-    from repro.obs.metrics import MetricsRegistry, instrument_join
+    from repro.obs.metrics import MetricsRegistry, instrument_coprocessor, instrument_join
 
     registry = MetricsRegistry()
     for _ in range(args.runs):
-        out = _run_workload_join(args)
+        out, context = _run_workload_join(args)
         instrument_join(registry, args.algorithm, out)
+        instrument_coprocessor(registry, context.coprocessor)
     if args.format == "json":
         print(json.dumps(registry.to_dict(), indent=2, sort_keys=True))
     else:

@@ -76,10 +76,13 @@ def algorithm1(
     rounds_per_a = math.ceil(len(right) / n_max)
     with profile.span("scan"):
         for a_index in range(len(left)):
-            # Initialize scratch[] with 2N fresh decoys.
+            # Initialize scratch[] with 2N fresh decoys (one batched call;
+            # every slot still gets its own nonce, trace event, and counter).
+            decoy = make_decoy(payload_size)
             with profile.span("init"), coprocessor.hold(1):
-                for slot in range(2 * n_max):
-                    coprocessor.put(SCRATCH_REGION, slot, make_decoy(payload_size))
+                coprocessor.put_many(
+                    (SCRATCH_REGION, slot, decoy) for slot in range(2 * n_max)
+                )
             with coprocessor.hold(1):
                 a = left_codec.decode(coprocessor.get("A", a_index))
                 i = 0

@@ -94,8 +94,7 @@ def algorithm2(
                     while len(joined) < blk:
                         joined.append(make_decoy(payload_size))
                     with profile.span("flush"):
-                        for plain in joined.drain():
-                            coprocessor.put_append(OUTPUT_REGION, plain)
+                        coprocessor.append_many(OUTPUT_REGION, joined.drain())
                     joined.release()
 
     return finish(

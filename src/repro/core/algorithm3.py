@@ -84,12 +84,16 @@ def algorithm3(
             with coprocessor.hold(1):
                 a = left_codec.decode(coprocessor.get("A", a_index))
                 with profile.span("init"):
-                    for slot in range(n_max):
-                        coprocessor.put(SCRATCH_REGION, slot, make_decoy(payload_size))
+                    decoy = make_decoy(payload_size)
+                    coprocessor.put_many(
+                        (SCRATCH_REGION, slot, decoy) for slot in range(n_max)
+                    )
                 for i in range(len(right)):
                     with coprocessor.hold(2):
-                        b = right_codec.decode(coprocessor.get("B", i))
-                        previous = coprocessor.get(SCRATCH_REGION, i % n_max)
+                        b_plain, previous = coprocessor.get_many(
+                            (("B", i), (SCRATCH_REGION, i % n_max))
+                        )
+                        b = right_codec.decode(b_plain)
                         if eq.matches(a, b):
                             plain = make_real(joined_payload(a, b, out_schema, out_codec))
                         else:

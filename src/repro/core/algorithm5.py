@@ -80,9 +80,7 @@ def algorithm5(
         scans += 1
         was_full = buffer.full
         with profile.span("flush"):
-            for payload in buffer.drain():
-                coprocessor.put_append(OUTPUT_REGION, payload)
-                flushed += 1
+            flushed += len(coprocessor.append_many(OUTPUT_REGION, buffer.drain()))
         buffer.release()
         pindex = lindex
         if not was_full:

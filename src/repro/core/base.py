@@ -81,17 +81,22 @@ class JoinContext:
         seed: int = 0,
         key: bytes = b"repro-session-key",
         trace_factory: TraceFactory | None = None,
+        plaintext_cache: bool = True,
     ) -> "JoinContext":
         """A new context with a single coprocessor attached to a new host.
 
         ``trace_factory`` selects how the coprocessor captures its access
         stream — the default materialized :class:`Trace`, or one of the
         bounded-memory sinks from :mod:`repro.obs.sinks`.
+        ``plaintext_cache`` toggles the coprocessor's crypto fast path
+        (observable behaviour is identical either way; off is the reference
+        slow path for differential tests and benchmarks).
         """
         host = HostMemory()
         provider = provider if provider is not None else OcbProvider(key)
         coprocessor = SecureCoprocessor(host, provider, memory_limit=memory_limit,
-                                        trace_factory=trace_factory)
+                                        trace_factory=trace_factory,
+                                        plaintext_cache=plaintext_cache)
         return cls(host=host, coprocessor=coprocessor, provider=provider,
                    rng=random.Random(seed))
 

@@ -87,12 +87,20 @@ class CartesianReader:
         return len(self._regions)
 
     def read(self, logical: int) -> tuple[Record, ...]:
-        """Fetch and decode the component records of one iTuple (J gets)."""
+        """Fetch and decode the component records of one iTuple.
+
+        One batched boundary call of J gets (per-slot trace events preserved);
+        the coprocessor's slot cache serves the heavy re-reads a cartesian
+        scan performs — each component tuple is fetched once per product row
+        but only physically decrypted on first touch.
+        """
         components = self.space.decompose(logical)
-        records = []
-        for region, codec, index in zip(self._regions, self._codecs, components):
-            records.append(codec.decode(self._coprocessor.get(region, index)))
-        return tuple(records)
+        plains = self._coprocessor.get_many(
+            tuple(zip(self._regions, components))
+        )
+        return tuple(
+            codec.decode(plain) for codec, plain in zip(self._codecs, plains)
+        )
 
 
 def upload_tables(context, relations: Sequence[Relation]) -> CartesianReader:

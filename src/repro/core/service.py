@@ -33,7 +33,7 @@ from repro.core.algorithm6 import algorithm6
 from repro.core.base import JoinContext, JoinResult
 from repro.crypto.provider import FastProvider, OcbProvider
 from repro.errors import AuthenticationError, ContractError
-from repro.obs.metrics import MetricsRegistry, instrument_join
+from repro.obs.metrics import MetricsRegistry, instrument_coprocessor, instrument_join
 from repro.relational.predicates import MultiPredicate
 from repro.relational.relation import Relation
 
@@ -204,6 +204,7 @@ class JoinService:
             raise ContractError(f"unknown algorithm {algorithm!r}")
         result = runner()
         instrument_join(self.metrics, algorithm, result)
+        instrument_coprocessor(self.metrics, self.context.coprocessor)
         return result
 
     def deliver(self, result: JoinResult, recipient: Party, contract_id: str) -> Relation:

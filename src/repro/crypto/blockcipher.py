@@ -42,9 +42,12 @@ class BlockCipher:
         if len(block) != BLOCK_SIZE:
             raise ConfigurationError(f"blocks are {BLOCK_SIZE} bytes, got {len(block)}")
         left, right = block[:_HALF], block[_HALF:]
-        for r in range(_ROUNDS):
-            fk = self._round(r, right)
-            left, right = right, bytes(a ^ b for a, b in zip(left, fk))
+        sha256 = hashlib.sha256
+        for round_key in self._round_keys:
+            fk = sha256(round_key + right).digest()
+            left, right = right, (
+                int.from_bytes(left, "big") ^ int.from_bytes(fk[:_HALF], "big")
+            ).to_bytes(_HALF, "big")
         return left + right
 
     def decrypt_block(self, block: bytes) -> bytes:
@@ -52,15 +55,18 @@ class BlockCipher:
         if len(block) != BLOCK_SIZE:
             raise ConfigurationError(f"blocks are {BLOCK_SIZE} bytes, got {len(block)}")
         left, right = block[:_HALF], block[_HALF:]
-        for r in reversed(range(_ROUNDS)):
-            fk = self._round(r, left)
-            left, right = bytes(a ^ b for a, b in zip(right, fk)), left
+        sha256 = hashlib.sha256
+        for round_key in reversed(self._round_keys):
+            fk = sha256(round_key + left).digest()
+            left, right = (
+                int.from_bytes(right, "big") ^ int.from_bytes(fk[:_HALF], "big")
+            ).to_bytes(_HALF, "big"), left
         return left + right
 
 
 def xor_bytes(a: bytes, b: bytes) -> bytes:
-    """XOR two equal-length byte strings."""
-    return bytes(x ^ y for x, y in zip(a, b))
+    """XOR two equal-length byte strings (one big-int operation, not a loop)."""
+    return (int.from_bytes(a, "big") ^ int.from_bytes(b, "big")).to_bytes(len(a), "big")
 
 
 def gf_double(block: bytes) -> bytes:

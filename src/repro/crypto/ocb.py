@@ -52,6 +52,9 @@ class Ocb:
     def __init__(self, key: bytes) -> None:
         self._cipher = BlockCipher(key)
         self._l0 = self._cipher.encrypt_block(_ZERO)  # E_k(0^n)
+        # g(E_k(0^n)) is key-constant; computing it per encrypt/decrypt call
+        # wasted three GF-doublings on every tuple crossing the T/H boundary.
+        self._lg = _g(self._l0)
 
     # -- offsets ----------------------------------------------------------
     def base_offset(self, nonce: bytes) -> bytes:
@@ -96,7 +99,7 @@ class Ocb:
             )
         final = blocks[m - 1]
         y_m = self._cipher.encrypt_block(
-            xor_bytes(xor_bytes(_len_block(len(final)), _g(self._l0)), offsets[m - 1])
+            xor_bytes(xor_bytes(_len_block(len(final)), self._lg), offsets[m - 1])
         )
         c_final = xor_bytes(final, y_m[: len(final)])
         cipher_blocks.append(c_final)
@@ -126,7 +129,7 @@ class Ocb:
             )
         c_final = blocks[m - 1]
         y_m = self._cipher.encrypt_block(
-            xor_bytes(xor_bytes(_len_block(len(c_final)), _g(self._l0)), offsets[m - 1])
+            xor_bytes(xor_bytes(_len_block(len(c_final)), self._lg), offsets[m - 1])
         )
         p_final = xor_bytes(c_final, y_m[: len(c_final)])
         plain_blocks.append(p_final)

@@ -15,17 +15,32 @@ only need three properties from the scheme, captured by the
 Three implementations trade fidelity for speed:
 
 * :class:`OcbProvider` — the paper's OCB mode, faithful structure;
-* :class:`FastProvider` — SHA-256 keystream + truncated MAC, ~4x faster,
+* :class:`FastProvider` — SHAKE-256 keystream + truncated MAC, much faster,
   used for larger benchmark runs;
 * :class:`NullProvider` — no confidentiality (checksum-only integrity), for
   cost-model validation runs where only access patterns and transfer counts
   matter.
+
+Nonce uniqueness
+----------------
+Every scheme here is only semantically secure while nonces never repeat
+*under a key*, not merely within one provider object: two providers sharing a
+key (two ``JoinContext.fresh()`` calls with the default session key, a
+restarted service, parallel workers) must not emit overlapping nonce
+sequences.  A bare counter restarting at 1 per instance violates exactly
+that — for the keystream providers the two streams cancel into a two-time
+pad, and for OCB it voids the mode's security theorem.  :class:`_NonceCounter`
+therefore prefixes each instance's counter with fresh random bytes, so
+sequences from independent instances are disjoint except with negligible
+probability (2^-64 per instance pair).
 """
 
 from __future__ import annotations
 
 import hashlib
 import itertools
+import os
+
 from typing import Protocol, runtime_checkable
 
 from repro.crypto.ocb import NONCE_SIZE, TAG_SIZE, Ocb
@@ -49,13 +64,35 @@ class CryptoProvider(Protocol):
 
 
 class _NonceCounter:
-    """Deterministic nonce sequence; uniqueness is all OCB requires."""
+    """Nonce sequence: per-instance random prefix || monotone counter.
+
+    OCB (and the keystream schemes) require nonces unique per *key*; the
+    random prefix keeps instances that share a key from colliding, while the
+    counter keeps each instance trivially collision-free with itself.
+    """
+
+    PREFIX_SIZE = NONCE_SIZE // 2
 
     def __init__(self) -> None:
+        self._prefix = os.urandom(self.PREFIX_SIZE)
         self._counter = itertools.count(1)
+        self._limit = 1 << (8 * (NONCE_SIZE - self.PREFIX_SIZE))
 
     def next_nonce(self) -> bytes:
-        return next(self._counter).to_bytes(NONCE_SIZE, "big")
+        value = next(self._counter)
+        if value >= self._limit:
+            # Counter segment exhausted (2^64 encryptions): rotate the prefix.
+            self._prefix = os.urandom(self.PREFIX_SIZE)
+            self._counter = itertools.count(2)
+            value = 1
+        return self._prefix + value.to_bytes(NONCE_SIZE - self.PREFIX_SIZE, "big")
+
+
+def _xor(data: bytes, stream: bytes) -> bytes:
+    """XOR equal-length byte strings via one big-int operation."""
+    return (
+        int.from_bytes(data, "big") ^ int.from_bytes(stream, "big")
+    ).to_bytes(len(data), "big")
 
 
 class OcbProvider:
@@ -79,7 +116,12 @@ class OcbProvider:
 
 
 class FastProvider:
-    """Keystream + MAC authenticated encryption (fast simulation substitute)."""
+    """Keystream + MAC authenticated encryption (fast simulation substitute).
+
+    The keystream is a single SHAKE-256 squeeze over (key || nonce) — one
+    hash call per message instead of one SHA-256 per 32 bytes — and the
+    plaintext/keystream XOR runs as one big-int operation.
+    """
 
     overhead = NONCE_SIZE + TAG_SIZE
 
@@ -91,20 +133,16 @@ class FastProvider:
         self._nonces = _NonceCounter()
 
     def _keystream(self, nonce: bytes, length: int) -> bytes:
-        out = bytearray()
-        counter = 0
-        while len(out) < length:
-            out += hashlib.sha256(self._enc_key + nonce + counter.to_bytes(4, "big")).digest()
-            counter += 1
-        return bytes(out[:length])
+        return hashlib.shake_256(self._enc_key + nonce).digest(length)
 
     def _mac(self, nonce: bytes, body: bytes) -> bytes:
         return hashlib.sha256(self._mac_key + nonce + body).digest()[:TAG_SIZE]
 
     def encrypt(self, plaintext: bytes) -> bytes:
+        if not plaintext:
+            raise ConfigurationError("messages must be non-empty")
         nonce = self._nonces.next_nonce()
-        stream = self._keystream(nonce, len(plaintext))
-        body = bytes(p ^ s for p, s in zip(plaintext, stream))
+        body = _xor(plaintext, self._keystream(nonce, len(plaintext)))
         return nonce + body + self._mac(nonce, body)
 
     def decrypt(self, ciphertext: bytes) -> bytes:
@@ -115,8 +153,7 @@ class FastProvider:
         tag = ciphertext[-TAG_SIZE:]
         if self._mac(nonce, body) != tag:
             raise AuthenticationError("MAC mismatch: ciphertext was tampered with")
-        stream = self._keystream(nonce, len(body))
-        return bytes(c ^ s for c, s in zip(body, stream))
+        return _xor(body, self._keystream(nonce, len(body)))
 
 
 class NullProvider:
@@ -137,6 +174,8 @@ class NullProvider:
         return hashlib.sha256(b"null" + nonce + body).digest()[:TAG_SIZE]
 
     def encrypt(self, plaintext: bytes) -> bytes:
+        if not plaintext:
+            raise ConfigurationError("messages must be non-empty")
         nonce = self._nonces.next_nonce()
         return nonce + plaintext + self._checksum(nonce, plaintext)
 

@@ -33,14 +33,18 @@ class Cluster:
         count: int,
         memory_limit: int | None = None,
         trace_factory: TraceFactory | None = None,
+        plaintext_cache: bool = True,
     ) -> None:
         if count < 1:
             raise ConfigurationError("a cluster needs at least one coprocessor")
         self.host = host
         self.provider = provider
+        # Slot caches are per-coprocessor: a slot rewritten by a sibling
+        # device simply misses (byte-inequality) and takes the physical path.
         self.coprocessors = [
             SecureCoprocessor(host, provider, memory_limit=memory_limit, name=f"T{i}",
-                              trace_factory=trace_factory)
+                              trace_factory=trace_factory,
+                              plaintext_cache=plaintext_cache)
             for i in range(count)
         ]
 

@@ -16,7 +16,12 @@ repeatedly:
    every real result.
 
 The refill copies are pure host-side ciphertext moves (no transfer charged);
-only the sorts cross the T/H boundary, giving the cost expression
+only the sorts cross the T/H boundary.  Those sorts are exactly the pattern
+the coprocessor's write-back slot cache accelerates: every comparator re-reads
+slots whose ciphertexts T itself just wrote, so after each buffer slot's first
+physical decrypt the remaining gets are served by byte-equality (the modeled
+transfer/decryption counts below are unchanged).  The boundary cost expression
+is
 ``C(omega, mu)(delta) = ((omega - mu)/delta) * ((mu+delta)/4) * [log2(mu+delta)]^2``
 comparisons (Section 5.2.2) whose optimal ``delta*`` is computed in
 :mod:`repro.costs.filter_opt`.

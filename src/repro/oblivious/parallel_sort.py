@@ -84,16 +84,20 @@ class ParallelSortReport:
 
 def _merge_indices(coprocessor, region: str, indices: list[int], key: KeyFunction) -> None:
     """Run the ascending bitonic merge network over explicit slot indices."""
+    get_many = coprocessor.get_many
+    put_many = coprocessor.put_many
     with coprocessor.hold(2):
         for comp in bitonic_merge_network(len(indices)):
             low_index = indices[comp.low]
             high_index = indices[comp.high]
-            low_plain = coprocessor.get(region, low_index)
-            high_plain = coprocessor.get(region, high_index)
+            low_plain, high_plain = get_many(
+                ((region, low_index), (region, high_index))
+            )
             if key(low_plain) > key(high_plain):
                 low_plain, high_plain = high_plain, low_plain
-            coprocessor.put(region, low_index, low_plain)
-            coprocessor.put(region, high_index, high_plain)
+            put_many(
+                ((region, low_index, low_plain), (region, high_index, high_plain))
+            )
 
 
 def parallel_oblivious_sort(
@@ -152,10 +156,15 @@ def parallel_oblivious_sort(
             base = p * chunk
             with coprocessor.hold(2):
                 for offset in range(chunk // 2):
-                    front = coprocessor.get(region, base + offset)
-                    back = coprocessor.get(region, base + chunk - 1 - offset)
-                    coprocessor.put(region, base + offset, back)
-                    coprocessor.put(region, base + chunk - 1 - offset, front)
+                    front, back = coprocessor.get_many(
+                        ((region, base + offset), (region, base + chunk - 1 - offset))
+                    )
+                    coprocessor.put_many(
+                        (
+                            (region, base + offset, back),
+                            (region, base + chunk - 1 - offset, front),
+                        )
+                    )
                 if chunk % 2:  # re-encrypt the untouched middle for uniformity
                     middle = coprocessor.get(region, base + chunk // 2)
                     coprocessor.put(region, base + chunk // 2, middle)

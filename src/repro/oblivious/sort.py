@@ -34,18 +34,25 @@ def oblivious_sort_indices(
     whose slots need not be contiguous.  The comparator positions depend
     only on ``len(indices)``, so obliviousness is preserved.
     """
+    get_many = coprocessor.get_many
+    put_many = coprocessor.put_many
     with coprocessor.hold(2):
         for comp in comparators(len(indices)):
             low_index = indices[comp.low]
             high_index = indices[comp.high]
-            low_plain = coprocessor.get(region, low_index)
-            high_plain = coprocessor.get(region, high_index)
+            # One boundary call per comparator pair in each direction; the
+            # write-back slot cache serves the re-reads of just-rewritten
+            # slots without a physical decrypt.
+            low_plain, high_plain = get_many(
+                ((region, low_index), (region, high_index))
+            )
             want_ascending = comp.ascending == ascending
             out_of_order = (key(low_plain) > key(high_plain)) == want_ascending
             if out_of_order:
                 low_plain, high_plain = high_plain, low_plain
-            coprocessor.put(region, low_index, low_plain)
-            coprocessor.put(region, high_index, high_plain)
+            put_many(
+                ((region, low_index, low_plain), (region, high_index, high_plain))
+            )
 
 
 def oblivious_sort(

@@ -212,3 +212,37 @@ def instrument_join(registry: MetricsRegistry, algorithm: str, result) -> None:
                          algorithm=algorithm, phase=phase).inc(totals["seconds"])
         registry.counter("phase_transfers_total", "transfers per phase",
                          algorithm=algorithm, phase=phase).inc(totals["transfers"])
+
+
+def instrument_coprocessor(registry: MetricsRegistry, coprocessor,
+                           **labels: str) -> None:
+    """Export a coprocessor's crypto-boundary counters as metric series.
+
+    ``crypto_encryptions_total`` / ``crypto_decryptions_total`` are the
+    *modeled* counts every cost formula charges (one per boundary crossing);
+    ``crypto_physical_decryptions_total`` and ``crypto_cache_hits_total``
+    split the modeled decryptions into work actually executed vs. gets served
+    by the write-back slot cache, so dashboards can watch the fast path's hit
+    rate without touching the cost model.  Counters are cumulative on the
+    coprocessor, so this records deltas since the previous call.
+    """
+    labels.setdefault("coprocessor", getattr(coprocessor, "name", "T0"))
+    pairs = (
+        ("crypto_encryptions_total", "modeled encryptions (puts)",
+         coprocessor.encryptions),
+        ("crypto_decryptions_total", "modeled decryptions (gets)",
+         coprocessor.decryptions),
+        ("crypto_physical_decryptions_total",
+         "decryptions physically executed (cache misses)",
+         coprocessor.physical_decryptions),
+        ("crypto_cache_hits_total", "gets served by the write-back slot cache",
+         coprocessor.cache_hits),
+    )
+    # Per-coprocessor snapshot so repeated instrumentation of one device adds
+    # only its delta, while a fresh device contributes its full counts.
+    snapshot = getattr(coprocessor, "_metrics_snapshot", {})
+    for name, help_text, value in pairs:
+        registry.counter(name, help_text, **labels).inc(value - snapshot.get(name, 0))
+    coprocessor._metrics_snapshot = {name: value for name, _, value in pairs}
+    registry.gauge("crypto_cache_entries", "slots held in the plaintext cache",
+                   **labels).set(coprocessor.cache_entries)

@@ -6,10 +6,23 @@ from hypothesis import strategies as st
 
 from repro.crypto.blockcipher import BLOCK_SIZE, BlockCipher, gf_double, xor_bytes
 from repro.crypto.ocb import NONCE_SIZE, TAG_SIZE, Ocb
-from repro.crypto.provider import FastProvider, NullProvider, OcbProvider
+from repro.crypto.provider import FastProvider, NullProvider, OcbProvider, _NonceCounter
 from repro.errors import AuthenticationError, ConfigurationError
 
 KEY = b"0123456789abcdef0123456789abcdef"
+
+#: Ciphertexts captured from the reference implementation before the
+#: performance work (offset hoisting, big-int XOR); any byte drift here means
+#: an optimization changed the cipher, not just its speed.
+OCB_GOLDEN = {
+    1: "e6ac14ebbc942c965f408d6fe2b1a4e830",
+    16: "609d5037013a44a30bdfba24c024a72a38ee58ec9f0e93c5874687433ac0a3e4",
+    33: "b32d698f297b6beffbd8a858f77fa5c0ae1c62061d2c4a4c5e2867b678741900"
+        "517aaea809cd08e2850edc96c0a7dd2cd4",
+    65: "b32d698f297b6beffbd8a858f77fa5c0ae1c62061d2c4a4c5e2867b678741900"
+        "7064097e539e5d9a70dfb9e168e67bcbbe6c9052ac12b20d3c2866b08858da42"
+        "c1f9d9eab1eedeb04f850e1c376bb395c6",
+}
 
 
 class TestBlockCipher:
@@ -111,6 +124,12 @@ class TestOcb:
         with pytest.raises(AuthenticationError):
             Ocb(KEY).decrypt(self.nonce(), b"short")
 
+    @pytest.mark.parametrize("size", sorted(OCB_GOLDEN))
+    def test_golden_vectors(self, size):
+        """The micro-optimized OCB is byte-identical to the reference."""
+        ciphertext = Ocb(KEY).encrypt(self.nonce(7), bytes(range(size)))
+        assert ciphertext.hex() == OCB_GOLDEN[size]
+
     @settings(max_examples=60)
     @given(st.binary(min_size=1, max_size=64), st.integers(min_value=1, max_value=2**64))
     def test_roundtrip_property(self, plaintext, nonce_value):
@@ -147,3 +166,84 @@ class TestProviders:
         provider = provider_cls(KEY)
         with pytest.raises(AuthenticationError):
             provider.decrypt(b"tiny")
+
+    def test_empty_plaintext_rejected(self, provider_cls):
+        """encrypt(b"") must fail loudly, matching OCB's split check, instead
+        of emitting a ciphertext that cannot round-trip."""
+        with pytest.raises(ConfigurationError):
+            provider_cls(KEY).encrypt(b"")
+
+    def test_tamper_detection_every_byte(self, provider_cls):
+        """Nonce, body, or tag: one flipped bit anywhere must be detected."""
+        provider = provider_cls(KEY)
+        ciphertext = provider.encrypt(b"oTuple!!")
+        for i in range(len(ciphertext)):
+            corrupted = bytearray(ciphertext)
+            corrupted[i] ^= 0x01
+            with pytest.raises(AuthenticationError):
+                provider.decrypt(bytes(corrupted))
+
+    @settings(max_examples=40)
+    @given(st.binary(min_size=1, max_size=512))
+    def test_roundtrip_property(self, provider_cls, plaintext):
+        provider = provider_cls(KEY)
+        ciphertext = provider.encrypt(plaintext)
+        assert len(ciphertext) == len(plaintext) + provider.overhead
+        assert provider.decrypt(ciphertext) == plaintext
+
+
+@pytest.mark.parametrize("provider_cls", [OcbProvider, FastProvider, NullProvider])
+class TestNonceUniqueness:
+    """Regression tests for the cross-instance nonce-reuse bug.
+
+    Nonces must be unique per *key*: a counter restarting at 1 in every
+    provider instance made any two same-key instances emit identical nonce
+    sequences — a two-time pad for the keystream providers and a violation of
+    OCB's security theorem.
+    """
+
+    @staticmethod
+    def nonces(provider, count=64):
+        return {provider.encrypt(b"x" * 8)[:NONCE_SIZE] for _ in range(count)}
+
+    def test_same_key_instances_use_disjoint_nonces(self, provider_cls):
+        first = self.nonces(provider_cls(KEY))
+        second = self.nonces(provider_cls(KEY))
+        assert len(first) == len(second) == 64
+        assert not first & second
+
+
+
+@pytest.mark.parametrize("provider_cls", [OcbProvider, FastProvider])
+def test_two_time_pad_no_longer_reproduces(provider_cls):
+    """Before the fix, same-key instances encrypting under colliding nonces
+    leaked XOR(p1, p2) = XOR(c1, c2) from the keystream provider (NullProvider
+    is excluded: it carries the plaintext in the clear by design)."""
+    p1, p2 = b"attack at dawn!!", b"retreat at dusk!"
+    c1 = provider_cls(KEY).encrypt(p1)
+    c2 = provider_cls(KEY).encrypt(p2)
+    body1 = c1[NONCE_SIZE:NONCE_SIZE + len(p1)]
+    body2 = c2[NONCE_SIZE:NONCE_SIZE + len(p2)]
+    pad = bytes(a ^ b for a, b in zip(body1, body2))
+    assert pad != bytes(a ^ b for a, b in zip(p1, p2))
+
+
+class TestNonceCounter:
+    def test_monotone_within_instance(self):
+        counter = _NonceCounter()
+        drawn = [counter.next_nonce() for _ in range(256)]
+        assert len(set(drawn)) == 256
+        assert all(len(n) == NONCE_SIZE for n in drawn)
+
+    def test_prefix_rotates_on_counter_exhaustion(self):
+        import itertools
+
+        counter = _NonceCounter()
+        before = counter.next_nonce()[:_NonceCounter.PREFIX_SIZE]
+        counter._counter = itertools.count(counter._limit)  # force overflow
+        after = counter.next_nonce()
+        assert after[:_NonceCounter.PREFIX_SIZE] != before
+        # The rotated segment restarts its counter and keeps yielding.
+        following = counter.next_nonce()
+        assert following[:_NonceCounter.PREFIX_SIZE] == after[:_NonceCounter.PREFIX_SIZE]
+        assert following != after

@@ -1,0 +1,228 @@
+"""Differential tests for the crypto fast path (slot cache + batched ops).
+
+The slot cache must be *invisible* in every observable the privacy analysis
+and the cost model read: traces, fingerprints, TransferStats, modeled
+encryption/decryption counters, and of course the join output.  Each case
+runs the same workload twice — cache on and cache off — from identically
+seeded contexts and asserts those observables are bit-identical, then checks
+the physical-counter invariants (``decryptions == physical + hits``) and
+that tamper detection still fires with the cache enabled.
+"""
+
+import random
+
+import pytest
+
+from tests.conftest import KEY, fresh_context
+
+from repro.core.algorithm1 import algorithm1
+from repro.core.algorithm1v import algorithm1_variant
+from repro.core.algorithm2 import algorithm2
+from repro.core.algorithm3 import algorithm3
+from repro.core.algorithm4 import algorithm4
+from repro.core.algorithm5 import algorithm5
+from repro.core.algorithm6 import algorithm6
+from repro.core.base import JoinContext
+from repro.crypto.provider import FastProvider, OcbProvider
+from repro.errors import AuthenticationError
+from repro.hardware.adversary import TamperingHost
+from repro.hardware.coprocessor import SecureCoprocessor
+from repro.hardware.events import Trace
+from repro.hardware.host import HostMemory
+from repro.relational.generate import equijoin_workload
+from repro.relational.predicates import BinaryAsMulti, Equality
+
+PRED = BinaryAsMulti(Equality("key"))
+
+#: name -> runner(context, workload); covers all six join algorithms.
+ALGORITHMS = {
+    "algorithm1": lambda ctx, wl: algorithm1(
+        ctx, wl.left, wl.right, Equality("key"), max(1, wl.max_matches)),
+    "algorithm1v": lambda ctx, wl: algorithm1_variant(
+        ctx, wl.left, wl.right, Equality("key"), max(1, wl.max_matches)),
+    "algorithm2": lambda ctx, wl: algorithm2(
+        ctx, wl.left, wl.right, Equality("key"), max(1, wl.max_matches), memory=2),
+    "algorithm3": lambda ctx, wl: algorithm3(
+        ctx, wl.left, wl.right, "key", max(1, wl.max_matches)),
+    "algorithm4": lambda ctx, wl: algorithm4(ctx, [wl.left, wl.right], PRED),
+    "algorithm5": lambda ctx, wl: algorithm5(
+        ctx, [wl.left, wl.right], PRED, memory=3),
+    "algorithm6": lambda ctx, wl: algorithm6(
+        ctx, [wl.left, wl.right], PRED, memory=3, epsilon=1e-20),
+}
+
+
+def run_twice(name, seed=5):
+    """One algorithm over one workload, cache off then cache on."""
+    wl = equijoin_workload(8, 10, 5, rng=random.Random(400 + seed))
+    outs = []
+    for cache in (False, True):
+        context = fresh_context(seed=seed, plaintext_cache=cache)
+        out = ALGORITHMS[name](context, wl)
+        outs.append((out, context.coprocessor))
+    return outs
+
+
+@pytest.mark.parametrize("name", sorted(ALGORITHMS))
+class TestCacheIsObservablyInvisible:
+    def test_trace_and_stats_identical(self, name):
+        (off, _), (on, _) = run_twice(name)
+        assert off.trace.fingerprint() == on.trace.fingerprint()
+        assert off.stats == on.stats
+        assert list(off.result) == list(on.result)
+
+    def test_modeled_counters_identical(self, name):
+        (_, t_off), (_, t_on) = run_twice(name)
+        assert t_off.decryptions == t_on.decryptions
+        assert t_off.encryptions == t_on.encryptions
+
+    def test_physical_counter_invariants(self, name):
+        (_, t_off), (_, t_on) = run_twice(name)
+        # Cache off: every modeled decryption was physically executed.
+        assert t_off.physical_decryptions == t_off.decryptions
+        assert t_off.cache_hits == 0
+        assert t_off.cache_entries == 0
+        # Cache on: the split is exact and the fast path actually fires.
+        assert t_on.physical_decryptions + t_on.cache_hits == t_on.decryptions
+        assert t_on.cache_hits > 0
+        assert t_on.physical_decryptions < t_off.physical_decryptions
+
+
+def test_cache_differential_holds_under_ocb():
+    """Same invisibility property under the faithful (slow) provider."""
+    wl = equijoin_workload(6, 8, 4, rng=random.Random(77))
+    outs = []
+    for cache in (False, True):
+        context = JoinContext.fresh(provider=OcbProvider(KEY), seed=3,
+                                    plaintext_cache=cache)
+        outs.append(algorithm6(context, [wl.left, wl.right], PRED,
+                               memory=3, epsilon=1e-20))
+    off, on = outs
+    assert off.trace.fingerprint() == on.trace.fingerprint()
+    assert off.stats == on.stats
+    assert list(off.result) == list(on.result)
+
+
+class TestCacheSemantics:
+    def rig(self, cache=True):
+        host = HostMemory()
+        t = SecureCoprocessor(host, FastProvider(KEY), plaintext_cache=cache)
+        host.allocate("R", 4)
+        return host, t
+
+    def test_get_after_put_hits(self):
+        _, t = self.rig()
+        t.put("R", 0, b"tuple-0")
+        assert t.get("R", 0) == b"tuple-0"
+        assert t.cache_hits == 1
+        assert t.physical_decryptions == 0
+        assert t.decryptions == 1  # modeled count still charged
+
+    def test_read_through_population(self):
+        """Ciphertext written outside T (an upload) is cached after the first
+        verified decrypt, so re-scans of input regions hit."""
+        host, t = self.rig()
+        host.write_slot("R", 1, FastProvider(KEY).encrypt(b"uploaded"))
+        assert t.get("R", 1) == b"uploaded"
+        assert (t.physical_decryptions, t.cache_hits) == (1, 0)
+        assert t.get("R", 1) == b"uploaded"
+        assert (t.physical_decryptions, t.cache_hits) == (1, 1)
+
+    def test_rewrite_misses(self):
+        """A slot rewritten host-side (new ciphertext) takes the physical
+        decrypt+authenticate path."""
+        host, t = self.rig()
+        t.put("R", 0, b"old")
+        host.write_slot("R", 0, FastProvider(KEY).encrypt(b"new"))
+        assert t.get("R", 0) == b"new"
+        assert t.cache_hits == 0
+        assert t.physical_decryptions == 1
+
+    def test_tampered_slot_still_detected(self):
+        host, t = self.rig()
+        t.put("R", 0, b"protected")
+        corrupted = bytearray(host.read_slot("R", 0))
+        corrupted[-1] ^= 0x01
+        host.write_slot("R", 0, bytes(corrupted))
+        with pytest.raises(AuthenticationError):
+            t.get("R", 0)
+        assert t.cache_hits == 0
+
+    def test_replayed_slot_misses_cache(self):
+        """Moving a valid ciphertext to another slot must not hit the moved-to
+        slot's cache entry (the ciphertext differs byte-for-byte)."""
+        host, t = self.rig()
+        t.put("R", 0, b"slot-zero")
+        t.put("R", 1, b"slot-one")
+        host.write_slot("R", 1, host.read_slot("R", 0))
+        assert t.get("R", 1) == b"slot-zero"  # residual gap, same as cache-off
+        assert t.cache_hits == 0
+        assert t.physical_decryptions == 1
+
+    def test_clear_cache(self):
+        _, t = self.rig()
+        t.put("R", 0, b"kept")
+        assert t.cache_entries == 1
+        t.clear_cache()
+        assert t.cache_entries == 0
+        assert t.get("R", 0) == b"kept"
+        assert (t.physical_decryptions, t.cache_hits) == (1, 0)
+
+    def test_cache_disabled_records_nothing(self):
+        _, t = self.rig(cache=False)
+        t.put("R", 0, b"plain")
+        assert t.cache_entries == 0
+        assert t.get("R", 0) == b"plain"
+        assert (t.physical_decryptions, t.cache_hits) == (1, 0)
+
+    def test_algorithms_abort_on_tamper_with_cache_on(self):
+        """Section 3.3.1's detect-and-terminate survives the fast path."""
+        wl = equijoin_workload(6, 6, 3, rng=random.Random(91))
+        host = TamperingHost(tamper_at_read=7)
+        provider = FastProvider(KEY)
+        t = SecureCoprocessor(host, provider, plaintext_cache=True)
+        context = JoinContext(host=host, coprocessor=t, provider=provider,
+                              rng=random.Random(0))
+        with pytest.raises(AuthenticationError):
+            algorithm5(context, [wl.left, wl.right], PRED, memory=3)
+        assert host.tampered
+
+
+class TestBatchedOps:
+    def test_get_many_matches_sequence_of_gets(self):
+        host = HostMemory()
+        t = SecureCoprocessor(host, FastProvider(KEY))
+        host.allocate("R", 3)
+        t.put_many((("R", i, b"v%d" % i) for i in range(3)))
+        batched = t.get_many((("R", i) for i in range(3)))
+        assert batched == [b"v0", b"v1", b"v2"]
+        # Trace carries one event per slot, exactly as unbatched code emits.
+        trace = t.reset_trace()
+        assert trace.count(op="put", region="R") == 3
+        assert trace.count(op="get", region="R") == 3
+
+    def test_append_many_returns_indices(self):
+        host = HostMemory()
+        t = SecureCoprocessor(host, FastProvider(KEY))
+        host.allocate("out", 0)
+        assert t.append_many("out", [b"a", b"b", b"c"]) == [0, 1, 2]
+        assert t.get_many((("out", i) for i in range(3))) == [b"a", b"b", b"c"]
+
+    def test_batched_trace_equals_unbatched_trace(self):
+        def drive(t):
+            t.put("S", 0, b"x")
+            t.put("S", 1, b"y")
+            return t.get("S", 0), t.get("S", 1)
+
+        def drive_batched(t):
+            t.put_many((("S", 0, b"x"), ("S", 1, b"y")))
+            return tuple(t.get_many((("S", 0), ("S", 1))))
+
+        results = []
+        for driver in (drive, drive_batched):
+            host = HostMemory()
+            t = SecureCoprocessor(host, FastProvider(KEY), trace_factory=Trace)
+            host.allocate("S", 2)
+            out = driver(t)
+            results.append((out, t.reset_trace().fingerprint()))
+        assert results[0] == results[1]
