@@ -1,0 +1,170 @@
+"""Benchmark fault-tolerance overhead; emit BENCH_faults.json.
+
+Standalone (not a pytest-benchmark module) so CI can run it as a smoke step::
+
+    PYTHONPATH=src python benchmarks/bench_faults.py --small --check
+
+Measures, per algorithm:
+
+* the fault-free baseline (no checkpointing) wall-clock;
+* the same run under periodic sealed checkpointing — the pure overhead a
+  deployment pays for crash tolerance when nothing ever fails;
+* a crash-recovery run (coprocessor crashes mid-join, resumes off the
+  journal) — the cost of actually using the machinery, with the retry and
+  replay counters that explain it.
+
+Every variant must produce the same trace fingerprint as the baseline:
+checkpointing and recovery are invisible at the logical T/H boundary.
+``--check`` exits non-zero on a fingerprint mismatch or when the fault-free
+checkpointing overhead exceeds ``--max-overhead`` (a multiplier on baseline
+wall-clock), so a regression that makes crash tolerance unaffordable fails
+CI rather than silently shipping.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import random
+import sys
+import time
+
+from repro.core.algorithm1 import algorithm1
+from repro.core.algorithm5 import algorithm5
+from repro.core.base import JoinContext
+from repro.crypto.provider import FastProvider
+from repro.faults.plan import crash_plan
+from repro.faults.recovery import run_with_recovery
+from repro.hardware.faulty import FaultyHost
+from repro.hardware.host import HostMemory
+from repro.relational.generate import equijoin_workload
+from repro.relational.predicates import BinaryAsMulti, Equality
+
+KEY = b"bench-faults-session-key-0001"
+DEFAULT_OUTPUT = pathlib.Path(__file__).parent / "results" / "BENCH_faults.json"
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result
+
+
+def _runners(small: bool) -> dict:
+    left, right = (10, 12) if small else (24, 30)
+    wl4 = equijoin_workload(left, right, 6, rng=random.Random(4),
+                            max_matches=2)
+    wl5 = equijoin_workload(left, right, 6, rng=random.Random(5))
+    return {
+        "algorithm1": lambda ctx: algorithm1(ctx, wl4.left, wl4.right,
+                                             Equality("key"), 2),
+        "algorithm5": lambda ctx: algorithm5(ctx, [wl5.left, wl5.right],
+                                             BinaryAsMulti(Equality("key")),
+                                             memory=4),
+    }
+
+
+def bench_algorithm(name: str, runner, interval: int) -> dict:
+    baseline_seconds, baseline = _timed(
+        lambda: runner(JoinContext.fresh(provider=FastProvider(KEY), seed=0)))
+    fingerprint = baseline.trace.fingerprint()
+    transfers = baseline.stats.total
+
+    # Fault-free, checkpoint every `interval` boundary ops: pure overhead.
+    ckpt_seconds, ckpt = _timed(lambda: run_with_recovery(
+        HostMemory(), FastProvider(KEY), runner,
+        checkpoint_interval=interval))
+
+    # Crash mid-run, resume off the journal: the machinery in anger.
+    crash_at = max(1, transfers // 2)
+    host = FaultyHost(HostMemory(), crash_plan(at_ops=(crash_at,)))
+    recover_seconds, recovered = _timed(lambda: run_with_recovery(
+        host, FastProvider(KEY), runner,
+        checkpoint_interval=interval, max_attempts=4))
+
+    fingerprints_match = (
+        ckpt.result.trace.fingerprint() == fingerprint
+        and recovered.result.trace.fingerprint() == fingerprint
+        and ckpt.result.result.same_multiset(baseline.result)
+        and recovered.result.result.same_multiset(baseline.result)
+    )
+    return {
+        "transfers": transfers,
+        "checkpoint_interval": interval,
+        "baseline": {"seconds": round(baseline_seconds, 4)},
+        "checkpointed": {
+            "seconds": round(ckpt_seconds, 4),
+            "checkpoints_sealed": ckpt.checkpoints_sealed,
+            "overhead_x": round(ckpt_seconds / baseline_seconds, 2),
+        },
+        "crash_recovery": {
+            "seconds": round(recover_seconds, 4),
+            "crash_at_op": crash_at,
+            "attempts": recovered.attempts,
+            "replayed_transfers": recovered.replayed_transfers,
+            "checkpoints_sealed": recovered.checkpoints_sealed,
+            "overhead_x": round(recover_seconds / baseline_seconds, 2),
+        },
+        "fingerprints_match": fingerprints_match,
+    }
+
+
+def run(small: bool, interval: int) -> dict:
+    return {
+        "benchmark": "fault tolerance (sealed checkpoints + crash recovery)",
+        "scale": "small" if small else "full",
+        "provider": "FastProvider",
+        **{name: bench_algorithm(name, runner, interval)
+           for name, runner in _runners(small).items()},
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--small", action="store_true",
+                        help="CI smoke scale (seconds, not minutes)")
+    parser.add_argument("--check", action="store_true",
+                        help="exit 1 on fingerprint mismatch or when "
+                             "fault-free checkpointing overhead exceeds "
+                             "--max-overhead")
+    parser.add_argument("--max-overhead", type=float, default=25.0,
+                        help="ceiling on checkpointed/baseline wall-clock")
+    parser.add_argument("--interval", type=int, default=16,
+                        help="boundary ops between sealed checkpoints")
+    parser.add_argument("--output", type=pathlib.Path, default=DEFAULT_OUTPUT)
+    args = parser.parse_args(argv)
+
+    report = run(small=args.small, interval=args.interval)
+    args.output.parent.mkdir(exist_ok=True)
+    args.output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+    names = [k for k in report if k.startswith("algorithm")]
+    for name in names:
+        section = report[name]
+        print(f"{name}: baseline {section['baseline']['seconds']}s, "
+              f"checkpointed x{section['checkpointed']['overhead_x']} "
+              f"({section['checkpointed']['checkpoints_sealed']} seals), "
+              f"crash recovery x{section['crash_recovery']['overhead_x']} "
+              f"({section['crash_recovery']['replayed_transfers']} replayed), "
+              f"fingerprints {'match' if section['fingerprints_match'] else 'DIFFER'}")
+    print(f"report written to {args.output}")
+
+    if args.check:
+        failed = [
+            name for name in names
+            if not report[name]["fingerprints_match"]
+            or report[name]["checkpointed"]["overhead_x"] > args.max_overhead
+        ]
+        if failed:
+            print(f"FAIL: fingerprint mismatch or overhead above "
+                  f"x{args.max_overhead} on: {', '.join(failed)}",
+                  file=sys.stderr)
+            return 1
+        print(f"check passed: fingerprints match, checkpoint overhead <= "
+              f"x{args.max_overhead}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

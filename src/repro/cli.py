@@ -174,6 +174,42 @@ def _cmd_trace(args: argparse.Namespace) -> None:
         print(render_phase_table(phases, title="phase breakdown"))
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis.report import render_table
+    from repro.faults.chaos import run_chaos
+
+    names = args.algorithms.split(",") if args.algorithms else None
+    report = run_chaos(algorithms=names, seed=args.seed, crashes=args.crashes,
+                       interval=args.interval, small=args.small)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        rows = [
+            {
+                "algorithm": a.algorithm,
+                "transfers": a.transfers,
+                "crashes": len(a.crash_points),
+                "attempts": a.attempts,
+                "checkpoints": a.checkpoints_sealed,
+                "replayed": a.replayed_transfers,
+                "verdict": "ok" if a.ok else "FAIL",
+            }
+            for a in report.algorithms
+        ]
+        print(render_table(rows, title=(
+            f"chaos sweep (seed={report.seed}, interval={report.interval}, "
+            f"{'small' if report.small else 'full'})"
+        )))
+        print("recovered runs match fault-free results, trace fingerprints, "
+              "and privacy checks" if report.ok
+              else "CHAOS FAILURES — see verdict column")
+    if args.check and not report.ok:
+        return 1
+    return 0
+
+
 def _cmd_metrics(args: argparse.Namespace) -> None:
     import json
 
@@ -243,6 +279,24 @@ def build_parser() -> argparse.ArgumentParser:
     metrics.add_argument("--runs", type=int, default=1)
     metrics.add_argument("--format", default="json", choices=["json", "prom"])
 
+    chaos = sub.add_parser(
+        "chaos",
+        help="seeded fault sweep: crash every safe algorithm and verify recovery",
+    )
+    chaos.add_argument("--small", action="store_true",
+                       help="CI smoke scale (seconds, not minutes)")
+    chaos.add_argument("--check", action="store_true",
+                       help="exit 1 unless every algorithm recovers cleanly")
+    chaos.add_argument("--json", action="store_true",
+                       help="emit the full report as JSON")
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--crashes", type=int, default=3,
+                       help="crash points sampled per algorithm")
+    chaos.add_argument("--interval", type=int, default=8,
+                       help="checkpoint every this many boundary ops")
+    chaos.add_argument("--algorithms", default="",
+                       help="comma-separated subset (default: all safe algorithms)")
+
     sub.add_parser("errata", help="paper errata found during reproduction")
     sub.add_parser("report", help="run the full reproduction report card")
     return parser
@@ -261,6 +315,8 @@ def main(argv: list[str] | None = None) -> int:
             _cmd_trace(args)
         elif args.command == "metrics":
             _cmd_metrics(args)
+        elif args.command == "chaos":
+            return _cmd_chaos(args)
         elif args.command == "errata":
             print(ERRATA)
         elif args.command == "report":

@@ -24,6 +24,7 @@ This module wires the pieces into the end-to-end flow the paper describes:
 from __future__ import annotations
 
 import hashlib
+import random
 from dataclasses import dataclass
 from typing import Callable, Literal
 
@@ -33,6 +34,8 @@ from repro.core.algorithm6 import algorithm6
 from repro.core.base import JoinContext, JoinResult
 from repro.crypto.provider import FastProvider, OcbProvider
 from repro.errors import AuthenticationError, ContractError
+from repro.hardware.coprocessor import SecureCoprocessor
+from repro.hardware.host import HostMemory
 from repro.obs.metrics import MetricsRegistry, instrument_coprocessor, instrument_join
 from repro.relational.predicates import MultiPredicate
 from repro.relational.relation import Relation
@@ -108,13 +111,32 @@ class Party:
 
 
 class JoinService:
-    """The PPJ service provider: host + coprocessor + contract arbitration."""
+    """The PPJ service provider: host + coprocessor + contract arbitration.
+
+    ``checkpoint_interval`` switches the service into fault-tolerant mode:
+    joins run under :func:`~repro.faults.recovery.run_with_recovery`, sealing
+    checkpoints every that-many boundary ops and restarting (up to
+    ``max_attempts`` total attempts) after coprocessor crashes.  ``host``
+    lets a deployment inject its own storage — e.g. a
+    :class:`~repro.hardware.faulty.FaultyHost` in a chaos drill.
+    """
 
     APPLICATION_CODE = "repro-ppj-service-v1"
 
-    def __init__(self, memory: int = 64, seed: int = 0) -> None:
-        self.context = JoinContext.fresh(
-            provider=OcbProvider(b"service-working-key-0001"), seed=seed
+    def __init__(self, memory: int = 64, seed: int = 0,
+                 checkpoint_interval: int | None = None,
+                 host: HostMemory | None = None,
+                 max_attempts: int = 8) -> None:
+        self._host = host if host is not None else HostMemory()
+        self._provider = OcbProvider(b"service-working-key-0001")
+        self._seed = seed
+        self.checkpoint_interval = checkpoint_interval
+        self.max_attempts = max_attempts
+        self.context = JoinContext(
+            host=self._host,
+            coprocessor=SecureCoprocessor(self._host, self._provider),
+            provider=self._provider,
+            rng=random.Random(seed),
         )
         self.memory = memory
         self.metrics = MetricsRegistry()
@@ -189,22 +211,43 @@ class JoinService:
                 raise ContractError(f"owner {owner!r} has not uploaded data yet")
             relations.append(upload)
 
-        runner: Callable[[], JoinResult]
+        runner: Callable[[JoinContext], JoinResult]
         if algorithm == "algorithm4":
-            runner = lambda: algorithm4(self.context, relations, predicate)
+            runner = lambda context: algorithm4(context, relations, predicate)
         elif algorithm == "algorithm5":
-            runner = lambda: algorithm5(
-                self.context, relations, predicate, memory=self.memory
+            runner = lambda context: algorithm5(
+                context, relations, predicate, memory=self.memory
             )
         elif algorithm == "algorithm6":
-            runner = lambda: algorithm6(
-                self.context, relations, predicate, memory=self.memory, epsilon=epsilon
+            runner = lambda context: algorithm6(
+                context, relations, predicate, memory=self.memory, epsilon=epsilon
             )
         else:
             raise ContractError(f"unknown algorithm {algorithm!r}")
-        result = runner()
+
+        if self.checkpoint_interval is not None:
+            # Fault-tolerant mode: checkpoint every N boundary ops and restart
+            # after coprocessor crashes.  Imported lazily — repro.faults sits
+            # above repro.core in the layering.
+            from repro.faults.recovery import run_with_recovery
+
+            report = run_with_recovery(
+                self._host, self._provider, runner, seed=self._seed,
+                checkpoint_interval=self.checkpoint_interval,
+                max_attempts=self.max_attempts,
+            )
+            result = report.result
+            self.metrics.counter(
+                "recovery_attempts_total", "join attempts including restarts",
+                algorithm=algorithm).inc(report.attempts)
+            self.metrics.counter(
+                "recovery_crashes_total", "coprocessor crashes survived",
+                algorithm=algorithm).inc(report.crashes)
+            instrument_coprocessor(self.metrics, report.coprocessor)
+        else:
+            result = runner(self.context)
+            instrument_coprocessor(self.metrics, self.context.coprocessor)
         instrument_join(self.metrics, algorithm, result)
-        instrument_coprocessor(self.metrics, self.context.coprocessor)
         return result
 
     def deliver(self, result: JoinResult, recipient: Party, contract_id: str) -> Relation:

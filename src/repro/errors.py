@@ -54,3 +54,50 @@ class ContractError(ReproError):
 
 class ConfigurationError(ReproError):
     """An algorithm or cost model was given inconsistent parameters."""
+
+
+class TransientHostError(ReproError):
+    """A host storage operation failed transiently (dropped read, I/O stall).
+
+    The paper's T "relies on the host for storage"; a real host drops reads
+    and stalls writes.  Transient failures are the *only* failures the secure
+    coprocessor may retry: the re-issued request targets the identical
+    (op, region, index), so the declared access pattern is unchanged.
+    Authentication failures are never transient and must still abort
+    immediately (Section 3.3.1).
+    """
+
+
+class CoprocessorCrashError(ReproError):
+    """The secure coprocessor lost its volatile state mid-computation.
+
+    Models an enclave restart / power event on a 4758-class device: all
+    in-enclave state (plaintext slots, buffers, counters) is gone, while the
+    host's memory — including any sealed checkpoints — survives.
+    """
+
+
+class CheckpointError(ReproError):
+    """A sealed checkpoint could not be written, validated, or replayed.
+
+    Raised when recovery finds no usable checkpoint, when a sealed manifest's
+    digests do not match the stored segments, or when deterministic replay
+    diverges from the journalled access sequence.
+    """
+
+
+#: Every public exception in the hierarchy, for introspection and re-export.
+__all__ = [
+    "ReproError",
+    "SchemaError",
+    "CodecError",
+    "AuthenticationError",
+    "EnclaveMemoryError",
+    "HostMemoryError",
+    "BlemishError",
+    "ContractError",
+    "ConfigurationError",
+    "TransientHostError",
+    "CoprocessorCrashError",
+    "CheckpointError",
+]

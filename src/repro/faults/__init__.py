@@ -1,0 +1,59 @@
+"""Fault injection, retry, and oblivious checkpoint/resume for the T/H boundary.
+
+The paper's T "relies on the host for storage" (Section 3.2); this package
+makes that reliance survivable without turning recovery into a side channel:
+
+* :mod:`repro.faults.plan` — declarative, seed-deterministic
+  :class:`FaultPlan`/:class:`FaultSpec` driving the
+  :class:`~repro.hardware.faulty.FaultyHost` wrapper;
+* :class:`~repro.hardware.resilience.RetryPolicy` — bounded backoff for
+  transient host faults (authentication failures still abort immediately);
+* :mod:`repro.faults.checkpoint` — sealed journal + host-image checkpoints
+  in a dedicated host region, outside the traced boundary;
+* :mod:`repro.faults.recovery` — deterministic re-execution with journal
+  replay: a recovered run's logical trace is bit-identical to an
+  uninterrupted one;
+* :mod:`repro.faults.chaos` — the seeded sweep crashing every safe algorithm
+  and proving result, fingerprint, and privacy-checker equivalence.
+"""
+
+from repro.faults.plan import (
+    CRASH,
+    KINDS,
+    SLOW,
+    TRANSIENT_READ,
+    TRANSIENT_WRITE,
+    CompiledFaultPlan,
+    FaultPlan,
+    FaultSpec,
+    crash_plan,
+    transient_plan,
+)
+from repro.faults.checkpoint import (
+    CHECKPOINT_REGION,
+    CheckpointState,
+    CheckpointStore,
+    base_host,
+)
+from repro.faults.recovery import RecoveryHost, RecoveryReport, run_with_recovery
+from repro.faults.chaos import (
+    SAFE_ALGORITHMS,
+    AlgorithmChaos,
+    ChaosReport,
+    chaos_algorithm,
+    run_chaos,
+)
+from repro.hardware.faulty import FaultyHost
+from repro.hardware.resilience import JournalEntry, ReplayCursor, RetryPolicy
+
+__all__ = [
+    "CRASH", "KINDS", "SLOW", "TRANSIENT_READ", "TRANSIENT_WRITE",
+    "CompiledFaultPlan", "FaultPlan", "FaultSpec", "crash_plan",
+    "transient_plan",
+    "CHECKPOINT_REGION", "CheckpointState", "CheckpointStore", "base_host",
+    "RecoveryHost", "RecoveryReport", "run_with_recovery",
+    "SAFE_ALGORITHMS", "AlgorithmChaos", "ChaosReport", "chaos_algorithm",
+    "run_chaos",
+    "FaultyHost",
+    "JournalEntry", "ReplayCursor", "RetryPolicy",
+]

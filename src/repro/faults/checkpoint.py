@@ -1,0 +1,190 @@
+"""Sealed checkpoints: the host-resident state a crashed coprocessor resumes from.
+
+Recovery here is *deterministic re-execution with a sealed input tape*.  A
+checkpoint taken after boundary operation C consists of:
+
+* the **journal** — one record per boundary operation since the previous
+  checkpoint (a ``get``'s decrypted plaintext, a ``put``'s (op, region,
+  index); appends record the index the host assigned).  The journal is the
+  enclave's input tape: because every safe algorithm is deterministic given
+  its inputs and seed, replaying the tape reconstructs all in-enclave state
+  without touching the host;
+* the **host image** — a full snapshot of every region's ciphertext slots at
+  operation C.  Restoring it rolls back writes the crashed attempt made
+  *after* C, so re-executed appends and host-side copies cannot double-apply
+  and re-reads of since-overwritten slots stay consistent;
+* the **manifest** — operation count plus SHA-256 digests of the sealed
+  segment and snapshot blobs, written *last* so a torn checkpoint is
+  detected (digest mismatch → :class:`~repro.errors.CheckpointError`) rather
+  than trusted.
+
+Everything is sealed (encrypted + authenticated) under T's own provider
+before it touches the host, so checkpoints leak nothing beyond their number
+and size, and a tampered checkpoint aborts with
+:class:`~repro.errors.AuthenticationError` exactly like any other tampered
+slot (Section 3.3.1).  Checkpoint I/O goes to the *base* host — beneath any
+:class:`~repro.hardware.faulty.FaultyHost` wrapper and outside the traced
+T/H boundary — so it neither perturbs the logical trace the privacy checker
+fingerprints nor gets wiped by the faults it guards against.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+from dataclasses import dataclass
+
+from repro.crypto.provider import CryptoProvider
+from repro.errors import CheckpointError, HostMemoryError
+from repro.hardware.host import HostMemory
+from repro.hardware.resilience import JournalEntry
+
+#: The dedicated host region sealed checkpoints live in.  Excluded from host
+#: images so a restore never rolls back the store itself.
+CHECKPOINT_REGION = "__checkpoint__"
+
+
+def base_host(host) -> HostMemory:
+    """Peel fault-injection and recovery wrappers down to raw storage."""
+    while hasattr(host, "inner"):
+        host = host.inner
+    return host
+
+
+def _b64(data: bytes | None) -> str | None:
+    return None if data is None else base64.b64encode(data).decode("ascii")
+
+
+def _unb64(data: str | None) -> bytes | None:
+    return None if data is None else base64.b64decode(data)
+
+
+def _digest(blob: bytes) -> str:
+    return hashlib.sha256(blob).hexdigest()
+
+
+@dataclass
+class CheckpointState:
+    """A loaded checkpoint: resume point, input tape, and host image."""
+
+    ops: int
+    entries: list[JournalEntry]
+    snapshot: dict[str, list[bytes | None]]
+
+
+class CheckpointStore:
+    """Reads and writes sealed checkpoints in a dedicated host region.
+
+    Layout: slot 0 holds the manifest, slot 1 the host image, slots 2+ the
+    journal segments (one appended per commit).  The manifest is always
+    written last, so the store's visible state moves atomically from one
+    consistent checkpoint to the next.
+    """
+
+    MANIFEST_SLOT = 0
+    SNAPSHOT_SLOT = 1
+
+    def __init__(self, host, provider: CryptoProvider,
+                 region: str = CHECKPOINT_REGION) -> None:
+        self.host = base_host(host)
+        self.provider = provider
+        self.region = region
+        self.commits = 0
+        self._segments: list[list] = []  # [slot, digest] per sealed segment
+
+    # -- sealing -------------------------------------------------------------
+    def _seal(self, obj) -> bytes:
+        return self.provider.encrypt(
+            json.dumps(obj, separators=(",", ":")).encode("utf-8")
+        )
+
+    def _unseal(self, blob: bytes):
+        return json.loads(self.provider.decrypt(blob).decode("utf-8"))
+
+    # -- writing -------------------------------------------------------------
+    def initialize(self) -> None:
+        """Write checkpoint zero: the pristine host, an empty journal.
+
+        Guarantees recovery always has a resume point — a crash before the
+        first periodic commit restarts the run from the top against the
+        initial host image.
+        """
+        if self.host.has_region(self.region):
+            self.host.free(self.region)
+        self.host.allocate(self.region, 2)
+        self._segments = []
+        self._write_image(0)
+
+    def commit(self, op_count: int, entries: list[JournalEntry]) -> None:
+        """Seal the journal segment since the last checkpoint, then the image."""
+        segment = [[e.op, e.region, e.index, _b64(e.payload)] for e in entries]
+        blob = self._seal(segment)
+        slot = self.host.append_slot(self.region, blob)
+        self._segments.append([slot, _digest(blob)])
+        self._write_image(op_count)
+        self.commits += 1
+
+    def _write_image(self, ops: int) -> None:
+        snapshot = self.host.snapshot_regions(exclude=frozenset({self.region}))
+        snap_blob = self._seal(
+            {name: [_b64(s) for s in slots] for name, slots in snapshot.items()}
+        )
+        self.host.write_slot(self.region, self.SNAPSHOT_SLOT, snap_blob)
+        manifest = {
+            "ops": ops,
+            "segments": list(self._segments),
+            "snapshot": _digest(snap_blob),
+        }
+        self.host.write_slot(self.region, self.MANIFEST_SLOT, self._seal(manifest))
+
+    # -- reading -------------------------------------------------------------
+    def load(self) -> CheckpointState:
+        """Unseal and validate the newest checkpoint.
+
+        Raises :class:`CheckpointError` when no usable checkpoint exists or a
+        digest disagrees with the manifest; a sealed blob that fails
+        authentication propagates :class:`~repro.errors.AuthenticationError`.
+        """
+        if not self.host.has_region(self.region):
+            raise CheckpointError(
+                f"no checkpoint region {self.region!r} on this host"
+            )
+        try:
+            manifest = self._unseal(
+                self.host.read_slot(self.region, self.MANIFEST_SLOT)
+            )
+        except HostMemoryError as error:
+            raise CheckpointError(f"no usable checkpoint manifest: {error}") from error
+        snap_blob = self.host.read_slot(self.region, self.SNAPSHOT_SLOT)
+        if _digest(snap_blob) != manifest["snapshot"]:
+            raise CheckpointError("host image digest disagrees with the manifest")
+        snapshot = {
+            name: [_unb64(s) for s in slots]
+            for name, slots in self._unseal(snap_blob).items()
+        }
+        entries: list[JournalEntry] = []
+        for slot, digest in manifest["segments"]:
+            blob = self.host.read_slot(self.region, slot)
+            if _digest(blob) != digest:
+                raise CheckpointError(
+                    f"journal segment in slot {slot} digest disagrees with "
+                    f"the manifest"
+                )
+            for op, region, index, payload in self._unseal(blob):
+                entries.append(JournalEntry(op, region, index, _unb64(payload)))
+        if len(entries) != manifest["ops"]:
+            raise CheckpointError(
+                f"manifest claims {manifest['ops']} journalled operations, "
+                f"segments hold {len(entries)}"
+            )
+        # Sync the in-memory segment index so a store constructed fresh over
+        # an existing checkpoint region continues the chain it just read.
+        self._segments = [list(pair) for pair in manifest["segments"]]
+        return CheckpointState(ops=manifest["ops"], entries=entries,
+                               snapshot=snapshot)
+
+    def restore(self, state: CheckpointState) -> None:
+        """Roll the host back to the checkpoint's image (store region kept)."""
+        self.host.restore_regions(state.snapshot,
+                                  exclude=frozenset({self.region}))

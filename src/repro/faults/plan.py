@@ -1,0 +1,176 @@
+"""Declarative, seed-deterministic fault plans for the untrusted host.
+
+The paper's T "relies on the host for storage" (Section 3.2) — so the host's
+failure modes are part of the threat surface even in the honest-but-curious
+model.  A :class:`FaultPlan` declares *when* and *how* the host misbehaves:
+transient read/write failures, slow responses, and crash-at-operation-k
+events that wipe the coprocessor's volatile state.  Plans are data: the same
+``(seed, specs)`` pair injects the same faults at the same host operations
+on every run, so chaos sweeps are reproducible and failures bisectable.
+
+A plan is *compiled* before use: compilation binds each spec to its own
+seeded RNG stream (independent of the other specs and of anything the
+algorithms draw), producing a :class:`CompiledFaultPlan` that a
+:class:`~repro.hardware.faulty.FaultyHost` consults once per host storage
+operation.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+#: Fault kinds a spec may declare.
+TRANSIENT_READ = "transient-read"
+TRANSIENT_WRITE = "transient-write"
+SLOW = "slow"
+CRASH = "crash"
+KINDS = (TRANSIENT_READ, TRANSIENT_WRITE, SLOW, CRASH)
+
+#: Host operation classes each kind is eligible for (``ops`` narrows further).
+_KIND_OPS = {
+    TRANSIENT_READ: ("read",),
+    TRANSIENT_WRITE: ("write", "append"),
+    SLOW: ("read", "write", "append"),
+    CRASH: ("read", "write", "append"),
+}
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One declarative fault source.
+
+    A spec fires on a host operation when its trigger matches — an explicit
+    operation number in ``at_ops`` (1-based, counted over *attempted* host
+    storage operations), a period ``every``, or a per-operation Bernoulli
+    ``probability`` — subject to the ``regions``/``ops`` filters and the
+    ``times`` cap.  ``transient-*`` kinds raise
+    :class:`~repro.errors.TransientHostError` *before* the operation executes
+    (so a retried append cannot double-apply); ``slow`` burns
+    ``delay_cycles`` on the simulated clock and lets the operation proceed;
+    ``crash`` raises :class:`~repro.errors.CoprocessorCrashError`, modelling
+    the enclave losing its volatile state while the host survives.
+    """
+
+    kind: str
+    at_ops: tuple[int, ...] = ()
+    every: int = 0
+    probability: float = 0.0
+    times: int | None = None
+    regions: tuple[str, ...] = ()
+    ops: tuple[str, ...] = ()
+    delay_cycles: int = 50
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ConfigurationError(
+                f"unknown fault kind {self.kind!r} (choose from {KINDS})"
+            )
+        if not (self.at_ops or self.every or self.probability):
+            raise ConfigurationError(
+                "a fault spec needs a trigger: at_ops, every, or probability"
+            )
+        if any(op < 1 for op in self.at_ops):
+            raise ConfigurationError("at_ops counts host operations from 1")
+        if self.every < 0:
+            raise ConfigurationError("every must be non-negative")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ConfigurationError("probability must lie in [0, 1]")
+        if self.times is not None and self.times < 1:
+            raise ConfigurationError("times must be at least 1 when given")
+        if self.delay_cycles < 0:
+            raise ConfigurationError("delay_cycles must be non-negative")
+        for op in self.ops:
+            if op not in ("read", "write", "append"):
+                raise ConfigurationError(f"unknown host op class {op!r}")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seed plus an ordered tuple of fault specs; compile before use."""
+
+    seed: int = 0
+    specs: tuple[FaultSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        # Accept any iterable of specs for ergonomics; store a tuple.
+        object.__setattr__(self, "specs", tuple(self.specs))
+
+    def compile(self) -> "CompiledFaultPlan":
+        return CompiledFaultPlan(self)
+
+
+class _SpecState:
+    """One spec's mutable trigger state inside a compiled plan."""
+
+    def __init__(self, spec: FaultSpec, rng: random.Random) -> None:
+        self.spec = spec
+        self.rng = rng
+        self.fired = 0
+
+    def fires(self, op_number: int, op: str, region: str) -> bool:
+        spec = self.spec
+        if op not in _KIND_OPS[spec.kind]:
+            return False
+        if spec.ops and op not in spec.ops:
+            return False
+        if spec.regions and region not in spec.regions:
+            return False
+        if spec.times is not None and self.fired >= spec.times:
+            return False
+        hit = False
+        if op_number in spec.at_ops:
+            hit = True
+        elif spec.every and op_number % spec.every == 0:
+            hit = True
+        elif spec.probability and self.rng.random() < spec.probability:
+            hit = True
+        if hit:
+            self.fired += 1
+        return hit
+
+
+class CompiledFaultPlan:
+    """A plan bound to per-spec RNG streams; consulted once per host op.
+
+    Each spec draws from ``Random(seed * 1_000_003 + index)`` so adding or
+    removing one spec never perturbs another's injection points — plans
+    compose the way the declarative syntax suggests.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._states = [
+            _SpecState(spec, random.Random(plan.seed * 1_000_003 + index))
+            for index, spec in enumerate(plan.specs)
+        ]
+
+    def consult(self, op_number: int, op: str, region: str) -> list[FaultSpec]:
+        """The specs firing on this host operation, in declaration order."""
+        return [s.spec for s in self._states if s.fires(op_number, op, region)]
+
+    @property
+    def total_fired(self) -> int:
+        return sum(s.fired for s in self._states)
+
+
+def crash_plan(at_ops, seed: int = 0) -> FaultPlan:
+    """A plan that crashes the coprocessor at the given host operations."""
+    return FaultPlan(seed=seed, specs=(FaultSpec(kind=CRASH, at_ops=tuple(at_ops)),))
+
+
+def transient_plan(
+    probability: float = 0.0,
+    at_ops: tuple[int, ...] = (),
+    times: int | None = None,
+    seed: int = 0,
+    kind: str = TRANSIENT_READ,
+) -> FaultPlan:
+    """A plan injecting transient storage faults (reads by default)."""
+    return FaultPlan(
+        seed=seed,
+        specs=(FaultSpec(kind=kind, probability=probability, at_ops=tuple(at_ops),
+                         times=times),),
+    )

@@ -1,0 +1,224 @@
+"""Crash recovery by deterministic re-execution over a sealed input tape.
+
+``run_with_recovery`` executes one join under checkpointing and restarts it
+after every :class:`~repro.errors.CoprocessorCrashError` until it completes:
+
+1. the last sealed checkpoint is loaded and validated, and the host rolled
+   back to its image (undoing writes the crashed attempt made after it);
+2. a **fresh** coprocessor — the crash wiped the old one's volatile state —
+   re-runs the algorithm from the top with the same seed.  While the
+   :class:`~repro.hardware.resilience.ReplayCursor` holds journalled
+   operations, every boundary op is served from the tape: no host access, no
+   physical crypto, but the identical trace event and modeled counter.  A
+   :class:`RecoveryHost` gate suppresses the re-executed prefix's host-side
+   mutations (allocations, frees, uploads, host copies), which the restored
+   image already contains;
+3. once the tape is exhausted, execution seamlessly goes live against the
+   restored host, journalling and checkpointing as usual.
+
+The completed run's logical trace is therefore bit-identical — same events,
+same StreamingTrace fingerprint — to an uninterrupted run, and the privacy
+checker accepts it unchanged: recovery adds no observable the definitions
+don't already quantify over.  What *is* observable (to the host) is the
+number and placement of checkpoint commits and restarts; both are functions
+of the declared, data-independent access pattern and the host's own fault
+process, never of tuple values (see docs/THREAT_MODEL.md).
+
+One physical caveat, invisible at the logical layer: the fresh coprocessor
+starts with a cold slot cache, so ``physical_decryptions`` after a resume can
+exceed the uninterrupted run's — the modeled counters and the trace, which
+the cost formulas and privacy proofs read, are identical.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.core.base import JoinContext, JoinResult
+from repro.crypto.provider import CryptoProvider
+from repro.errors import CheckpointError, ConfigurationError, CoprocessorCrashError
+from repro.faults.checkpoint import CheckpointStore
+from repro.hardware.coprocessor import SecureCoprocessor, TraceFactory
+from repro.hardware.resilience import ReplayCursor, RetryPolicy
+from repro.hardware.timing import VirtualClock
+
+
+class RecoveryHost:
+    """Gate between a resumed run and the restored host.
+
+    While the replay cursor is active, the re-executed prefix's host-side
+    mutations are suppressed — the restored checkpoint image already holds
+    their effects — and reads pass through.  Once the cursor is exhausted
+    the gate is transparent.  Boundary reads/writes never reach the gate
+    during replay at all (the coprocessor serves them from the journal);
+    what lands here is the algorithm's direct host management: region
+    allocation, uploads, frees, and host-side copies.
+    """
+
+    def __init__(self, inner, cursor: ReplayCursor | None = None) -> None:
+        self.inner = inner
+        self.cursor = cursor
+        self.suppressed_mutations = 0
+
+    @property
+    def replaying(self) -> bool:
+        return self.cursor is not None and self.cursor.active
+
+    def _suppress(self) -> bool:
+        if self.replaying:
+            self.suppressed_mutations += 1
+            return True
+        return False
+
+    # -- mutations: suppressed during replay ---------------------------------
+    def allocate(self, name: str, size: int) -> None:
+        if not self._suppress():
+            self.inner.allocate(name, size)
+
+    def allocate_from(self, name: str, ciphertexts: Iterable[bytes]) -> None:
+        # The upload's encryptions still happen in T (burning fresh nonces);
+        # only the host-side store is suppressed — the image already has it.
+        if self._suppress():
+            list(ciphertexts)
+        else:
+            self.inner.allocate_from(name, ciphertexts)
+
+    def free(self, name: str) -> None:
+        if not self._suppress():
+            self.inner.free(name)
+
+    def write_slot(self, name: str, index: int, ciphertext: bytes) -> None:
+        if not self._suppress():
+            self.inner.write_slot(name, index, ciphertext)
+
+    def append_slot(self, name: str, ciphertext: bytes) -> int:
+        if self._suppress():
+            return self.inner.size(name) - 1
+        return self.inner.append_slot(name, ciphertext)
+
+    def host_copy(self, src: str, src_start: int, count: int, dst: str) -> None:
+        if not self._suppress():
+            self.inner.host_copy(src, src_start, count, dst)
+
+    def host_copy_into(self, src: str, src_start: int, count: int, dst: str,
+                       dst_start: int) -> None:
+        if not self._suppress():
+            self.inner.host_copy_into(src, src_start, count, dst, dst_start)
+
+    # -- reads: delegated -----------------------------------------------------
+    def read_slot(self, name: str, index: int) -> bytes:
+        return self.inner.read_slot(name, index)
+
+    def has_region(self, name: str) -> bool:
+        return self.inner.has_region(name)
+
+    def size(self, name: str) -> int:
+        return self.inner.size(name)
+
+    def region_names(self) -> list[str]:
+        return self.inner.region_names()
+
+    def region_bytes(self, name: str) -> list[bytes | None]:
+        return self.inner.region_bytes(name)
+
+    def snapshot_regions(self, exclude: frozenset[str] = frozenset()):
+        return self.inner.snapshot_regions(exclude=exclude)
+
+    def restore_regions(self, snapshot, exclude: frozenset[str] = frozenset()) -> None:
+        self.inner.restore_regions(snapshot, exclude=exclude)
+
+
+@dataclass
+class RecoveryReport:
+    """Outcome of a checkpointed run, possibly spanning several attempts."""
+
+    result: JoinResult
+    attempts: int
+    crashes: int
+    retries: int
+    replayed_transfers: int
+    checkpoints_sealed: int
+    suppressed_mutations: int
+    coprocessor: SecureCoprocessor  # the final attempt's device
+
+
+def run_with_recovery(
+    host,
+    provider: CryptoProvider,
+    run: Callable[[JoinContext], JoinResult],
+    *,
+    seed: int = 0,
+    memory_limit: int | None = None,
+    checkpoint_interval: int = 32,
+    max_attempts: int = 10,
+    retry: RetryPolicy | None = None,
+    clock: VirtualClock | None = None,
+    trace_factory: TraceFactory | None = None,
+    plaintext_cache: bool = True,
+    name: str = "T0",
+) -> RecoveryReport:
+    """Execute ``run(context)`` to completion across coprocessor crashes.
+
+    ``run`` must be deterministic given the context (same inputs, same
+    ``seed``) — every safe algorithm here is.  The provider instance is
+    shared across attempts so sealed state stays decryptable and nonces never
+    repeat.  Non-crash exceptions (including
+    :class:`~repro.errors.AuthenticationError` and retry-exhausted
+    :class:`~repro.errors.TransientHostError`) propagate immediately —
+    tampering still terminates, never restarts.
+    """
+    if checkpoint_interval < 1:
+        raise ConfigurationError("checkpoint_interval must be at least 1")
+    if max_attempts < 1:
+        raise ConfigurationError("max_attempts must be at least 1")
+    store = CheckpointStore(host, provider)
+    store.initialize()
+    crashes = retries = replayed = 0
+    for attempt in range(1, max_attempts + 1):
+        cursor = None
+        if attempt > 1:
+            state = store.load()
+            store.restore(state)
+            cursor = ReplayCursor(state.entries)
+        gate = RecoveryHost(host, cursor)
+        coprocessor = SecureCoprocessor(
+            gate, provider, memory_limit=memory_limit, name=name,
+            trace_factory=trace_factory, plaintext_cache=plaintext_cache,
+            retry=retry, clock=clock, replay=cursor,
+            checkpoint_store=store, checkpoint_interval=checkpoint_interval,
+        )
+        context = JoinContext(host=gate, coprocessor=coprocessor,
+                              provider=provider, rng=random.Random(seed))
+        try:
+            result = run(context)
+        except CoprocessorCrashError:
+            crashes += 1
+            retries += coprocessor.retries
+            replayed += coprocessor.replayed_transfers
+            continue
+        retries += coprocessor.retries
+        replayed += coprocessor.replayed_transfers
+        report = RecoveryReport(
+            result=result,
+            attempts=attempt,
+            crashes=crashes,
+            retries=retries,
+            replayed_transfers=replayed,
+            checkpoints_sealed=store.commits,
+            suppressed_mutations=gate.suppressed_mutations,
+            coprocessor=coprocessor,
+        )
+        result.meta["recovery"] = {
+            "attempts": attempt,
+            "crashes": crashes,
+            "retries": retries,
+            "replayed_transfers": replayed,
+            "checkpoints_sealed": store.commits,
+        }
+        return report
+    raise CheckpointError(
+        f"computation did not complete within {max_attempts} attempts "
+        f"({crashes} crashes)"
+    )

@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.crypto.provider import CryptoProvider
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, TransientHostError
 from repro.hardware.coprocessor import SecureCoprocessor, TraceFactory
 from repro.hardware.host import HostMemory
 
@@ -86,17 +86,48 @@ class Cluster:
         return self.total_transfers() / makespan
 
     def run_partitioned(
-        self, size: int, work: Callable[[SecureCoprocessor, range, int], None]
+        self,
+        size: int,
+        work: Callable[[SecureCoprocessor, range, int], None],
+        transient_retries: int = 0,
     ) -> list[range]:
         """Apply ``work(coprocessor, index_range, worker)`` over a balanced partition.
 
         ``worker`` is the coprocessor's position in the cluster — the
         authoritative identity for per-worker accounting (never parse it back
         out of the coprocessor's display name).
+
+        A worker raising mid-partition surfaces the failure annotated with
+        which worker and index range died, preserving the exception type so
+        callers' handling (e.g. of ``AuthenticationError``) is unchanged.
+        ``transient_retries`` re-runs a partition's work up to that many times
+        after a :class:`~repro.errors.TransientHostError` — the work must be
+        idempotent over its index range (fixed-slot writes are; blind appends
+        are not).
         """
         ranges = self.partition_range(size)
         for worker, (coprocessor, index_range) in enumerate(
             zip(self.coprocessors, ranges)
         ):
-            work(coprocessor, index_range, worker)
+            attempt = 0
+            while True:
+                try:
+                    work(coprocessor, index_range, worker)
+                    break
+                except TransientHostError:
+                    if attempt < transient_retries:
+                        attempt += 1
+                        continue
+                    raise
+                except Exception as error:
+                    note = (
+                        f"worker {worker} ({coprocessor.name}) failed on "
+                        f"partition [{index_range.start}, {index_range.stop}): "
+                        f"{error}"
+                    )
+                    try:
+                        annotated = type(error)(note)
+                    except Exception:
+                        raise  # exception type not message-constructible
+                    raise annotated from error
         return ranges

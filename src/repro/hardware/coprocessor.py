@@ -17,12 +17,14 @@ via :meth:`hold` or :meth:`buffer` and exceeding the budget raises
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Callable, Iterable, Iterator, Sequence
+from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from repro.crypto.provider import CryptoProvider
 from repro.errors import EnclaveMemoryError
 from repro.hardware.events import GET, PUT, Trace
 from repro.hardware.host import HostMemory
+from repro.hardware.resilience import JournalEntry, ReplayCursor, RetryPolicy
+from repro.hardware.timing import VirtualClock
 
 #: Builds a fresh trace sink (the default materializes a :class:`Trace`; the
 #: bounded-memory sinks live in :mod:`repro.obs.sinks`).
@@ -103,6 +105,24 @@ class SecureCoprocessor:
     ``TransferStats`` and phase breakdowns are identical with it on or off
     (``tests/test_fastpath.py``).  The physical work actually performed is
     surfaced separately as ``physical_decryptions`` and ``cache_hits``.
+
+    Fault tolerance
+    ---------------
+    The host is allowed to fail: a :class:`RetryPolicy` re-issues a host
+    call that raised :class:`~repro.errors.TransientHostError`, bounded and
+    with deterministic backoff on a simulated clock.  The retried request is
+    the *identical* (op, region, index), so the declared access pattern is
+    unchanged — only the count of physical attempts (``retries``) grows,
+    and that count depends on the host's fault process, never on the data.
+    :class:`~repro.errors.AuthenticationError` is raised by the provider
+    *after* the host bytes arrive and is never retried.
+
+    For crash recovery, a coprocessor can carry a checkpoint store (sealed
+    journal + host image committed every ``checkpoint_interval`` boundary
+    ops, outside the trace) and, on resume, a :class:`ReplayCursor` that
+    serves the journalled prefix back without touching host or crypto while
+    still recording every trace event — so a recovered run's logical trace
+    is bit-identical to an uninterrupted one (:mod:`repro.faults`).
     """
 
     def __init__(
@@ -113,6 +133,11 @@ class SecureCoprocessor:
         name: str = "T0",
         trace_factory: TraceFactory | None = None,
         plaintext_cache: bool = True,
+        retry: RetryPolicy | None = None,
+        clock: VirtualClock | None = None,
+        replay: ReplayCursor | None = None,
+        checkpoint_store: Any | None = None,
+        checkpoint_interval: int | None = None,
     ) -> None:
         self.host = host
         self.provider = provider
@@ -132,6 +157,52 @@ class SecureCoprocessor:
         self.cache_hits = 0
         self.cache_enabled = plaintext_cache
         self._cache: dict[tuple[str, int], tuple[bytes, bytes]] = {}
+        #: Fault tolerance: bounded transient-fault retry and, when recovery
+        #: is wired up, the sealed checkpoint store and replay cursor.
+        self.retry = retry
+        self.clock = clock
+        self._replay = replay
+        self.checkpoint_store = checkpoint_store
+        self.checkpoint_interval = checkpoint_interval
+        self._journal: list[JournalEntry] = []
+        #: Boundary operations completed (replayed + live) this run.
+        self.ops_completed = 0
+        self.retries = 0
+        self.replayed_transfers = 0
+        self.checkpoints_sealed = 0
+
+    # -- fault-tolerant host access -------------------------------------------
+    def _host_call(self, operation: Callable[[], Any]) -> Any:
+        """One host storage call under the retry policy (if any)."""
+        if self.retry is None:
+            return operation()
+
+        def bump() -> None:
+            self.retries += 1
+
+        return self.retry.call(operation, clock=self.clock, on_retry=bump)
+
+    def _finish_op(self, entry: JournalEntry | None) -> None:
+        """Count one completed boundary op; journal and seal checkpoints.
+
+        ``entry`` is None for replayed operations — their journal records are
+        already sealed on the host, so they are neither re-journalled nor do
+        they trigger a new checkpoint commit.
+        """
+        self.ops_completed += 1
+        if entry is None or self.checkpoint_store is None:
+            return
+        self._journal.append(entry)
+        interval = self.checkpoint_interval
+        if interval and self.ops_completed % interval == 0:
+            self.checkpoint_store.commit(self.ops_completed, self._journal)
+            self._journal = []
+            self.checkpoints_sealed += 1
+
+    @property
+    def replaying(self) -> bool:
+        """True while boundary ops are served from a recovery journal."""
+        return self._replay is not None and self._replay.active
 
     # -- memory accounting ---------------------------------------------------
     def _reserve(self, slots: int) -> None:
@@ -179,38 +250,70 @@ class SecureCoprocessor:
         decrypt (see the class docstring); a modeled decryption is charged
         either way.
         """
-        ciphertext = self.host.read_slot(region, index)
+        if self.replaying:
+            journalled = self._replay.take(GET, region, index)
+            self.trace.record(GET, region, index)
+            self.decryptions += 1
+            self.replayed_transfers += 1
+            self._finish_op(None)
+            return journalled.payload
+        ciphertext = self._host_call(lambda: self.host.read_slot(region, index))
         self.trace.record(GET, region, index)
         self.decryptions += 1
         if self.cache_enabled:
             entry = self._cache.get((region, index))
             if entry is not None and entry[0] == ciphertext:
                 self.cache_hits += 1
+                self._finish_op(JournalEntry(GET, region, index, entry[1])
+                                if self.checkpoint_store is not None else None)
                 return entry[1]
             plaintext = self.provider.decrypt(ciphertext)
             self.physical_decryptions += 1
             self._cache[(region, index)] = (ciphertext, plaintext)
+            self._finish_op(JournalEntry(GET, region, index, plaintext)
+                            if self.checkpoint_store is not None else None)
             return plaintext
         self.physical_decryptions += 1
-        return self.provider.decrypt(ciphertext)
+        plaintext = self.provider.decrypt(ciphertext)
+        self._finish_op(JournalEntry(GET, region, index, plaintext)
+                        if self.checkpoint_store is not None else None)
+        return plaintext
 
     def put(self, region: str, index: int, plaintext: bytes) -> None:
         """Write one plaintext out to a host slot, encrypting under a fresh nonce."""
+        if self.replaying:
+            self._replay.take(PUT, region, index)
+            self.trace.record(PUT, region, index)
+            self.encryptions += 1
+            self.replayed_transfers += 1
+            self._finish_op(None)
+            return
         ciphertext = self.provider.encrypt(plaintext)
-        self.host.write_slot(region, index, ciphertext)
+        self._host_call(lambda: self.host.write_slot(region, index, ciphertext))
         self.trace.record(PUT, region, index)
         self.encryptions += 1
         if self.cache_enabled:
             self._cache[(region, index)] = (ciphertext, plaintext)
+        self._finish_op(JournalEntry(PUT, region, index)
+                        if self.checkpoint_store is not None else None)
 
     def put_append(self, region: str, plaintext: bytes) -> int:
         """Append an encrypted tuple to a growable host region."""
+        if self.replaying:
+            journalled = self._replay.take(PUT, region, None)
+            self.trace.record(PUT, region, journalled.index)
+            self.encryptions += 1
+            self.replayed_transfers += 1
+            self._finish_op(None)
+            return journalled.index
         ciphertext = self.provider.encrypt(plaintext)
-        index = self.host.append_slot(region, ciphertext)
+        index = self._host_call(lambda: self.host.append_slot(region, ciphertext))
         self.trace.record(PUT, region, index)
         self.encryptions += 1
         if self.cache_enabled:
             self._cache[(region, index)] = (ciphertext, plaintext)
+        self._finish_op(JournalEntry(PUT, region, index)
+                        if self.checkpoint_store is not None else None)
         return index
 
     # -- batched boundary ops --------------------------------------------------

@@ -1,0 +1,121 @@
+"""A host whose storage fails on schedule (the chaos counterpart of adversary.py).
+
+Where :class:`~repro.hardware.adversary.TamperingHost` models a *malicious*
+host, :class:`FaultyHost` models an *unreliable* one: reads drop, writes
+stall, and the attached coprocessor can lose power mid-join.  It always wraps
+an inner host — storage semantics stay exactly the inner host's; the wrapper
+only decides, per attempted storage operation, whether a declared fault fires
+first.  Faults are raised *before* the operation executes, so a retried or
+replayed append can never double-apply.
+
+The wrapper consults a compiled fault plan (see :mod:`repro.faults.plan`) by
+duck type — anything with ``consult(op_number, op, region) -> specs`` works —
+so the hardware layer does not import the higher-level faults package.  Spec
+kinds are the plan module's string contract: ``transient-read`` /
+``transient-write`` raise :class:`~repro.errors.TransientHostError`,
+``slow`` burns ``delay_cycles`` on the simulated clock and proceeds, and
+``crash`` raises :class:`~repro.errors.CoprocessorCrashError`.
+
+Checkpoint I/O deliberately bypasses this wrapper: the sealed checkpoint
+store operates on the unwrapped base host (``repro.faults.checkpoint``), so
+recovery state survives the very faults it protects against.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import CoprocessorCrashError, TransientHostError
+from repro.hardware.host import HostMemory
+from repro.hardware.timing import VirtualClock
+
+
+class FaultyHost:
+    """Injects declared faults in front of an inner host's storage ops.
+
+    ``ops_attempted`` counts every attempted storage operation (including
+    attempts that faulted and were retried) — the 1-based counter fault
+    specs' ``at_ops`` refer to.  The host survives injected crashes, so the
+    counter keeps climbing across coprocessor restarts; a crash declared at
+    operation *k* therefore fires exactly once.
+    """
+
+    def __init__(self, inner: HostMemory, plan=None,
+                 clock: VirtualClock | None = None) -> None:
+        self.inner = inner
+        self._plan = plan.compile() if hasattr(plan, "compile") else plan
+        self.clock = clock
+        self.ops_attempted = 0
+        self.transient_faults_injected = 0
+        self.crashes_injected = 0
+        self.slow_events = 0
+
+    def _consult(self, op: str, region: str) -> None:
+        self.ops_attempted += 1
+        if self._plan is None:
+            return
+        for spec in self._plan.consult(self.ops_attempted, op, region):
+            if spec.kind == "slow":
+                self.slow_events += 1
+                if self.clock is not None:
+                    self.clock.tick(spec.delay_cycles)
+            elif spec.kind == "crash":
+                self.crashes_injected += 1
+                raise CoprocessorCrashError(
+                    f"injected crash at host operation {self.ops_attempted} "
+                    f"({op} on {region!r}): coprocessor volatile state lost"
+                )
+            else:
+                self.transient_faults_injected += 1
+                raise TransientHostError(
+                    f"injected {spec.kind} fault at host operation "
+                    f"{self.ops_attempted} ({op} on {region!r})"
+                )
+
+    # -- faultable storage operations ----------------------------------------
+    def read_slot(self, name: str, index: int) -> bytes:
+        self._consult("read", name)
+        return self.inner.read_slot(name, index)
+
+    def write_slot(self, name: str, index: int, ciphertext: bytes) -> None:
+        self._consult("write", name)
+        self.inner.write_slot(name, index, ciphertext)
+
+    def append_slot(self, name: str, ciphertext: bytes) -> int:
+        self._consult("append", name)
+        return self.inner.append_slot(name, ciphertext)
+
+    # -- transparent delegation ----------------------------------------------
+    def allocate(self, name: str, size: int) -> None:
+        self.inner.allocate(name, size)
+
+    def allocate_from(self, name: str, ciphertexts: Iterable[bytes]) -> None:
+        self.inner.allocate_from(name, ciphertexts)
+
+    def free(self, name: str) -> None:
+        self.inner.free(name)
+
+    def has_region(self, name: str) -> bool:
+        return self.inner.has_region(name)
+
+    def size(self, name: str) -> int:
+        return self.inner.size(name)
+
+    def region_names(self) -> list[str]:
+        return self.inner.region_names()
+
+    def host_copy(self, src: str, src_start: int, count: int, dst: str) -> None:
+        self.inner.host_copy(src, src_start, count, dst)
+
+    def host_copy_into(self, src: str, src_start: int, count: int, dst: str,
+                       dst_start: int) -> None:
+        self.inner.host_copy_into(src, src_start, count, dst, dst_start)
+
+    def region_bytes(self, name: str) -> list[bytes | None]:
+        return self.inner.region_bytes(name)
+
+    def snapshot_regions(self, exclude: frozenset[str] = frozenset()):
+        return self.inner.snapshot_regions(exclude=exclude)
+
+    def restore_regions(self, snapshot, exclude: frozenset[str] = frozenset()) -> None:
+        self.inner.restore_regions(snapshot, exclude=exclude)

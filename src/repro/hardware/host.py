@@ -92,7 +92,7 @@ class HostMemory:
         transfer or crypto operation is charged.
         """
         source = self._region(src)
-        if src_start < 0 or src_start + count > len(source):
+        if src_start < 0 or count < 0 or src_start + count > len(source):
             raise HostMemoryError(f"copy range out of bounds for region {src!r}")
         destination = self._region(dst)
         destination.extend(source[src_start:src_start + count])
@@ -107,7 +107,7 @@ class HostMemory:
         without ever entering T, so no transfer is charged.
         """
         source = self._region(src)
-        if src_start < 0 or src_start + count > len(source):
+        if src_start < 0 or count < 0 or src_start + count > len(source):
             raise HostMemoryError(f"copy range out of bounds for region {src!r}")
         destination = self._region(dst)
         if dst_start < 0 or dst_start + count > len(destination):
@@ -117,3 +117,36 @@ class HostMemory:
     def region_bytes(self, name: str) -> list[bytes | None]:
         """The raw slot contents — what an honest-but-curious host observes."""
         return list(self._region(name))
+
+    # -- bulk state (checkpoint/restore support, host-side and untraced) -----
+    def snapshot_regions(self, exclude: frozenset[str] = frozenset()) -> dict[str, list[bytes | None]]:
+        """A deep copy of every region's slots, minus ``exclude``.
+
+        Used by the fault-tolerance layer (:mod:`repro.faults.checkpoint`) to
+        capture the host image a sealed checkpoint rolls back to.  A pure
+        host-side bulk copy: no T/H transfer, nothing traced.
+        """
+        return {
+            name: list(slots)
+            for name, slots in self._regions.items()
+            if name not in exclude
+        }
+
+    def restore_regions(
+        self,
+        snapshot: dict[str, list[bytes | None]],
+        exclude: frozenset[str] = frozenset(),
+    ) -> None:
+        """Replace every region outside ``exclude`` with the snapshot's image.
+
+        Regions created after the snapshot are dropped, grown regions are
+        truncated, freed regions reappear — the host returns byte-for-byte to
+        the checkpointed state so deterministic replay sees exactly the
+        storage the crashed run left behind at its last checkpoint.
+        """
+        for name in [n for n in self._regions if n not in exclude]:
+            del self._regions[name]
+        for name, slots in snapshot.items():
+            if name in exclude:
+                continue
+            self._regions[name] = list(slots)

@@ -1,0 +1,138 @@
+"""Fault-tolerance primitives shared by the coprocessor and repro.faults.
+
+Three small pieces sit at the hardware layer so :class:`SecureCoprocessor`
+can use them without importing the higher-level recovery machinery:
+
+* :class:`RetryPolicy` — bounded retry-with-backoff for *transient* host
+  faults.  Backoff burns cycles on a deterministic
+  :class:`~repro.hardware.timing.VirtualClock`, so recovery timing is part
+  of the simulation, not wall clock.  Only
+  :class:`~repro.errors.TransientHostError` is ever retried; an
+  :class:`~repro.errors.AuthenticationError` is raised by the provider after
+  the host bytes arrive and never enters the retry loop — tampering still
+  terminates immediately (Section 3.3.1).
+* :class:`JournalEntry` — one boundary operation's replay record: the
+  (op, region, index) the trace declares plus, for a ``get``, the plaintext
+  T consumed.  The journal is the enclave's input tape: together with the
+  algorithm's determinism it reconstructs all in-enclave state.
+* :class:`ReplayCursor` — consumes a journal during resume.  Every replayed
+  operation is verified against the journalled (op, region, index); a
+  mismatch means the "deterministic" re-execution diverged and raises
+  :class:`~repro.errors.CheckpointError` rather than silently corrupting
+  the join.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import NamedTuple
+
+from repro.errors import CheckpointError, ConfigurationError, TransientHostError
+from repro.hardware.timing import VirtualClock
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry-with-backoff for transient host storage faults.
+
+    ``delay(attempt)`` is ``base_delay_cycles * multiplier**attempt`` — a
+    deterministic exponential backoff in simulated cycles.  The re-issued
+    request is byte-identical (same op, region, index), so the declared
+    access pattern is unchanged; only the *number* of physical attempts —
+    which depends on the host's fault process, never on the data — varies.
+    """
+
+    max_retries: int = 4
+    base_delay_cycles: int = 16
+    multiplier: int = 2
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ConfigurationError("max_retries must be non-negative")
+        if self.base_delay_cycles < 0 or self.multiplier < 1:
+            raise ConfigurationError("backoff parameters must be positive")
+
+    def delay(self, attempt: int) -> int:
+        """Simulated cycles to wait before re-issuing attempt ``attempt``."""
+        return self.base_delay_cycles * self.multiplier ** attempt
+
+    def call(self, operation, clock: VirtualClock | None = None,
+             on_retry=None):
+        """Run ``operation()``, retrying transient faults up to the bound.
+
+        ``on_retry`` (if given) is called once per re-issue — the coprocessor
+        uses it to bump its retry counter.  Any non-transient exception
+        propagates on the spot.
+        """
+        attempt = 0
+        while True:
+            try:
+                return operation()
+            except TransientHostError:
+                if attempt >= self.max_retries:
+                    raise
+                if clock is not None:
+                    clock.tick(self.delay(attempt))
+                if on_retry is not None:
+                    on_retry()
+                attempt += 1
+
+
+class JournalEntry(NamedTuple):
+    """One boundary operation as recorded for deterministic replay.
+
+    ``payload`` carries the plaintext T read for a ``get`` and ``None`` for
+    writes (a replayed write re-derives its plaintext from the re-executed
+    algorithm and is suppressed at the host, which already holds the
+    checkpointed ciphertext).
+    """
+
+    op: str        # GET or PUT (appends record the index they were assigned)
+    region: str
+    index: int
+    payload: bytes | None = None
+
+
+class ReplayCursor:
+    """Serves journalled boundary operations back to a resumed coprocessor.
+
+    While :attr:`active`, the coprocessor takes each operation's result from
+    the journal instead of the host: no physical crypto, no host access, but
+    the identical trace event.  The cursor verifies every replayed operation
+    against the journal and raises :class:`CheckpointError` on divergence.
+    """
+
+    def __init__(self, entries: list[JournalEntry]) -> None:
+        self._entries = entries
+        self._position = 0
+
+    @property
+    def active(self) -> bool:
+        return self._position < len(self._entries)
+
+    @property
+    def position(self) -> int:
+        return self._position
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def take(self, op: str, region: str, index: int | None) -> JournalEntry:
+        """Consume the next journal entry, verifying it matches the re-issued op.
+
+        ``index`` is ``None`` for appends — the journal's recorded index is
+        authoritative there (the host assigned it on the original run).
+        """
+        if not self.active:
+            raise CheckpointError("replay cursor exhausted mid-operation")
+        entry = self._entries[self._position]
+        if entry.op != op or entry.region != region or (
+            index is not None and entry.index != index
+        ):
+            raise CheckpointError(
+                f"recovery replay diverged at operation {self._position + 1}: "
+                f"journal has ({entry.op}, {entry.region!r}, {entry.index}), "
+                f"re-execution issued ({op}, {region!r}, {index})"
+            )
+        self._position += 1
+        return entry

@@ -223,8 +223,13 @@ def instrument_coprocessor(registry: MetricsRegistry, coprocessor,
     ``crypto_physical_decryptions_total`` and ``crypto_cache_hits_total``
     split the modeled decryptions into work actually executed vs. gets served
     by the write-back slot cache, so dashboards can watch the fast path's hit
-    rate without touching the cost model.  Counters are cumulative on the
-    coprocessor, so this records deltas since the previous call.
+    rate without touching the cost model.  The fault-tolerance counters —
+    ``fault_retries_total``, ``checkpoints_sealed_total``,
+    ``replayed_transfers_total`` — expose how often the boundary re-issued a
+    transient-faulted host call, sealed a recovery checkpoint, and served
+    boundary ops from a replay journal after a crash (all data-independent;
+    see docs/THREAT_MODEL.md).  Counters are cumulative on the coprocessor,
+    so this records deltas since the previous call.
     """
     labels.setdefault("coprocessor", getattr(coprocessor, "name", "T0"))
     pairs = (
@@ -237,6 +242,13 @@ def instrument_coprocessor(registry: MetricsRegistry, coprocessor,
          coprocessor.physical_decryptions),
         ("crypto_cache_hits_total", "gets served by the write-back slot cache",
          coprocessor.cache_hits),
+        ("fault_retries_total", "transient host faults retried at the boundary",
+         getattr(coprocessor, "retries", 0)),
+        ("checkpoints_sealed_total", "sealed recovery checkpoints committed",
+         getattr(coprocessor, "checkpoints_sealed", 0)),
+        ("replayed_transfers_total",
+         "boundary ops served from a recovery journal",
+         getattr(coprocessor, "replayed_transfers", 0)),
     )
     # Per-coprocessor snapshot so repeated instrumentation of one device adds
     # only its delta, while a fresh device contributes its full counts.

@@ -28,15 +28,24 @@ def pytest_addoption(parser):
         "--runslow", action="store_true", default=False,
         help="run tests marked slow (long randomized sweeps)",
     )
+    parser.addoption(
+        "--runchaos", action="store_true", default=False,
+        help="run tests marked chaos (full crash/recovery sweeps)",
+    )
 
 
 def pytest_collection_modifyitems(config, items):
-    if config.getoption("--runslow"):
-        return
-    skip_slow = pytest.mark.skip(reason="needs --runslow")
-    for item in items:
-        if "slow" in item.keywords:
-            item.add_marker(skip_slow)
+    gates = [
+        ("slow", "--runslow"),
+        ("chaos", "--runchaos"),
+    ]
+    for marker, option in gates:
+        if config.getoption(option):
+            continue
+        skip = pytest.mark.skip(reason=f"needs {option}")
+        for item in items:
+            if marker in item.keywords:
+                item.add_marker(skip)
 
 
 def keyed(name: str, rows) -> Relation:

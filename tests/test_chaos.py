@@ -1,0 +1,44 @@
+"""The chaos sweep: crash every safe algorithm, assert recovery is invisible.
+
+The full sweep (all seven safe algorithms, three randomized crash points
+each, a combined crash+transient storm, privacy-checker acceptance, and the
+tamper-abort check) runs only under ``--runchaos`` — it is the acceptance
+battery CI runs, not a unit test.  A one-algorithm smoke stays in the
+default suite so the harness itself can never silently rot.
+"""
+
+import pytest
+
+from repro.faults.chaos import SAFE_ALGORITHMS, chaos_algorithm, run_chaos
+
+
+def test_chaos_smoke_one_algorithm():
+    outcome = chaos_algorithm("algorithm2", seed=0, crashes=1, interval=8)
+    assert outcome.ok, outcome.to_dict()
+    assert outcome.crash_points and outcome.attempts >= 2
+
+
+def test_unknown_algorithm_rejected():
+    with pytest.raises(ValueError):
+        run_chaos(["algorithm9"])
+
+
+@pytest.mark.chaos
+@pytest.mark.parametrize("name", SAFE_ALGORITHMS)
+def test_chaos_sweep(name):
+    outcome = chaos_algorithm(name, seed=0, crashes=3, interval=8)
+    assert outcome.ok, outcome.to_dict()
+    assert len(outcome.crash_points) == 3
+    assert outcome.checkpoints_sealed > 0
+    assert outcome.replayed_transfers > 0
+
+
+@pytest.mark.chaos
+def test_chaos_report_aggregates():
+    report = run_chaos(["algorithm1", "algorithm3"], seed=1, crashes=3,
+                       interval=8)
+    assert report.ok
+    payload = report.to_dict()
+    assert [a["algorithm"] for a in payload["algorithms"]] == [
+        "algorithm1", "algorithm3"]
+    assert payload["seed"] == 1

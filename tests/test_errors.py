@@ -9,12 +9,34 @@ ALL_ERRORS = [
     errors.SchemaError, errors.CodecError, errors.AuthenticationError,
     errors.EnclaveMemoryError, errors.HostMemoryError, errors.BlemishError,
     errors.ContractError, errors.ConfigurationError,
+    errors.TransientHostError, errors.CoprocessorCrashError,
+    errors.CheckpointError,
 ]
 
 
 def test_all_derive_from_repro_error():
     for error_cls in ALL_ERRORS:
         assert issubclass(error_cls, errors.ReproError)
+
+
+def test_every_public_exception_derives_from_repro_error():
+    """Introspective sweep: nothing in the module escapes the hierarchy."""
+    public = [
+        obj for name in getattr(errors, "__all__", dir(errors))
+        if isinstance(obj := getattr(errors, name), type)
+        and issubclass(obj, Exception)
+    ]
+    assert errors.ReproError in public
+    for error_cls in public:
+        assert issubclass(error_cls, errors.ReproError), error_cls
+    # __all__ and the hand-kept list agree (plus the base class itself).
+    assert set(public) == set(ALL_ERRORS) | {errors.ReproError}
+
+
+def test_fault_exceptions_are_exported():
+    for name in ("TransientHostError", "CoprocessorCrashError",
+                 "CheckpointError"):
+        assert name in errors.__all__
 
 
 def test_catching_the_family():

@@ -82,6 +82,28 @@ class TestHostMemory:
         with pytest.raises(HostMemoryError):
             host.host_copy_into("src", 0, 1, "dst", 1)
 
+    def test_host_copy_rejects_negative_count(self):
+        # Regression: a negative count used to pass the upper-bound check
+        # (src_start + count <= len) and silently no-op the slice.
+        host = HostMemory()
+        host.allocate_from("src", [b"a", b"b", b"c"])
+        host.allocate("dst", 0)
+        with pytest.raises(HostMemoryError):
+            host.host_copy("src", 2, -1, "dst")
+        with pytest.raises(HostMemoryError):
+            host.host_copy("src", -1, 2, "dst")
+        assert host.region_bytes("dst") == []
+
+    def test_host_copy_into_rejects_negative_count(self):
+        host = HostMemory()
+        host.allocate_from("src", [b"a", b"b"])
+        host.allocate_from("dst", [b"x", b"y"])
+        with pytest.raises(HostMemoryError):
+            host.host_copy_into("src", 1, -1, "dst", 0)
+        with pytest.raises(HostMemoryError):
+            host.host_copy_into("src", 0, 1, "dst", -1)
+        assert host.region_bytes("dst") == [b"x", b"y"]
+
 
 class TestCoprocessor:
     def test_put_get_roundtrip_and_trace(self, rig):

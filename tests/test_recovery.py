@@ -1,0 +1,247 @@
+"""Checkpoint/resume: sealed snapshots, replay, and crash recovery.
+
+The invariant under test throughout: a run interrupted by coprocessor
+crashes finishes with the same JoinResult and the same logical trace
+fingerprint as an uninterrupted run — recovery is invisible at the layer
+the privacy definitions quantify over.
+"""
+
+import random
+
+import pytest
+
+from repro.core.algorithm1 import algorithm1
+from repro.core.algorithm5 import algorithm5
+from repro.core.base import JoinContext
+from repro.core.service import Contract, JoinService, Party
+from repro.crypto.provider import FastProvider
+from repro.errors import (
+    AuthenticationError,
+    CheckpointError,
+    ConfigurationError,
+)
+from repro.faults.checkpoint import CHECKPOINT_REGION, CheckpointStore, base_host
+from repro.faults.plan import crash_plan
+from repro.faults.recovery import run_with_recovery
+from repro.hardware.faulty import FaultyHost
+from repro.hardware.host import HostMemory
+from repro.hardware.resilience import JournalEntry, ReplayCursor
+from repro.relational.generate import equijoin_workload
+from repro.relational.predicates import BinaryAsMulti, Equality
+
+KEY = b"recovery-test-session-key-01"
+N_MAX = 2
+
+
+def workload():
+    return equijoin_workload(8, 10, 5, rng=random.Random(42), max_matches=2)
+
+
+def join_runner(wl=None):
+    wl = wl or workload()
+
+    def run(context):
+        return algorithm1(context, wl.left, wl.right, Equality("key"), N_MAX)
+
+    return run
+
+
+def plain_result(runner):
+    return runner(JoinContext.fresh(provider=FastProvider(KEY), seed=0))
+
+
+class TestCheckpointStore:
+    def fresh_store(self):
+        host = HostMemory()
+        host.allocate_from("data", [b"cipher-0", b"cipher-1"])
+        store = CheckpointStore(host, FastProvider(KEY))
+        store.initialize()
+        return host, store
+
+    def test_roundtrip(self):
+        host, store = self.fresh_store()
+        entries = [
+            JournalEntry("GET", "data", 0, b"plain-0"),
+            JournalEntry("PUT", "out", 0),
+        ]
+        store.commit(2, entries)
+        loaded = CheckpointStore(host, FastProvider(KEY)).load()
+        assert loaded.ops == 2
+        assert loaded.entries == entries
+        assert loaded.snapshot["data"] == [b"cipher-0", b"cipher-1"]
+        assert CHECKPOINT_REGION not in loaded.snapshot
+
+    def test_restore_rolls_back_later_writes(self):
+        host, store = self.fresh_store()
+        store.commit(1, [JournalEntry("GET", "data", 0, b"plain-0")])
+        host.write_slot("data", 0, b"overwritten-after-checkpoint")
+        host.allocate("scratch", 3)
+        state = store.load()
+        store.restore(state)
+        assert host.read_slot("data", 0) == b"cipher-0"
+        assert not host.has_region("scratch")
+        assert host.has_region(CHECKPOINT_REGION)  # never rolled back
+
+    def test_commits_accumulate_journal_segments(self):
+        host, store = self.fresh_store()
+        store.commit(1, [JournalEntry("GET", "data", 0, b"a")])
+        store.commit(2, [JournalEntry("GET", "data", 1, b"b")])
+        assert store.commits == 2
+        loaded = store.load()
+        assert [e.payload for e in loaded.entries] == [b"a", b"b"]
+
+    def test_load_without_checkpoint_region(self):
+        store = CheckpointStore(HostMemory(), FastProvider(KEY))
+        with pytest.raises(CheckpointError):
+            store.load()
+
+    def test_digest_mismatch_detected(self):
+        host, store = self.fresh_store()
+        store.commit(1, [JournalEntry("GET", "data", 0, b"plain-0")])
+        # Swap the sealed segment for a different, validly sealed blob: the
+        # authentication tag passes but the manifest digest must not.
+        other = FastProvider(KEY).encrypt(b"[]")
+        host.write_slot(CHECKPOINT_REGION, 2, other)
+        with pytest.raises(CheckpointError):
+            store.load()
+
+    def test_tampered_seal_raises_authentication_error(self):
+        host, store = self.fresh_store()
+        store.commit(1, [JournalEntry("GET", "data", 0, b"plain-0")])
+        raw = bytearray(host.read_slot(CHECKPOINT_REGION, store.MANIFEST_SLOT))
+        raw[-1] ^= 1
+        host.write_slot(CHECKPOINT_REGION, store.MANIFEST_SLOT, bytes(raw))
+        with pytest.raises(AuthenticationError):
+            store.load()
+
+    def test_store_bypasses_fault_injection(self):
+        """Checkpoint I/O goes to the base host beneath the fault wrapper."""
+        inner = HostMemory()
+        faulty = FaultyHost(inner, crash_plan(at_ops=(1, 2, 3, 4, 5)))
+        store = CheckpointStore(faulty, FastProvider(KEY))
+        assert store.host is inner
+        store.initialize()  # would crash if routed through the wrapper
+        assert faulty.ops_attempted == 0
+        assert base_host(faulty) is inner
+
+
+class TestReplayCursor:
+    def test_divergence_raises(self):
+        cursor = ReplayCursor([JournalEntry("GET", "data", 0, b"x")])
+        with pytest.raises(CheckpointError, match="diverged"):
+            cursor.take("GET", "data", 1)
+
+    def test_exhaustion_raises(self):
+        cursor = ReplayCursor([])
+        assert not cursor.active
+        with pytest.raises(CheckpointError):
+            cursor.take("GET", "data", 0)
+
+    def test_append_index_is_journal_authoritative(self):
+        cursor = ReplayCursor([JournalEntry("PUT", "out", 7)])
+        assert cursor.take("PUT", "out", None).index == 7
+        assert not cursor.active
+
+
+class TestRunWithRecovery:
+    def test_parameter_validation(self):
+        runner = join_runner()
+        with pytest.raises(ConfigurationError):
+            run_with_recovery(HostMemory(), FastProvider(KEY), runner,
+                              checkpoint_interval=0)
+        with pytest.raises(ConfigurationError):
+            run_with_recovery(HostMemory(), FastProvider(KEY), runner,
+                              max_attempts=0)
+
+    def test_fault_free_checkpointed_run_matches_plain(self):
+        runner = join_runner()
+        baseline = plain_result(runner)
+        report = run_with_recovery(HostMemory(), FastProvider(KEY), runner,
+                                   checkpoint_interval=8)
+        assert report.attempts == 1
+        assert report.crashes == 0
+        assert report.checkpoints_sealed > 0
+        assert report.result.result.same_multiset(baseline.result)
+        assert report.result.trace.fingerprint() == baseline.trace.fingerprint()
+
+    @pytest.mark.parametrize("crash_at", [1, 17, 150])
+    def test_single_crash_recovers_bit_identically(self, crash_at):
+        runner = join_runner()
+        baseline = plain_result(runner)
+        host = FaultyHost(HostMemory(), crash_plan(at_ops=(crash_at,)))
+        report = run_with_recovery(host, FastProvider(KEY), runner,
+                                   checkpoint_interval=8, max_attempts=3)
+        assert report.attempts == 2
+        assert report.crashes == 1
+        assert report.result.result.same_multiset(baseline.result)
+        assert report.result.trace.fingerprint() == baseline.trace.fingerprint()
+        assert report.result.meta["recovery"] == {
+            "attempts": 2,
+            "crashes": 1,
+            "retries": report.retries,
+            "replayed_transfers": report.replayed_transfers,
+            "checkpoints_sealed": report.checkpoints_sealed,
+        }
+        # A crash past the first checkpoint resumes off the journal.
+        if crash_at > 8:
+            assert report.replayed_transfers > 0
+
+    def test_repeated_crashes_exhaust_attempts(self):
+        runner = join_runner()
+        host = FaultyHost(HostMemory(), crash_plan(at_ops=(5, 10, 15)))
+        with pytest.raises(CheckpointError, match="did not complete"):
+            run_with_recovery(host, FastProvider(KEY), runner,
+                              checkpoint_interval=8, max_attempts=2)
+
+    def test_multiway_algorithm_recovers(self):
+        wl = workload()
+
+        def run(context):
+            return algorithm5(context, [wl.left, wl.right],
+                              BinaryAsMulti(Equality("key")), memory=3)
+
+        baseline = plain_result(run)
+        host = FaultyHost(HostMemory(), crash_plan(at_ops=(40, 90)))
+        report = run_with_recovery(host, FastProvider(KEY), run,
+                                   checkpoint_interval=8, max_attempts=4)
+        assert report.crashes == 2
+        assert report.result.result.same_multiset(baseline.result)
+        assert report.result.trace.fingerprint() == baseline.trace.fingerprint()
+
+
+class TestServiceRecovery:
+    def build_service(self, **kwargs):
+        wl = equijoin_workload(8, 10, 5, rng=random.Random(77))
+        service = JoinService(memory=4, **kwargs)
+        contract = Contract(
+            contract_id="C-001",
+            data_owners=("airline", "agency"),
+            recipient="screening-office",
+            permitted_predicate="key = key",
+        )
+        service.register_contract(contract)
+        service.ingest(Party("airline"), "C-001", wl.left)
+        service.ingest(Party("agency"), "C-001", wl.right)
+        return service
+
+    def test_checkpointed_join_survives_crashes(self):
+        baseline = self.build_service().execute(
+            "C-001", BinaryAsMulti(Equality("key")), algorithm="algorithm5")
+        crashing = FaultyHost(HostMemory(), crash_plan(at_ops=(30, 70)))
+        service = self.build_service(checkpoint_interval=8, host=crashing)
+        result = service.execute("C-001", BinaryAsMulti(Equality("key")),
+                                 algorithm="algorithm5")
+        assert result.result.same_multiset(baseline.result)
+        assert result.trace.fingerprint() == baseline.trace.fingerprint()
+        assert result.meta["recovery"]["crashes"] == 2
+        assert result.meta["recovery"]["attempts"] == 3
+        rendered = service.metrics.render_prometheus()
+        assert "recovery_attempts_total" in rendered
+        assert "recovery_crashes_total" in rendered
+        assert "checkpoints_sealed_total" in rendered
+
+    def test_uncheckpointed_service_unchanged(self):
+        service = self.build_service()
+        result = service.execute("C-001", BinaryAsMulti(Equality("key")),
+                                 algorithm="algorithm5")
+        assert "recovery" not in result.meta
