@@ -25,6 +25,8 @@ from __future__ import annotations
 
 import hashlib
 import random
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Literal
 
@@ -32,8 +34,13 @@ from repro.core.algorithm4 import algorithm4
 from repro.core.algorithm5 import algorithm5
 from repro.core.algorithm6 import algorithm6
 from repro.core.base import JoinContext, JoinResult
-from repro.crypto.provider import FastProvider, OcbProvider
-from repro.errors import AuthenticationError, ContractError
+from repro.crypto.provider import FastProvider, OcbProvider, clone_provider
+from repro.errors import (
+    AuthenticationError,
+    ConfigurationError,
+    ContractError,
+    ServiceSaturatedError,
+)
 from repro.hardware.coprocessor import SecureCoprocessor
 from repro.hardware.host import HostMemory
 from repro.obs.metrics import MetricsRegistry, instrument_coprocessor, instrument_join
@@ -111,14 +118,25 @@ class Party:
 
 
 class JoinService:
-    """The PPJ service provider: host + coprocessor + contract arbitration.
+    """The PPJ service provider: host + coprocessor pool + contract arbitration.
+
+    Every join executes in its own :class:`JoinContext` — a fresh host-memory
+    instance (or the injected ``host``) and a coprocessor under a cloned
+    working-key provider (independent nonce sequence, interoperable
+    ciphertexts) — so consecutive and concurrent joins never share mutable
+    state.  :meth:`execute` runs a join synchronously; :meth:`submit` hands it
+    to a pool of ``pool_size`` coprocessor worker threads behind a bounded
+    queue of ``queue_depth`` pending joins (blocking on saturation, or
+    raising :class:`~repro.errors.ServiceSaturatedError` with ``block=False``).
 
     ``checkpoint_interval`` switches the service into fault-tolerant mode:
     joins run under :func:`~repro.faults.recovery.run_with_recovery`, sealing
     checkpoints every that-many boundary ops and restarting (up to
     ``max_attempts`` total attempts) after coprocessor crashes.  ``host``
     lets a deployment inject its own storage — e.g. a
-    :class:`~repro.hardware.faulty.FaultyHost` in a chaos drill.
+    :class:`~repro.hardware.faulty.FaultyHost` in a chaos drill.  Both modes
+    pin the join to the one shared host, so they stay serial: :meth:`submit`
+    refuses them rather than silently racing on shared regions.
     """
 
     APPLICATION_CODE = "repro-ppj-service-v1"
@@ -126,12 +144,21 @@ class JoinService:
     def __init__(self, memory: int = 64, seed: int = 0,
                  checkpoint_interval: int | None = None,
                  host: HostMemory | None = None,
-                 max_attempts: int = 8) -> None:
+                 max_attempts: int = 8,
+                 pool_size: int = 4,
+                 queue_depth: int = 8) -> None:
+        if pool_size < 1:
+            raise ConfigurationError("the service pool needs at least one worker")
+        if queue_depth < 0:
+            raise ConfigurationError("queue depth cannot be negative")
+        self._injected_host = host is not None
         self._host = host if host is not None else HostMemory()
         self._provider = OcbProvider(b"service-working-key-0001")
         self._seed = seed
         self.checkpoint_interval = checkpoint_interval
         self.max_attempts = max_attempts
+        # The legacy shared context: still serves fault-tolerant/injected-host
+        # runs, which are pinned to the one shared host.
         self.context = JoinContext(
             host=self._host,
             coprocessor=SecureCoprocessor(self._host, self._provider),
@@ -142,6 +169,42 @@ class JoinService:
         self.metrics = MetricsRegistry()
         self._contracts: dict[str, Contract] = {}
         self._uploads: dict[tuple[str, str], Relation] = {}
+        self.pool_size = pool_size
+        self.queue_depth = queue_depth
+        self._pool: ThreadPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
+        # One slot per pool worker plus one per queue position; holding a
+        # slot = the join is admitted (queued or running).
+        self._slots = threading.BoundedSemaphore(pool_size + queue_depth)
+        self.metrics.gauge(
+            "service_pool_size", "coprocessor worker threads in the join pool"
+        ).set(pool_size)
+        self.metrics.gauge(
+            "service_queue_depth", "bounded queue positions behind the pool"
+        ).set(queue_depth)
+
+    # -- pool lifecycle ------------------------------------------------------
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.pool_size,
+                    thread_name_prefix="ppj-join",
+                )
+            return self._pool
+
+    def close(self) -> None:
+        """Drain the pool and release its threads (idempotent)."""
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "JoinService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- handshake ----------------------------------------------------------
     def attest(self) -> Attestation:
@@ -188,6 +251,18 @@ class JoinService:
         return len(accepted)
 
     # -- the join -----------------------------------------------------------
+    def _fresh_context(self) -> JoinContext:
+        """An isolated per-join context: own host memory, own coprocessor,
+        own nonce sequence under the shared working key."""
+        host = HostMemory()
+        provider = clone_provider(self._provider)
+        return JoinContext(
+            host=host,
+            coprocessor=SecureCoprocessor(host, provider),
+            provider=provider,
+            rng=random.Random(self._seed),
+        )
+
     def execute(
         self,
         contract_id: str,
@@ -244,11 +319,80 @@ class JoinService:
                 "recovery_crashes_total", "coprocessor crashes survived",
                 algorithm=algorithm).inc(report.crashes)
             instrument_coprocessor(self.metrics, report.coprocessor)
-        else:
+        elif self._injected_host:
+            # The deployment pinned storage (e.g. a FaultyHost drill): run on
+            # the legacy shared context so the join exercises that host.
             result = runner(self.context)
             instrument_coprocessor(self.metrics, self.context.coprocessor)
+        else:
+            context = self._fresh_context()
+            result = runner(context)
+            instrument_coprocessor(self.metrics, context.coprocessor)
         instrument_join(self.metrics, algorithm, result)
         return result
+
+    def submit(
+        self,
+        contract_id: str,
+        predicate: MultiPredicate,
+        algorithm: AlgorithmName = "algorithm5",
+        epsilon: float = 1e-20,
+        block: bool = True,
+    ) -> "Future[JoinResult]":
+        """Queue a contracted join on the coprocessor pool.
+
+        Up to ``pool_size`` joins execute concurrently, each in its own
+        isolated :class:`JoinContext`; up to ``queue_depth`` more wait in the
+        bounded queue.  Beyond that, ``submit`` blocks until a slot frees —
+        or, with ``block=False``, raises
+        :class:`~repro.errors.ServiceSaturatedError` immediately.  Returns a
+        future resolving to the :class:`~repro.core.base.JoinResult`.
+        """
+        if self.checkpoint_interval is not None or self._injected_host:
+            raise ConfigurationError(
+                "concurrent submission requires service-managed storage; "
+                "fault-tolerant and injected-host modes are pinned to the "
+                "shared host — call execute() instead"
+            )
+        if not self._slots.acquire(blocking=block):
+            self.metrics.counter(
+                "service_jobs_rejected_total",
+                "joins refused because pool and queue were saturated",
+            ).inc()
+            raise ServiceSaturatedError(
+                f"join pool saturated: {self.pool_size} running and "
+                f"{self.queue_depth} queued joins already admitted"
+            )
+        self.metrics.counter(
+            "service_jobs_submitted_total", "joins admitted to the pool"
+        ).inc()
+        self.metrics.gauge(
+            "service_jobs_queued", "admitted joins waiting for a pool worker"
+        ).inc()
+
+        def job() -> JoinResult:
+            in_flight = self.metrics.gauge(
+                "service_jobs_in_flight", "joins executing right now"
+            )
+            self.metrics.gauge("service_jobs_queued").dec()
+            in_flight.inc()
+            try:
+                result = self.execute(contract_id, predicate, algorithm, epsilon)
+            except Exception:
+                self.metrics.counter(
+                    "service_jobs_failed_total", "pooled joins that raised"
+                ).inc()
+                raise
+            else:
+                self.metrics.counter(
+                    "service_jobs_completed_total", "pooled joins finished"
+                ).inc()
+                return result
+            finally:
+                in_flight.dec()
+                self._slots.release()
+
+        return self._ensure_pool().submit(job)
 
     def deliver(self, result: JoinResult, recipient: Party, contract_id: str) -> Relation:
         """Re-encrypt the result for the recipient and decrypt on their side."""

@@ -13,6 +13,7 @@ from repro.crypto.provider import (
     FastProvider,
     NullProvider,
     OcbProvider,
+    clone_provider,
     default_provider,
 )
 
@@ -31,6 +32,7 @@ __all__ = [
     "sequential_applications",
     "OcbProvider",
     "RandomOrder",
+    "clone_provider",
     "TAG_SIZE",
     "default_provider",
     "gf_double",

@@ -101,8 +101,21 @@ class OcbProvider:
     overhead = NONCE_SIZE + TAG_SIZE
 
     def __init__(self, key: bytes) -> None:
+        self._key = key
         self._ocb = Ocb(key)
         self._nonces = _NonceCounter()
+
+    def clone(self) -> "OcbProvider":
+        """A fresh instance under the same key with its own nonce sequence.
+
+        The unit a parallel worker must hold: ciphertexts interoperate (same
+        key) while the fresh random nonce prefix keeps the clone's sequence
+        disjoint from every other instance's — copying a live provider into
+        another process would replay its prefix *and* counter, re-creating
+        exactly the cross-instance reuse :class:`_NonceCounter` exists to
+        prevent.
+        """
+        return OcbProvider(self._key)
 
     def encrypt(self, plaintext: bytes) -> bytes:
         nonce = self._nonces.next_nonce()
@@ -128,9 +141,15 @@ class FastProvider:
     def __init__(self, key: bytes) -> None:
         if len(key) < 16:
             raise ConfigurationError("keys must be at least 16 bytes")
+        self._key = key
         self._enc_key = hashlib.sha256(b"fast-enc" + key).digest()
         self._mac_key = hashlib.sha256(b"fast-mac" + key).digest()
         self._nonces = _NonceCounter()
+
+    def clone(self) -> "FastProvider":
+        """Same-key instance with an independent nonce sequence (see
+        :meth:`OcbProvider.clone`)."""
+        return FastProvider(self._key)
 
     def _keystream(self, nonce: bytes, length: int) -> bytes:
         return hashlib.shake_256(self._enc_key + nonce).digest(length)
@@ -169,6 +188,9 @@ class NullProvider:
     def __init__(self, key: bytes = b"") -> None:
         self._nonces = _NonceCounter()
 
+    def clone(self) -> "NullProvider":
+        return NullProvider()
+
     @staticmethod
     def _checksum(nonce: bytes, body: bytes) -> bytes:
         return hashlib.sha256(b"null" + nonce + body).digest()[:TAG_SIZE]
@@ -193,3 +215,21 @@ class NullProvider:
 def default_provider(key: bytes) -> CryptoProvider:
     """The provider algorithms use unless told otherwise (faithful OCB)."""
     return OcbProvider(key)
+
+
+def clone_provider(provider: CryptoProvider) -> CryptoProvider:
+    """A fresh same-key instance for a parallel worker or isolated join.
+
+    Every built-in provider supports :meth:`clone`; a custom provider handed
+    to the parallel executor must too, because shipping the *same* instance
+    (or a byte-copy of it) into another process would duplicate its nonce
+    counter state.
+    """
+    clone = getattr(provider, "clone", None)
+    if clone is None:
+        raise ConfigurationError(
+            f"{type(provider).__name__} cannot be cloned for a parallel "
+            "worker; implement clone() returning a same-key instance with a "
+            "fresh nonce sequence"
+        )
+    return clone()

@@ -52,6 +52,14 @@ class ContractError(ReproError):
     """A join request violates the digital contract held by the coprocessor."""
 
 
+class ServiceSaturatedError(ReproError):
+    """The join service's work queue is full and the caller asked not to wait.
+
+    Raised by non-blocking submission when all coprocessor pool slots are busy
+    and the bounded queue already holds its configured depth of pending joins.
+    """
+
+
 class ConfigurationError(ReproError):
     """An algorithm or cost model was given inconsistent parameters."""
 
@@ -96,6 +104,7 @@ __all__ = [
     "HostMemoryError",
     "BlemishError",
     "ContractError",
+    "ServiceSaturatedError",
     "ConfigurationError",
     "TransientHostError",
     "CoprocessorCrashError",

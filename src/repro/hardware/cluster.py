@@ -114,20 +114,34 @@ class Cluster:
                 try:
                     work(coprocessor, index_range, worker)
                     break
-                except TransientHostError:
+                except TransientHostError as error:
                     if attempt < transient_retries:
                         attempt += 1
                         continue
-                    raise
+                    # Retries exhausted: surface it annotated exactly like any
+                    # other worker failure, so callers see which worker and
+                    # index range died regardless of the failure class.
+                    raise self._annotate(error, worker, coprocessor, index_range)
                 except Exception as error:
-                    note = (
-                        f"worker {worker} ({coprocessor.name}) failed on "
-                        f"partition [{index_range.start}, {index_range.stop}): "
-                        f"{error}"
-                    )
-                    try:
-                        annotated = type(error)(note)
-                    except Exception:
-                        raise  # exception type not message-constructible
-                    raise annotated from error
+                    raise self._annotate(error, worker, coprocessor, index_range)
         return ranges
+
+    @staticmethod
+    def _annotate(
+        error: Exception,
+        worker: int,
+        coprocessor: SecureCoprocessor,
+        index_range: range,
+    ) -> Exception:
+        """The same-typed, worker-attributed copy of a partition failure."""
+        note = (
+            f"worker {worker} ({coprocessor.name}) failed on "
+            f"partition [{index_range.start}, {index_range.stop}): "
+            f"{error}"
+        )
+        try:
+            annotated = type(error)(note)
+        except Exception:
+            raise error  # exception type not message-constructible
+        annotated.__cause__ = error
+        return annotated

@@ -100,39 +100,48 @@ def _merge_indices(coprocessor, region: str, indices: list[int], key: KeyFunctio
             )
 
 
-def parallel_oblivious_sort(
-    cluster: Cluster, region: str, size: int, key: KeyFunction
-) -> ParallelSortReport:
-    """Sort ``region[0:size]`` ascending with all coprocessors cooperating.
+def _normalize_chunk(
+    coprocessor, region: str, base: int, chunk: int
+) -> None:
+    """Physically reverse a chunk left descending (data-independent pass)."""
+    with coprocessor.hold(2):
+        for offset in range(chunk // 2):
+            front, back = coprocessor.get_many(
+                ((region, base + offset), (region, base + chunk - 1 - offset))
+            )
+            coprocessor.put_many(
+                (
+                    (region, base + offset, back),
+                    (region, base + chunk - 1 - offset, front),
+                )
+            )
+        if chunk % 2:  # re-encrypt the untouched middle for uniformity
+            middle = coprocessor.get(region, base + chunk // 2)
+            coprocessor.put(region, base + chunk // 2, middle)
 
-    ``size`` must be divisible by the cluster size (equal chunks are what
-    makes a block exchange a valid comparator on 0-1 block counts).
+
+def plan_global_phase(
+    processors: int, chunk: int
+) -> tuple[list[list[tuple[int, list[int]]]], list[int]]:
+    """The global phase as pure data: per-stage block merges, then cleanup.
+
+    Returns ``(stages, normalize)``: each stage is a list of
+    ``(device, indices)`` pairs — the coprocessor charged with the merge and
+    the explicit slot order the ascending merge network runs over — and
+    ``normalize`` lists the chunks left descending at the end.  Both the
+    sequential simulation and the multiprocess executor walk this same plan,
+    which is what makes their traces bit-identical by construction.
     """
-    processors = len(cluster)
-    if size % processors != 0:
-        raise ConfigurationError(
-            f"size {size} must be divisible by the cluster size {processors}"
-        )
-    chunk = size // processors
-    if chunk == 0:
-        raise ConfigurationError("each coprocessor needs at least one element")
-
-    # Local phase: every coprocessor sorts its own chunk (concurrent).
-    for p, coprocessor in enumerate(cluster):
-        oblivious_sort(coprocessor, region, chunk, key, start=p * chunk)
-
-    # Global phase: bitonic network over chunks; merge-based block exchange
-    # with per-chunk orientation tracking (see module docstring).
-    orientation = [1] * processors  # +1: ascending along natural index order
+    # +1: ascending along natural index order.
+    orientation = [1] * processors
 
     def ordered_indices(p: int) -> list[int]:
         base = list(range(p * chunk, (p + 1) * chunk))
         return base if orientation[p] == 1 else base[::-1]
 
-    stages = network_stages(processors)
-    exchanges = 0
-    normalized = 0
-    for stage in stages:
+    plan: list[list[tuple[int, list[int]]]] = []
+    for stage in network_stages(processors):
+        stage_plan = []
         for comp in stage:
             # Ascending comparator: the low chunk receives the smaller half.
             first, second = (
@@ -142,48 +151,72 @@ def parallel_oblivious_sort(
             # first half descending, second half ascending — so the first
             # chunk is laid out reversed.
             indices = ordered_indices(first)[::-1] + ordered_indices(second)
-            _merge_indices(cluster[comp.low], region, indices, key)
+            stage_plan.append((comp.low, indices))
             # The merged sequence is ascending along `indices`: chunk `first`
             # comes out reversed relative to its orientation order, chunk
             # `second` keeps its orientation.
             orientation[first] *= -1
+        plan.append(stage_plan)
+    normalize = [p for p in range(processors) if orientation[p] == -1]
+    return plan, normalize
+
+
+def check_parallel_sort_shape(size: int, processors: int) -> int:
+    """Validate the (size, P) combination and return the chunk size."""
+    if size % processors != 0:
+        raise ConfigurationError(
+            f"size {size} must be divisible by the cluster size {processors}"
+        )
+    chunk = size // processors
+    if chunk == 0:
+        raise ConfigurationError("each coprocessor needs at least one element")
+    return chunk
+
+
+def parallel_oblivious_sort(
+    cluster: Cluster, region: str, size: int, key: KeyFunction
+) -> ParallelSortReport:
+    """Sort ``region[0:size]`` ascending with all coprocessors cooperating.
+
+    ``size`` must be divisible by the cluster size (equal chunks are what
+    makes a block exchange a valid comparator on 0-1 block counts).
+    """
+    processors = len(cluster)
+    chunk = check_parallel_sort_shape(size, processors)
+
+    # Local phase: every coprocessor sorts its own chunk (concurrent).
+    for p, coprocessor in enumerate(cluster):
+        oblivious_sort(coprocessor, region, chunk, key, start=p * chunk)
+
+    # Global phase: bitonic network over chunks; merge-based block exchange
+    # with per-chunk orientation tracking (see module docstring).
+    stage_plan, normalize = plan_global_phase(processors, chunk)
+    exchanges = 0
+    for stage in stage_plan:
+        for device, indices in stage:
+            _merge_indices(cluster[device], region, indices, key)
             exchanges += 1
 
     # Normalization: physically reverse any chunk left in descending
     # orientation (a data-independent read-and-rewrite pass).
-    for p, coprocessor in enumerate(cluster):
-        if orientation[p] == -1:
-            base = p * chunk
-            with coprocessor.hold(2):
-                for offset in range(chunk // 2):
-                    front, back = coprocessor.get_many(
-                        ((region, base + offset), (region, base + chunk - 1 - offset))
-                    )
-                    coprocessor.put_many(
-                        (
-                            (region, base + offset, back),
-                            (region, base + chunk - 1 - offset, front),
-                        )
-                    )
-                if chunk % 2:  # re-encrypt the untouched middle for uniformity
-                    middle = coprocessor.get(region, base + chunk // 2)
-                    coprocessor.put(region, base + chunk // 2, middle)
-            orientation[p] = 1
-            normalized += 1
+    normalized = 0
+    for p in normalize:
+        _normalize_chunk(cluster[p], region, p * chunk, chunk)
+        normalized += 1
 
     local = exact_transfers(chunk)
     exchange = 4 * merge_comparator_count(2 * chunk)
-    normalize = 2 * chunk
-    makespan = local + len(stages) * exchange + (normalize if normalized else 0)
+    normalize_cost = 2 * chunk
+    makespan = local + len(stage_plan) * exchange + (normalize_cost if normalized else 0)
     total = (
-        processors * local + exchanges * exchange + normalized * normalize
+        processors * local + exchanges * exchange + normalized * normalize_cost
     )
     return ParallelSortReport(
         processors=processors,
         chunk=chunk,
         local_transfers=local,
         exchange_transfers=exchange,
-        global_stages=len(stages),
+        global_stages=len(stage_plan),
         makespan=makespan,
         total=total,
     )

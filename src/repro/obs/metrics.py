@@ -13,6 +13,7 @@ label set identifies one time series; ``registry.counter("x", algo="a")`` and
 
 from __future__ import annotations
 
+import threading
 from bisect import bisect_left
 from dataclasses import dataclass, field
 from typing import Any, Iterator
@@ -42,14 +43,22 @@ def _render_labels(key: LabelKey, extra: tuple[tuple[str, str], ...] = ()) -> st
 
 @dataclass
 class Counter:
-    """A monotonically increasing count (transfers, runs, events)."""
+    """A monotonically increasing count (transfers, runs, events).
+
+    Mutations take a per-series lock so concurrent joins (the service's
+    coprocessor pool) never lose increments.
+    """
 
     value: float = 0.0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
             raise ConfigurationError("counters only go up; use a gauge")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
 
 @dataclass
@@ -57,15 +66,21 @@ class Gauge:
     """A value that can go up and down (slots in use, last result size)."""
 
     value: float = 0.0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def set(self, value: float) -> None:
-        self.value = float(value)
+        with self._lock:
+            self.value = float(value)
 
     def inc(self, amount: float = 1.0) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def dec(self, amount: float = 1.0) -> None:
-        self.value -= amount
+        with self._lock:
+            self.value -= amount
 
 
 @dataclass
@@ -76,6 +91,9 @@ class Histogram:
     counts: list[int] = field(default_factory=list)
     total: float = 0.0
     observations: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if list(self.buckets) != sorted(self.buckets):
@@ -84,9 +102,10 @@ class Histogram:
             self.counts = [0] * (len(self.buckets) + 1)  # + overflow bucket
 
     def observe(self, value: float) -> None:
-        self.counts[bisect_left(self.buckets, value)] += 1
-        self.total += value
-        self.observations += 1
+        with self._lock:
+            self.counts[bisect_left(self.buckets, value)] += 1
+            self.total += value
+            self.observations += 1
 
     def cumulative(self) -> list[tuple[float, int]]:
         """(upper_bound, cumulative_count) pairs, ending with +Inf."""
@@ -105,23 +124,28 @@ class MetricsRegistry:
     def __init__(self, prefix: str = "repro") -> None:
         self.prefix = prefix
         self._families: dict[str, tuple[str, str, dict[LabelKey, Any]]] = {}
+        # Guards family/series creation; series mutations take per-series
+        # locks, so registry lookups and increments from concurrent joins
+        # are both safe.
+        self._registry_lock = threading.Lock()
 
     # -- creation / lookup ---------------------------------------------------
     def _series(self, kind: str, name: str, help_text: str, labels: dict[str, str],
                 factory) -> Any:
-        family = self._families.get(name)
-        if family is None:
-            family = (kind, help_text, {})
-            self._families[name] = family
-        elif family[0] != kind:
-            raise ConfigurationError(
-                f"metric {name!r} already registered as a {family[0]}"
-            )
-        series = family[2]
-        key = _label_key(labels)
-        if key not in series:
-            series[key] = factory()
-        return series[key]
+        with self._registry_lock:
+            family = self._families.get(name)
+            if family is None:
+                family = (kind, help_text, {})
+                self._families[name] = family
+            elif family[0] != kind:
+                raise ConfigurationError(
+                    f"metric {name!r} already registered as a {family[0]}"
+                )
+            series = family[2]
+            key = _label_key(labels)
+            if key not in series:
+                series[key] = factory()
+            return series[key]
 
     def counter(self, name: str, help_text: str = "", **labels: str) -> Counter:
         return self._series("counter", name, help_text, labels, Counter)

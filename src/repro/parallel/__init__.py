@@ -1,0 +1,41 @@
+"""Wall-clock parallel execution for the cluster simulation.
+
+The :mod:`repro.hardware.cluster` layer *models* parallelism (sequential
+execution, per-coprocessor accounting).  This package makes it real:
+
+* :mod:`repro.parallel.shard` — serializable host-memory shards addressed by
+  global slot indices, with machine-checked I/O footprints;
+* :mod:`repro.parallel.executor` — a ``ProcessPoolExecutor``-backed
+  :class:`ClusterExecutor` with deterministic, sequential-order merges;
+* :mod:`repro.parallel.sort` — the Section 5.3.5 parallel bitonic sort and
+  repeated-sort decoy filter on real processes.
+
+The parallel join algorithms accept the executor directly:
+``parallel_algorithm2(..., executor=ClusterExecutor(4))`` (and 3/4/5/6
+likewise, see :mod:`repro.core.parallel`) runs the same shares — same
+traces, same results — concurrently.
+"""
+
+from repro.parallel.executor import ClusterExecutor, ShardTask
+from repro.parallel.shard import (
+    RegionShard,
+    ShardHostMemory,
+    ShardResult,
+    TaskIO,
+    build_shards,
+    merge_shard_result,
+)
+from repro.parallel.sort import wallclock_oblivious_filter, wallclock_oblivious_sort
+
+__all__ = [
+    "ClusterExecutor",
+    "ShardTask",
+    "TaskIO",
+    "RegionShard",
+    "ShardHostMemory",
+    "ShardResult",
+    "build_shards",
+    "merge_shard_result",
+    "wallclock_oblivious_sort",
+    "wallclock_oblivious_filter",
+]

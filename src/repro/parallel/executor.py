@@ -1,0 +1,265 @@
+"""The multiprocess cluster executor: real wall-clock parallelism.
+
+The :class:`~repro.hardware.cluster.Cluster` simulation runs its P
+coprocessors' work sequentially and only *models* the parallel makespan.
+:class:`ClusterExecutor` executes the same work genuinely concurrently: each
+task ships to a worker process carrying its declared host shard
+(:mod:`repro.parallel.shard`), a fresh same-key crypto provider
+(:func:`~repro.crypto.provider.clone_provider` — independent nonce sequence,
+interoperable ciphertexts), and a private :class:`~repro.hardware.
+coprocessor.SecureCoprocessor`.  Results merge back in task-submission
+order — the order the sequential simulation performs the same operations —
+so the parent's host image, every per-coprocessor trace, and therefore the
+modelled makespan and the privacy checker's accepted access pattern are all
+bit-identical to the sequential run.
+
+Everything a task carries must be picklable: module-level work functions
+(``functools.partial`` over them is fine), dataclass predicates and codecs.
+With ``workers <= 1`` the executor degrades to an in-process inline mode
+that still routes every task through the shard machinery, so the declared
+I/O footprints stay machine-checked even where no process pool exists.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import Future, ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.crypto.provider import CryptoProvider, clone_provider
+from repro.errors import ConfigurationError, TransientHostError
+from repro.hardware.cluster import Cluster
+from repro.hardware.coprocessor import SecureCoprocessor
+from repro.parallel.shard import (
+    RegionShard,
+    ShardHostMemory,
+    ShardResult,
+    TaskIO,
+    build_shards,
+    merge_shard_result,
+)
+
+#: Coprocessor counters a worker reports back for per-device accounting.
+_COUNTERS = (
+    "encryptions",
+    "decryptions",
+    "physical_decryptions",
+    "cache_hits",
+    "ops_completed",
+)
+
+
+@dataclass
+class ShardTask:
+    """One unit of parallel work, bound to a cluster device for accounting."""
+
+    device: int
+    fn: Callable[..., Any]          # fn(coprocessor, *args, **kwargs)
+    io: TaskIO
+    args: tuple = ()
+    kwargs: dict = field(default_factory=dict)
+    label: str = ""
+
+
+def _execute_shard_task(
+    shards: dict[str, RegionShard],
+    provider: CryptoProvider,
+    name: str,
+    memory_limit: int | None,
+    plaintext_cache: bool,
+    fn: Callable[..., Any],
+    args: tuple,
+    kwargs: dict,
+    transient_retries: int,
+) -> ShardResult:
+    """Worker entry point: rebuild the shard, run the work, pack the result."""
+    host = ShardHostMemory(shards)
+    coprocessor = SecureCoprocessor(
+        host, provider, memory_limit=memory_limit, name=name,
+        plaintext_cache=plaintext_cache,
+    )
+    attempt = 0
+    while True:
+        try:
+            value = fn(coprocessor, *args, **kwargs)
+            break
+        except TransientHostError:
+            if attempt < transient_retries:
+                attempt += 1
+                continue
+            raise
+    return ShardResult(
+        value=value,
+        writes=host.writes(),
+        appends=host.appends(),
+        append_bases={
+            region: shard.append_base
+            for region, shard in shards.items()
+            if shard.append_base is not None
+        },
+        events=[tuple(event) for event in coprocessor.trace],
+        counters={name: getattr(coprocessor, name) for name in _COUNTERS},
+    )
+
+
+def _annotated(error: Exception, device: int, name: str, label: str) -> Exception | None:
+    """An annotated copy of ``error`` (same type), or None when the type
+    cannot be rebuilt from a message alone."""
+    note = f"worker {device} ({name}) failed on {label or 'task'}: {error}"
+    try:
+        return type(error)(note)
+    except Exception:
+        return None
+
+
+class ClusterExecutor:
+    """Runs cluster work on a pool of OS processes, merging deterministically.
+
+    ``workers`` defaults to ``os.cpu_count()``; with one worker (or one CPU)
+    the executor runs tasks inline — same shard transport, same merge path,
+    no pool.  The pool is created lazily and reused across rounds; use the
+    executor as a context manager (or call :meth:`close`) to tear it down.
+    """
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        start_method: str | None = None,
+    ) -> None:
+        if workers is not None and workers < 1:
+            raise ConfigurationError("the executor needs at least one worker")
+        self.workers = workers if workers is not None else (os.cpu_count() or 1)
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else methods[0]
+        self.start_method = start_method
+        self._pool: ProcessPoolExecutor | None = None
+        #: Tasks executed and tasks that actually went through the pool.
+        self.tasks_run = 0
+        self.tasks_pooled = 0
+        self.rounds = 0
+
+    # -- lifecycle -----------------------------------------------------------
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=multiprocessing.get_context(self.start_method),
+            )
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ClusterExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @property
+    def inline(self) -> bool:
+        """True when tasks run in-process (no wall-clock parallelism)."""
+        return self.workers <= 1
+
+    # -- the barrier round ---------------------------------------------------
+    def run_tasks(
+        self,
+        cluster: Cluster,
+        tasks: Sequence[ShardTask],
+        transient_retries: int = 0,
+    ) -> list[Any]:
+        """Execute one round of tasks concurrently and merge the results.
+
+        Tasks in a round must touch disjoint host slots (their declared
+        ``TaskIO`` footprints are cut from the same parent-host snapshot).
+        Returns each task's ``fn`` return value, in task order.
+        """
+        self.rounds += 1
+        payloads = []
+        for task in tasks:
+            device = cluster[task.device]
+            payloads.append((
+                build_shards(cluster.host, task.io),
+                clone_provider(cluster.provider),
+                device.name,
+                device.memory_limit,
+                device.cache_enabled,
+                task.fn,
+                task.args,
+                task.kwargs,
+                transient_retries,
+            ))
+
+        futures: list[Future | None] = []
+        if self.inline or len(tasks) <= 1:
+            results = []
+            for task, payload in zip(tasks, payloads):
+                results.append(self._guarded(task, cluster, lambda p=payload: _execute_shard_task(*p)))
+        else:
+            pool = self._ensure_pool()
+            futures = [pool.submit(_execute_shard_task, *payload) for payload in payloads]
+            self.tasks_pooled += len(futures)
+            results = [
+                self._guarded(task, cluster, future.result)
+                for task, future in zip(tasks, futures)
+            ]
+
+        values = []
+        for task, result in zip(tasks, results):
+            merge_shard_result(cluster.host, result)
+            device = cluster[task.device]
+            trace = device.trace
+            for op, region, index in result.events:
+                trace.record(op, region, index)
+            for counter in _COUNTERS:
+                setattr(device, counter,
+                        getattr(device, counter) + result.counters.get(counter, 0))
+            values.append(result.value)
+        self.tasks_run += len(tasks)
+        return values
+
+    def _guarded(self, task: ShardTask, cluster: Cluster,
+                 resolve: Callable[[], ShardResult]) -> ShardResult:
+        try:
+            return resolve()
+        except Exception as error:
+            annotated = _annotated(
+                error, task.device, cluster[task.device].name, task.label
+            )
+            if annotated is None:
+                raise
+            raise annotated from error
+
+    # -- the Cluster.run_partitioned analogue --------------------------------
+    def run_partitioned(
+        self,
+        cluster: Cluster,
+        size: int,
+        work: Callable[..., Any],
+        io: Callable[[range, int], TaskIO],
+        transient_retries: int = 0,
+        label: str = "partition",
+    ) -> list[range]:
+        """``Cluster.run_partitioned`` with the partitions genuinely parallel.
+
+        ``work(coprocessor, index_range, worker)`` must be picklable;
+        ``io(index_range, worker)`` declares each partition's host footprint.
+        """
+        ranges = cluster.partition_range(size)
+        tasks = [
+            ShardTask(
+                device=worker,
+                fn=work,
+                io=io(index_range, worker),
+                args=(index_range, worker),
+                label=f"{label} [{index_range.start}, {index_range.stop})",
+            )
+            for worker, index_range in enumerate(ranges)
+        ]
+        self.run_tasks(cluster, tasks, transient_retries=transient_retries)
+        return ranges

@@ -1,0 +1,237 @@
+"""Shardable host-memory views for multiprocess workers.
+
+A parallel worker cannot share the parent's :class:`~repro.hardware.host.
+HostMemory` — it lives in another process.  Instead the parent ships each
+task a :class:`ShardSpec`: the exact slot spans (and append windows) of the
+regions the task's work is declared to touch.  The worker rebuilds them as a
+:class:`ShardHostMemory` — a host view that answers the *global* slot indices
+of the original regions, so every trace event a worker records carries the
+same ``(op, region, index)`` it would in the sequential simulation.  Access
+outside the declared shard raises :class:`~repro.errors.HostMemoryError`:
+the shard is both a transport and a machine-checked statement of the task's
+I/O footprint.
+
+After the work runs, the worker returns a :class:`ShardResult` — written
+slots, appended ciphertexts, trace events, and crypto counters — which the
+parent merges back deterministically in task-submission order
+(:mod:`repro.parallel.executor`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+from repro.errors import HostMemoryError
+from repro.hardware.host import HostMemory
+
+#: One contiguous slot span [start, stop) of a region.
+Span = tuple[int, int]
+
+
+@dataclass(frozen=True)
+class TaskIO:
+    """A task's declared host footprint.
+
+    ``reads`` maps each region the work touches in place to the slot spans
+    shipped to the worker (``None`` means the whole region); written slots
+    are merged back, so reads double as writes.  ``appends`` maps a growable
+    region to the global index the task's first append must land on — the
+    parent verifies the base at merge time, which pins the deterministic
+    append order the sequential simulation produces.
+    """
+
+    reads: Mapping[str, Sequence[Span] | None] = field(default_factory=dict)
+    appends: Mapping[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class RegionShard:
+    """The shipped slots of one region: global index -> ciphertext."""
+
+    size: int                               # the region's full size at ship time
+    slots: dict[int, bytes | None] = field(default_factory=dict)
+    append_base: int | None = None          # None: appends are not permitted
+
+
+@dataclass
+class ShardResult:
+    """What one worker task sends back for the deterministic merge."""
+
+    value: Any
+    writes: dict[str, list[tuple[int, bytes]]]
+    appends: dict[str, list[bytes]]
+    append_bases: dict[str, int]
+    events: list[tuple[str, str, int]]
+    counters: dict[str, int]
+
+
+def build_shards(host: HostMemory, io: TaskIO) -> dict[str, RegionShard]:
+    """Cut the parent host's regions down to one task's declared footprint."""
+    shards: dict[str, RegionShard] = {}
+    for region, spans in io.reads.items():
+        raw = host.region_bytes(region)
+        size = len(raw)
+        if spans is None:
+            spans = [(0, size)]
+        slots: dict[int, bytes | None] = {}
+        for start, stop in spans:
+            if not 0 <= start <= stop <= size:
+                raise HostMemoryError(
+                    f"shard span [{start}, {stop}) out of bounds for region "
+                    f"{region!r} of size {size}"
+                )
+            for index in range(start, stop):
+                slots[index] = raw[index]
+        shards[region] = RegionShard(size=size, slots=slots)
+    for region, base in io.appends.items():
+        shard = shards.get(region)
+        if shard is None:
+            shard = RegionShard(size=host.size(region) if host.has_region(region) else 0)
+            shards[region] = shard
+        shard.append_base = base
+    return shards
+
+
+class ShardHostMemory:
+    """A worker-local host over shipped shards, addressed by global indices.
+
+    Implements the slice of the :class:`HostMemory` surface the coprocessor
+    and the algorithms' host-side requests use.  Writes are tracked (the
+    merge only applies touched slots) and appends accumulate locally with
+    indices continuing from the declared append base, so returned slot
+    numbers — and hence PUT trace events — are bit-identical to the
+    sequential run's.
+    """
+
+    def __init__(self, shards: dict[str, RegionShard]) -> None:
+        self._shards = shards
+        self._written: dict[str, dict[int, bytes]] = {name: {} for name in shards}
+        self._appended: dict[str, list[bytes]] = {
+            name: [] for name, shard in shards.items()
+            if shard.append_base is not None
+        }
+
+    # -- HostMemory surface --------------------------------------------------
+    def has_region(self, name: str) -> bool:
+        return name in self._shards
+
+    def size(self, name: str) -> int:
+        shard = self._shard(name)
+        return shard.size + len(self._appended.get(name, ()))
+
+    def _shard(self, name: str) -> RegionShard:
+        try:
+            return self._shards[name]
+        except KeyError:
+            raise HostMemoryError(
+                f"region {name!r} is outside this worker's shard"
+            ) from None
+
+    def read_slot(self, name: str, index: int) -> bytes:
+        shard = self._shard(name)
+        try:
+            value = shard.slots[index]
+        except KeyError:
+            value = self._appended_slot(name, shard, index)
+        if value is None:
+            raise HostMemoryError(f"slot {name}[{index}] was never written")
+        return value
+
+    def _appended_slot(self, name: str, shard: RegionShard, index: int) -> bytes | None:
+        appended = self._appended.get(name)
+        if appended is not None and shard.append_base is not None:
+            offset = index - shard.append_base
+            if 0 <= offset < len(appended):
+                return appended[offset]
+        raise HostMemoryError(
+            f"slot {name}[{index}] is outside this worker's shard"
+        ) from None
+
+    def write_slot(self, name: str, index: int, ciphertext: bytes) -> None:
+        shard = self._shard(name)
+        if index not in shard.slots:
+            # Rewriting a slot this task itself appended is fine.
+            appended = self._appended.get(name)
+            if appended is not None and shard.append_base is not None:
+                offset = index - shard.append_base
+                if 0 <= offset < len(appended):
+                    appended[offset] = ciphertext
+                    return
+            raise HostMemoryError(
+                f"slot {name}[{index}] is outside this worker's shard"
+            )
+        shard.slots[index] = ciphertext
+        self._written[name][index] = ciphertext
+
+    def append_slot(self, name: str, ciphertext: bytes) -> int:
+        shard = self._shard(name)
+        if shard.append_base is None:
+            raise HostMemoryError(
+                f"task did not declare append access to region {name!r}"
+            )
+        appended = self._appended[name]
+        appended.append(ciphertext)
+        return shard.append_base + len(appended) - 1
+
+    def region_bytes(self, name: str) -> list[bytes | None]:
+        shard = self._shard(name)
+        out = [shard.slots.get(i) for i in range(shard.size)]
+        out.extend(self._appended.get(name, ()))
+        return out
+
+    # -- host-side operations (untraced, same semantics as HostMemory) -------
+    def host_copy(self, src: str, src_start: int, count: int, dst: str) -> None:
+        """Append ``count`` shard slots of ``src`` onto ``dst``, host-side."""
+        if count < 0:
+            raise HostMemoryError(f"copy range out of bounds for region {src!r}")
+        for offset in range(count):
+            value = self.read_slot(src, src_start + offset)
+            self.append_slot(dst, value)
+
+    def host_copy_into(
+        self, src: str, src_start: int, count: int, dst: str, dst_start: int
+    ) -> None:
+        if count < 0:
+            raise HostMemoryError(f"copy range out of bounds for region {src!r}")
+        values = [self.read_slot(src, src_start + i) for i in range(count)]
+        for i, value in enumerate(values):
+            self.write_slot(dst, dst_start + i, value)
+
+    # -- merge payload -------------------------------------------------------
+    def writes(self) -> dict[str, list[tuple[int, bytes]]]:
+        """Touched fixed slots, in ascending index order per region."""
+        return {
+            name: sorted(written.items())
+            for name, written in self._written.items()
+            if written
+        }
+
+    def appends(self) -> dict[str, list[bytes]]:
+        return {name: list(items) for name, items in self._appended.items()}
+
+
+def merge_shard_result(host: HostMemory, result: ShardResult) -> None:
+    """Apply one task's writes and appends to the parent host.
+
+    Called in task-submission order, which is exactly the order the
+    sequential simulation performs the same operations in — tasks of one
+    round touch disjoint slots, so the merged image is identical either way,
+    and append bases are verified so a misdeclared plan fails loudly instead
+    of silently permuting the output region.
+    """
+    for region, writes in result.writes.items():
+        for index, ciphertext in writes:
+            host.write_slot(region, index, ciphertext)
+    for region, appended in result.appends.items():
+        if not appended:
+            continue
+        base = host.size(region)
+        expected = result.append_bases.get(region)
+        if expected is not None and expected != base:
+            raise HostMemoryError(
+                f"append base mismatch for region {region!r}: task declared "
+                f"{expected} but the region holds {base} slots at merge time"
+            )
+        for ciphertext in appended:
+            host.append_slot(region, ciphertext)

@@ -1,0 +1,198 @@
+"""Wall-clock parallel oblivious sort and decoy filter.
+
+:func:`~repro.oblivious.parallel_sort.parallel_oblivious_sort` *models* the
+parallel makespan while executing sequentially.  The functions here execute
+the identical plan on a :class:`~repro.parallel.executor.ClusterExecutor`:
+
+* **local phase** — one process per chunk, all P chunks sorting at once;
+* **global phase** — one barrier round per comparator stage of
+  :func:`~repro.oblivious.parallel_sort.network_stages`; the block merges
+  inside a stage touch disjoint chunk pairs and run concurrently — exactly
+  the synchronization structure Section 5.3.5 describes;
+* **normalization** — the still-reversed chunks flip concurrently.
+
+Both executors walk :func:`~repro.oblivious.parallel_sort.plan_global_phase`,
+so the per-coprocessor traces — and with them the report, the modelled
+makespan, and the privacy checker's verdict — are bit-identical to the
+sequential simulation's.  The sort key must be picklable (a module-level
+function or ``functools.partial``), as must everything it closes over.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.cluster import Cluster
+from repro.oblivious.filterbuf import oblivious_filter
+from repro.oblivious.networks import exact_transfers, merge_comparator_count
+from repro.oblivious.parallel_filter import ParallelFilterReport, _round_up_delta
+from repro.oblivious.parallel_sort import (
+    ParallelSortReport,
+    _merge_indices,
+    _normalize_chunk,
+    check_parallel_sort_shape,
+    plan_global_phase,
+)
+from repro.oblivious.sort import KeyFunction, oblivious_sort
+from repro.parallel.executor import ClusterExecutor, ShardTask
+from repro.parallel.shard import TaskIO
+
+
+def _span_io(region: str, *spans: tuple[int, int]) -> TaskIO:
+    return TaskIO(reads={region: list(spans)})
+
+
+def wallclock_oblivious_sort(
+    executor: ClusterExecutor,
+    cluster: Cluster,
+    region: str,
+    size: int,
+    key: KeyFunction,
+) -> ParallelSortReport:
+    """The Section 5.3.5 parallel sort with the chunks on real processes."""
+    processors = len(cluster)
+    chunk = check_parallel_sort_shape(size, processors)
+
+    # Local phase: all chunks sort concurrently.
+    executor.run_tasks(cluster, [
+        ShardTask(
+            device=p,
+            fn=oblivious_sort,
+            io=_span_io(region, (p * chunk, (p + 1) * chunk)),
+            args=(region, chunk, key),
+            kwargs={"start": p * chunk},
+            label=f"local sort chunk {p}",
+        )
+        for p in range(processors)
+    ])
+
+    # Global phase: one barrier round per comparator stage.
+    stage_plan, normalize = plan_global_phase(processors, chunk)
+    exchanges = 0
+    for number, stage in enumerate(stage_plan):
+        tasks = []
+        for device, indices in stage:
+            # The merge touches exactly two aligned chunks, which need not be
+            # adjacent — ship their two spans, not the hull between them.
+            low_chunk = min(indices) // chunk
+            high_chunk = max(indices) // chunk
+            spans = [(c * chunk, (c + 1) * chunk)
+                     for c in sorted({low_chunk, high_chunk})]
+            tasks.append(ShardTask(
+                device=device,
+                fn=_merge_indices,
+                io=_span_io(region, *spans),
+                args=(region, indices, key),
+                label=f"stage {number} merge of chunks {low_chunk},{high_chunk}",
+            ))
+            exchanges += 1
+        executor.run_tasks(cluster, tasks)
+
+    # Normalization round: flip the chunks left descending.
+    executor.run_tasks(cluster, [
+        ShardTask(
+            device=p,
+            fn=_normalize_chunk,
+            io=_span_io(region, (p * chunk, (p + 1) * chunk)),
+            args=(region, p * chunk, chunk),
+            label=f"normalize chunk {p}",
+        )
+        for p in normalize
+    ])
+
+    local = exact_transfers(chunk)
+    exchange = 4 * merge_comparator_count(2 * chunk)
+    normalize_cost = 2 * chunk
+    makespan = (
+        local + len(stage_plan) * exchange + (normalize_cost if normalize else 0)
+    )
+    total = (
+        processors * local + exchanges * exchange + len(normalize) * normalize_cost
+    )
+    return ParallelSortReport(
+        processors=processors,
+        chunk=chunk,
+        local_transfers=local,
+        exchange_transfers=exchange,
+        global_stages=len(stage_plan),
+        makespan=makespan,
+        total=total,
+    )
+
+
+def wallclock_oblivious_filter(
+    executor: ClusterExecutor,
+    cluster: Cluster,
+    source_region: str,
+    source_size: int,
+    keep: int,
+    delta: int,
+    priority: KeyFunction,
+    buffer_region: str = "__pfilter",
+) -> ParallelFilterReport:
+    """The Section 5.2.2 repeated-sort decoy filter with parallel sorts.
+
+    Mirrors :func:`~repro.oblivious.parallel_filter.parallel_oblivious_filter`
+    — same divisibility adjustment, same serial fallback, same host-side
+    refills — with every buffer sort running through the executor.
+    """
+    from repro.errors import ConfigurationError
+
+    if keep < 0 or source_size < 0:
+        raise ConfigurationError("sizes must be non-negative")
+    if keep > source_size:
+        raise ConfigurationError("cannot keep more elements than the source holds")
+    processors = len(cluster)
+    host = cluster.host
+    coordinator = cluster[0]
+
+    adjusted = (
+        None
+        if keep == source_size
+        else _round_up_delta(keep, delta, processors, source_size)
+    )
+    if processors == 1 or adjusted is None:
+        region = oblivious_filter(
+            coordinator, source_region, source_size, keep,
+            max(1, delta), priority, buffer_region=buffer_region,
+        )
+        return ParallelFilterReport(
+            buffer_region=region,
+            buffer_size=host.size(region),
+            delta=max(1, delta),
+            sorts=0,
+            parallel=False,
+            makespan=coordinator.trace.transfer_count(),
+        )
+
+    delta = adjusted
+    buffer_size = keep + delta
+    if host.has_region(buffer_region):
+        host.free(buffer_region)
+    host.allocate(buffer_region, buffer_size)
+    host.host_copy_into(source_region, 0, buffer_size, buffer_region, 0)
+
+    sorts = 0
+    makespan = 0
+    report = wallclock_oblivious_sort(
+        executor, cluster, buffer_region, buffer_size, priority
+    )
+    sorts += 1
+    makespan += report.makespan
+    position = buffer_size
+    while position < source_size:
+        take = min(delta, source_size - position)
+        host.host_copy_into(source_region, position, take, buffer_region,
+                            buffer_size - take)
+        position += take
+        report = wallclock_oblivious_sort(
+            executor, cluster, buffer_region, buffer_size, priority
+        )
+        sorts += 1
+        makespan += report.makespan
+    return ParallelFilterReport(
+        buffer_region=buffer_region,
+        buffer_size=buffer_size,
+        delta=delta,
+        sorts=sorts,
+        parallel=True,
+        makespan=makespan,
+    )

@@ -10,7 +10,7 @@ ALL_ERRORS = [
     errors.EnclaveMemoryError, errors.HostMemoryError, errors.BlemishError,
     errors.ContractError, errors.ConfigurationError,
     errors.TransientHostError, errors.CoprocessorCrashError,
-    errors.CheckpointError,
+    errors.CheckpointError, errors.ServiceSaturatedError,
 ]
 
 

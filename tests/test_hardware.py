@@ -257,3 +257,86 @@ class TestCluster:
         assert cluster.total_transfers() == 8
         assert cluster.makespan_transfers() == 4
         assert cluster.speedup() == pytest.approx(2.0)
+
+    def test_speedup_single_coprocessor(self):
+        host = HostMemory()
+        host.allocate("R", 3)
+        cluster = Cluster(host, FastProvider(KEY), count=1)
+        cluster.run_partitioned(3, lambda t, r, w: [t.put("R", i, b"x") for i in r])
+        # One device: the makespan IS the total, so speedup is exactly 1.
+        assert cluster.makespan_transfers() == cluster.total_transfers() == 3
+        assert cluster.speedup() == pytest.approx(1.0)
+
+    def test_speedup_zero_transfer_run(self):
+        cluster = Cluster(HostMemory(), FastProvider(KEY), count=3)
+        # Nothing ran: the all-idle cluster is trivially balanced — speedup
+        # reports P rather than dividing by a zero makespan.
+        assert cluster.makespan_transfers() == 0
+        assert cluster.speedup() == pytest.approx(3.0)
+
+    def test_speedup_unbalanced_partition(self):
+        host = HostMemory()
+        host.allocate("R", 6)
+        cluster = Cluster(host, FastProvider(KEY), count=2)
+
+        def lopsided(t, index_range, worker):
+            # Worker 0 does triple passes over its half; worker 1 one pass.
+            passes = 3 if worker == 0 else 1
+            for _ in range(passes):
+                for i in index_range:
+                    t.put("R", i, b"x")
+
+        cluster.run_partitioned(6, lopsided)
+        assert cluster.total_transfers() == 12
+        assert cluster.makespan_transfers() == 9
+        assert cluster.speedup() == pytest.approx(12 / 9)
+
+    def test_partition_range_smaller_than_cluster(self):
+        cluster = Cluster(HostMemory(), FastProvider(KEY), count=4)
+        ranges = cluster.partition_range(2)
+        # size < count: trailing workers get empty ranges, coverage is exact.
+        assert [len(r) for r in ranges] == [1, 1, 0, 0]
+        assert [i for r in ranges for i in r] == [0, 1]
+        assert cluster.partition_range(0) == [range(0, 0)] * 4
+
+    def test_exhausted_transient_retries_annotated(self):
+        """Regression: a TransientHostError that survives its retry budget
+        must surface annotated with the worker and index range, exactly like
+        any other partition failure (it used to re-raise bare)."""
+        from repro.errors import TransientHostError
+
+        host = HostMemory()
+        host.allocate("R", 4)
+        cluster = Cluster(host, FastProvider(KEY), count=2)
+        attempts = []
+
+        def flaky(t, index_range, worker):
+            attempts.append(worker)
+            if worker == 1:
+                raise TransientHostError("dropped read")
+
+        with pytest.raises(TransientHostError) as excinfo:
+            cluster.run_partitioned(4, flaky, transient_retries=2)
+        message = str(excinfo.value)
+        assert "worker 1" in message and "[2, 4)" in message
+        assert "dropped read" in message
+        assert isinstance(excinfo.value.__cause__, TransientHostError)
+        # Worker 0 once; worker 1 once plus two retries.
+        assert attempts == [0, 1, 1, 1]
+
+    def test_transient_retry_succeeds_within_budget(self):
+        host = HostMemory()
+        host.allocate("R", 2)
+        cluster = Cluster(host, FastProvider(KEY), count=1)
+        failures = iter([True, False])
+
+        def flaky(t, index_range, worker):
+            from repro.errors import TransientHostError
+
+            if next(failures):
+                raise TransientHostError("stall")
+            for i in index_range:
+                t.put("R", i, b"x")
+
+        cluster.run_partitioned(2, flaky, transient_retries=1)
+        assert cluster.total_transfers() == 2

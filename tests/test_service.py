@@ -112,3 +112,175 @@ class TestServiceMetrics:
         (transfers,) = snapshot["transfers_total"]["series"]
         assert transfers["value"] == 2 * first.transfers  # identical runs
         assert "repro_joins_total" in service.metrics.render_prometheus()
+
+
+class TestPerJoinIsolation:
+    def test_two_joins_do_not_share_context_state(self, scenario):
+        """Regression: execute() used to reuse one JoinContext/coprocessor,
+        so the second join inherited the first's cache, counters, and host
+        regions.  Each join now runs in a fresh context: identical requests
+        must produce identical traces and per-join crypto metric deltas."""
+        wl, service, _, airline, agency, _ = scenario
+        service.ingest(airline, "C-001", wl.left)
+        service.ingest(agency, "C-001", wl.right)
+        predicate = BinaryAsMulti(Equality("key"))
+
+        first = service.execute("C-001", predicate)
+        mid = service.metrics.to_dict()
+        second = service.execute("C-001", predicate)
+        after = service.metrics.to_dict()
+
+        assert second.result.same_multiset(first.result)
+        assert second.trace.fingerprint() == first.trace.fingerprint()
+        assert second.stats.total == first.stats.total
+
+        def value(snapshot, name):
+            (series,) = snapshot[name]["series"]
+            return series["value"]
+
+        # The second join's crypto delta equals the first's — a reused
+        # coprocessor would double-count cache hits and skip re-encryptions.
+        for name in ("crypto_encryptions_total", "crypto_decryptions_total",
+                     "crypto_physical_decryptions_total"):
+            assert value(after, name) == 2 * value(mid, name)
+        # The cache-entries gauge reflects one join's working set, not an
+        # accumulation across joins.
+        assert value(after, "crypto_cache_entries") == value(
+            mid, "crypto_cache_entries"
+        )
+
+    def test_algorithm6_after_algorithm5_unaffected(self, scenario):
+        wl, service, _, airline, agency, _ = scenario
+        service.ingest(airline, "C-001", wl.left)
+        service.ingest(agency, "C-001", wl.right)
+        predicate = BinaryAsMulti(Equality("key"))
+        reference = nested_loop_join(wl.left, wl.right, Equality("key"))
+        five = service.execute("C-001", predicate, algorithm="algorithm5")
+        six = service.execute("C-001", predicate, algorithm="algorithm6")
+        assert five.result.same_multiset(reference)
+        assert six.result.same_multiset(reference)
+
+
+class TestConcurrentService:
+    def test_concurrent_joins_match_sequential(self, scenario):
+        """Tentpole acceptance: >= 4 independent joins through the pool,
+        results identical to the sequential run, metrics uncontaminated."""
+        wl, service, _, airline, agency, _ = scenario
+        service.ingest(airline, "C-001", wl.left)
+        service.ingest(agency, "C-001", wl.right)
+        predicate = BinaryAsMulti(Equality("key"))
+        sequential = service.execute("C-001", predicate)
+
+        with service:
+            futures = [service.submit("C-001", predicate) for _ in range(5)]
+            results = [future.result(timeout=120) for future in futures]
+
+        for result in results:
+            assert result.result.same_multiset(sequential.result)
+            assert result.trace.fingerprint() == sequential.trace.fingerprint()
+            assert result.stats.total == sequential.stats.total
+
+        snapshot = service.metrics.to_dict()
+
+        def value(name):
+            (series,) = snapshot[name]["series"]
+            return series["value"]
+
+        assert value("service_jobs_submitted_total") == 5
+        assert value("service_jobs_completed_total") == 5
+        assert "service_jobs_failed_total" not in snapshot
+        assert value("service_jobs_in_flight") == 0
+        assert value("service_jobs_queued") == 0
+        assert value("service_pool_size") == service.pool_size
+        assert value("service_queue_depth") == service.queue_depth
+        # 1 sequential + 5 pooled joins, every transfer accounted exactly.
+        (joins,) = snapshot["joins_total"]["series"]
+        assert joins["value"] == 6
+        (transfers,) = snapshot["transfers_total"]["series"]
+        assert transfers["value"] == 6 * sequential.transfers
+
+    def test_mixed_algorithms_concurrently(self, scenario):
+        wl, service, _, airline, agency, _ = scenario
+        service.ingest(airline, "C-001", wl.left)
+        service.ingest(agency, "C-001", wl.right)
+        predicate = BinaryAsMulti(Equality("key"))
+        reference = nested_loop_join(wl.left, wl.right, Equality("key"))
+        with service:
+            futures = [
+                service.submit("C-001", predicate, algorithm=algorithm)
+                for algorithm in ("algorithm4", "algorithm5", "algorithm6",
+                                  "algorithm5")
+            ]
+            results = [future.result(timeout=120) for future in futures]
+        for result in results:
+            assert result.result.same_multiset(reference)
+
+    def test_saturation_raises_when_not_blocking(self, scenario):
+        wl, service, _, airline, agency, _ = scenario
+        service.ingest(airline, "C-001", wl.left)
+        service.ingest(agency, "C-001", wl.right)
+        predicate = BinaryAsMulti(Equality("key"))
+
+        import threading
+
+        from repro.errors import ServiceSaturatedError
+
+        gate = threading.Event()
+        slow = JoinService(memory=4, pool_size=1, queue_depth=1)
+        slow.register_contract(Contract(
+            contract_id="C-001", data_owners=("airline", "agency"),
+            recipient="screening-office", permitted_predicate="key = key",
+        ))
+        slow.ingest(airline, "C-001", wl.left)
+        slow.ingest(agency, "C-001", wl.right)
+
+        original = slow._fresh_context
+
+        def stalled():
+            gate.wait(timeout=60)
+            return original()
+
+        slow._fresh_context = stalled
+        with slow:
+            first = slow.submit("C-001", predicate)   # occupies the worker
+            second = slow.submit("C-001", predicate)  # occupies the queue
+            with pytest.raises(ServiceSaturatedError):
+                slow.submit("C-001", predicate, block=False)
+            gate.set()
+            assert first.result(timeout=120).result is not None
+            assert second.result(timeout=120).result is not None
+        snapshot = slow.metrics.to_dict()
+        (rejected,) = snapshot["service_jobs_rejected_total"]["series"]
+        assert rejected["value"] == 1
+
+    def test_submit_refuses_checkpoint_and_injected_host_modes(self, scenario):
+        wl, *_ = scenario
+        from repro.errors import ConfigurationError
+        from repro.hardware.host import HostMemory
+
+        predicate = BinaryAsMulti(Equality("key"))
+        checkpointed = JoinService(memory=4, checkpoint_interval=64)
+        with pytest.raises(ConfigurationError):
+            checkpointed.submit("C-001", predicate)
+        pinned = JoinService(memory=4, host=HostMemory())
+        with pytest.raises(ConfigurationError):
+            pinned.submit("C-001", predicate)
+
+    def test_failed_join_counts_and_releases_slot(self, scenario):
+        wl, service, _, airline, agency, _ = scenario
+        service.ingest(airline, "C-001", wl.left)
+        predicate = BinaryAsMulti(Equality("key"))
+        with service:
+            # Agency never uploaded: the pooled join raises ContractError.
+            future = service.submit("C-001", predicate)
+            with pytest.raises(ContractError):
+                future.result(timeout=120)
+            # The slot was released: more submissions still go through.
+            service.ingest(agency, "C-001", wl.right)
+            ok = service.submit("C-001", predicate).result(timeout=120)
+        assert len(ok.result) > 0
+        snapshot = service.metrics.to_dict()
+        (failed,) = snapshot["service_jobs_failed_total"]["series"]
+        assert failed["value"] == 1
+        (in_flight,) = snapshot["service_jobs_in_flight"]["series"]
+        assert in_flight["value"] == 0
