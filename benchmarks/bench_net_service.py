@@ -1,0 +1,270 @@
+"""Load benchmark for the networked join service; emits BENCH_net.json.
+
+Standalone (not a pytest-benchmark module) so CI can run it as a smoke step::
+
+    PYTHONPATH=src python benchmarks/bench_net_service.py --smoke --check
+
+Drives a real asyncio :class:`~repro.net.server.JoinServer` on a loopback
+socket with N concurrent :class:`~repro.net.client.JoinClient` threads.  The
+service behind the server is deliberately tiny (``pool_size=1``,
+``queue_depth=1``) so concurrent submissions *must* hit the admission
+controller: the bench counts the resulting retryable ``saturated`` replies
+and verifies every one of them was retried to success by the client's
+bounded exponential backoff.
+
+Honesty checks enforced with ``--check``:
+
+* zero lost requests — every submitted join completes and pages back;
+* at least one saturation reply was observed and retried to success (with
+  a one-slot service and 8+ concurrent clients this is deterministic);
+* every networked join's trace fingerprint *and* result fingerprint are
+  bit-identical to the same join run fully in process via
+  ``JoinService.execute()`` — the wire adds transport, never semantics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import random
+import statistics
+import sys
+import threading
+import time
+
+from repro.core.service import Contract, JoinService, Party
+from repro.hardware.resilience import RetryPolicy
+from repro.net.client import JoinClient
+from repro.net.server import JoinServer, ServerThread, result_fingerprint
+from repro.net.wire import PredicateSpec, encode_relation
+from repro.obs.metrics import MetricsRegistry
+from repro.relational.generate import equijoin_workload
+
+DEFAULT_OUTPUT = pathlib.Path(__file__).parent / "results" / "BENCH_net.json"
+
+#: Retry budget generous enough that a one-slot service draining 8+ clients
+#: sequentially can never exhaust it (total backoff ~10 s at the last rung).
+LOAD_RETRY = RetryPolicy(max_retries=12, base_delay_cycles=1, multiplier=2)
+
+
+def make_workloads(count: int, sizes: tuple[int, int, int]):
+    left, right, results = sizes
+    return [
+        equijoin_workload(left, right, results, rng=random.Random(100 + i),
+                          max_matches=2)
+        for i in range(count)
+    ]
+
+
+def in_process_reference(workload, algorithm: str) -> dict:
+    """The same join run fully in process: the fingerprints to beat."""
+    service = JoinService(pool_size=1)
+    predicate = PredicateSpec.equality(workload.join_attr).build()
+    service.register_contract(Contract(
+        "c-ref", ("alice", "bob"), "carol", predicate.description,
+    ))
+    service.ingest(Party("alice"), "c-ref", workload.left)
+    service.ingest(Party("bob"), "c-ref", workload.right)
+    result = service.execute("c-ref", predicate, algorithm=algorithm)
+    delivered = service.deliver(result, Party("carol"), "c-ref")
+    service.close()
+    _, rows = encode_relation(delivered)
+    return {
+        "rows": len(delivered),
+        "trace_fingerprint": result.trace.fingerprint(),
+        "result_fingerprint": result_fingerprint(rows),
+    }
+
+
+def client_worker(port: int, client_id: int, jobs: list[dict],
+                  barrier: threading.Barrier, records: list[dict],
+                  errors: list[str]) -> None:
+    metrics = MetricsRegistry()
+    client = JoinClient(
+        "127.0.0.1", port,
+        connect_timeout=10.0, request_timeout=30.0,
+        retry=LOAD_RETRY, retry_delay_unit=0.005, metrics=metrics,
+    )
+    try:
+        barrier.wait(timeout=30)
+        for job_spec in jobs:
+            workload = job_spec["workload"]
+            started = time.perf_counter()
+            job = client.submit_join(
+                job_spec["contract_id"],
+                {"alice": workload.left, "bob": workload.right},
+                PredicateSpec.equality(workload.join_attr),
+                recipient="carol", algorithm=job_spec["algorithm"],
+                page_size=4,
+            )
+            status = job.wait(timeout=120)
+            remote = job.result(timeout=120)
+            elapsed = time.perf_counter() - started
+            reference = job_spec["reference"]
+            records.append({
+                "client": client_id,
+                "seconds": elapsed,
+                "state": status.state,
+                "rows_ok": len(remote) == reference["rows"],
+                "trace_ok": (status.trace_fingerprint
+                             == reference["trace_fingerprint"]),
+                "result_ok": (status.result_fingerprint
+                              == reference["result_fingerprint"]),
+            })
+    except Exception as exc:  # pragma: no cover - failure path
+        errors.append(f"client {client_id}: {type(exc).__name__}: {exc}")
+    finally:
+        client.close()
+        records.append({
+            "client": client_id,
+            "retries": metrics.counter("client_retries_total").value,
+            "exhausted": metrics.counter(
+                "client_retries_exhausted_total").value,
+            "meta": True,
+        })
+
+
+def run_load(clients: int, jobs_per_client: int,
+             sizes: tuple[int, int, int], algorithm: str) -> dict:
+    workloads = make_workloads(clients * jobs_per_client, sizes)
+    references = [in_process_reference(w, algorithm) for w in workloads]
+
+    service = JoinService(pool_size=1, queue_depth=1)
+    server = JoinServer(service, max_connections=clients + 4,
+                        max_in_flight=clients + 4)
+    records: list[dict] = []
+    errors: list[str] = []
+    barrier = threading.Barrier(clients + 1)
+
+    with ServerThread(server) as handle:
+        threads = []
+        for c in range(clients):
+            jobs = []
+            for j in range(jobs_per_client):
+                k = c * jobs_per_client + j
+                jobs.append({
+                    "contract_id": f"c-load-{c}-{j}",
+                    "workload": workloads[k],
+                    "reference": references[k],
+                    "algorithm": algorithm,
+                })
+            thread = threading.Thread(
+                target=client_worker,
+                args=(handle.port, c, jobs, barrier, records, errors),
+                name=f"load-client-{c}",
+            )
+            thread.start()
+            threads.append(thread)
+        barrier.wait(timeout=30)
+        started = time.perf_counter()
+        for thread in threads:
+            thread.join(timeout=300)
+        wall = time.perf_counter() - started
+        saturated = server.metrics.counter(
+            "server_errors_total", code="saturated").value
+    service.close()
+
+    joins = [r for r in records if not r.get("meta")]
+    metas = [r for r in records if r.get("meta")]
+    latencies = sorted(r["seconds"] for r in joins)
+
+    def percentile(p: float) -> float:
+        if not latencies:
+            return 0.0
+        idx = min(len(latencies) - 1, int(p * (len(latencies) - 1)))
+        return latencies[idx]
+
+    return {
+        "clients": clients,
+        "jobs_per_client": jobs_per_client,
+        "workload": {"left": sizes[0], "right": sizes[1],
+                     "results": sizes[2]},
+        "algorithm": algorithm,
+        "submitted": clients * jobs_per_client,
+        "completed": sum(1 for r in joins if r["state"] == "done"),
+        "lost": clients * jobs_per_client - len(joins),
+        "fingerprints_identical": all(
+            r["trace_ok"] and r["result_ok"] and r["rows_ok"] for r in joins
+        ),
+        "saturated_replies": saturated,
+        "client_retries_total": sum(r["retries"] for r in metas),
+        "client_retries_exhausted": sum(r["exhausted"] for r in metas),
+        "wall_seconds": round(wall, 4),
+        "throughput_joins_per_s": (
+            round(len(joins) / wall, 3) if wall else None
+        ),
+        "latency_seconds": {
+            "mean": round(statistics.mean(latencies), 4) if latencies else 0,
+            "p50": round(percentile(0.50), 4),
+            "p99": round(percentile(0.99), 4),
+        },
+        "errors": errors,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small sizes for CI smoke runs")
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero on lost/retry/fingerprint failures")
+    parser.add_argument("--clients", type=int, default=None,
+                        help="concurrent client threads (default 12; smoke 8)")
+    parser.add_argument("--jobs-per-client", type=int, default=None)
+    parser.add_argument("--algorithm", default="algorithm5",
+                        choices=("algorithm4", "algorithm5", "algorithm6"))
+    parser.add_argument("--out", type=pathlib.Path, default=DEFAULT_OUTPUT)
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        clients = args.clients or 8
+        jobs = args.jobs_per_client or 2
+        sizes = (6, 6, 3)
+    else:
+        clients = args.clients or 12
+        jobs = args.jobs_per_client or 4
+        sizes = (12, 12, 6)
+
+    report = {
+        "benchmark": "net_service_load",
+        "mode": "smoke" if args.smoke else "full",
+        "host_cpus": os.cpu_count(),
+        "load": run_load(clients, jobs, sizes, args.algorithm),
+    }
+
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+
+    if args.check:
+        load = report["load"]
+        failures = []
+        if load["errors"]:
+            failures.append(f"client errors: {load['errors']}")
+        if load["lost"] or load["completed"] != load["submitted"]:
+            failures.append(
+                f"lost requests: {load['submitted']} submitted, "
+                f"{load['completed']} completed"
+            )
+        if not load["fingerprints_identical"]:
+            failures.append("networked fingerprints differ from in-process "
+                            "execute()")
+        if load["saturated_replies"] < 1:
+            failures.append("admission control never engaged — the load did "
+                            "not saturate the one-slot service")
+        if load["client_retries_total"] < 1:
+            failures.append("no client retries recorded")
+        if load["client_retries_exhausted"]:
+            failures.append("a client exhausted its retry budget")
+        if failures:
+            print("CHECK FAILED:", "; ".join(failures), file=sys.stderr)
+            return 1
+        print("CHECK OK: zero lost requests, saturation retried to "
+              "success, fingerprints bit-identical to in-process execute()")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -210,6 +210,91 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.core.service import JoinService
+    from repro.net.server import JoinServer, ServerThread
+
+    service = JoinService(pool_size=args.pool_size,
+                          queue_depth=args.queue_depth, memory=args.memory)
+    server = JoinServer(
+        service, host=args.host, port=args.port,
+        max_connections=args.max_connections,
+        max_in_flight=args.max_in_flight,
+        idle_timeout=args.idle_timeout,
+        max_joins=args.max_joins if args.max_joins > 0 else None,
+    )
+    handle = ServerThread(server).start()
+    print(f"join service listening on {server.host}:{server.port} "
+          f"(pool={args.pool_size}, queue={args.queue_depth})", flush=True)
+    try:
+        if args.max_joins > 0:
+            handle.join()
+            print(f"served {args.max_joins} joins, draining")
+        else:
+            while True:
+                handle.join(timeout=3600)
+    except KeyboardInterrupt:
+        print("interrupted, shutting down")
+    finally:
+        handle.stop()
+        service.close()
+    if args.metrics:
+        print(service.metrics.render_prometheus(), end="")
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.core.service import Contract, JoinService, Party
+    from repro.net.client import JoinClient
+    from repro.net.server import result_fingerprint
+    from repro.net.wire import PredicateSpec, encode_relation
+    from repro.relational.generate import equijoin_workload
+
+    workload = equijoin_workload(args.left, args.right, args.results,
+                                 rng=random.Random(args.seed))
+    spec = PredicateSpec.equality("key")
+    with JoinClient(args.host, args.port,
+                    connect_timeout=args.timeout,
+                    request_timeout=args.timeout) as client:
+        job = client.submit_join(
+            args.contract,
+            {"alice": workload.left, "bob": workload.right},
+            spec, recipient="carol", algorithm=args.algorithm,
+            epsilon=args.epsilon, page_size=args.page_size,
+        )
+        status = job.wait(timeout=args.timeout)
+        delivered = job.result(timeout=args.timeout)
+    print(f"{args.algorithm} over the wire: {status.rows} join tuples in "
+          f"{status.pages} pages, {status.transfers} T/H transfers")
+    print(f"trace fingerprint:  {status.trace_fingerprint}")
+    print(f"result fingerprint: {status.result_fingerprint}")
+    if not args.verify:
+        return 0
+
+    # Re-run the identical join fully in process and require bit-identical
+    # fingerprints: the network boundary must not change the join.
+    service = JoinService(pool_size=1)
+    predicate = spec.build()
+    service.register_contract(Contract(
+        args.contract, ("alice", "bob"), "carol", predicate.description,
+    ))
+    service.ingest(Party("alice"), args.contract, workload.left)
+    service.ingest(Party("bob"), args.contract, workload.right)
+    local = service.execute(args.contract, predicate,
+                            algorithm=args.algorithm, epsilon=args.epsilon)
+    local_delivered = service.deliver(local, Party("carol"), args.contract)
+    service.close()
+    _, rows = encode_relation(local_delivered)
+    checks = (
+        status.trace_fingerprint == local.trace.fingerprint()
+        and status.result_fingerprint == result_fingerprint(rows)
+        and delivered.same_multiset(local_delivered)
+    )
+    print("verify: networked result is bit-identical to in-process execute()"
+          if checks else "verify: MISMATCH against in-process execute()")
+    return 0 if checks else 1
+
+
 def _cmd_metrics(args: argparse.Namespace) -> None:
     import json
 
@@ -297,6 +382,43 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--algorithms", default="",
                        help="comma-separated subset (default: all safe algorithms)")
 
+    serve = sub.add_parser(
+        "serve", help="run the networked join service on a TCP port"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7734,
+                       help="TCP port (0 picks a free one)")
+    serve.add_argument("--pool-size", type=int, default=4)
+    serve.add_argument("--queue-depth", type=int, default=8)
+    serve.add_argument("--memory", type=int, default=64,
+                       help="coprocessor memory M per join")
+    serve.add_argument("--max-connections", type=int, default=64)
+    serve.add_argument("--max-in-flight", type=int, default=16)
+    serve.add_argument("--idle-timeout", type=float, default=30.0)
+    serve.add_argument("--max-joins", type=int, default=0,
+                       help="exit after serving this many joins (0: forever)")
+    serve.add_argument("--metrics", action="store_true",
+                       help="print the Prometheus registry on exit")
+
+    submit = sub.add_parser(
+        "submit", help="submit a demo workload join to a running server"
+    )
+    submit.add_argument("--host", default="127.0.0.1")
+    submit.add_argument("--port", type=int, default=7734)
+    submit.add_argument("--algorithm", default="algorithm5",
+                        choices=["algorithm4", "algorithm5", "algorithm6"])
+    submit.add_argument("--left", type=int, default=20)
+    submit.add_argument("--right", type=int, default=20)
+    submit.add_argument("--results", type=int, default=8)
+    submit.add_argument("--seed", type=int, default=1)
+    submit.add_argument("--epsilon", type=float, default=1e-20)
+    submit.add_argument("--page-size", type=int, default=16)
+    submit.add_argument("--contract", default="c-cli-demo")
+    submit.add_argument("--timeout", type=float, default=60.0)
+    submit.add_argument("--verify", action="store_true",
+                        help="re-run in process and require bit-identical "
+                             "fingerprints")
+
     sub.add_parser("errata", help="paper errata found during reproduction")
     sub.add_parser("report", help="run the full reproduction report card")
     return parser
@@ -317,6 +439,10 @@ def main(argv: list[str] | None = None) -> int:
             _cmd_metrics(args)
         elif args.command == "chaos":
             return _cmd_chaos(args)
+        elif args.command == "serve":
+            return _cmd_serve(args)
+        elif args.command == "submit":
+            return _cmd_submit(args)
         elif args.command == "errata":
             print(ERRATA)
         elif args.command == "report":

@@ -39,6 +39,7 @@ from repro.errors import (
     AuthenticationError,
     ConfigurationError,
     ContractError,
+    ServiceClosedError,
     ServiceSaturatedError,
 )
 from repro.hardware.coprocessor import SecureCoprocessor
@@ -46,6 +47,8 @@ from repro.hardware.host import HostMemory
 from repro.obs.metrics import MetricsRegistry, instrument_coprocessor, instrument_join
 from repro.relational.predicates import MultiPredicate
 from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.relational.tuples import TupleCodec
 
 AlgorithmName = Literal["algorithm4", "algorithm5", "algorithm6"]
 
@@ -173,6 +176,7 @@ class JoinService:
         self.queue_depth = queue_depth
         self._pool: ThreadPoolExecutor | None = None
         self._pool_lock = threading.Lock()
+        self._closed = False
         # One slot per pool worker plus one per queue position; holding a
         # slot = the join is admitted (queued or running).
         self._slots = threading.BoundedSemaphore(pool_size + queue_depth)
@@ -186,6 +190,10 @@ class JoinService:
     # -- pool lifecycle ------------------------------------------------------
     def _ensure_pool(self) -> ThreadPoolExecutor:
         with self._pool_lock:
+            if self._closed:
+                raise ServiceClosedError(
+                    "the join service is closed; no more joins can be queued"
+                )
             if self._pool is None:
                 self._pool = ThreadPoolExecutor(
                     max_workers=self.pool_size,
@@ -193,12 +201,27 @@ class JoinService:
                 )
             return self._pool
 
-    def close(self) -> None:
-        """Drain the pool and release its threads (idempotent)."""
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has run; further ``submit`` calls raise."""
+        return self._closed
+
+    def close(self, cancel_pending: bool = False) -> None:
+        """Shut the pool down and refuse further submissions (idempotent).
+
+        Running joins always finish.  Queued joins drain by default; with
+        ``cancel_pending=True`` they are cancelled instead — their futures
+        resolve to :class:`concurrent.futures.CancelledError` and their
+        admission slots are released, so nothing hangs and nothing leaks.
+        After ``close`` returns, :meth:`submit` raises
+        :class:`~repro.errors.ServiceClosedError`; the synchronous
+        :meth:`execute` path stays available (it never touches the pool).
+        """
         with self._pool_lock:
+            self._closed = True
             pool, self._pool = self._pool, None
         if pool is not None:
-            pool.shutdown(wait=True)
+            pool.shutdown(wait=True, cancel_futures=cancel_pending)
 
     def __enter__(self) -> "JoinService":
         return self
@@ -230,24 +253,57 @@ class JoinService:
         into host regions at join time (where it is re-encrypted under the
         working key).  Returns the number of tuples accepted.
         """
+        ciphertexts = party.encrypt_upload(contract_id, relation)
+        return self._accept_upload(
+            party.name, contract_id, relation.schema, ciphertexts, party.provider()
+        )
+
+    def ingest_upload(
+        self,
+        owner: str,
+        contract_id: str,
+        schema: Schema,
+        ciphertexts: list[bytes],
+    ) -> int:
+        """Accept an already-encrypted upload, as shipped over the network.
+
+        This is the wire-facing half of :meth:`ingest`: the owner encrypted
+        ``(contract_id || tuple)`` records under their session key on their
+        own machine (:meth:`Party.encrypt_upload`) and only ciphertexts
+        crossed the untrusted network.  T re-derives the owner's session key
+        (the deterministic :class:`Party` derivation stands in for the
+        attested key exchange of Section 3.3.3), authenticates every record,
+        verifies the embedded contract ID, and stages the plaintexts for
+        join time.
+        """
+        return self._accept_upload(
+            owner, contract_id, schema, ciphertexts, Party(owner).provider()
+        )
+
+    def _accept_upload(
+        self,
+        owner: str,
+        contract_id: str,
+        schema: Schema,
+        ciphertexts: list[bytes],
+        provider,
+    ) -> int:
         contract = self._contracts.get(contract_id)
         if contract is None:
             raise ContractError(f"unknown contract {contract_id!r}")
-        if not contract.permits(party.name):
+        if not contract.permits(owner):
             raise ContractError(
-                f"party {party.name!r} is not a data owner under contract {contract_id!r}"
+                f"party {owner!r} is not a data owner under contract {contract_id!r}"
             )
-        ciphertexts = party.encrypt_upload(contract_id, relation)
-        provider = party.provider()
-        codec = relation.codec()
+        codec = TupleCodec(schema)
         header = contract_id.encode("utf-8").ljust(16, b"\x00")
-        accepted = Relation(relation.schema)
+        accepted = Relation(schema)
         for ciphertext in ciphertexts:
             plain = provider.decrypt(ciphertext)  # AuthenticationError on tamper
             if plain[:16] != header:
                 raise AuthenticationError("tuple bound to a different contract")
             accepted.append(codec.decode(plain[16:]))
-        self._uploads[(contract_id, party.name)] = accepted
+        self._uploads[(contract_id, owner)] = accepted
         return len(accepted)
 
     # -- the join -----------------------------------------------------------
@@ -347,7 +403,14 @@ class JoinService:
         or, with ``block=False``, raises
         :class:`~repro.errors.ServiceSaturatedError` immediately.  Returns a
         future resolving to the :class:`~repro.core.base.JoinResult`.
+
+        Submitting after :meth:`close` raises
+        :class:`~repro.errors.ServiceClosedError`.
         """
+        if self._closed:
+            raise ServiceClosedError(
+                "the join service is closed; no more joins can be queued"
+            )
         if self.checkpoint_interval is not None or self._injected_host:
             raise ConfigurationError(
                 "concurrent submission requires service-managed storage; "
@@ -392,7 +455,31 @@ class JoinService:
                 in_flight.dec()
                 self._slots.release()
 
-        return self._ensure_pool().submit(job)
+        try:
+            future = self._ensure_pool().submit(job)
+        except (ServiceClosedError, RuntimeError):
+            # close() raced us between the closed check and the pool submit:
+            # give the admission slot back before re-raising cleanly.
+            self.metrics.gauge("service_jobs_queued").dec()
+            self._slots.release()
+            raise ServiceClosedError(
+                "the join service closed while the submission was in flight"
+            ) from None
+
+        def on_done(done: "Future[JoinResult]") -> None:
+            # A future cancelled by close(cancel_pending=True) never ran job(),
+            # so its admission slot and queue-gauge entry must be released
+            # here or the semaphore leaks one slot per cancelled join.
+            if done.cancelled():
+                self.metrics.counter(
+                    "service_jobs_cancelled_total",
+                    "queued joins cancelled by service shutdown",
+                ).inc()
+                self.metrics.gauge("service_jobs_queued").dec()
+                self._slots.release()
+
+        future.add_done_callback(on_done)
+        return future
 
     def deliver(self, result: JoinResult, recipient: Party, contract_id: str) -> Relation:
         """Re-encrypt the result for the recipient and decrypt on their side."""

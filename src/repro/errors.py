@@ -60,6 +60,16 @@ class ServiceSaturatedError(ReproError):
     """
 
 
+class ServiceClosedError(ReproError):
+    """The join service has been closed and no longer accepts submissions.
+
+    Raised by :meth:`~repro.core.service.JoinService.submit` once
+    :meth:`~repro.core.service.JoinService.close` has run: the coprocessor
+    pool is drained (or draining) and admitting more work would either hang
+    the caller or silently leak an unserved future.
+    """
+
+
 class ConfigurationError(ReproError):
     """An algorithm or cost model was given inconsistent parameters."""
 
@@ -94,6 +104,53 @@ class CheckpointError(ReproError):
     """
 
 
+class WireError(ReproError):
+    """Base class for failures at the client/server network boundary.
+
+    The networked deployment of Chapter 5 moves the requestor/provider
+    boundary onto a real socket; everything that can go wrong there — a
+    malformed frame, a dropped connection, a saturated server, a join that
+    failed remotely — derives from this class so callers can fence off the
+    network layer with one clause.
+    """
+
+
+class WireProtocolError(WireError):
+    """A frame violates the wire protocol and cannot be decoded.
+
+    Covers truncated frames, bad magic bytes, unsupported protocol versions,
+    unknown frame types, checksum mismatches, and payloads whose declared
+    lengths disagree with their contents.  Protocol errors are never
+    retryable: re-sending the same bytes cannot make them parse.
+    """
+
+
+class TransientWireError(WireError):
+    """A network request failed in a way that a bounded retry may fix.
+
+    Raised by the client for dropped/reset connections, connect and request
+    timeouts, and for server replies explicitly marked retryable — a
+    saturated admission queue (the wire mapping of
+    :class:`ServiceSaturatedError`), a byte-budget rejection, or a page
+    requested before the join finished.  Mirrors
+    :class:`TransientHostError` one layer up: the re-issued request is
+    byte-identical, so retrying never changes what the server observes.
+    """
+
+
+class RemoteJoinError(WireError):
+    """The server reported a non-retryable failure for a submitted join.
+
+    Carries the remote error code and message (for example a
+    :class:`ContractError` raised inside the service); retrying the identical
+    request would deterministically fail again.
+    """
+
+    def __init__(self, message: str, code: str = "internal") -> None:
+        super().__init__(message)
+        self.code = code
+
+
 #: Every public exception in the hierarchy, for introspection and re-export.
 __all__ = [
     "ReproError",
@@ -105,8 +162,13 @@ __all__ = [
     "BlemishError",
     "ContractError",
     "ServiceSaturatedError",
+    "ServiceClosedError",
     "ConfigurationError",
     "TransientHostError",
     "CoprocessorCrashError",
     "CheckpointError",
+    "WireError",
+    "WireProtocolError",
+    "TransientWireError",
+    "RemoteJoinError",
 ]

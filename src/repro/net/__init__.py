@@ -1,0 +1,66 @@
+"""The networked join service: wire protocol, server, and client.
+
+PR 4 made :class:`~repro.core.service.JoinService` concurrent, but only for
+callers in the same process as the coprocessor.  The paper's deployment model
+(Chapter 5) is inherently networked — data owners ship *encrypted* relations
+to an untrusted host and pull results back.  This package adds that boundary:
+
+* :mod:`repro.net.wire` — a versioned, length-prefixed binary frame protocol
+  with deterministic serialization of schemas, encrypted relations, join
+  plans, and paged results;
+* :mod:`repro.net.server` — an asyncio TCP server wrapping a
+  :class:`~repro.core.service.JoinService` with admission control and
+  backpressure (bounded connections, bounded in-flight frames, byte budgets,
+  idle/request timeouts);
+* :mod:`repro.net.client` — a sync-friendly :class:`JoinClient` with
+  connect/request timeouts, bounded exponential-backoff retries on transient
+  failures, and streaming iteration over result pages.
+
+Only ciphertexts cross the socket in either direction: uploads are encrypted
+under each owner's session key before framing, and results are re-encrypted
+for the recipient exactly as :meth:`JoinService.deliver` does in process.
+"""
+
+from repro.net.client import JoinClient, RemoteJob
+from repro.net.server import JoinServer, ServerThread
+from repro.net.wire import (
+    PROTOCOL_VERSION,
+    Cancel,
+    Cancelled,
+    ErrorReply,
+    FetchPage,
+    Page,
+    Ping,
+    Pong,
+    PredicateSpec,
+    Status,
+    StatusReply,
+    SubmitJoin,
+    Submitted,
+    Upload,
+    decode_frame,
+    encode_frame,
+)
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "Cancel",
+    "Cancelled",
+    "ErrorReply",
+    "FetchPage",
+    "JoinClient",
+    "JoinServer",
+    "Page",
+    "Ping",
+    "Pong",
+    "PredicateSpec",
+    "RemoteJob",
+    "ServerThread",
+    "Status",
+    "StatusReply",
+    "SubmitJoin",
+    "Submitted",
+    "Upload",
+    "decode_frame",
+    "encode_frame",
+]

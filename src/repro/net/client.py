@@ -1,0 +1,360 @@
+"""Sync-friendly client for the networked join service.
+
+:class:`JoinClient` owns one TCP connection (re-established transparently
+after transient failures) and a bounded exponential-backoff retry loop shared
+by every request.  The retry schedule reuses
+:class:`~repro.hardware.resilience.RetryPolicy` — the same geometric-delay
+semantics the simulated coprocessor applies to transient host faults — with
+``retry_delay_unit`` converting abstract delay cycles into seconds.
+
+What retries, what doesn't:
+
+* **transient** (dropped connection, request timeout, retryable error replies
+  such as ``saturated`` / ``not_ready`` / ``shutting_down``) → reconnect if
+  needed, back off, resend; after the policy is exhausted the last
+  :class:`~repro.errors.TransientWireError` is raised;
+* **protocol** (malformed reply, version mismatch, non-retryable ``protocol``
+  error reply) → :class:`~repro.errors.WireProtocolError` immediately;
+* **remote failure** (contract violations, join errors, unknown jobs) →
+  :class:`~repro.errors.RemoteJoinError` carrying the wire error code.
+
+Uploads are encrypted *client side* under each owner's session key before
+framing — the bytes on the socket are the same ciphertexts
+``Party.encrypt_upload`` would hand to an in-process service.  Results come
+back as deterministic pages that :class:`RemoteJob` can stream without
+materializing the full relation.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from collections.abc import Callable, Iterator, Mapping
+from dataclasses import dataclass
+
+from repro.core.service import Party
+from repro.errors import (
+    RemoteJoinError,
+    TransientWireError,
+    WireProtocolError,
+)
+from repro.hardware.resilience import RetryPolicy
+from repro.net import wire
+from repro.net.wire import (
+    Cancel,
+    Cancelled,
+    ErrorReply,
+    FetchPage,
+    Frame,
+    Page,
+    Ping,
+    Pong,
+    PredicateSpec,
+    Status,
+    StatusReply,
+    SubmitJoin,
+    Submitted,
+    Upload,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.relational.relation import Relation
+from repro.relational.tuples import Record
+
+DEFAULT_RETRY = RetryPolicy(max_retries=8, base_delay_cycles=1, multiplier=2)
+
+
+class JoinClient:
+    """Blocking client speaking :mod:`repro.net.wire` to a :class:`JoinServer`.
+
+    Usable as a context manager; the socket is opened lazily on the first
+    request and silently re-opened after transient disconnects.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        connect_timeout: float = 5.0,
+        request_timeout: float = 30.0,
+        retry: RetryPolicy = DEFAULT_RETRY,
+        retry_delay_unit: float = 0.01,
+        metrics: MetricsRegistry | None = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.connect_timeout = connect_timeout
+        self.request_timeout = request_timeout
+        self.retry = retry
+        self.retry_delay_unit = retry_delay_unit
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._sleep = sleep
+        self._sock: socket.socket | None = None
+
+    # -- connection management ----------------------------------------------
+    def connect(self) -> None:
+        if self._sock is not None:
+            return
+        try:
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=self.connect_timeout
+            )
+        except OSError as exc:
+            raise TransientWireError(
+                f"could not connect to {self.host}:{self.port}: {exc}"
+            ) from exc
+        sock.settimeout(self.request_timeout)
+        self._sock = sock
+        self.metrics.counter(
+            "client_connects_total", "TCP connections opened"
+        ).inc()
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "JoinClient":
+        self.connect()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- framed I/O ----------------------------------------------------------
+    def _recv_exactly(self, count: int) -> bytes:
+        assert self._sock is not None
+        chunks: list[bytes] = []
+        remaining = count
+        while remaining > 0:
+            try:
+                chunk = self._sock.recv(remaining)
+            except socket.timeout as exc:
+                raise TransientWireError(
+                    f"request timed out after {self.request_timeout}s"
+                ) from exc
+            except OSError as exc:
+                raise TransientWireError(f"connection failed: {exc}") from exc
+            if not chunk:
+                raise TransientWireError(
+                    "server closed the connection mid-frame"
+                    if chunks or remaining != count
+                    else "server closed the connection"
+                )
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    def _exchange(self, frame: Frame) -> Frame:
+        """One send/receive round trip on the current connection."""
+        assert self._sock is not None
+        data = wire.encode_frame(frame)
+        try:
+            self._sock.sendall(data)
+        except socket.timeout as exc:
+            raise TransientWireError("send timed out") from exc
+        except OSError as exc:
+            raise TransientWireError(f"send failed: {exc}") from exc
+        self.metrics.counter(
+            "client_bytes_written_total", "frame bytes sent"
+        ).inc(len(data))
+        header = self._recv_exactly(wire.HEADER_SIZE)
+        frame_type, length = wire.parse_header(header)
+        body = self._recv_exactly(length + wire.TRAILER_SIZE)
+        self.metrics.counter(
+            "client_bytes_read_total", "frame bytes received"
+        ).inc(len(header) + len(body))
+        return wire.decode_payload(frame_type, body[:length], body[length:])
+
+    def request(self, frame: Frame) -> Frame:
+        """Send ``frame`` and return the reply, retrying transient failures.
+
+        Raises :class:`TransientWireError` once the retry policy is
+        exhausted, :class:`WireProtocolError` on malformed traffic, and
+        :class:`RemoteJoinError` for definitive server-side failures.
+        """
+        self.metrics.counter(
+            "client_requests_total", "requests issued",
+            type=type(frame).__name__,
+        ).inc()
+        attempt = 0
+        while True:
+            transient: TransientWireError
+            try:
+                self.connect()
+                reply = self._exchange(frame)
+            except TransientWireError as exc:
+                # The connection is in an unknown state; rebuild it.
+                self.close()
+                transient = exc
+            except WireProtocolError:
+                self.close()
+                raise
+            else:
+                if not isinstance(reply, ErrorReply):
+                    return reply
+                if reply.retryable:
+                    transient = TransientWireError(
+                        f"server busy ({reply.code}): {reply.message}"
+                    )
+                elif reply.code == "protocol":
+                    raise WireProtocolError(reply.message)
+                else:
+                    raise RemoteJoinError(reply.message, code=reply.code)
+            if attempt >= self.retry.max_retries:
+                self.metrics.counter(
+                    "client_retries_exhausted_total",
+                    "requests that failed after all retries",
+                ).inc()
+                raise transient
+            self.metrics.counter(
+                "client_retries_total", "transient failures retried"
+            ).inc()
+            self._sleep(self.retry.delay(attempt) * self.retry_delay_unit)
+            attempt += 1
+
+    # -- high-level API ------------------------------------------------------
+    def ping(self) -> bool:
+        return isinstance(self.request(Ping()), Pong)
+
+    def submit_join(
+        self,
+        contract_id: str,
+        relations: Mapping[str, Relation],
+        predicate: PredicateSpec,
+        recipient: str,
+        *,
+        algorithm: str = "algorithm5",
+        epsilon: float = 1e-20,
+        page_size: int = 64,
+    ) -> "RemoteJob":
+        """Encrypt ``relations`` (keyed by owner name) and submit the join.
+
+        Each owner's relation is encrypted locally under that owner's
+        session key; only ciphertexts are framed.  Returns a handle the
+        caller can poll, stream, or cancel.
+        """
+        uploads = tuple(
+            Upload(
+                owner=owner,
+                schema=relation.schema,
+                ciphertexts=tuple(
+                    Party(owner).encrypt_upload(contract_id, relation)
+                ),
+            )
+            for owner, relation in relations.items()
+        )
+        frame = SubmitJoin(
+            contract_id=contract_id,
+            data_owners=tuple(relations),
+            recipient=recipient,
+            predicate=predicate,
+            uploads=uploads,
+            algorithm=algorithm,
+            epsilon=epsilon,
+            page_size=page_size,
+        )
+        reply = self.request(frame)
+        if not isinstance(reply, Submitted):
+            raise WireProtocolError(
+                f"expected Submitted, got {type(reply).__name__}"
+            )
+        self.metrics.counter(
+            "client_joins_submitted_total", "joins accepted by the server"
+        ).inc()
+        return RemoteJob(client=self, job_id=reply.job_id)
+
+
+@dataclass
+class RemoteJob:
+    """Handle to one join running on a remote :class:`JoinServer`."""
+
+    client: JoinClient
+    job_id: str
+
+    def status(self) -> StatusReply:
+        reply = self.client.request(Status(self.job_id))
+        if not isinstance(reply, StatusReply):
+            raise WireProtocolError(
+                f"expected StatusReply, got {type(reply).__name__}"
+            )
+        return reply
+
+    def wait(
+        self, timeout: float = 60.0, *, poll_interval: float = 0.005
+    ) -> StatusReply:
+        """Poll until the join leaves the queue, with capped backoff.
+
+        Returns the terminal :class:`StatusReply` on success; raises
+        :class:`RemoteJoinError` if the join failed or was cancelled and
+        :class:`TransientWireError` if ``timeout`` elapses first.
+        """
+        deadline = time.monotonic() + timeout
+        delay = poll_interval
+        while True:
+            reply = self.status()
+            if reply.state == "done":
+                return reply
+            if reply.state == "failed":
+                raise RemoteJoinError(
+                    reply.error or "remote join failed",
+                    code=reply.error_code or "internal",
+                )
+            if reply.state == "cancelled":
+                raise RemoteJoinError(
+                    f"job {self.job_id} was cancelled", code="cancelled"
+                )
+            if time.monotonic() >= deadline:
+                raise TransientWireError(
+                    f"job {self.job_id} still {reply.state} "
+                    f"after {timeout}s"
+                )
+            self.client._sleep(delay)
+            delay = min(delay * 2, 0.25)
+
+    def pages(self, timeout: float = 60.0) -> Iterator[Page]:
+        """Wait for completion, then stream result pages in order."""
+        status = self.wait(timeout)
+        for index in range(status.pages):
+            reply = self.client.request(FetchPage(self.job_id, index))
+            if not isinstance(reply, Page):
+                raise WireProtocolError(
+                    f"expected Page, got {type(reply).__name__}"
+                )
+            self.client.metrics.counter(
+                "client_pages_total", "result pages fetched"
+            ).inc()
+            yield reply
+            if reply.last:
+                return
+
+    def records(self, timeout: float = 60.0) -> Iterator[Record]:
+        """Stream result records without materializing the whole relation."""
+        for page in self.pages(timeout):
+            yield from page.relation()
+
+    def result(self, timeout: float = 60.0) -> Relation:
+        """Fetch every page and assemble the delivered relation."""
+        relation: Relation | None = None
+        for page in self.pages(timeout):
+            chunk = page.relation()
+            if relation is None:
+                relation = chunk
+            else:
+                relation.extend(chunk)
+        if relation is None:
+            raise WireProtocolError(f"job {self.job_id} returned no pages")
+        return relation
+
+    def cancel(self) -> bool:
+        """Withdraw a queued join; returns False once it already started."""
+        reply = self.client.request(Cancel(self.job_id))
+        if not isinstance(reply, Cancelled):
+            raise WireProtocolError(
+                f"expected Cancelled, got {type(reply).__name__}"
+            )
+        return reply.cancelled

@@ -1,0 +1,709 @@
+"""The length-prefixed binary wire protocol of the networked join service.
+
+Every message on the socket is one *frame*::
+
+    MAGIC(2) | VERSION(1) | TYPE(1) | LENGTH(4, big-endian) | PAYLOAD | CRC32(4)
+
+The CRC covers the payload, so a flipped bit anywhere in a frame body is a
+:class:`~repro.errors.WireProtocolError`, never a mis-parsed join.  All
+integers are big-endian; strings are UTF-8 with a 4-byte length prefix.
+Serialization is *deterministic*: encoding the same frame twice yields
+byte-identical output (schemas keep attribute order, relations keep record
+order, floats use the IEEE-754 wire form), which is what lets the benchmark
+compare fingerprints of networked results against in-process runs.
+
+Relations cross the wire in two forms:
+
+* **uploads** — per-owner ciphertext lists produced by
+  :meth:`~repro.core.service.Party.encrypt_upload`; the plaintext never
+  leaves the data owner's machine;
+* **result pages** — fixed-width record payloads re-encrypted for the
+  recipient, ``page_size`` tuples at a time, so a client can stream a large
+  join without materializing it.
+
+The predicate travels as a declarative :class:`PredicateSpec` (the wire
+cannot ship arbitrary Python callables, and the contract arbitration of
+Section 3.3.3 needs a canonical description string anyway).
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import ClassVar
+
+from repro.errors import ConfigurationError, WireProtocolError
+from repro.relational.predicates import (
+    BandJoin,
+    BinaryAsMulti,
+    Equality,
+    JaccardSimilarity,
+    L1Proximity,
+    MultiPredicate,
+    PairwiseAll,
+    Theta,
+)
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, AttrType, Schema
+from repro.relational.tuples import TupleCodec
+
+MAGIC = b"PJ"
+PROTOCOL_VERSION = 1
+HEADER_SIZE = 8          # magic + version + type + payload length
+TRAILER_SIZE = 4         # CRC32 of the payload
+
+#: Hard upper bound on one frame's payload; a length prefix beyond this is a
+#: protocol error (it is either corruption or a memory bomb, and reading it
+#: would defeat the server's byte budgets).
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+
+# ---------------------------------------------------------------------------
+# primitive readers/writers
+# ---------------------------------------------------------------------------
+
+class _Writer:
+    """Accumulates the deterministic byte encoding of one payload."""
+
+    def __init__(self) -> None:
+        self._parts: list[bytes] = []
+
+    def u8(self, value: int) -> None:
+        self._parts.append(struct.pack(">B", value))
+
+    def u32(self, value: int) -> None:
+        self._parts.append(struct.pack(">I", value))
+
+    def u64(self, value: int) -> None:
+        self._parts.append(struct.pack(">Q", value))
+
+    def f64(self, value: float) -> None:
+        self._parts.append(struct.pack(">d", value))
+
+    def flag(self, value: bool) -> None:
+        self.u8(1 if value else 0)
+
+    def raw(self, data: bytes) -> None:
+        self._parts.append(bytes(data))
+
+    def blob(self, data: bytes) -> None:
+        self.u32(len(data))
+        self.raw(data)
+
+    def text(self, value: str) -> None:
+        self.blob(value.encode("utf-8"))
+
+    def getvalue(self) -> bytes:
+        return b"".join(self._parts)
+
+
+class _Reader:
+    """Bounds-checked cursor over one payload; truncation is a protocol error."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = memoryview(data)
+        self._offset = 0
+
+    def _take(self, count: int) -> memoryview:
+        if count < 0 or self._offset + count > len(self._data):
+            raise WireProtocolError(
+                f"truncated payload: wanted {count} bytes at offset "
+                f"{self._offset}, payload is {len(self._data)} bytes"
+            )
+        view = self._data[self._offset:self._offset + count]
+        self._offset += count
+        return view
+
+    def u8(self) -> int:
+        return self._take(1)[0]
+
+    def u32(self) -> int:
+        return struct.unpack(">I", self._take(4))[0]
+
+    def u64(self) -> int:
+        return struct.unpack(">Q", self._take(8))[0]
+
+    def f64(self) -> float:
+        return struct.unpack(">d", self._take(8))[0]
+
+    def flag(self) -> bool:
+        value = self.u8()
+        if value not in (0, 1):
+            raise WireProtocolError(f"boolean field holds {value}")
+        return bool(value)
+
+    def blob(self) -> bytes:
+        length = self.u32()
+        return bytes(self._take(length))
+
+    def text(self) -> str:
+        try:
+            return self.blob().decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise WireProtocolError("string field is not valid UTF-8") from exc
+
+    def expect_end(self) -> None:
+        if self._offset != len(self._data):
+            raise WireProtocolError(
+                f"{len(self._data) - self._offset} unconsumed payload bytes"
+            )
+
+
+# ---------------------------------------------------------------------------
+# schema / relation / predicate serialization
+# ---------------------------------------------------------------------------
+
+def write_schema(writer: _Writer, schema: Schema) -> None:
+    writer.text(schema.name)
+    writer.u32(len(schema.attributes))
+    for attr in schema.attributes:
+        writer.text(attr.name)
+        writer.text(attr.type.value)
+        writer.u32(attr.width)
+
+
+def read_schema(reader: _Reader) -> Schema:
+    name = reader.text()
+    count = reader.u32()
+    attributes = []
+    for _ in range(count):
+        attr_name = reader.text()
+        type_name = reader.text()
+        width = reader.u32()
+        try:
+            attr_type = AttrType(type_name)
+        except ValueError as exc:
+            raise WireProtocolError(f"unknown attribute type {type_name!r}") from exc
+        try:
+            attributes.append(Attribute(attr_name, attr_type, width))
+        except Exception as exc:
+            raise WireProtocolError(f"invalid attribute on the wire: {exc}") from exc
+    try:
+        return Schema(tuple(attributes), name=name)
+    except Exception as exc:
+        raise WireProtocolError(f"invalid schema on the wire: {exc}") from exc
+
+
+def write_rows(writer: _Writer, schema: Schema, rows: tuple[bytes, ...]) -> None:
+    """Fixed-width record payloads: a count, then back-to-back encodings."""
+    record_size = schema.record_size
+    writer.u32(len(rows))
+    for row in rows:
+        if len(row) != record_size:
+            raise WireProtocolError(
+                f"row is {len(row)} bytes, schema {schema.name!r} needs "
+                f"{record_size}"
+            )
+        writer.raw(row)
+
+
+def read_rows(reader: _Reader, schema: Schema) -> tuple[bytes, ...]:
+    count = reader.u32()
+    record_size = schema.record_size
+    return tuple(bytes(reader._take(record_size)) for _ in range(count))
+
+
+def encode_relation(relation: Relation) -> tuple[Schema, tuple[bytes, ...]]:
+    """A relation as its schema plus deterministic fixed-width row payloads."""
+    codec = relation.codec()
+    return relation.schema, tuple(codec.encode(r) for r in relation)
+
+
+def decode_relation(schema: Schema, rows: tuple[bytes, ...]) -> Relation:
+    codec = TupleCodec(schema)
+    out = Relation(schema)
+    try:
+        for row in rows:
+            out.append(codec.decode(row))
+    except Exception as exc:
+        raise WireProtocolError(f"undecodable record on the wire: {exc}") from exc
+    return out
+
+
+_PREDICATE_KINDS = ("equality", "theta", "band", "jaccard", "l1")
+_PREDICATE_MODES = ("binary", "chain")
+
+
+@dataclass(frozen=True)
+class PredicateSpec:
+    """A declarative, wire-serializable join predicate.
+
+    ``kind`` picks the predicate family, ``attrs`` the participating
+    attribute names, ``op``/``threshold`` the family's parameter, and
+    ``mode`` how the binary predicate lifts to the m-way interface
+    (``binary`` → :class:`BinaryAsMulti`, ``chain`` → :class:`PairwiseAll`).
+    """
+
+    kind: str
+    attrs: tuple[str, ...] = ()
+    op: str = ""
+    threshold: float = 0.0
+    mode: str = "binary"
+
+    def __post_init__(self) -> None:
+        if self.kind not in _PREDICATE_KINDS:
+            raise ConfigurationError(
+                f"unknown predicate kind {self.kind!r} (choose from "
+                f"{_PREDICATE_KINDS})"
+            )
+        if self.mode not in _PREDICATE_MODES:
+            raise ConfigurationError(f"unknown predicate mode {self.mode!r}")
+        object.__setattr__(self, "attrs", tuple(self.attrs))
+
+    @classmethod
+    def equality(cls, attr: str, right_attr: str | None = None) -> "PredicateSpec":
+        return cls("equality", (attr,) if right_attr is None else (attr, right_attr))
+
+    def _binary(self):
+        if self.kind == "equality":
+            return Equality(*self.attrs)
+        if self.kind == "theta":
+            return Theta(self.attrs[0], self.op, *self.attrs[1:2])
+        if self.kind == "band":
+            return BandJoin(self.attrs[0], self.threshold, *self.attrs[1:2])
+        if self.kind == "jaccard":
+            return JaccardSimilarity(self.attrs[0], self.threshold,
+                                     *self.attrs[1:2])
+        if self.kind == "l1":
+            return L1Proximity(self.attrs, self.threshold)
+        raise ConfigurationError(f"unknown predicate kind {self.kind!r}")
+
+    def build(self) -> MultiPredicate:
+        """Instantiate the runnable predicate this spec describes."""
+        try:
+            binary = self._binary()
+        except (IndexError, TypeError) as exc:
+            raise ConfigurationError(
+                f"predicate spec {self.kind!r} has malformed attributes"
+            ) from exc
+        if self.mode == "chain":
+            return PairwiseAll(binary)
+        return BinaryAsMulti(binary)
+
+    @property
+    def description(self) -> str:
+        """The canonical contract-text description of this predicate."""
+        return self.build().description
+
+
+def write_predicate(writer: _Writer, spec: PredicateSpec) -> None:
+    writer.text(spec.kind)
+    writer.u32(len(spec.attrs))
+    for attr in spec.attrs:
+        writer.text(attr)
+    writer.text(spec.op)
+    writer.f64(spec.threshold)
+    writer.text(spec.mode)
+
+
+def read_predicate(reader: _Reader) -> PredicateSpec:
+    kind = reader.text()
+    attrs = tuple(reader.text() for _ in range(reader.u32()))
+    op = reader.text()
+    threshold = reader.f64()
+    mode = reader.text()
+    try:
+        return PredicateSpec(kind, attrs, op, threshold, mode)
+    except ConfigurationError as exc:
+        raise WireProtocolError(f"invalid predicate on the wire: {exc}") from exc
+
+
+# ---------------------------------------------------------------------------
+# frames
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Upload:
+    """One data owner's encrypted relation, as shipped to the host."""
+
+    owner: str
+    schema: Schema
+    ciphertexts: tuple[bytes, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "ciphertexts", tuple(self.ciphertexts))
+
+
+class Frame:
+    """Base class: every frame knows its type code and payload codec."""
+
+    TYPE: ClassVar[int] = 0
+
+    def _write_payload(self, writer: _Writer) -> None:
+        raise NotImplementedError
+
+    @classmethod
+    def _read_payload(cls, reader: _Reader) -> "Frame":
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class SubmitJoin(Frame):
+    """Submit a contracted join: contract terms, predicate, encrypted uploads."""
+
+    TYPE: ClassVar[int] = 0x01
+
+    contract_id: str
+    data_owners: tuple[str, ...]
+    recipient: str
+    predicate: PredicateSpec
+    uploads: tuple[Upload, ...]
+    algorithm: str = "algorithm5"
+    epsilon: float = 1e-20
+    page_size: int = 64
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "data_owners", tuple(self.data_owners))
+        object.__setattr__(self, "uploads", tuple(self.uploads))
+
+    def _write_payload(self, writer: _Writer) -> None:
+        writer.text(self.contract_id)
+        writer.u32(len(self.data_owners))
+        for owner in self.data_owners:
+            writer.text(owner)
+        writer.text(self.recipient)
+        write_predicate(writer, self.predicate)
+        writer.text(self.algorithm)
+        writer.f64(self.epsilon)
+        writer.u32(self.page_size)
+        writer.u32(len(self.uploads))
+        for upload in self.uploads:
+            writer.text(upload.owner)
+            write_schema(writer, upload.schema)
+            writer.u32(len(upload.ciphertexts))
+            for ciphertext in upload.ciphertexts:
+                writer.blob(ciphertext)
+
+    @classmethod
+    def _read_payload(cls, reader: _Reader) -> "SubmitJoin":
+        contract_id = reader.text()
+        data_owners = tuple(reader.text() for _ in range(reader.u32()))
+        recipient = reader.text()
+        predicate = read_predicate(reader)
+        algorithm = reader.text()
+        epsilon = reader.f64()
+        page_size = reader.u32()
+        uploads = []
+        for _ in range(reader.u32()):
+            owner = reader.text()
+            schema = read_schema(reader)
+            ciphertexts = tuple(reader.blob() for _ in range(reader.u32()))
+            uploads.append(Upload(owner, schema, ciphertexts))
+        return cls(contract_id, data_owners, recipient, predicate,
+                   tuple(uploads), algorithm, epsilon, page_size)
+
+
+@dataclass(frozen=True)
+class Status(Frame):
+    """Poll one submitted join's state."""
+
+    TYPE: ClassVar[int] = 0x02
+
+    job_id: str
+
+    def _write_payload(self, writer: _Writer) -> None:
+        writer.text(self.job_id)
+
+    @classmethod
+    def _read_payload(cls, reader: _Reader) -> "Status":
+        return cls(reader.text())
+
+
+@dataclass(frozen=True)
+class FetchPage(Frame):
+    """Fetch one page of a finished join's result."""
+
+    TYPE: ClassVar[int] = 0x03
+
+    job_id: str
+    page: int
+
+    def _write_payload(self, writer: _Writer) -> None:
+        writer.text(self.job_id)
+        writer.u32(self.page)
+
+    @classmethod
+    def _read_payload(cls, reader: _Reader) -> "FetchPage":
+        return cls(reader.text(), reader.u32())
+
+
+@dataclass(frozen=True)
+class Cancel(Frame):
+    """Cancel a queued join (a running join cannot be interrupted)."""
+
+    TYPE: ClassVar[int] = 0x04
+
+    job_id: str
+
+    def _write_payload(self, writer: _Writer) -> None:
+        writer.text(self.job_id)
+
+    @classmethod
+    def _read_payload(cls, reader: _Reader) -> "Cancel":
+        return cls(reader.text())
+
+
+@dataclass(frozen=True)
+class Ping(Frame):
+    """Liveness probe; the server answers with :class:`Pong`."""
+
+    TYPE: ClassVar[int] = 0x05
+
+    def _write_payload(self, writer: _Writer) -> None:
+        pass
+
+    @classmethod
+    def _read_payload(cls, reader: _Reader) -> "Ping":
+        return cls()
+
+
+@dataclass(frozen=True)
+class Submitted(Frame):
+    """The server admitted a join and assigned it a job ID."""
+
+    TYPE: ClassVar[int] = 0x81
+
+    job_id: str
+
+    def _write_payload(self, writer: _Writer) -> None:
+        writer.text(self.job_id)
+
+    @classmethod
+    def _read_payload(cls, reader: _Reader) -> "Submitted":
+        return cls(reader.text())
+
+
+#: Job lifecycle states carried by :class:`StatusReply`.
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+
+
+@dataclass(frozen=True)
+class StatusReply(Frame):
+    """One job's state plus, once done, its result summary."""
+
+    TYPE: ClassVar[int] = 0x82
+
+    job_id: str
+    state: str
+    rows: int = 0
+    pages: int = 0
+    transfers: int = 0
+    trace_fingerprint: str = ""
+    result_fingerprint: str = ""
+    error_code: str = ""
+    error: str = ""
+
+    def _write_payload(self, writer: _Writer) -> None:
+        writer.text(self.job_id)
+        writer.text(self.state)
+        writer.u64(self.rows)
+        writer.u32(self.pages)
+        writer.u64(self.transfers)
+        writer.text(self.trace_fingerprint)
+        writer.text(self.result_fingerprint)
+        writer.text(self.error_code)
+        writer.text(self.error)
+
+    @classmethod
+    def _read_payload(cls, reader: _Reader) -> "StatusReply":
+        frame = cls(
+            job_id=reader.text(), state=reader.text(), rows=reader.u64(),
+            pages=reader.u32(), transfers=reader.u64(),
+            trace_fingerprint=reader.text(), result_fingerprint=reader.text(),
+            error_code=reader.text(), error=reader.text(),
+        )
+        if frame.state not in JOB_STATES:
+            raise WireProtocolError(f"unknown job state {frame.state!r}")
+        return frame
+
+
+@dataclass(frozen=True)
+class Page(Frame):
+    """One page of a finished join's result, re-encoded for the recipient."""
+
+    TYPE: ClassVar[int] = 0x83
+
+    job_id: str
+    page: int
+    last: bool
+    schema: Schema
+    rows: tuple[bytes, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rows", tuple(self.rows))
+
+    def _write_payload(self, writer: _Writer) -> None:
+        writer.text(self.job_id)
+        writer.u32(self.page)
+        writer.flag(self.last)
+        write_schema(writer, self.schema)
+        write_rows(writer, self.schema, self.rows)
+
+    @classmethod
+    def _read_payload(cls, reader: _Reader) -> "Page":
+        job_id = reader.text()
+        page = reader.u32()
+        last = reader.flag()
+        schema = read_schema(reader)
+        rows = read_rows(reader, schema)
+        return cls(job_id, page, last, schema, rows)
+
+    def relation(self) -> Relation:
+        """Decode this page's rows into a relation."""
+        return decode_relation(self.schema, self.rows)
+
+
+@dataclass(frozen=True)
+class Cancelled(Frame):
+    """Reply to :class:`Cancel`: whether the queued join was withdrawn."""
+
+    TYPE: ClassVar[int] = 0x84
+
+    job_id: str
+    cancelled: bool
+
+    def _write_payload(self, writer: _Writer) -> None:
+        writer.text(self.job_id)
+        writer.flag(self.cancelled)
+
+    @classmethod
+    def _read_payload(cls, reader: _Reader) -> "Cancelled":
+        return cls(reader.text(), reader.flag())
+
+
+@dataclass(frozen=True)
+class Pong(Frame):
+    """Liveness reply, echoing the server's protocol version."""
+
+    TYPE: ClassVar[int] = 0x85
+
+    version: int = PROTOCOL_VERSION
+
+    def _write_payload(self, writer: _Writer) -> None:
+        writer.u8(self.version)
+
+    @classmethod
+    def _read_payload(cls, reader: _Reader) -> "Pong":
+        return cls(reader.u8())
+
+
+#: Error codes a server may reply with; ``retryable`` ones map to
+#: :class:`~repro.errors.TransientWireError` on the client.
+ERROR_CODES = (
+    "saturated",      # admission control refused the frame (retryable)
+    "not_ready",      # page requested before the join finished (retryable)
+    "too_large",      # frame exceeded a byte budget (not retryable as-is)
+    "unknown_job",    # job ID not found
+    "contract",       # contract arbitration rejected the join
+    "protocol",       # the server could not decode the frame
+    "shutting_down",  # server is draining (retryable against a replica)
+    "internal",       # unexpected server-side failure
+)
+
+
+@dataclass(frozen=True)
+class ErrorReply(Frame):
+    """The server could not serve a request frame."""
+
+    TYPE: ClassVar[int] = 0xEE
+
+    code: str
+    message: str
+    retryable: bool = False
+
+    def _write_payload(self, writer: _Writer) -> None:
+        writer.text(self.code)
+        writer.text(self.message)
+        writer.flag(self.retryable)
+
+    @classmethod
+    def _read_payload(cls, reader: _Reader) -> "ErrorReply":
+        return cls(reader.text(), reader.text(), reader.flag())
+
+
+FRAME_TYPES: dict[int, type[Frame]] = {
+    cls.TYPE: cls
+    for cls in (SubmitJoin, Status, FetchPage, Cancel, Ping,
+                Submitted, StatusReply, Page, Cancelled, Pong, ErrorReply)
+}
+
+
+# ---------------------------------------------------------------------------
+# framing
+# ---------------------------------------------------------------------------
+
+def encode_frame(frame: Frame) -> bytes:
+    """Serialize one frame: header, payload, CRC trailer."""
+    writer = _Writer()
+    frame._write_payload(writer)
+    payload = writer.getvalue()
+    if len(payload) > MAX_FRAME_BYTES:
+        raise WireProtocolError(
+            f"payload of {len(payload)} bytes exceeds the {MAX_FRAME_BYTES}-"
+            "byte frame limit"
+        )
+    header = MAGIC + struct.pack(">BBI", PROTOCOL_VERSION, frame.TYPE,
+                                 len(payload))
+    return header + payload + struct.pack(">I", zlib.crc32(payload))
+
+
+def parse_header(header: bytes) -> tuple[int, int]:
+    """Validate an 8-byte frame header, returning (type code, payload length)."""
+    if len(header) != HEADER_SIZE:
+        raise WireProtocolError(
+            f"frame header is {len(header)} bytes, expected {HEADER_SIZE}"
+        )
+    if header[:2] != MAGIC:
+        raise WireProtocolError(f"bad magic {bytes(header[:2])!r}")
+    version, frame_type, length = struct.unpack(">BBI", header[2:])
+    if version != PROTOCOL_VERSION:
+        raise WireProtocolError(
+            f"unsupported protocol version {version} (speaking "
+            f"{PROTOCOL_VERSION})"
+        )
+    if frame_type not in FRAME_TYPES:
+        raise WireProtocolError(f"unknown frame type 0x{frame_type:02x}")
+    if length > MAX_FRAME_BYTES:
+        raise WireProtocolError(
+            f"declared payload of {length} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte frame limit"
+        )
+    return frame_type, length
+
+
+def decode_payload(frame_type: int, payload: bytes, crc: bytes) -> Frame:
+    """Decode a payload whose header already validated, checking the CRC."""
+    if len(crc) != TRAILER_SIZE:
+        raise WireProtocolError("truncated frame: missing CRC trailer")
+    (expected,) = struct.unpack(">I", crc)
+    if zlib.crc32(payload) != expected:
+        raise WireProtocolError("frame CRC mismatch: payload corrupted in flight")
+    reader = _Reader(payload)
+    frame = FRAME_TYPES[frame_type]._read_payload(reader)
+    reader.expect_end()
+    return frame
+
+
+def decode_frame(data: bytes) -> tuple[Frame, int]:
+    """Decode the first complete frame in ``data``.
+
+    Returns ``(frame, bytes_consumed)``.  Raises
+    :class:`~repro.errors.WireProtocolError` for anything that is not a
+    well-formed frame — truncation, bad magic, version or type mismatch,
+    length overrun, CRC failure, or undecodable payload.  Never raises
+    anything else: the decoder is the trust boundary.
+    """
+    if len(data) < HEADER_SIZE:
+        raise WireProtocolError(
+            f"truncated frame: {len(data)} bytes, header needs {HEADER_SIZE}"
+        )
+    frame_type, length = parse_header(bytes(data[:HEADER_SIZE]))
+    total = HEADER_SIZE + length + TRAILER_SIZE
+    if len(data) < total:
+        raise WireProtocolError(
+            f"truncated frame: declared {total} bytes, have {len(data)}"
+        )
+    payload = bytes(data[HEADER_SIZE:HEADER_SIZE + length])
+    crc = bytes(data[HEADER_SIZE + length:total])
+    return decode_payload(frame_type, payload, crc), total

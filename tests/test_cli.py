@@ -118,3 +118,57 @@ class TestParsing:
     def test_command_required(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestNetCommands:
+    def _free_port(self):
+        import socket
+
+        with socket.socket() as sock:
+            sock.bind(("127.0.0.1", 0))
+            return sock.getsockname()[1]
+
+    def test_serve_and_submit_round_trip(self, capsys):
+        import threading
+        import time
+
+        port = self._free_port()
+        serve_rc = {}
+
+        def run_server():
+            serve_rc["code"] = main([
+                "serve", "--port", str(port), "--max-joins", "1",
+                "--pool-size", "1",
+            ])
+
+        thread = threading.Thread(target=run_server, daemon=True)
+        thread.start()
+        time.sleep(0.3)
+        code = main([
+            "submit", "--port", str(port), "--left", "8", "--right", "8",
+            "--results", "4", "--page-size", "2", "--verify",
+        ])
+        thread.join(timeout=60)
+        out = capsys.readouterr().out
+        assert code == 0
+        assert serve_rc["code"] == 0
+        assert "listening on 127.0.0.1" in out
+        assert "4 join tuples in 2 pages" in out
+        assert "bit-identical to in-process execute()" in out
+        assert "served 1 joins" in out
+
+    def test_submit_against_dead_server_fails_cleanly(self):
+        import pytest as _pytest
+
+        from repro.errors import TransientWireError
+
+        port = self._free_port()
+        with _pytest.raises(TransientWireError, match="connect"):
+            main(["submit", "--port", str(port), "--timeout", "1"])
+
+    def test_serve_help_lists_backpressure_knobs(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["serve", "--help"])
+        out = capsys.readouterr().out
+        assert "--max-connections" in out
+        assert "--max-joins" in out

@@ -11,6 +11,8 @@ ALL_ERRORS = [
     errors.ContractError, errors.ConfigurationError,
     errors.TransientHostError, errors.CoprocessorCrashError,
     errors.CheckpointError, errors.ServiceSaturatedError,
+    errors.ServiceClosedError, errors.WireError, errors.WireProtocolError,
+    errors.TransientWireError, errors.RemoteJoinError,
 ]
 
 
@@ -37,6 +39,29 @@ def test_fault_exceptions_are_exported():
     for name in ("TransientHostError", "CoprocessorCrashError",
                  "CheckpointError"):
         assert name in errors.__all__
+
+
+def test_wire_exceptions_are_exported():
+    for name in ("WireError", "WireProtocolError", "TransientWireError",
+                 "RemoteJoinError", "ServiceClosedError"):
+        assert name in errors.__all__
+
+
+def test_wire_hierarchy_placement():
+    """The network family fences off under WireError; transient-wire errors
+    are distinct from transient *host* errors (different retry machinery)."""
+    for error_cls in (errors.WireProtocolError, errors.TransientWireError,
+                      errors.RemoteJoinError):
+        assert issubclass(error_cls, errors.WireError)
+    assert not issubclass(errors.TransientWireError, errors.TransientHostError)
+    assert not issubclass(errors.TransientHostError, errors.WireError)
+    assert not issubclass(errors.WireProtocolError, errors.TransientWireError)
+
+
+def test_remote_join_error_carries_code():
+    exc = errors.RemoteJoinError("contract violated", code="contract")
+    assert exc.code == "contract"
+    assert errors.RemoteJoinError("x").code == "internal"
 
 
 def test_catching_the_family():

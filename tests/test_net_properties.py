@@ -1,0 +1,287 @@
+"""Property-based tests: wire codec and CSV round-trips under hypothesis.
+
+The wire decoder is the service's trust boundary, so the properties are
+adversarial: arbitrary schemas, tuples, and frames must round-trip exactly;
+truncated or corrupted frames must raise :class:`WireProtocolError` and
+*never* any other exception.  The same generated relations also drive the
+CSV and tuple-codec round-trips, hardening ``repro.relational`` with inputs
+no example-based test would think of.
+
+Notes on value domains (mirroring the codecs' documented limits):
+
+* INT is signed 64-bit; FLOAT excludes NaN (NaN != NaN breaks equality
+  assertions, not the codec); STR excludes NUL (the fixed-width codec pads
+  with NULs) and unpaired surrogates (not encodable as UTF-8);
+* BYTES values have trailing NULs stripped, since the fixed-width decoder
+  cannot distinguish payload NULs from padding;
+* the CRC trailer covers the payload, not the header, so single-byte header
+  corruption may legally decode as a *different well-formed frame*; payload
+  corruption must always be caught.
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.errors import WireProtocolError  # noqa: E402
+from repro.net import wire  # noqa: E402
+from repro.net.wire import (  # noqa: E402
+    Cancel,
+    Cancelled,
+    ErrorReply,
+    FetchPage,
+    Page,
+    Ping,
+    Pong,
+    PredicateSpec,
+    Status,
+    StatusReply,
+    SubmitJoin,
+    Submitted,
+    Upload,
+    decode_frame,
+    decode_relation,
+    encode_frame,
+    encode_relation,
+)
+from repro.relational.csvio import read_csv_text, to_csv_text  # noqa: E402
+from repro.relational.relation import Relation  # noqa: E402
+from repro.relational.schema import (  # noqa: E402
+    Attribute,
+    AttrType,
+    Schema,
+)
+from repro.relational.tuples import Record, TupleCodec  # noqa: E402
+
+MAX_EXAMPLES = 60
+
+# -- strategies --------------------------------------------------------------
+
+attr_names = st.from_regex(r"[a-z][a-z0-9_]{0,7}", fullmatch=True)
+
+# Unicode text without NUL (codec padding) or surrogates (not UTF-8).
+clean_text = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs",),
+                           blacklist_characters="\x00"),
+    max_size=12,
+)
+
+
+def attribute_for(name: str) -> st.SearchStrategy[Attribute]:
+    return st.one_of(
+        st.just(Attribute(name, AttrType.INT)),
+        st.just(Attribute(name, AttrType.FLOAT)),
+        st.integers(4, 16).map(lambda w: Attribute(name, AttrType.STR, w)),
+        st.integers(1, 8).map(lambda w: Attribute(name, AttrType.BYTES, w)),
+        st.integers(1, 4).map(
+            lambda n: Attribute(name, AttrType.INTSET, 4 * n)
+        ),
+    )
+
+
+schemas = st.lists(
+    attr_names, min_size=1, max_size=5, unique=True,
+).flatmap(
+    lambda names: st.tuples(*[attribute_for(n) for n in names])
+).map(lambda attrs: Schema(tuple(attrs), name="generated"))
+
+
+def value_for(attr: Attribute) -> st.SearchStrategy:
+    if attr.type is AttrType.INT:
+        return st.integers(-(1 << 63), (1 << 63) - 1)
+    if attr.type is AttrType.FLOAT:
+        return st.floats(allow_nan=False)
+    if attr.type is AttrType.STR:
+        # At most width//4 characters guarantees the UTF-8 form fits.
+        return st.text(
+            alphabet=st.characters(blacklist_categories=("Cs",),
+                                   blacklist_characters="\x00"),
+            max_size=attr.width // 4,
+        )
+    if attr.type is AttrType.BYTES:
+        return st.binary(max_size=attr.width).map(
+            lambda b: b.rstrip(b"\x00")
+        )
+    return st.frozensets(
+        st.integers(0, (1 << 32) - 1), max_size=attr.width // 4
+    )
+
+
+def relation_for(schema: Schema) -> st.SearchStrategy[Relation]:
+    row = st.tuples(*[value_for(a) for a in schema.attributes])
+    return st.lists(row, max_size=8).map(
+        lambda rows: Relation.from_values(schema, rows)
+    )
+
+
+relations = schemas.flatmap(relation_for)
+
+predicate_specs = st.builds(
+    PredicateSpec,
+    kind=st.sampled_from(("equality", "theta", "band", "jaccard", "l1")),
+    attrs=st.lists(attr_names, max_size=2).map(tuple),
+    op=st.sampled_from(("", "<", "<=", ">", ">=", "!=")),
+    threshold=st.floats(allow_nan=False, allow_infinity=False),
+    mode=st.sampled_from(("binary", "chain")),
+)
+
+uploads = st.builds(
+    Upload,
+    owner=clean_text,
+    schema=schemas,
+    ciphertexts=st.lists(st.binary(max_size=64), max_size=4).map(tuple),
+)
+
+submit_frames = st.builds(
+    SubmitJoin,
+    contract_id=clean_text,
+    data_owners=st.lists(clean_text, max_size=3).map(tuple),
+    recipient=clean_text,
+    predicate=predicate_specs,
+    uploads=st.lists(uploads, max_size=3).map(tuple),
+    algorithm=st.sampled_from(("algorithm4", "algorithm5", "algorithm6")),
+    epsilon=st.floats(allow_nan=False, allow_infinity=False),
+    page_size=st.integers(0, (1 << 32) - 1),
+)
+
+status_replies = st.builds(
+    StatusReply,
+    job_id=clean_text,
+    state=st.sampled_from(wire.JOB_STATES),
+    rows=st.integers(0, (1 << 64) - 1),
+    pages=st.integers(0, (1 << 32) - 1),
+    transfers=st.integers(0, (1 << 64) - 1),
+    trace_fingerprint=clean_text,
+    result_fingerprint=clean_text,
+    error_code=clean_text,
+    error=clean_text,
+)
+
+
+def page_frames() -> st.SearchStrategy[Page]:
+    return relations.flatmap(
+        lambda rel: st.builds(
+            Page,
+            job_id=clean_text,
+            page=st.integers(0, (1 << 32) - 1),
+            last=st.booleans(),
+            schema=st.just(encode_relation(rel)[0]),
+            rows=st.just(encode_relation(rel)[1]),
+        )
+    )
+
+
+frames = st.one_of(
+    st.just(Ping()),
+    st.builds(Pong, version=st.integers(0, 255)),
+    st.builds(Status, job_id=clean_text),
+    st.builds(FetchPage, job_id=clean_text,
+              page=st.integers(0, (1 << 32) - 1)),
+    st.builds(Cancel, job_id=clean_text),
+    st.builds(Submitted, job_id=clean_text),
+    st.builds(Cancelled, job_id=clean_text, cancelled=st.booleans()),
+    st.builds(ErrorReply, code=clean_text, message=clean_text,
+              retryable=st.booleans()),
+    status_replies,
+    submit_frames,
+    page_frames(),
+)
+
+
+# -- wire codec properties ---------------------------------------------------
+
+class TestWireRoundTripProperties:
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    @given(frame=frames)
+    def test_every_frame_round_trips_exactly(self, frame):
+        encoded = encode_frame(frame)
+        decoded, consumed = decode_frame(encoded)
+        assert decoded == frame
+        assert consumed == len(encoded)
+
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    @given(frame=frames)
+    def test_encoding_is_deterministic(self, frame):
+        assert encode_frame(frame) == encode_frame(frame)
+
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    @given(frame=frames, data=st.data())
+    def test_any_truncation_raises_protocol_error(self, frame, data):
+        encoded = encode_frame(frame)
+        cut = data.draw(st.integers(0, len(encoded) - 1))
+        with pytest.raises(WireProtocolError):
+            decode_frame(encoded[:cut])
+
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    @given(frame=frames, data=st.data())
+    def test_payload_corruption_always_detected(self, frame, data):
+        encoded = bytearray(encode_frame(frame))
+        index = data.draw(st.integers(wire.HEADER_SIZE, len(encoded) - 1))
+        flip = data.draw(st.integers(1, 255))
+        encoded[index] ^= flip
+        with pytest.raises(WireProtocolError):
+            decode_frame(bytes(encoded))
+
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    @given(frame=frames, data=st.data())
+    def test_header_corruption_never_crashes(self, frame, data):
+        encoded = bytearray(encode_frame(frame))
+        index = data.draw(st.integers(0, wire.HEADER_SIZE - 1))
+        flip = data.draw(st.integers(1, 255))
+        encoded[index] ^= flip
+        try:
+            decoded, _ = decode_frame(bytes(encoded))
+        except WireProtocolError:
+            return
+        # The CRC does not cover the header, so a type-byte flip may decode
+        # as a different well-formed frame — but only ever a Frame.
+        assert isinstance(decoded, wire.Frame)
+
+    @settings(max_examples=MAX_EXAMPLES * 2, deadline=None)
+    @given(junk=st.binary(max_size=200))
+    def test_arbitrary_bytes_never_crash_the_decoder(self, junk):
+        try:
+            decoded, consumed = decode_frame(junk)
+        except WireProtocolError:
+            return
+        assert isinstance(decoded, wire.Frame)
+        assert 0 < consumed <= len(junk)
+
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    @given(relation=relations)
+    def test_relation_round_trips_in_order(self, relation):
+        schema, rows = encode_relation(relation)
+        decoded = decode_relation(schema, rows)
+        assert decoded.records() == relation.records()
+
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    @given(schema=schemas)
+    def test_schema_round_trips(self, schema):
+        writer = wire._Writer()
+        wire.write_schema(writer, schema)
+        assert wire.read_schema(wire._Reader(writer.getvalue())) == schema
+
+
+# -- relational round-trips with the same generators -------------------------
+
+class TestRelationalRoundTripProperties:
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    @given(relation=relations)
+    def test_csv_round_trips(self, relation):
+        text = to_csv_text(relation)
+        assert read_csv_text(text, relation.schema).records() == \
+            relation.records()
+
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    @given(data=st.data(), schema=schemas)
+    def test_tuple_codec_round_trips(self, data, schema):
+        values = data.draw(
+            st.tuples(*[value_for(a) for a in schema.attributes])
+        )
+        record = Record(schema, values)
+        codec = TupleCodec(schema)
+        payload = codec.encode(record)
+        assert len(payload) == schema.record_size
+        assert codec.decode(payload) == record

@@ -1,0 +1,231 @@
+"""Example-based tests for the wire protocol (`repro.net.wire`).
+
+Round-trips of every frame type, deterministic encoding, and the decoder's
+behaviour at the trust boundary: truncation, corruption, bad magic, version
+or type mismatch, and oversized length prefixes must all raise
+:class:`WireProtocolError` — never a different exception, never a mis-parse.
+The adversarial fuzzing counterpart lives in ``test_net_properties.py``.
+"""
+
+import random
+import struct
+import zlib
+
+import pytest
+
+from repro.errors import ConfigurationError, WireProtocolError
+from repro.net import wire
+from repro.net.wire import (
+    Cancel,
+    Cancelled,
+    ErrorReply,
+    FetchPage,
+    Page,
+    Ping,
+    Pong,
+    PredicateSpec,
+    Status,
+    StatusReply,
+    SubmitJoin,
+    Submitted,
+    Upload,
+    decode_frame,
+    decode_relation,
+    encode_frame,
+    encode_relation,
+)
+from repro.relational.generate import equijoin_workload, keyed_schema
+from repro.relational.schema import Schema, blob, integer, intset, real, text
+from repro.relational.relation import Relation
+
+
+def roundtrip(frame):
+    decoded, consumed = decode_frame(encode_frame(frame))
+    assert consumed == len(encode_frame(frame))
+    return decoded
+
+
+def sample_submit() -> SubmitJoin:
+    schema = keyed_schema("r")
+    return SubmitJoin(
+        contract_id="c-wire-1",
+        data_owners=("alice", "bob"),
+        recipient="carol",
+        predicate=PredicateSpec.equality("key"),
+        uploads=(
+            Upload("alice", schema, (b"\x01" * 40, b"\x02" * 40)),
+            Upload("bob", schema, (b"\x03" * 40,)),
+        ),
+        algorithm="algorithm4",
+        epsilon=1e-12,
+        page_size=16,
+    )
+
+
+class TestFrameRoundTrips:
+    @pytest.mark.parametrize("frame", [
+        Ping(),
+        Pong(),
+        Pong(version=3),
+        Status("J-000007"),
+        FetchPage("J-000007", 3),
+        Cancel("J-000007"),
+        Submitted("J-000001"),
+        Cancelled("J-000001", True),
+        Cancelled("J-000001", False),
+        ErrorReply("saturated", "try later", retryable=True),
+        ErrorReply("contract", "predicate not permitted"),
+        StatusReply("J-000002", "queued"),
+        StatusReply(
+            "J-000002", "done", rows=12, pages=3, transfers=481,
+            trace_fingerprint="ab" * 32, result_fingerprint="cd" * 32,
+        ),
+        StatusReply("J-000002", "failed", error_code="contract",
+                    error="ContractError: no such contract"),
+    ], ids=lambda f: type(f).__name__ + "-" + str(getattr(f, "state", getattr(f, "code", ""))))
+    def test_simple_frames(self, frame):
+        assert roundtrip(frame) == frame
+
+    def test_submit_join_round_trip(self):
+        frame = sample_submit()
+        decoded = roundtrip(frame)
+        assert decoded == frame
+        assert decoded.uploads[0].schema == frame.uploads[0].schema
+        assert decoded.predicate.build().description == "key = key"
+
+    def test_page_round_trip(self):
+        workload = equijoin_workload(6, 6, 4, random.Random(3))
+        schema, rows = encode_relation(workload.left)
+        frame = Page("J-000009", page=1, last=True, schema=schema, rows=rows)
+        decoded = roundtrip(frame)
+        assert decoded == frame
+        assert decoded.relation().same_multiset(workload.left)
+
+    def test_encoding_is_deterministic(self):
+        frame = sample_submit()
+        assert encode_frame(frame) == encode_frame(frame)
+
+    def test_relation_round_trip_all_attr_types(self):
+        schema = Schema.of(
+            integer("i"), real("f"), text("s", 12), blob("b", 5),
+            intset("m", 4), name="mixed",
+        )
+        relation = Relation.from_values(schema, [
+            (-(1 << 62), 2.5, "héllo", b"\x01\x02", frozenset({1, 9})),
+            (0, -0.0, "", b"", frozenset()),
+            ((1 << 62), 1e300, "x" * 12, b"abcde", frozenset({0, 1, 2, 3})),
+        ])
+        out_schema, rows = encode_relation(relation)
+        assert decode_relation(out_schema, rows).same_multiset(relation)
+
+
+class TestDecoderTrustBoundary:
+    def test_truncated_everywhere_raises_protocol_error(self):
+        data = encode_frame(sample_submit())
+        for cut in range(len(data)):
+            with pytest.raises(WireProtocolError):
+                decode_frame(data[:cut])
+
+    def test_corrupted_byte_raises_protocol_error(self):
+        data = encode_frame(StatusReply("J-000001", "done", rows=5))
+        for index in range(wire.HEADER_SIZE, len(data)):
+            corrupted = bytearray(data)
+            corrupted[index] ^= 0xFF
+            with pytest.raises(WireProtocolError):
+                decode_frame(bytes(corrupted))
+
+    def test_bad_magic(self):
+        data = b"XX" + encode_frame(Ping())[2:]
+        with pytest.raises(WireProtocolError, match="magic"):
+            decode_frame(data)
+
+    def test_wrong_version(self):
+        data = bytearray(encode_frame(Ping()))
+        data[2] = wire.PROTOCOL_VERSION + 1
+        with pytest.raises(WireProtocolError, match="version"):
+            decode_frame(bytes(data))
+
+    def test_unknown_frame_type(self):
+        data = bytearray(encode_frame(Ping()))
+        data[3] = 0x7F
+        with pytest.raises(WireProtocolError, match="frame type"):
+            decode_frame(bytes(data))
+
+    def test_length_bomb_rejected_without_reading(self):
+        header = wire.MAGIC + struct.pack(
+            ">BBI", wire.PROTOCOL_VERSION, Ping.TYPE, wire.MAX_FRAME_BYTES + 1
+        )
+        with pytest.raises(WireProtocolError, match="frame limit"):
+            decode_frame(header)
+
+    def test_trailing_garbage_inside_payload(self):
+        # A valid Pong payload with an extra byte: CRC fixed up, so only the
+        # expect_end() check can catch it.
+        payload = struct.pack(">B", 1) + b"\x99"
+        frame = wire.MAGIC + struct.pack(
+            ">BBI", wire.PROTOCOL_VERSION, Pong.TYPE, len(payload)
+        ) + payload + struct.pack(">I", zlib.crc32(payload))
+        with pytest.raises(WireProtocolError, match="unconsumed"):
+            decode_frame(frame)
+
+    def test_invalid_utf8_in_string_field(self):
+        payload = struct.pack(">I", 2) + b"\xff\xfe"
+        frame = wire.MAGIC + struct.pack(
+            ">BBI", wire.PROTOCOL_VERSION, Status.TYPE, len(payload)
+        ) + payload + struct.pack(">I", zlib.crc32(payload))
+        with pytest.raises(WireProtocolError, match="UTF-8"):
+            decode_frame(frame)
+
+    def test_unknown_job_state_rejected(self):
+        good = StatusReply("J-000001", "done")
+        raw = encode_frame(good)
+        bad_payload = raw[wire.HEADER_SIZE:-wire.TRAILER_SIZE].replace(
+            b"done", b"dune"
+        )
+        frame = raw[:wire.HEADER_SIZE] + bad_payload + struct.pack(
+            ">I", zlib.crc32(bad_payload)
+        )
+        with pytest.raises(WireProtocolError, match="job state"):
+            decode_frame(frame)
+
+    def test_row_width_mismatch_rejected(self):
+        schema = keyed_schema("r")
+        with pytest.raises(WireProtocolError, match="bytes"):
+            encode_frame(Page("J", 0, True, schema, (b"\x00" * 3,)))
+
+
+class TestPredicateSpec:
+    def test_equality_description_matches_runnable(self):
+        spec = PredicateSpec.equality("key")
+        assert spec.description == spec.build().description
+
+    def test_theta_and_band_specs_build(self):
+        theta = PredicateSpec("theta", ("key",), op="<")
+        assert theta.description == "key < key"
+        band = PredicateSpec("band", ("key",), threshold=4.0, mode="chain")
+        assert band.description == "chain[|key - key| <= 4.0]"
+
+    def test_unknown_kind_rejected_at_construction(self):
+        with pytest.raises(ConfigurationError, match="kind"):
+            PredicateSpec("regex", ("key",))
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ConfigurationError, match="mode"):
+            PredicateSpec("equality", ("key",), mode="tree")
+
+    def test_malformed_attrs_fail_at_build(self):
+        with pytest.raises(ConfigurationError, match="malformed"):
+            PredicateSpec("equality", ()).build()
+
+    def test_invalid_predicate_on_the_wire_is_protocol_error(self):
+        # Same-length unknown kind keeps the framing valid; only the
+        # predicate validator can reject it.
+        good = encode_frame(sample_submit())
+        payload = good[wire.HEADER_SIZE:-wire.TRAILER_SIZE].replace(
+            b"equality", b"equalitx", 1
+        )
+        frame = good[:wire.HEADER_SIZE] + payload + struct.pack(
+            ">I", zlib.crc32(payload)
+        )
+        with pytest.raises(WireProtocolError, match="predicate"):
+            decode_frame(frame)

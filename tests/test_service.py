@@ -266,6 +266,31 @@ class TestConcurrentService:
         with pytest.raises(ConfigurationError):
             pinned.submit("C-001", predicate)
 
+    def test_encrypted_upload_path_matches_plaintext_ingest(self, scenario):
+        """ingest_upload (the wire-facing half) accepts exactly what ingest
+        would have staged: same counts, same join result."""
+        wl, service, _, airline, agency, _ = scenario
+        ciphertexts = airline.encrypt_upload("C-001", wl.left)
+        assert service.ingest_upload(
+            "airline", "C-001", wl.left.schema, ciphertexts
+        ) == len(wl.left)
+        service.ingest(agency, "C-001", wl.right)
+        result = service.execute("C-001", BinaryAsMulti(Equality("key")))
+        reference = nested_loop_join(wl.left, wl.right, Equality("key"))
+        assert result.result.same_multiset(reference)
+
+    def test_encrypted_upload_rejects_foreign_contract(self, scenario):
+        wl, service, _, airline, _, _ = scenario
+        from repro.errors import AuthenticationError
+
+        service.register_contract(Contract(
+            contract_id="C-002", data_owners=("airline",),
+            recipient="screening-office", permitted_predicate="key = key",
+        ))
+        ciphertexts = airline.encrypt_upload("C-002", wl.left)
+        with pytest.raises(AuthenticationError):
+            service.ingest_upload("airline", "C-001", wl.left.schema, ciphertexts)
+
     def test_failed_join_counts_and_releases_slot(self, scenario):
         wl, service, _, airline, agency, _ = scenario
         service.ingest(airline, "C-001", wl.left)
@@ -284,3 +309,115 @@ class TestConcurrentService:
         assert failed["value"] == 1
         (in_flight,) = snapshot["service_jobs_in_flight"]["series"]
         assert in_flight["value"] == 0
+
+
+class TestShutdownSemantics:
+    """Regression tests for submit()/close() interplay (test-hardening PR).
+
+    Before the fix, submitting after close() silently spun up a fresh pool
+    (leaking threads past the context manager), and queued futures cancelled
+    at shutdown leaked their admission slots.
+    """
+
+    def _saturable_service(self, wl, airline, agency, gate):
+        service = JoinService(memory=4, pool_size=1, queue_depth=2)
+        service.register_contract(Contract(
+            contract_id="C-001", data_owners=("airline", "agency"),
+            recipient="screening-office", permitted_predicate="key = key",
+        ))
+        service.ingest(airline, "C-001", wl.left)
+        service.ingest(agency, "C-001", wl.right)
+        original = service._fresh_context
+
+        def stalled():
+            gate.wait(timeout=60)
+            return original()
+
+        service._fresh_context = stalled
+        return service
+
+    def test_submit_after_close_raises_service_closed(self, scenario):
+        wl, service, _, airline, agency, _ = scenario
+        from repro.errors import ServiceClosedError
+
+        service.ingest(airline, "C-001", wl.left)
+        service.ingest(agency, "C-001", wl.right)
+        predicate = BinaryAsMulti(Equality("key"))
+        with service:
+            service.submit("C-001", predicate).result(timeout=120)
+        assert service.closed
+        with pytest.raises(ServiceClosedError):
+            service.submit("C-001", predicate)
+        # No pool was resurrected by the refused submission.
+        assert service._pool is None
+
+    def test_submit_after_close_without_any_prior_submit(self, scenario):
+        _, service, _, _, _, _ = scenario
+        from repro.errors import ServiceClosedError
+
+        service.close()
+        with pytest.raises(ServiceClosedError):
+            service.submit("C-001", BinaryAsMulti(Equality("key")))
+
+    def test_close_is_idempotent_and_execute_stays_available(self, scenario):
+        wl, service, _, airline, agency, _ = scenario
+        service.ingest(airline, "C-001", wl.left)
+        service.ingest(agency, "C-001", wl.right)
+        service.close()
+        service.close()
+        result = service.execute("C-001", BinaryAsMulti(Equality("key")))
+        assert len(result.result) > 0
+
+    def test_close_drains_queued_work_by_default(self, small_workload):
+        import threading
+        from concurrent.futures import Future
+
+        wl = small_workload
+        airline, agency = Party("airline"), Party("agency")
+        gate = threading.Event()
+        service = self._saturable_service(wl, airline, agency, gate)
+        predicate = BinaryAsMulti(Equality("key"))
+        futures = [service.submit("C-001", predicate) for _ in range(3)]
+        gate.set()
+        service.close()  # wait=True: every admitted join still completes
+        for future in futures:
+            assert isinstance(future, Future)
+            assert len(future.result(timeout=1).result) > 0
+
+    def test_close_cancel_pending_cancels_queue_and_frees_slots(self, small_workload):
+        import threading
+        from concurrent.futures import CancelledError
+
+        wl = small_workload
+        airline, agency = Party("airline"), Party("agency")
+        gate = threading.Event()
+        service = self._saturable_service(wl, airline, agency, gate)
+        predicate = BinaryAsMulti(Equality("key"))
+        running = service.submit("C-001", predicate)
+        queued = [service.submit("C-001", predicate) for _ in range(2)]
+
+        closer = threading.Thread(
+            target=service.close, kwargs={"cancel_pending": True}
+        )
+        closer.start()
+        gate.set()  # release the worker so the running join can finish
+        closer.join(timeout=120)
+        assert not closer.is_alive(), "close() hung on queued work"
+
+        assert len(running.result(timeout=1).result) > 0
+        for future in queued:
+            assert future.cancelled()
+            with pytest.raises(CancelledError):
+                future.result(timeout=1)
+
+        # Every admission slot is back: the semaphore releases cleanly up to
+        # its bound (a leaked slot would allow fewer, an over-release raises).
+        for _ in range(service.pool_size + service.queue_depth):
+            assert service._slots.acquire(blocking=False)
+        assert not service._slots.acquire(blocking=False)
+
+        snapshot = service.metrics.to_dict()
+        (cancelled,) = snapshot["service_jobs_cancelled_total"]["series"]
+        assert cancelled["value"] == 2
+        (queued_gauge,) = snapshot["service_jobs_queued"]["series"]
+        assert queued_gauge["value"] == 0

@@ -1,0 +1,118 @@
+"""Golden trace-fingerprint regression tests for every safe algorithm.
+
+The access-pattern trace IS the privacy guarantee: Definition 1 and
+Definition 3 quantify over the distribution of T/H transfer sequences, and
+every safety argument in the repo reduces to "the trace depends only on the
+public parameters".  These tests pin the SHA-256 trace fingerprint of all
+seven safe algorithms on one fixed workload, so *any* change to what an
+algorithm reads or writes — an extra get, a reordered put, a different decoy
+count — fails loudly instead of silently altering the access pattern the
+privacy checker reasons about.
+
+If a test here fails, it means the algorithm's externally visible access
+pattern changed.  That is sometimes intentional (an optimization that
+provably preserves safety); in that case re-derive the fingerprint with the
+recipe in ``_run()`` below, update the constant, and say why in the commit.
+The workload and parameters deliberately mirror the chaos harness
+(``repro.faults.chaos``): N_MAX=2, the Chapter-4 runners' small memory
+budgets, and seeded workloads.
+"""
+
+import random
+
+import pytest
+
+from tests.conftest import fresh_context
+from repro.core.algorithm1 import algorithm1
+from repro.core.algorithm1v import algorithm1_variant
+from repro.core.algorithm2 import algorithm2
+from repro.core.algorithm3 import algorithm3
+from repro.core.algorithm4 import algorithm4
+from repro.core.algorithm5 import algorithm5
+from repro.core.algorithm6 import algorithm6
+from repro.relational.generate import equijoin_workload
+from repro.relational.predicates import BinaryAsMulti, Equality
+
+N_MAX = 2
+
+#: Pinned SHA-256 fingerprints of each algorithm's access trace on the
+#: fixed workload below.  Derived once with two independent fresh contexts
+#: agreeing; see the module docstring before changing any value.
+GOLDEN_FINGERPRINTS = {
+    "algorithm1": "4e5bd64371a66168595c6d89da141937f0f67a3b18870f34b8a9050c8c179c93",
+    "algorithm1v": "abcb3f80da34b10bb0ae6d535abf736fbedb4d62d58d1f9925119d57e95e781e",
+    "algorithm2": "fb0547242b758730ba21a7bc8acf29f79a05a2b875c5aa3b2445605f169e85d0",
+    "algorithm3": "a34b071a89836244b7a039d8b52cc85396b84676ed334da25855a053c10dd8f7",
+    "algorithm4": "c01860a367afbbbe505d8c7885e17daafd062c2df95a45ed68a07100ad475f31",
+    "algorithm5": "80541dd973fe874312ca7b91ef1b40406d85ef8d134b33c46b3a35a897b2b4a7",
+    "algorithm6": "9a352559fab47f08a5391876fb1e7e7b724e274e3d90d1f795257f097d6f2c1f",
+}
+
+#: Total T/H transfers per algorithm on the same workload — a coarser pin
+#: that gives a readable first diagnostic when a fingerprint moves.
+GOLDEN_TRANSFERS = {
+    "algorithm1": 1160,
+    "algorithm1v": 1224,
+    "algorithm2": 104,
+    "algorithm3": 396,
+    "algorithm4": 2692,
+    "algorithm5": 486,
+    "algorithm6": 166,
+}
+
+
+def _workload():
+    return equijoin_workload(8, 10, 6, rng=random.Random(1), max_matches=2)
+
+
+def _run(name: str):
+    """One algorithm over the fixed workload, chaos-harness parameters."""
+    workload = _workload()
+    predicate = Equality("key")
+    multi = BinaryAsMulti(predicate)
+    relations = [workload.left, workload.right]
+    context = fresh_context(seed=0)
+    if name == "algorithm1":
+        return algorithm1(context, workload.left, workload.right, predicate,
+                          N_MAX)
+    if name == "algorithm1v":
+        return algorithm1_variant(context, workload.left, workload.right,
+                                  predicate, N_MAX)
+    if name == "algorithm2":
+        return algorithm2(context, workload.left, workload.right, predicate,
+                          N_MAX, memory=3)
+    if name == "algorithm3":
+        return algorithm3(context, workload.left, workload.right, "key",
+                          N_MAX)
+    if name == "algorithm4":
+        return algorithm4(context, relations, multi)
+    if name == "algorithm5":
+        return algorithm5(context, relations, multi, memory=3)
+    if name == "algorithm6":
+        return algorithm6(context, relations, multi, memory=100,
+                          epsilon=1e-20, seed=3)
+    raise ValueError(name)
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_FINGERPRINTS))
+def test_trace_fingerprint_is_pinned(name):
+    result = _run(name)
+    assert result.trace.fingerprint() == GOLDEN_FINGERPRINTS[name], (
+        f"{name}'s access pattern changed — if intentional, re-derive the "
+        "golden fingerprint (see the module docstring) and justify the "
+        "change"
+    )
+    assert result.stats.total == GOLDEN_TRANSFERS[name]
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_FINGERPRINTS))
+def test_trace_is_reproducible_across_contexts(name):
+    # The pin only makes sense if the trace is a pure function of the
+    # public parameters: two fresh contexts must agree bit for bit.
+    assert _run(name).trace.fingerprint() == _run(name).trace.fingerprint()
+
+
+def test_all_golden_runs_produce_correct_results():
+    workload = _workload()
+    for name in GOLDEN_FINGERPRINTS:
+        assert len(_run(name).result) == workload.result_size, name
