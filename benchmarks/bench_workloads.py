@@ -1,0 +1,133 @@
+"""Production workload suite benchmark; emits BENCH_workloads.json.
+
+Standalone (not a pytest-benchmark module) so CI can run it as a smoke step::
+
+    PYTHONPATH=src python benchmarks/bench_workloads.py --smoke --check
+
+Runs every shipped scenario in the :mod:`repro.workloads` catalog through
+the *networked* join service — a real asyncio
+:class:`~repro.net.server.JoinServer` on a loopback socket driven by the
+closed-loop :class:`~repro.workloads.runner.WorkloadRunner` with each
+scenario's own concurrency, arrival rate, and repeated-query fraction.  The
+JSON report carries, per scenario: p50/p95/p99 latency, throughput, client
+retries, saturation rejections, and total T/H transfers.
+
+Honesty checks enforced with ``--check``:
+
+* zero lost requests and zero incorrect requests in every scenario — every
+  networked result's fingerprint (and trace fingerprint, and transfer
+  count) is bit-identical to the same join run in process via
+  ``JoinService.execute()``;
+* on multi-CPU hosts, every scenario meets its latency SLO (single-CPU
+  hosts report latency but skip the assertion: the closed loop cannot
+  parallelize the pool there, so SLO numbers would measure the host, not
+  the service).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+import time
+
+from repro.workloads import WorkloadRunner, get_scenario, list_scenarios
+
+DEFAULT_OUTPUT = (
+    pathlib.Path(__file__).parent / "results" / "BENCH_workloads.json"
+)
+
+#: Below this many host CPUs the latency SLO is reported but not asserted.
+MIN_CPUS_FOR_SLO = 2
+
+
+def run_scenario(name: str, mode: str, smoke: bool, seed: int) -> dict:
+    spec = get_scenario(name)
+    runner = WorkloadRunner(
+        spec,
+        mode=mode,
+        seed=seed,
+        requests=spec.smoke_requests if smoke else spec.requests,
+    )
+    started = time.monotonic()
+    try:
+        report = runner.run(enforce_latency=False)
+    except AssertionError as exc:
+        # run() raises only for lost/incorrect requests here; surface them
+        # as a failed entry instead of crashing the sweep.
+        return {"scenario": name, "mode": mode, "failed": str(exc)}
+    entry = report.to_dict()
+    entry["wall_seconds"] = round(time.monotonic() - started, 4)
+    entry["slo_failures"] = report.failures(enforce_latency=True)
+    return entry
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="each scenario's CI smoke request count")
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero on lost/incorrect requests, or "
+                             "SLO breaches on multi-CPU hosts")
+    parser.add_argument("--mode", default="net", choices=("net", "service"),
+                        help="net (default): loopback TCP; service: in-process")
+    parser.add_argument("--scenario", action="append", default=None,
+                        help="run only this scenario (repeatable)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", type=pathlib.Path, default=DEFAULT_OUTPUT)
+    args = parser.parse_args(argv)
+
+    names = args.scenario or [spec.name for spec in list_scenarios()]
+    host_cpus = os.cpu_count() or 1
+    enforce_slo = host_cpus >= MIN_CPUS_FOR_SLO
+
+    report = {
+        "benchmark": "workload_suite",
+        "mode": "smoke" if args.smoke else "full",
+        "transport": args.mode,
+        "host_cpus": host_cpus,
+        "slo_enforced": enforce_slo,
+        "scenarios": [
+            run_scenario(name, args.mode, args.smoke, args.seed)
+            for name in names
+        ],
+    }
+
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+
+    if args.check:
+        failures = []
+        for entry in report["scenarios"]:
+            name = entry["scenario"]
+            if "failed" in entry:
+                failures.append(f"{name}: {entry['failed']}")
+                continue
+            if entry["lost"] or entry["incorrect"]:
+                failures.append(
+                    f"{name}: {entry['lost']} lost, "
+                    f"{entry['incorrect']} incorrect"
+                )
+            if enforce_slo and entry["slo_failures"]:
+                failures.append(f"{name}: " + "; ".join(entry["slo_failures"]))
+        if failures:
+            print("CHECK FAILED:", " | ".join(failures), file=sys.stderr)
+            return 1
+        slo_note = (
+            "every scenario met its latency SLO"
+            if enforce_slo
+            else f"SLO not asserted ({host_cpus} CPU host)"
+        )
+        print(
+            f"CHECK OK: {len(report['scenarios'])} scenarios, zero lost and "
+            f"zero incorrect requests (fingerprints bit-identical to "
+            f"in-process execute()); {slo_note}"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

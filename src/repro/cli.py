@@ -295,6 +295,73 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     return 0 if checks else 1
 
 
+def _cmd_workload(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis.report import render_table
+    from repro.workloads import WorkloadRunner, get_scenario, list_scenarios
+
+    if args.list:
+        rows = [
+            {
+                "scenario": spec.name,
+                "owners": "+".join(spec.owners),
+                "queries": ",".join(q.name for q in spec.queries),
+                "algorithms": ",".join(sorted({q.algorithm for q in spec.queries})),
+                "requests": spec.requests,
+                "slo p50/p95 (s)": f"{spec.slo.p50_seconds:g}/{spec.slo.p95_seconds:g}",
+            }
+            for spec in list_scenarios()
+        ]
+        print(render_table(rows, title="workload scenario catalog"))
+        return 0
+
+    specs = (list_scenarios() if args.scenario == "all"
+             else (get_scenario(args.scenario),))
+    reports = []
+    failures: list[str] = []
+    for spec in specs:
+        requests = args.requests
+        if requests == 0:
+            requests = spec.smoke_requests if args.smoke else spec.requests
+        runner = WorkloadRunner(
+            spec, mode=args.mode, seed=args.seed, requests=requests,
+            pool_size=args.pool_size, queue_depth=args.queue_depth,
+        )
+        try:
+            report = runner.run(enforce_latency=args.enforce_slo)
+        except AssertionError as exc:
+            failures.append(str(exc))
+            continue
+        reports.append(report)
+    if args.json:
+        print(json.dumps([r.to_dict() for r in reports], indent=2,
+                         sort_keys=True))
+    else:
+        rows = [
+            {
+                "scenario": r.scenario,
+                "mode": r.mode,
+                "ok": r.completed,
+                "lost": r.lost,
+                "bad": r.incorrect,
+                "repeat": r.repeated,
+                "p50 (s)": f"{r.latency(0.50):.3f}" if r.completed else "-",
+                "p95 (s)": f"{r.latency(0.95):.3f}" if r.completed else "-",
+                "rps": f"{r.throughput_rps:.1f}",
+                "retries": r.retries,
+            }
+            for r in reports
+        ]
+        if rows:
+            print(render_table(rows, title=(
+                f"workload run (mode={args.mode}, seed={args.seed})"
+            )))
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    return 1 if failures else 0
+
+
 def _cmd_metrics(args: argparse.Namespace) -> None:
     import json
 
@@ -400,6 +467,30 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--metrics", action="store_true",
                        help="print the Prometheus registry on exit")
 
+    workload = sub.add_parser(
+        "workload",
+        help="list or run the production workload scenarios closed-loop",
+    )
+    workload.add_argument("--list", action="store_true",
+                          help="print the scenario catalog and exit")
+    workload.add_argument("--scenario", default="all",
+                          help="scenario name, or 'all' (default)")
+    workload.add_argument("--mode", default="service",
+                          choices=["service", "net"],
+                          help="service: in-process fast mode; net: loopback TCP")
+    workload.add_argument("--requests", type=int, default=0,
+                          help="request count (0: the scenario's own)")
+    workload.add_argument("--smoke", action="store_true",
+                          help="use each scenario's CI smoke request count")
+    workload.add_argument("--seed", type=int, default=0)
+    workload.add_argument("--pool-size", type=int, default=4)
+    workload.add_argument("--queue-depth", type=int, default=8)
+    workload.add_argument("--enforce-slo", action="store_true",
+                          help="exit 1 on latency SLO breach (zero lost/"
+                               "incorrect is always enforced)")
+    workload.add_argument("--json", action="store_true",
+                          help="emit full per-scenario reports as JSON")
+
     submit = sub.add_parser(
         "submit", help="submit a demo workload join to a running server"
     )
@@ -441,6 +532,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_chaos(args)
         elif args.command == "serve":
             return _cmd_serve(args)
+        elif args.command == "workload":
+            return _cmd_workload(args)
         elif args.command == "submit":
             return _cmd_submit(args)
         elif args.command == "errata":

@@ -244,6 +244,27 @@ class JoinService:
             raise ContractError(f"contract {contract.contract_id!r} already registered")
         self._contracts[contract.contract_id] = contract
 
+    def release_contract(self, contract_id: str) -> int:
+        """Forget a contract and drop every upload staged under it.
+
+        A long-running deployment mints fresh contracts continuously (every
+        fresh workload-suite request is one); without release the contract
+        and upload tables grow without bound.  Returns the number of uploads
+        dropped.  Releasing is the parties' prerogative under Section 3.3.3
+        — the data T held for the contract is simply discarded.
+        """
+        if contract_id not in self._contracts:
+            raise ContractError(f"unknown contract {contract_id!r}")
+        del self._contracts[contract_id]
+        staged = [key for key in self._uploads if key[0] == contract_id]
+        for key in staged:
+            del self._uploads[key]
+        self.metrics.counter(
+            "service_contracts_released_total",
+            "contracts released with their staged uploads",
+        ).inc()
+        return len(staged)
+
     # -- ingestion ----------------------------------------------------------
     def ingest(self, party: Party, contract_id: str, relation: Relation) -> int:
         """Accept a party's encrypted upload after contract checks.

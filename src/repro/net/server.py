@@ -45,6 +45,7 @@ from repro.core.base import JoinResult
 from repro.core.service import Contract, JoinService, Party
 from repro.errors import (
     AuthenticationError,
+    ConfigurationError,
     ContractError,
     ReproError,
     ServiceClosedError,
@@ -138,8 +139,11 @@ class JoinServer:
         request_timeout: float = 120.0,
         max_page_size: int = 4096,
         max_joins: int | None = None,
+        retain_jobs: int = 256,
         metrics: MetricsRegistry | None = None,
     ) -> None:
+        if retain_jobs < 1:
+            raise ConfigurationError("the server must retain at least one job")
         self.service = service
         self.host = host
         self.port = port
@@ -151,6 +155,7 @@ class JoinServer:
         self.request_timeout = request_timeout
         self.max_page_size = max_page_size
         self.max_joins = max_joins
+        self.retain_jobs = retain_jobs
         self.metrics = metrics if metrics is not None else service.metrics
         self._jobs: dict[str, _Job] = {}
         self._job_ids = itertools.count(1)
@@ -451,10 +456,40 @@ class JoinServer:
                 recipient=frame.recipient, page_size=page_size, future=future,
             )
             self._submitted_joins += 1
+            self._evict_finished_locked()
         self.metrics.counter(
             "server_joins_submitted_total", "joins admitted over the wire"
         ).inc()
         return Submitted(job_id)
+
+    def _evict_finished_locked(self) -> None:
+        """Drop the oldest *finished* jobs beyond the ``retain_jobs`` budget.
+
+        A long-lived server admits joins forever (the workload suite's
+        series-of-queries traffic resubmits the same contracts for hours);
+        without eviction the job table — and every rendered result page in
+        it — grows without bound.  Only finished jobs (done, failed, or
+        cancelled) are eligible: queued and running joins are always kept,
+        so the table may transiently exceed the budget by the pool + queue
+        bound.  A client polling an evicted job sees ``unknown_job``, the
+        same answer a restarted server would give.  Callers hold
+        ``_submit_lock``.
+        """
+        if len(self._jobs) <= self.retain_jobs:
+            return
+        excess = len(self._jobs) - self.retain_jobs
+        evicted = [
+            job_id
+            for job_id, job in self._jobs.items()  # insertion == admission order
+            if job.future.done()
+        ][:excess]
+        for job_id in evicted:
+            del self._jobs[job_id]
+        if evicted:
+            self.metrics.counter(
+                "server_jobs_evicted_total",
+                "finished jobs dropped by the retention budget",
+            ).inc(len(evicted))
 
     def _job(self, job_id: str) -> _Job:
         job = self._jobs.get(job_id)

@@ -238,6 +238,50 @@ def instrument_join(registry: MetricsRegistry, algorithm: str, result) -> None:
                          algorithm=algorithm, phase=phase).inc(totals["transfers"])
 
 
+#: Histogram bounds for end-to-end request latency (seconds) — tuned for the
+#: workload suite's sub-second joins up through SLO-violating stragglers.
+LATENCY_BUCKETS = (
+    0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+def instrument_workload(registry: MetricsRegistry, report) -> None:
+    """Record one finished workload run (a ScenarioReport) into a registry.
+
+    Gives deployments the same per-scenario series the benchmark JSON
+    carries — request/loss/retry counters and a latency histogram — labelled
+    by scenario and mode, so a dashboard can watch SLO drift across runs.
+    """
+    labels = {"scenario": report.scenario, "mode": report.mode}
+    registry.counter("workload_requests_total", "workload requests issued",
+                     **labels).inc(report.requests)
+    registry.counter("workload_repeated_total",
+                     "requests that re-issued an earlier contract",
+                     **labels).inc(report.repeated)
+    registry.counter("workload_lost_total",
+                     "workload requests that never completed",
+                     **labels).inc(report.lost)
+    registry.counter("workload_incorrect_total",
+                     "completed requests that diverged from the reference",
+                     **labels).inc(report.incorrect)
+    registry.counter("workload_retries_total",
+                     "transient failures retried by the closed loop",
+                     **labels).inc(report.retries)
+    registry.counter("workload_saturation_rejections_total",
+                     "requests refused by admission control before retry",
+                     **labels).inc(report.saturation_rejections)
+    registry.gauge("workload_throughput_rps",
+                   "completed requests per second, most recent run",
+                   **labels).set(report.throughput_rps)
+    histogram = registry.histogram(
+        "workload_latency_seconds", "end-to-end request latency",
+        buckets=LATENCY_BUCKETS, **labels,
+    )
+    for outcome in report.outcomes:
+        if outcome.ok:
+            histogram.observe(outcome.latency_seconds)
+
+
 def instrument_coprocessor(registry: MetricsRegistry, coprocessor,
                            **labels: str) -> None:
     """Export a coprocessor's crypto-boundary counters as metric series.

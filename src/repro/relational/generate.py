@@ -19,6 +19,14 @@ from repro.relational.relation import Relation
 from repro.relational.schema import Schema, integer, intset, text
 
 
+def _require(condition: bool, message: str) -> None:
+    """Uniform configuration validation: every generator rejects inconsistent
+    parameters with :class:`~repro.errors.ConfigurationError`, never a bare
+    ``ValueError`` or silent misbehavior."""
+    if not condition:
+        raise ConfigurationError(message)
+
+
 def people_schema(name: str = "people") -> Schema:
     """A small person-record schema used by the screening examples."""
     return Schema.of(integer("person_id"), text("name", 24), integer("birth_year"), name=name)
@@ -34,26 +42,75 @@ def genome_schema(name: str = "genome", max_markers: int = 16) -> Schema:
     return Schema.of(integer("subject_id"), intset("markers", max_markers), name=name)
 
 
-def uniform_keyed(size: int, key_range: int, rng: random.Random, name: str = "rel") -> Relation:
+def uniform_keyed(
+    size: int, key_range: int, rng: random.Random, name: str = "rel",
+    payload_range: int = 1 << 30,
+) -> Relation:
     """A relation of ``size`` records with keys uniform in [0, key_range)."""
+    _require(size >= 0, "relation size cannot be negative")
+    _require(key_range >= 1, "key_range must be at least 1")
+    _require(payload_range >= 1, "payload_range must be at least 1")
     schema = keyed_schema(name)
-    rows = [(rng.randrange(key_range), rng.randrange(1 << 30)) for _ in range(size)]
+    rows = [(rng.randrange(key_range), rng.randrange(payload_range)) for _ in range(size)]
     return Relation.from_values(schema, rows)
 
 
 def zipf_keyed(
-    size: int, key_range: int, rng: random.Random, exponent: float = 1.2, name: str = "rel"
+    size: int, key_range: int, rng: random.Random, exponent: float = 1.2, name: str = "rel",
+    payload_range: int = 1 << 30,
 ) -> Relation:
     """A relation whose key frequencies follow a Zipf-like distribution.
 
     Skewed inputs are what break the unsafe hash-join adaptation of Section
     4.5.1 ("an adversary can distinguish between a uniformly distributed
-    relation A and a highly skewed one B").
+    relation A and a highly skewed one B").  Key ``k`` is drawn with weight
+    ``1 / (k + 1)**exponent``, so lower key values are hotter and a larger
+    ``exponent`` concentrates more of the mass on them.
     """
+    _require(size >= 0, "relation size cannot be negative")
+    _require(key_range >= 1, "key_range must be at least 1")
+    _require(exponent > 0 and exponent == exponent and exponent != float("inf"),
+             "zipf exponent must be a positive finite number")
+    _require(payload_range >= 1, "payload_range must be at least 1")
     schema = keyed_schema(name)
     weights = [1.0 / ((k + 1) ** exponent) for k in range(key_range)]
     keys = rng.choices(range(key_range), weights=weights, k=size)
-    rows = [(k, rng.randrange(1 << 30)) for k in keys]
+    rows = [(k, rng.randrange(payload_range)) for k in keys]
+    return Relation.from_values(schema, rows)
+
+
+def correlated_keyed(
+    size: int,
+    key_range: int,
+    rng: random.Random,
+    base: Relation,
+    correlation: float = 0.8,
+    name: str = "rel",
+    payload_range: int = 1 << 30,
+) -> Relation:
+    """A relation whose keys correlate with an existing relation's keys.
+
+    Each record copies a key drawn uniformly from ``base`` with probability
+    ``correlation`` and falls back to a uniform draw over [0, key_range)
+    otherwise.  This is the production traffic shape of reconciliation
+    workloads: two institutions hold largely overlapping populations, so
+    their equijoin is dense exactly where the base relation is dense.
+    """
+    _require(size >= 0, "relation size cannot be negative")
+    _require(key_range >= 1, "key_range must be at least 1")
+    _require(0.0 <= correlation <= 1.0, "correlation must be in [0, 1]")
+    _require(len(base) >= 1 or correlation == 0.0 or size == 0,
+             "cannot correlate against an empty base relation")
+    _require(payload_range >= 1, "payload_range must be at least 1")
+    base_keys = [record["key"] for record in base]
+    schema = keyed_schema(name)
+    rows = []
+    for _ in range(size):
+        if base_keys and rng.random() < correlation:
+            key = base_keys[rng.randrange(len(base_keys))]
+        else:
+            key = rng.randrange(key_range)
+        rows.append((key, rng.randrange(payload_range)))
     return Relation.from_values(schema, rows)
 
 
@@ -82,6 +139,10 @@ def equijoin_workload(
     construction.  ``max_matches`` caps how many right records may share one
     left record's key (defaults to an even spread).
     """
+    _require(left_size >= 0 and right_size >= 0, "relation sizes cannot be negative")
+    _require(result_size >= 0, "result_size cannot be negative")
+    _require(max_matches is None or max_matches >= 1,
+             "max_matches must be at least 1 when given")
     if result_size > left_size * right_size:
         raise ConfigurationError("result_size cannot exceed |A|*|B|")
     left_schema = keyed_schema("A")
@@ -164,6 +225,7 @@ def multiway_workload(
     """
     if not sizes or any(s < 1 for s in sizes):
         raise ConfigurationError("every table needs at least one record")
+    _require(result_size >= 0, "result_size cannot be negative")
     if result_size > min(sizes):
         raise ConfigurationError(
             "at most one chain per record of the smallest table is supported"
@@ -212,6 +274,7 @@ def theta_workload(
     sequences with the requested ``selectivity`` (0: left keys all above
     right's; 1: all below).
     """
+    _require(left_size >= 0 and right_size >= 0, "relation sizes cannot be negative")
     if not 0.0 <= selectivity <= 1.0:
         raise ConfigurationError("selectivity must be in [0, 1]")
     total = left_size + right_size
@@ -251,6 +314,11 @@ def similarity_workload(
     shares all ``set_size`` elements (Jaccard 1 > threshold).  Returns
     (left, right, result_size).
     """
+    _require(left_size >= 0 and right_size >= 0, "relation sizes cannot be negative")
+    _require(planted_pairs >= 0, "planted_pairs cannot be negative")
+    _require(0.0 <= threshold <= 1.0, "Jaccard threshold must be in [0, 1]")
+    _require(set_size >= 1, "set_size must be at least 1")
+    _require(set_size <= max_markers, "set_size cannot exceed max_markers")
     if planted_pairs > min(left_size, right_size):
         raise ConfigurationError("at most one planted pair per record is supported")
     if universe < (left_size + right_size) * set_size:
@@ -294,6 +362,12 @@ def genome_pair(
     max_markers: int = 16,
 ) -> tuple[Relation, Relation]:
     """Gene-bank and patient relations for the Jaccard-similarity workload."""
+    _require(bank_size >= 0 and patient_size >= 0, "relation sizes cannot be negative")
+    _require(markers_per_subject >= 1, "markers_per_subject must be at least 1")
+    _require(markers_per_subject <= universe,
+             "markers_per_subject cannot exceed the marker universe")
+    _require(markers_per_subject <= max_markers,
+             "markers_per_subject cannot exceed max_markers")
     schema_bank = genome_schema("gene_bank", max_markers)
     schema_patients = genome_schema("patients", max_markers)
     population = list(range(universe))

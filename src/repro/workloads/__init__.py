@@ -1,0 +1,43 @@
+"""Production workload scenarios and the closed-loop SLO harness.
+
+The paper evaluates on parameterized synthetic tables; the ROADMAP's north
+star is a production-scale service.  This package bridges the two: seeded
+*scenarios* describe realistic multi-owner deployments (watchlist screening,
+patient/genomic matching, banking reconciliation, IoT telemetry, ...) as
+declarative configs over :mod:`repro.relational.generate`, and the
+:class:`~repro.workloads.runner.WorkloadRunner` drives them through the
+networked :class:`~repro.net.server.JoinServer` (or the in-process
+:class:`~repro.core.service.JoinService` as a fast mode) in a closed loop
+with arrival pacing, repeated-query fractions, per-scenario latency SLOs,
+and zero-lost / zero-incorrect verification against in-process references.
+
+This is the standing benchmark every later speed/scale PR must move.
+"""
+
+from repro.workloads.runner import RequestOutcome, ScenarioReport, WorkloadRunner
+from repro.workloads.scenarios import (
+    SLO,
+    PlannedRequest,
+    QueryTemplate,
+    ScenarioSpec,
+    TableSpec,
+    get_scenario,
+    list_scenarios,
+    perturbed_tables,
+    plaintext_reference,
+)
+
+__all__ = [
+    "SLO",
+    "PlannedRequest",
+    "QueryTemplate",
+    "RequestOutcome",
+    "ScenarioReport",
+    "ScenarioSpec",
+    "TableSpec",
+    "WorkloadRunner",
+    "get_scenario",
+    "list_scenarios",
+    "perturbed_tables",
+    "plaintext_reference",
+]

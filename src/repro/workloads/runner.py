@@ -1,0 +1,589 @@
+"""The closed-loop workload harness: drive a scenario, verify, enforce SLOs.
+
+:class:`WorkloadRunner` executes one :class:`~repro.workloads.scenarios.ScenarioSpec`
+plan against the join service in one of two modes:
+
+* ``"net"`` — the production path: a real :class:`~repro.net.server.JoinServer`
+  on a loopback TCP port, ``concurrency`` closed-loop client threads each
+  owning a :class:`~repro.net.client.JoinClient`, client-side encryption,
+  retryable backpressure, and paged result streaming;
+* ``"service"`` — the fast mode: the same requests submitted straight to the
+  in-process :class:`~repro.core.service.JoinService` pool, for tests and
+  quick iteration.
+
+Correctness is never sampled: before the timed run, every *distinct* request
+instance is executed once in-process and its delivered-result fingerprint,
+trace fingerprint, and transfer count recorded as the reference.  During the
+run each completed request is checked bit-for-bit against its reference —
+a mismatch is an *incorrect* request, an exception is a *lost* request, and
+the report requires zero of both unconditionally.  The latency SLO only
+governs how fast the correct answers arrive.
+
+Arrival pacing is open-loop up to ``concurrency``: request *i* is released
+at ``t0 + i / arrival_rate``, but a worker busy with an earlier request
+naturally delays later ones (the classic closed-loop cap on outstanding
+work), so a saturated service degrades throughput instead of exploding the
+queue.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from math import ceil
+from typing import Literal
+
+from repro.core.service import Contract, JoinService, Party
+from repro.errors import ConfigurationError, ServiceSaturatedError
+from repro.hardware.resilience import RetryPolicy
+from repro.net.client import JoinClient
+from repro.net.server import JoinServer, ServerThread, result_fingerprint
+from repro.net.wire import encode_relation
+from repro.obs.metrics import MetricsRegistry, instrument_workload
+from repro.workloads.scenarios import PlannedRequest, ScenarioSpec
+
+Mode = Literal["service", "net"]
+
+#: Retry budget for the closed loop.  Saturation is backpressure, not
+#: failure: the harness keeps retrying with geometric backoff long enough to
+#: outlast a full pool plus queue of small joins, mirroring
+#: ``benchmarks/bench_net_service.py``.
+LOAD_RETRY = RetryPolicy(max_retries=12, base_delay_cycles=1, multiplier=2)
+
+_UNSET = object()
+
+
+def percentile(values: list[float], quantile: float) -> float:
+    """Nearest-rank percentile (the convention SLO dashboards use)."""
+    if not values:
+        raise ConfigurationError("percentile of an empty sample")
+    if not 0.0 < quantile <= 1.0:
+        raise ConfigurationError("quantile must be in (0, 1]")
+    ordered = sorted(values)
+    return ordered[max(0, ceil(quantile * len(ordered)) - 1)]
+
+
+@dataclass(frozen=True)
+class _Reference:
+    """The in-process ground truth for one distinct request instance."""
+
+    result_fingerprint: str
+    trace_fingerprint: str
+    transfers: int
+    rows: int
+
+
+@dataclass(frozen=True)
+class RequestOutcome:
+    """What happened to one planned request.
+
+    ``status`` is ``"ok"`` (completed and bit-identical to the reference),
+    ``"incorrect"`` (completed but diverged — the hard failure), or
+    ``"lost"`` (raised instead of completing; ``error`` says why).
+    """
+
+    index: int
+    contract_id: str
+    instance_key: str
+    query: str
+    algorithm: str
+    repeated: bool
+    status: str
+    latency_seconds: float = 0.0
+    rows: int = 0
+    transfers: int = 0
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+@dataclass
+class ScenarioReport:
+    """One workload run's verdict: correctness counts, latency, throughput."""
+
+    scenario: str
+    mode: str
+    requests: int
+    concurrency: int
+    arrival_rate: float | None
+    duration_seconds: float
+    outcomes: list[RequestOutcome]
+    retries: int
+    saturation_rejections: int
+    slo_p50_seconds: float
+    slo_p95_seconds: float
+
+    @property
+    def completed(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.ok)
+
+    @property
+    def lost(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.status == "lost")
+
+    @property
+    def incorrect(self) -> int:
+        return sum(1 for o in self.outcomes if o.status == "incorrect")
+
+    @property
+    def repeated(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.repeated)
+
+    @property
+    def latencies(self) -> list[float]:
+        return [o.latency_seconds for o in self.outcomes if o.ok]
+
+    @property
+    def transfers_total(self) -> int:
+        return sum(outcome.transfers for outcome in self.outcomes)
+
+    @property
+    def throughput_rps(self) -> float:
+        if self.duration_seconds <= 0:
+            return 0.0
+        return self.completed / self.duration_seconds
+
+    def latency(self, quantile: float) -> float:
+        return percentile(self.latencies, quantile)
+
+    def failures(self, enforce_latency: bool = True) -> list[str]:
+        """Every violated promise, as human-readable strings.
+
+        Zero lost and zero incorrect requests are unconditional; the latency
+        SLO is only checked when ``enforce_latency`` is set (benchmarks skip
+        it on single-CPU hosts, where the closed loop cannot parallelize).
+        """
+        found: list[str] = []
+        if self.lost:
+            detail = "; ".join(
+                f"#{o.index} {o.error}" for o in self.outcomes
+                if o.status == "lost"
+            )
+            found.append(f"{self.lost} lost request(s): {detail}")
+        if self.incorrect:
+            bad = ", ".join(
+                f"#{o.index} {o.instance_key}" for o in self.outcomes
+                if o.status == "incorrect"
+            )
+            found.append(f"{self.incorrect} incorrect request(s): {bad}")
+        if enforce_latency and self.completed:
+            p50 = self.latency(0.50)
+            p95 = self.latency(0.95)
+            if p50 > self.slo_p50_seconds:
+                found.append(
+                    f"p50 latency {p50:.3f}s exceeds the "
+                    f"{self.slo_p50_seconds:.3f}s SLO"
+                )
+            if p95 > self.slo_p95_seconds:
+                found.append(
+                    f"p95 latency {p95:.3f}s exceeds the "
+                    f"{self.slo_p95_seconds:.3f}s SLO"
+                )
+        return found
+
+    @property
+    def ok(self) -> bool:
+        """Zero lost / zero incorrect (latency judged via :meth:`failures`)."""
+        return self.lost == 0 and self.incorrect == 0
+
+    def to_dict(self) -> dict:
+        """The JSON shape ``benchmarks/bench_workloads.py`` emits."""
+        latencies = self.latencies
+        summary = {
+            "p50": percentile(latencies, 0.50) if latencies else None,
+            "p95": percentile(latencies, 0.95) if latencies else None,
+            "p99": percentile(latencies, 0.99) if latencies else None,
+            "max": max(latencies) if latencies else None,
+            "mean": sum(latencies) / len(latencies) if latencies else None,
+        }
+        return {
+            "scenario": self.scenario,
+            "mode": self.mode,
+            "requests": self.requests,
+            "completed": self.completed,
+            "lost": self.lost,
+            "incorrect": self.incorrect,
+            "repeated": self.repeated,
+            "concurrency": self.concurrency,
+            "arrival_rate": self.arrival_rate,
+            "duration_seconds": self.duration_seconds,
+            "throughput_rps": self.throughput_rps,
+            "latency_seconds": summary,
+            "retries": self.retries,
+            "saturation_rejections": self.saturation_rejections,
+            "transfers_total": self.transfers_total,
+            "slo": {
+                "p50_seconds": self.slo_p50_seconds,
+                "p95_seconds": self.slo_p95_seconds,
+            },
+            "slo_met": not self.failures(enforce_latency=True),
+        }
+
+
+class WorkloadRunner:
+    """Run one scenario's plan closed-loop and report the verdict."""
+
+    def __init__(
+        self,
+        scenario: ScenarioSpec,
+        mode: Mode = "service",
+        *,
+        seed: int = 0,
+        requests: int | None = None,
+        concurrency: int | None = None,
+        arrival_rate: float | None = _UNSET,  # type: ignore[assignment]
+        pool_size: int = 4,
+        queue_depth: int = 8,
+        page_size: int = 32,
+        request_timeout: float = 120.0,
+        retry_delay_unit: float = 0.002,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        if mode not in ("service", "net"):
+            raise ConfigurationError(
+                f"unknown workload mode {mode!r} (choose 'service' or 'net')"
+            )
+        self.scenario = scenario
+        self.mode = mode
+        self.seed = seed
+        self.requests = scenario.requests if requests is None else requests
+        self.concurrency = (
+            scenario.concurrency if concurrency is None else concurrency
+        )
+        if self.concurrency < 1:
+            raise ConfigurationError("concurrency must be at least 1")
+        self.arrival_rate = (
+            scenario.arrival_rate if arrival_rate is _UNSET else arrival_rate
+        )
+        if self.arrival_rate is not None and self.arrival_rate <= 0:
+            raise ConfigurationError("arrival_rate must be positive when given")
+        self.pool_size = pool_size
+        self.queue_depth = queue_depth
+        self.page_size = page_size
+        self.request_timeout = request_timeout
+        self.retry_delay_unit = retry_delay_unit
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+
+    # -- references ----------------------------------------------------------
+    def _register(self, service: JoinService, request: PlannedRequest) -> None:
+        predicate = request.query.predicate.build()
+        service.register_contract(Contract(
+            contract_id=request.contract_id,
+            data_owners=tuple(request.tables),
+            recipient=self.scenario.recipient,
+            permitted_predicate=predicate.description,
+        ))
+        for owner, relation in request.tables.items():
+            service.ingest(Party(owner), request.contract_id, relation)
+
+    def references(
+        self, plan: list[PlannedRequest]
+    ) -> dict[str, _Reference]:
+        """Ground truth per distinct instance, via in-process ``execute()``.
+
+        Runs outside the timed window.  The fingerprint covers the full
+        delivery path — re-encrypted for the recipient, decrypted, and
+        deterministically encoded — so a networked run can match it only by
+        delivering the bit-identical relation.
+        """
+        refs: dict[str, _Reference] = {}
+        with JoinService(memory=self.scenario.memory, pool_size=1) as service:
+            for request in plan:
+                if request.instance_key in refs:
+                    continue
+                self._register(service, request)
+                result = service.execute(
+                    request.contract_id,
+                    request.query.predicate.build(),
+                    algorithm=request.query.algorithm,
+                    epsilon=request.query.epsilon,
+                )
+                delivered = service.deliver(
+                    result, Party(self.scenario.recipient), request.contract_id
+                )
+                _, rows = encode_relation(delivered)
+                refs[request.instance_key] = _Reference(
+                    result_fingerprint=result_fingerprint(rows),
+                    trace_fingerprint=result.trace.fingerprint(),
+                    transfers=result.stats.total,
+                    rows=len(rows),
+                )
+                service.release_contract(request.contract_id)
+        return refs
+
+    # -- the run -------------------------------------------------------------
+    def run(self, enforce_latency: bool = False) -> ScenarioReport:
+        """Execute the plan; optionally raise on SLO breach.
+
+        Always verifies zero lost / zero incorrect via
+        :meth:`ScenarioReport.failures`; with ``enforce_latency`` the latency
+        SLO is asserted too.  Raises :class:`AssertionError` listing every
+        violated promise — callers wanting the report regardless should call
+        with the default and inspect ``failures()`` themselves.
+        """
+        plan = self.scenario.plan(self.seed, self.requests)
+        refs = self.references(plan)
+        if self.mode == "service":
+            report = self._run_service(plan, refs)
+        else:
+            report = self._run_net(plan, refs)
+        instrument_workload(self.metrics, report)
+        problems = report.failures(enforce_latency=enforce_latency)
+        if problems:
+            raise AssertionError(
+                f"workload {self.scenario.name!r} ({self.mode}) violated its "
+                "promises:\n  - " + "\n  - ".join(problems)
+            )
+        return report
+
+    def _drive(
+        self,
+        plan: list[PlannedRequest],
+        worker,
+    ) -> tuple[list[RequestOutcome], float]:
+        """Shared closed-loop scheduler: pacing, worker pool, outcome slots."""
+        outcomes: list[RequestOutcome | None] = [None] * len(plan)
+        cursor_lock = threading.Lock()
+        cursor = iter(range(len(plan)))
+        start_time = time.monotonic()
+
+        def loop(worker_index: int) -> None:
+            while True:
+                with cursor_lock:
+                    index = next(cursor, None)
+                if index is None:
+                    return
+                request = plan[index]
+                if self.arrival_rate is not None:
+                    release = start_time + index / self.arrival_rate
+                    delay = release - time.monotonic()
+                    if delay > 0:
+                        time.sleep(delay)
+                outcomes[index] = worker(worker_index, request)
+
+        threads = [
+            threading.Thread(
+                target=loop, args=(i,), name=f"workload-{self.scenario.code}-{i}"
+            )
+            for i in range(self.concurrency)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        duration = time.monotonic() - start_time
+        assert all(outcome is not None for outcome in outcomes)
+        return outcomes, duration  # type: ignore[return-value]
+
+    def _outcome(
+        self,
+        request: PlannedRequest,
+        refs: dict[str, _Reference],
+        latency: float,
+        fingerprint: str,
+        trace_fingerprint: str,
+        transfers: int,
+        rows: int,
+    ) -> RequestOutcome:
+        ref = refs[request.instance_key]
+        matches = (
+            fingerprint == ref.result_fingerprint
+            and trace_fingerprint == ref.trace_fingerprint
+            and transfers == ref.transfers
+            and rows == ref.rows
+        )
+        return RequestOutcome(
+            index=request.index,
+            contract_id=request.contract_id,
+            instance_key=request.instance_key,
+            query=request.query.name,
+            algorithm=request.query.algorithm,
+            repeated=request.repeated,
+            status="ok" if matches else "incorrect",
+            latency_seconds=latency,
+            rows=rows,
+            transfers=transfers,
+            error="" if matches else "diverged from the in-process reference",
+        )
+
+    def _lost(self, request: PlannedRequest, exc: Exception) -> RequestOutcome:
+        return RequestOutcome(
+            index=request.index,
+            contract_id=request.contract_id,
+            instance_key=request.instance_key,
+            query=request.query.name,
+            algorithm=request.query.algorithm,
+            repeated=request.repeated,
+            status="lost",
+            error=f"{type(exc).__name__}: {exc}",
+        )
+
+    # -- service (fast) mode -------------------------------------------------
+    def _run_service(
+        self, plan: list[PlannedRequest], refs: dict[str, _Reference]
+    ) -> ScenarioReport:
+        service = JoinService(
+            memory=self.scenario.memory,
+            pool_size=self.pool_size,
+            queue_depth=self.queue_depth,
+        )
+        counts = {"retries": 0}
+        counts_lock = threading.Lock()
+        try:
+            registered: set[str] = set()
+            for request in plan:
+                if request.contract_id not in registered:
+                    self._register(service, request)
+                    registered.add(request.contract_id)
+
+            def worker(worker_index: int,
+                       request: PlannedRequest) -> RequestOutcome:
+                predicate = request.query.predicate.build()
+                started = time.monotonic()
+                try:
+                    attempt = 0
+                    while True:
+                        try:
+                            future = service.submit(
+                                request.contract_id, predicate,
+                                algorithm=request.query.algorithm,
+                                epsilon=request.query.epsilon,
+                                block=False,
+                            )
+                            break
+                        except ServiceSaturatedError:
+                            if attempt >= LOAD_RETRY.max_retries:
+                                raise
+                            with counts_lock:
+                                counts["retries"] += 1
+                            time.sleep(
+                                LOAD_RETRY.delay(attempt)
+                                * self.retry_delay_unit
+                            )
+                            attempt += 1
+                    result = future.result(timeout=self.request_timeout)
+                    delivered = service.deliver(
+                        result, Party(self.scenario.recipient),
+                        request.contract_id,
+                    )
+                    _, rows = encode_relation(delivered)
+                    latency = time.monotonic() - started
+                    return self._outcome(
+                        request, refs, latency,
+                        fingerprint=result_fingerprint(rows),
+                        trace_fingerprint=result.trace.fingerprint(),
+                        transfers=result.stats.total,
+                        rows=len(rows),
+                    )
+                except Exception as exc:
+                    return self._lost(request, exc)
+
+            outcomes, duration = self._drive(plan, worker)
+            saturation = int(service.metrics.counter(
+                "service_jobs_rejected_total").value)
+        finally:
+            service.close()
+        return self._report(outcomes, duration, counts["retries"], saturation)
+
+    # -- net (production) mode -----------------------------------------------
+    def _run_net(
+        self, plan: list[PlannedRequest], refs: dict[str, _Reference]
+    ) -> ScenarioReport:
+        service = JoinService(
+            memory=self.scenario.memory,
+            pool_size=self.pool_size,
+            queue_depth=self.queue_depth,
+        )
+        client_metrics = MetricsRegistry()
+        server = JoinServer(service, host="127.0.0.1", port=0)
+        try:
+            with ServerThread(server) as handle:
+                clients = [
+                    JoinClient(
+                        "127.0.0.1", handle.port,
+                        retry=LOAD_RETRY,
+                        retry_delay_unit=self.retry_delay_unit,
+                        request_timeout=self.request_timeout,
+                        metrics=client_metrics,
+                    )
+                    for _ in range(self.concurrency)
+                ]
+                try:
+                    def worker(worker_index: int,
+                               request: PlannedRequest) -> RequestOutcome:
+                        client = clients[worker_index]
+                        started = time.monotonic()
+                        try:
+                            job = client.submit_join(
+                                request.contract_id,
+                                dict(request.tables),
+                                request.query.predicate,
+                                recipient=self.scenario.recipient,
+                                algorithm=request.query.algorithm,
+                                epsilon=request.query.epsilon,
+                                page_size=self.page_size,
+                            )
+                            status = job.wait(timeout=self.request_timeout)
+                            delivered = job.result(
+                                timeout=self.request_timeout
+                            )
+                            _, rows = encode_relation(delivered)
+                            latency = time.monotonic() - started
+                            pages_fingerprint = result_fingerprint(rows)
+                            if pages_fingerprint != status.result_fingerprint:
+                                # The streamed pages must re-assemble to the
+                                # exact bytes the server fingerprinted.
+                                return self._outcome(
+                                    request, refs, latency,
+                                    fingerprint="pages!=" + pages_fingerprint,
+                                    trace_fingerprint=status.trace_fingerprint,
+                                    transfers=status.transfers,
+                                    rows=len(rows),
+                                )
+                            return self._outcome(
+                                request, refs, latency,
+                                fingerprint=status.result_fingerprint,
+                                trace_fingerprint=status.trace_fingerprint,
+                                transfers=status.transfers,
+                                rows=len(rows),
+                            )
+                        except Exception as exc:
+                            return self._lost(request, exc)
+
+                    outcomes, duration = self._drive(plan, worker)
+                finally:
+                    for client in clients:
+                        client.close()
+        finally:
+            service.close()
+        retries = int(client_metrics.counter("client_retries_total").value)
+        saturation = int(
+            service.metrics.counter(
+                "server_errors_total", code="saturated").value
+            + service.metrics.counter("service_jobs_rejected_total").value
+        )
+        return self._report(outcomes, duration, retries, saturation)
+
+    def _report(
+        self,
+        outcomes: list[RequestOutcome],
+        duration: float,
+        retries: int,
+        saturation: int,
+    ) -> ScenarioReport:
+        return ScenarioReport(
+            scenario=self.scenario.name,
+            mode=self.mode,
+            requests=len(outcomes),
+            concurrency=self.concurrency,
+            arrival_rate=self.arrival_rate,
+            duration_seconds=duration,
+            outcomes=outcomes,
+            retries=retries,
+            saturation_rejections=saturation,
+            slo_p50_seconds=self.scenario.slo.p50_seconds,
+            slo_p95_seconds=self.scenario.slo.p95_seconds,
+        )

@@ -32,12 +32,18 @@ def pytest_addoption(parser):
         "--runchaos", action="store_true", default=False,
         help="run tests marked chaos (full crash/recovery sweeps)",
     )
+    parser.addoption(
+        "--runworkloads", action="store_true", default=False,
+        help="run tests marked workloads (closed-loop scenario runs over "
+             "loopback TCP)",
+    )
 
 
 def pytest_collection_modifyitems(config, items):
     gates = [
         ("slow", "--runslow"),
         ("chaos", "--runchaos"),
+        ("workloads", "--runworkloads"),
     ]
     for marker, option in gates:
         if config.getoption(option):

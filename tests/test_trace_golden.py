@@ -116,3 +116,58 @@ def test_all_golden_runs_produce_correct_results():
     workload = _workload()
     for name in GOLDEN_FINGERPRINTS:
         assert len(_run(name).result) == workload.result_size, name
+
+
+# ---------------------------------------------------------------------------
+# pinned workload scenario
+# ---------------------------------------------------------------------------
+
+#: One small scenario from the production workload catalog, pinned the same
+#: way: per-query trace fingerprints and transfer counts on instance seed 0.
+#: This locks the *whole* path a workload request takes — the seeded table
+#: generators, the wire-predicate compilation, and the algorithm's access
+#: pattern — so a change to any layer fails here by name.  Re-derive with
+#: ``_run_scenario_query()`` (two fresh contexts agreeing) if intentional.
+GOLDEN_SCENARIO = "watchlist_screening"
+
+GOLDEN_SCENARIO_FINGERPRINTS = {
+    "screen": "f74c63f59d8b7994b116aaf76ad23e40c0b756897fef8b4077a6e7a4b41dfa22",
+    "audit": "6b87848544e3061f1c604f9be832e0b6bab8e1e0d01c9000c94a97c90828f956",
+}
+
+GOLDEN_SCENARIO_TRANSFERS = {"screen": 165, "audit": 2278}
+
+GOLDEN_SCENARIO_RESULT_SIZE = 5
+
+
+def _run_scenario_query(query_name: str):
+    from repro.workloads import get_scenario
+
+    spec = get_scenario(GOLDEN_SCENARIO)
+    query = next(q for q in spec.queries if q.name == query_name)
+    tables = spec.build_tables(0)
+    relations = [tables[owner] for owner in spec.owners]
+    predicate = query.predicate.build()
+    context = fresh_context(seed=0)
+    if query.algorithm == "algorithm4":
+        return algorithm4(context, relations, predicate)
+    return algorithm5(context, relations, predicate, memory=spec.memory)
+
+
+@pytest.mark.parametrize("query_name", sorted(GOLDEN_SCENARIO_FINGERPRINTS))
+def test_workload_scenario_trace_is_pinned(query_name):
+    result = _run_scenario_query(query_name)
+    assert (result.trace.fingerprint()
+            == GOLDEN_SCENARIO_FINGERPRINTS[query_name]), (
+        f"{GOLDEN_SCENARIO}/{query_name}'s access pattern changed — if "
+        "intentional, re-derive the golden fingerprint (see the module "
+        "docstring) and justify the change"
+    )
+    assert result.stats.total == GOLDEN_SCENARIO_TRANSFERS[query_name]
+    assert len(result.result) == GOLDEN_SCENARIO_RESULT_SIZE
+
+
+@pytest.mark.parametrize("query_name", sorted(GOLDEN_SCENARIO_FINGERPRINTS))
+def test_workload_scenario_trace_is_reproducible(query_name):
+    assert (_run_scenario_query(query_name).trace.fingerprint()
+            == _run_scenario_query(query_name).trace.fingerprint())
