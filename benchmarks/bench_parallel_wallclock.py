@@ -4,7 +4,7 @@ Standalone (not a pytest-benchmark module) so CI can run it as a smoke step::
 
     PYTHONPATH=src python benchmarks/bench_parallel_wallclock.py --smoke --check
 
-Measures, for the parallel bitonic sort and Algorithms 3/5/6, the wall-clock
+Measures, for the parallel bitonic sort and Algorithms 2-6, the wall-clock
 time of the sequential cluster simulation against the multiprocess
 :class:`~repro.parallel.executor.ClusterExecutor` at several worker counts,
 verifying on every run that the executor is *observationally identical* to
@@ -18,8 +18,15 @@ Honesty notes recorded in the JSON:
   ``--check`` only enforces the speedup thresholds when at least two CPUs
   are present; the identity and privacy checks are enforced everywhere.
 * ``--check`` fails when the P=2 sort speedup drops under ``--min-speedup``
-  (default 1.2) or, with four or more CPUs, when no algorithm reaches
-  ``--target-speedup`` (default 1.5) at P=4.
+  (default 1.2), when any section's P=2/P=4 speedup drops under
+  ``--floor-speedup`` (default 1.0 — parallelism must never *lose* to the
+  sequential run on a multi-CPU host), or, with four or more CPUs, when no
+  algorithm reaches ``--target-speedup`` (default 1.5) at P=4.
+
+Each worker entry also records the executor's IPC accounting
+(``bytes_shared`` mapped through shared-memory arenas vs ``bytes_pickled``
+through the pickle channel, plus ``tasks_submitted``/``flushes``) so a
+regression back toward pickled whole-shard transfers is visible in the JSON.
 """
 
 from __future__ import annotations
@@ -34,7 +41,9 @@ import time
 
 from repro.core.base import JoinContext
 from repro.core.parallel import (
+    parallel_algorithm2,
     parallel_algorithm3,
+    parallel_algorithm4,
     parallel_algorithm5,
     parallel_algorithm6,
 )
@@ -83,6 +92,15 @@ def fingerprints(cluster):
     return [t.trace.fingerprint() for t in cluster]
 
 
+def executor_counters(executor) -> dict:
+    return {
+        "bytes_shared": executor.bytes_shared,
+        "bytes_pickled": executor.bytes_pickled,
+        "tasks_submitted": executor.tasks_submitted,
+        "flushes": executor.flushes,
+    }
+
+
 def bench_sort(size: int, provider_name: str, processors: int = 4) -> dict:
     """Sequential simulation vs executor wall clock for the parallel sort."""
     values = random.Random(7).sample(range(1 << 30), size)
@@ -102,6 +120,7 @@ def bench_sort(size: int, provider_name: str, processors: int = 4) -> dict:
             seconds, report = _timed(lambda: wallclock_oblivious_sort(
                 executor, cluster, "R", size, int_key
             ))
+            counters = executor_counters(executor)
         identical = (
             report == seq_report and fingerprints(cluster) == seq_prints
         )
@@ -109,6 +128,7 @@ def bench_sort(size: int, provider_name: str, processors: int = 4) -> dict:
             "seconds": round(seconds, 4),
             "speedup": round(seq_seconds / seconds, 3) if seconds else None,
             "identical_to_sequential": identical,
+            **counters,
         }
     return {
         "size": size,
@@ -123,10 +143,20 @@ def _join_case(name: str, sizes: tuple[int, int], memory: int):
     wl = equijoin_workload(sizes[0], sizes[1], max(2, sizes[0] // 4),
                            rng=random.Random(41))
     predicate = BinaryAsMulti(Equality("key"))
+    if name == "algorithm2":
+        return lambda context, cluster, executor=None: parallel_algorithm2(
+            context, cluster, wl.left, wl.right, Equality("key"),
+            n_max=wl.max_matches, memory=memory, executor=executor,
+        )
     if name == "algorithm3":
         return lambda context, cluster, executor=None: parallel_algorithm3(
             context, cluster, wl.left, wl.right, "key",
             n_max=wl.max_matches, executor=executor,
+        )
+    if name == "algorithm4":
+        return lambda context, cluster, executor=None: parallel_algorithm4(
+            context, cluster, [wl.left, wl.right], predicate,
+            executor=executor,
         )
     if name == "algorithm5":
         return lambda context, cluster, executor=None: parallel_algorithm5(
@@ -154,6 +184,7 @@ def bench_join(name: str, sizes: tuple[int, int], memory: int,
             seconds, out = _timed(
                 lambda: run_join(context, cluster, executor=executor)
             )
+            counters = executor_counters(executor)
         identical = (
             out.result.same_multiset(seq_out.result)
             and fingerprints(cluster) == seq_prints
@@ -163,6 +194,7 @@ def bench_join(name: str, sizes: tuple[int, int], memory: int,
             "seconds": round(seconds, 4),
             "speedup": round(seq_seconds / seconds, 3) if seconds else None,
             "identical_to_sequential": identical,
+            **counters,
         }
     return {
         "left": sizes[0],
@@ -179,17 +211,28 @@ def check_privacy(provider_name: str, processors: int = 2) -> dict:
     """Per-device traces under the executor must be data-independent."""
     verdicts = {}
     with ClusterExecutor(workers=2) as executor:
-        for name in ("algorithm3", "algorithm5", "algorithm6"):
+        for name in ("algorithm2", "algorithm3", "algorithm4",
+                     "algorithm5", "algorithm6"):
             observed = []
             for seed in (301, 302):
                 wl = equijoin_workload(8, 8, 4, rng=random.Random(seed))
                 predicate = BinaryAsMulti(Equality("key"))
                 context, cluster = rig(processors, provider_name)
-                if name == "algorithm3":
+                if name == "algorithm2":
+                    # n_max/memory fixed across data families: public shape
+                    # parameters the trace may legitimately depend on.
+                    parallel_algorithm2(context, cluster, wl.left, wl.right,
+                                        Equality("key"), n_max=4, memory=4,
+                                        executor=executor)
+                elif name == "algorithm3":
                     # n_max fixed across data families: it is a public shape
                     # parameter, and the trace may legitimately depend on it.
                     parallel_algorithm3(context, cluster, wl.left, wl.right,
                                         "key", n_max=4, executor=executor)
+                elif name == "algorithm4":
+                    parallel_algorithm4(context, cluster,
+                                        [wl.left, wl.right], predicate,
+                                        executor=executor)
                 elif name == "algorithm5":
                     parallel_algorithm5(context, cluster, [wl.left, wl.right],
                                         predicate, memory=4, executor=executor)
@@ -213,17 +256,22 @@ def main(argv=None) -> int:
                         help="crypto provider for the measured runs")
     parser.add_argument("--min-speedup", type=float, default=1.2,
                         help="required P=2 sort speedup (multi-CPU hosts only)")
+    parser.add_argument("--floor-speedup", type=float, default=1.0,
+                        help="every section's P>=2 speedup floor "
+                             "(multi-CPU hosts only)")
     parser.add_argument("--target-speedup", type=float, default=1.5,
                         help="required best P=4 speedup (4+ CPU hosts only)")
     args = parser.parse_args(argv)
 
     if args.smoke:
         sort_size = 256
-        join_sizes = {"algorithm3": (24, 24), "algorithm5": (16, 16),
+        join_sizes = {"algorithm2": (16, 16), "algorithm3": (24, 24),
+                      "algorithm4": (12, 12), "algorithm5": (16, 16),
                       "algorithm6": (16, 16)}
     else:
         sort_size = 1024
-        join_sizes = {"algorithm3": (64, 64), "algorithm5": (48, 48),
+        join_sizes = {"algorithm2": (48, 48), "algorithm3": (64, 64),
+                      "algorithm4": (24, 24), "algorithm5": (48, 48),
                       "algorithm6": (48, 48)}
 
     host_cpus = os.cpu_count() or 1
@@ -266,6 +314,18 @@ def main(argv=None) -> int:
             failures.append(
                 f"P=2 sort wall-clock speedup {sort_p2} < {args.min_speedup}"
             )
+        # Parallelism must never lose to the sequential run once the host
+        # actually has the CPUs for the requested worker count.
+        for name, data in sections:
+            for workers, run in data["workers"].items():
+                if int(workers) < 2 or host_cpus < int(workers):
+                    continue
+                if run["speedup"] is not None and \
+                        run["speedup"] < args.floor_speedup:
+                    failures.append(
+                        f"{name} P={workers} wall-clock speedup "
+                        f"{run['speedup']} < floor {args.floor_speedup}"
+                    )
     else:
         print(f"NOTE: host has {host_cpus} CPU; speedup thresholds skipped "
               "(identity and privacy checks still enforced)", file=sys.stderr)

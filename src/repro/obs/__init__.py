@@ -17,6 +17,7 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    instrument_executor,
     instrument_join,
 )
 from repro.obs.sinks import (
@@ -44,6 +45,7 @@ __all__ = [
     "StreamingTrace",
     "TeeTrace",
     "TraceSink",
+    "instrument_executor",
     "instrument_join",
     "one_shot",
     "read_jsonl_events",

@@ -3,10 +3,12 @@
 The :mod:`repro.hardware.cluster` layer *models* parallelism (sequential
 execution, per-coprocessor accounting).  This package makes it real:
 
-* :mod:`repro.parallel.shard` — serializable host-memory shards addressed by
-  global slot indices, with machine-checked I/O footprints;
+* :mod:`repro.parallel.shard` — host-memory shards addressed by global slot
+  indices with machine-checked I/O footprints, shipped zero-copy through
+  ``multiprocessing.shared_memory`` arenas (or pickled dicts inline);
 * :mod:`repro.parallel.executor` — a ``ProcessPoolExecutor``-backed
-  :class:`ClusterExecutor` with deterministic, sequential-order merges;
+  :class:`ClusterExecutor` with deterministic, sequential-order merges,
+  batched blob write-back, and IPC byte accounting;
 * :mod:`repro.parallel.sort` — the Section 5.3.5 parallel bitonic sort and
   repeated-sort decoy filter on real processes.
 
@@ -16,12 +18,16 @@ likewise, see :mod:`repro.core.parallel`) runs the same shares — same
 traces, same results — concurrently.
 """
 
-from repro.parallel.executor import ClusterExecutor, ShardTask
+from repro.parallel.executor import SEGMENT_PREFIX, ClusterExecutor, ShardTask
 from repro.parallel.shard import (
+    ArenaTaskSpec,
     RegionShard,
+    SharedRegionShard,
+    SharedShardArena,
     ShardHostMemory,
     ShardResult,
     TaskIO,
+    attach_arena_shards,
     build_shards,
     merge_shard_result,
 )
@@ -29,11 +35,16 @@ from repro.parallel.sort import wallclock_oblivious_filter, wallclock_oblivious_
 
 __all__ = [
     "ClusterExecutor",
+    "SEGMENT_PREFIX",
     "ShardTask",
     "TaskIO",
     "RegionShard",
+    "SharedRegionShard",
+    "SharedShardArena",
+    "ArenaTaskSpec",
     "ShardHostMemory",
     "ShardResult",
+    "attach_arena_shards",
     "build_shards",
     "merge_shard_result",
     "wallclock_oblivious_sort",

@@ -1,32 +1,55 @@
 """Shardable host-memory views for multiprocess workers.
 
 A parallel worker cannot share the parent's :class:`~repro.hardware.host.
-HostMemory` — it lives in another process.  Instead the parent ships each
-task a :class:`ShardSpec`: the exact slot spans (and append windows) of the
-regions the task's work is declared to touch.  The worker rebuilds them as a
-:class:`ShardHostMemory` — a host view that answers the *global* slot indices
-of the original regions, so every trace event a worker records carries the
-same ``(op, region, index)`` it would in the sequential simulation.  Access
-outside the declared shard raises :class:`~repro.errors.HostMemoryError`:
-the shard is both a transport and a machine-checked statement of the task's
-I/O footprint.
+HostMemory` — it lives in another process.  Two transports ship a task its
+declared footprint (:class:`TaskIO`):
 
-After the work runs, the worker returns a :class:`ShardResult` — written
-slots, appended ciphertexts, trace events, and crypto counters — which the
-parent merges back deterministically in task-submission order
-(:mod:`repro.parallel.executor`).
+* **Dictionary shards** (:func:`build_shards`) — the slot spans of every
+  region the task touches are copied into :class:`RegionShard` dicts and
+  pickled with the task.  Simple, but each whole-region footprint ("all of
+  B") is re-serialized for *every* task, which is exactly the IPC overhead
+  that erased the modeled speedup (BENCH_parallel.json).  Kept for the
+  inline (``workers <= 1``) mode, where nothing crosses a process boundary.
+* **Shared-memory arenas** (:class:`SharedShardArena`) — the parent packs a
+  snapshot of every region a round's tasks read into one
+  :mod:`multiprocessing.shared_memory` segment; each task then carries only
+  an :class:`ArenaTaskSpec` of (segment name, region layout, allowed spans)
+  descriptors, and the worker maps the slots zero-copy
+  (:class:`SharedRegionShard`).  The arena is a *snapshot*: workers never
+  write to it, so concurrent tasks of one round cannot race.
+
+Either way the worker rebuilds a :class:`ShardHostMemory` — a host view that
+answers the *global* slot indices of the original regions, so every trace
+event a worker records carries the same ``(op, region, index)`` it would in
+the sequential simulation.  Access outside the declared shard raises
+:class:`~repro.errors.HostMemoryError`: the shard is both a transport and a
+machine-checked statement of the task's I/O footprint.
+
+After the work runs, the worker returns a :class:`ShardResult` with its
+writes, appends, and trace packed into *contiguous byte blobs* (one flush
+per region, not per-slot pickle entries), which the parent merges back
+deterministically in task-submission order (:mod:`repro.parallel.executor`).
 """
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass, field
-from typing import Any, Mapping, Sequence
+from multiprocessing import shared_memory
+from typing import Any, Iterable, Iterator, Mapping, Sequence
 
 from repro.errors import HostMemoryError
 from repro.hardware.host import HostMemory
 
 #: One contiguous slot span [start, stop) of a region.
 Span = tuple[int, int]
+
+#: Length-table sentinel for a slot that was never written (region_bytes None).
+_NEVER_WRITTEN = 0xFFFFFFFF
+
+_LEN = struct.Struct("<I")          # per-slot length table entry
+_EVENT = struct.Struct("<Hq")       # (op, region) table code, slot index
+_WRITE = struct.Struct("<QI")       # written slot index, ciphertext length
 
 
 @dataclass(frozen=True)
@@ -45,25 +68,131 @@ class TaskIO:
     appends: Mapping[str, int] = field(default_factory=dict)
 
 
+def _check_span(region: str, start: int, stop: int, size: int) -> None:
+    if not 0 <= start <= stop <= size:
+        raise HostMemoryError(
+            f"shard span [{start}, {stop}) out of bounds for region "
+            f"{region!r} of size {size}"
+        )
+
+
+# -- packed transfer encodings ------------------------------------------------
+#
+# Worker results cross the process boundary as flat byte blobs instead of
+# per-slot dict/list entries: pickling one bytes object is a memcpy, pickling
+# a dict of thousands of small bytes objects is not.
+
+def pack_events(events: Iterable[tuple[str, str, int]]) -> tuple[tuple[tuple[str, str], ...], bytes]:
+    """Encode trace events as a small (op, region) table plus a packed array."""
+    table: dict[tuple[str, str], int] = {}
+    buf = bytearray()
+    pack = _EVENT.pack
+    for op, region, index in events:
+        key = (op, region)
+        code = table.get(key)
+        if code is None:
+            code = table[key] = len(table)
+        buf += pack(code, index)
+    return tuple(table), bytes(buf)
+
+
+def unpack_events(
+    table: Sequence[tuple[str, str]], blob: bytes
+) -> Iterator[tuple[str, str, int]]:
+    for code, index in _EVENT.iter_unpack(blob):
+        op, region = table[code]
+        yield op, region, index
+
+
+def pack_writes(writes: Iterable[tuple[int, bytes]]) -> bytes:
+    """One region's written slots as contiguous (index, length, bytes) runs."""
+    parts = []
+    for index, data in writes:
+        parts.append(_WRITE.pack(index, len(data)))
+        parts.append(data)
+    return b"".join(parts)
+
+
+def unpack_writes(blob: bytes) -> Iterator[tuple[int, bytes]]:
+    view = memoryview(blob)
+    offset = 0
+    while offset < len(view):
+        index, length = _WRITE.unpack_from(view, offset)
+        offset += _WRITE.size
+        yield index, bytes(view[offset:offset + length])
+        offset += length
+
+
+def pack_appends(items: Iterable[bytes]) -> bytes:
+    """One region's appended ciphertexts, length-prefixed, in append order."""
+    parts = []
+    for data in items:
+        parts.append(_LEN.pack(len(data)))
+        parts.append(data)
+    return b"".join(parts)
+
+
+def unpack_appends(blob: bytes) -> Iterator[bytes]:
+    view = memoryview(blob)
+    offset = 0
+    while offset < len(view):
+        (length,) = _LEN.unpack_from(view, offset)
+        offset += _LEN.size
+        yield bytes(view[offset:offset + length])
+        offset += length
+
+
 @dataclass
 class RegionShard:
-    """The shipped slots of one region: global index -> ciphertext."""
+    """The shipped slots of one region: global index -> ciphertext.
+
+    The pickled (dictionary) transport, used by the executor's inline mode.
+    """
 
     size: int                               # the region's full size at ship time
     slots: dict[int, bytes | None] = field(default_factory=dict)
     append_base: int | None = None          # None: appends are not permitted
 
+    def contains(self, index: int) -> bool:
+        return index in self.slots
+
+    def load(self, index: int) -> bytes | None:
+        return self.slots[index]
+
+    def store(self, index: int, ciphertext: bytes) -> None:
+        self.slots[index] = ciphertext
+
+    def payload_bytes(self) -> int:
+        return sum(len(v) for v in self.slots.values() if v is not None)
+
 
 @dataclass
 class ShardResult:
-    """What one worker task sends back for the deterministic merge."""
+    """What one worker task sends back for the deterministic merge.
+
+    Writes, appends, and trace events travel as packed blobs (see the
+    ``pack_*`` helpers): the transfer is a handful of contiguous byte
+    strings, however many slots the task touched.
+    """
 
     value: Any
-    writes: dict[str, list[tuple[int, bytes]]]
-    appends: dict[str, list[bytes]]
+    writes: dict[str, bytes]                # region -> packed (index, len, data)
+    appends: dict[str, bytes]               # region -> packed (len, data)
     append_bases: dict[str, int]
-    events: list[tuple[str, str, int]]
+    event_table: tuple[tuple[str, str], ...]
+    events: bytes                           # packed (table code, index)
     counters: dict[str, int]
+
+    def payload_bytes(self) -> int:
+        """Bytes of packed payload this result carries across the boundary."""
+        return (
+            len(self.events)
+            + sum(len(blob) for blob in self.writes.values())
+            + sum(len(blob) for blob in self.appends.values())
+        )
+
+    def iter_events(self) -> Iterator[tuple[str, str, int]]:
+        return unpack_events(self.event_table, self.events)
 
 
 def build_shards(host: HostMemory, io: TaskIO) -> dict[str, RegionShard]:
@@ -76,11 +205,7 @@ def build_shards(host: HostMemory, io: TaskIO) -> dict[str, RegionShard]:
             spans = [(0, size)]
         slots: dict[int, bytes | None] = {}
         for start, stop in spans:
-            if not 0 <= start <= stop <= size:
-                raise HostMemoryError(
-                    f"shard span [{start}, {stop}) out of bounds for region "
-                    f"{region!r} of size {size}"
-                )
+            _check_span(region, start, stop, size)
             for index in range(start, stop):
                 slots[index] = raw[index]
         shards[region] = RegionShard(size=size, slots=slots)
@@ -93,18 +218,237 @@ def build_shards(host: HostMemory, io: TaskIO) -> dict[str, RegionShard]:
     return shards
 
 
+def shards_payload_bytes(shards: Mapping[str, RegionShard]) -> int:
+    """Slot bytes a dictionary-shard payload would carry through pickle."""
+    return sum(shard.payload_bytes() for shard in shards.values())
+
+
+# -- the shared-memory arena --------------------------------------------------
+
+@dataclass(frozen=True)
+class RegionLayout:
+    """Where one region lives inside an arena segment.
+
+    Slots are fixed-stride cells of ``cell`` bytes preceded by a ``u32``
+    per-slot length table (``0xFFFFFFFF`` marks a never-written slot), so a
+    worker locates any global index with two reads and no deserialization.
+    """
+
+    count: int
+    cell: int
+    lengths_offset: int
+    data_offset: int
+
+
+@dataclass(frozen=True)
+class ArenaTaskSpec:
+    """One task's footprint as descriptors into a shared arena segment.
+
+    This — not the slot data — is what pickles with the task: a segment
+    name, per-region layouts, the allowed spans (``None`` = whole region),
+    and append bases/ship-time sizes for append-only regions.
+    """
+
+    segment: str | None
+    layouts: dict[str, RegionLayout]
+    spans: dict[str, tuple[Span, ...] | None]
+    append_bases: dict[str, int]
+    append_sizes: dict[str, int]
+
+
+class SharedShardArena:
+    """A parent-side shared-memory snapshot of host regions for one round.
+
+    Built once per :meth:`ClusterExecutor.run_tasks` round over the union of
+    the round's read footprints; every worker of the round maps the same
+    segment instead of receiving its own pickled copy of the slots.  The
+    parent owns the lifecycle: :meth:`destroy` closes and unlinks the
+    segment (idempotent — crash paths and ``close()`` may both call it).
+    """
+
+    def __init__(self, host: HostMemory, regions: Iterable[str], name: str) -> None:
+        layouts: dict[str, RegionLayout] = {}
+        raws: dict[str, list[bytes | None]] = {}
+        offset = 0
+        for region in sorted(set(regions)):
+            raw = host.region_bytes(region)
+            count = len(raw)
+            cell = max((len(s) for s in raw if s is not None), default=0)
+            layouts[region] = RegionLayout(
+                count=count,
+                cell=cell,
+                lengths_offset=offset,
+                data_offset=offset + _LEN.size * count,
+            )
+            offset += _LEN.size * count + cell * count
+            raws[region] = raw
+        self.layouts = layouts
+        self.nbytes = offset
+        self.name = name
+        self._host = host
+        self._shm: shared_memory.SharedMemory | None = shared_memory.SharedMemory(
+            create=True, name=name, size=max(offset, 1)
+        )
+        buf = self._shm.buf
+        for region, raw in raws.items():
+            layout = layouts[region]
+            lengths_offset, data_offset, cell = (
+                layout.lengths_offset, layout.data_offset, layout.cell,
+            )
+            for i, slot in enumerate(raw):
+                if slot is None:
+                    _LEN.pack_into(buf, lengths_offset + _LEN.size * i, _NEVER_WRITTEN)
+                else:
+                    _LEN.pack_into(buf, lengths_offset + _LEN.size * i, len(slot))
+                    start = data_offset + cell * i
+                    buf[start:start + len(slot)] = slot
+
+    def task_spec(self, io: TaskIO) -> ArenaTaskSpec:
+        """Validate one task's footprint and cut its descriptor."""
+        layouts: dict[str, RegionLayout] = {}
+        spans: dict[str, tuple[Span, ...] | None] = {}
+        for region, declared in io.reads.items():
+            layout = self.layouts[region]
+            if declared is None:
+                spans[region] = None
+            else:
+                for start, stop in declared:
+                    _check_span(region, start, stop, layout.count)
+                spans[region] = tuple(declared)
+            layouts[region] = layout
+        append_bases = dict(io.appends)
+        append_sizes = {
+            region: (self._host.size(region) if self._host.has_region(region) else 0)
+            for region in append_bases
+            if region not in io.reads
+        }
+        return ArenaTaskSpec(
+            segment=self.name,
+            layouts=layouts,
+            spans=spans,
+            append_bases=append_bases,
+            append_sizes=append_sizes,
+        )
+
+    def destroy(self) -> None:
+        """Close and unlink the segment; safe to call more than once."""
+        shm, self._shm = self._shm, None
+        if shm is None:
+            return
+        shm.close()
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # already unlinked (e.g. a second destroy)
+            pass
+
+
+def attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach to a parent-owned segment without adopting its lifecycle.
+
+    On Python < 3.13 attaching registers the segment with the process's
+    resource tracker, which would unlink (and warn about) segments the
+    *parent* owns when a pool worker exits; ``track=False`` (3.13+) or
+    suppressing the registration opts this mapping out of tracking.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:
+        pass
+    from multiprocessing import resource_tracker
+
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+class SharedRegionShard:
+    """A worker's zero-copy view of one region inside an arena segment.
+
+    Reads resolve against a local write overlay first (a task may read back
+    slots it wrote) and then against the mapped snapshot; writes never touch
+    the segment, so concurrent tasks of a round stay isolated and the
+    parent's merge remains the only writer of authoritative state.
+    """
+
+    def __init__(
+        self,
+        buffer,
+        layout: RegionLayout,
+        spans: tuple[Span, ...] | None,
+        append_base: int | None = None,
+    ) -> None:
+        self.size = layout.count
+        self.append_base = append_base
+        self._buffer = buffer
+        self._layout = layout
+        self._spans = spans
+        self._overlay: dict[int, bytes] = {}
+
+    def contains(self, index: int) -> bool:
+        if not 0 <= index < self.size:
+            return False
+        if self._spans is None:
+            return True
+        return any(start <= index < stop for start, stop in self._spans)
+
+    def load(self, index: int) -> bytes | None:
+        value = self._overlay.get(index)
+        if value is not None:
+            return value
+        layout = self._layout
+        (length,) = _LEN.unpack_from(self._buffer, layout.lengths_offset + _LEN.size * index)
+        if length == _NEVER_WRITTEN:
+            return None
+        start = layout.data_offset + layout.cell * index
+        return bytes(self._buffer[start:start + length])
+
+    def store(self, index: int, ciphertext: bytes) -> None:
+        self._overlay[index] = ciphertext
+
+
+def attach_arena_shards(
+    spec: ArenaTaskSpec,
+) -> tuple[shared_memory.SharedMemory | None, dict[str, RegionShard | SharedRegionShard]]:
+    """Map a task's arena descriptor back into worker-local shards.
+
+    The caller must ``close()`` the returned segment handle (never unlink —
+    the parent owns the segment) once the task's result is packed.
+    """
+    shm = attach_segment(spec.segment) if spec.segment is not None else None
+    shards: dict[str, RegionShard | SharedRegionShard] = {}
+    for region, layout in spec.layouts.items():
+        shards[region] = SharedRegionShard(
+            shm.buf if shm is not None else b"",
+            layout,
+            spec.spans[region],
+        )
+    for region, base in spec.append_bases.items():
+        shard = shards.get(region)
+        if shard is None:
+            shards[region] = RegionShard(
+                size=spec.append_sizes.get(region, 0), append_base=base
+            )
+        else:
+            shard.append_base = base
+    return shm, shards
+
+
 class ShardHostMemory:
     """A worker-local host over shipped shards, addressed by global indices.
 
     Implements the slice of the :class:`HostMemory` surface the coprocessor
-    and the algorithms' host-side requests use.  Writes are tracked (the
-    merge only applies touched slots) and appends accumulate locally with
-    indices continuing from the declared append base, so returned slot
-    numbers — and hence PUT trace events — are bit-identical to the
-    sequential run's.
+    and the algorithms' host-side requests use, over either transport
+    (:class:`RegionShard` dicts or :class:`SharedRegionShard` arena views).
+    Writes are tracked (the merge only applies touched slots) and appends
+    accumulate locally with indices continuing from the declared append
+    base, so returned slot numbers — and hence PUT trace events — are
+    bit-identical to the sequential run's.
     """
 
-    def __init__(self, shards: dict[str, RegionShard]) -> None:
+    def __init__(self, shards: dict[str, RegionShard | SharedRegionShard]) -> None:
         self._shards = shards
         self._written: dict[str, dict[int, bytes]] = {name: {} for name in shards}
         self._appended: dict[str, list[bytes]] = {
@@ -120,7 +464,7 @@ class ShardHostMemory:
         shard = self._shard(name)
         return shard.size + len(self._appended.get(name, ()))
 
-    def _shard(self, name: str) -> RegionShard:
+    def _shard(self, name: str) -> RegionShard | SharedRegionShard:
         try:
             return self._shards[name]
         except KeyError:
@@ -130,15 +474,17 @@ class ShardHostMemory:
 
     def read_slot(self, name: str, index: int) -> bytes:
         shard = self._shard(name)
-        try:
-            value = shard.slots[index]
-        except KeyError:
+        if shard.contains(index):
+            value = shard.load(index)
+        else:
             value = self._appended_slot(name, shard, index)
         if value is None:
             raise HostMemoryError(f"slot {name}[{index}] was never written")
         return value
 
-    def _appended_slot(self, name: str, shard: RegionShard, index: int) -> bytes | None:
+    def _appended_slot(
+        self, name: str, shard: RegionShard | SharedRegionShard, index: int
+    ) -> bytes | None:
         appended = self._appended.get(name)
         if appended is not None and shard.append_base is not None:
             offset = index - shard.append_base
@@ -150,7 +496,7 @@ class ShardHostMemory:
 
     def write_slot(self, name: str, index: int, ciphertext: bytes) -> None:
         shard = self._shard(name)
-        if index not in shard.slots:
+        if not shard.contains(index):
             # Rewriting a slot this task itself appended is fine.
             appended = self._appended.get(name)
             if appended is not None and shard.append_base is not None:
@@ -161,7 +507,7 @@ class ShardHostMemory:
             raise HostMemoryError(
                 f"slot {name}[{index}] is outside this worker's shard"
             )
-        shard.slots[index] = ciphertext
+        shard.store(index, ciphertext)
         self._written[name][index] = ciphertext
 
     def append_slot(self, name: str, ciphertext: bytes) -> int:
@@ -176,7 +522,10 @@ class ShardHostMemory:
 
     def region_bytes(self, name: str) -> list[bytes | None]:
         shard = self._shard(name)
-        out = [shard.slots.get(i) for i in range(shard.size)]
+        out = [
+            shard.load(i) if shard.contains(i) else None
+            for i in range(shard.size)
+        ]
         out.extend(self._appended.get(name, ()))
         return out
 
@@ -207,24 +556,43 @@ class ShardHostMemory:
             if written
         }
 
+    def packed_writes(self) -> dict[str, bytes]:
+        """Touched fixed slots as one contiguous blob per region."""
+        return {
+            name: pack_writes(sorted(written.items()))
+            for name, written in self._written.items()
+            if written
+        }
+
     def appends(self) -> dict[str, list[bytes]]:
         return {name: list(items) for name, items in self._appended.items()}
 
+    def packed_appends(self) -> dict[str, bytes]:
+        """Appended ciphertexts as one contiguous blob per region."""
+        return {
+            name: pack_appends(items)
+            for name, items in self._appended.items()
+            if items
+        }
 
-def merge_shard_result(host: HostMemory, result: ShardResult) -> None:
+
+def merge_shard_result(host: HostMemory, result: ShardResult) -> int:
     """Apply one task's writes and appends to the parent host.
 
     Called in task-submission order, which is exactly the order the
     sequential simulation performs the same operations in — tasks of one
     round touch disjoint slots, so the merged image is identical either way,
     and append bases are verified so a misdeclared plan fails loudly instead
-    of silently permuting the output region.
+    of silently permuting the output region.  Each region's blob applies as
+    one contiguous flush; returns the number of flushes performed.
     """
-    for region, writes in result.writes.items():
-        for index, ciphertext in writes:
+    flushes = 0
+    for region, blob in result.writes.items():
+        for index, ciphertext in unpack_writes(blob):
             host.write_slot(region, index, ciphertext)
-    for region, appended in result.appends.items():
-        if not appended:
+        flushes += 1
+    for region, blob in result.appends.items():
+        if not blob:
             continue
         base = host.size(region)
         expected = result.append_bases.get(region)
@@ -233,5 +601,7 @@ def merge_shard_result(host: HostMemory, result: ShardResult) -> None:
                 f"append base mismatch for region {region!r}: task declared "
                 f"{expected} but the region holds {base} slots at merge time"
             )
-        for ciphertext in appended:
+        for ciphertext in unpack_appends(blob):
             host.append_slot(region, ciphertext)
+        flushes += 1
+    return flushes

@@ -40,6 +40,17 @@ def _span_io(region: str, *spans: tuple[int, int]) -> TaskIO:
     return TaskIO(reads={region: list(spans)})
 
 
+def _merge_stage_share(coprocessor, region: str, merges, key: KeyFunction) -> None:
+    """One device's block merges of one global stage, in plan order.
+
+    Module-level (picklable) so a whole stage share ships as a single task;
+    running the merges in the order :func:`plan_global_phase` lists them
+    keeps the device's trace bit-identical to the sequential simulation's.
+    """
+    for indices in merges:
+        _merge_indices(coprocessor, region, indices, key)
+
+
 def wallclock_oblivious_sort(
     executor: ClusterExecutor,
     cluster: Cluster,
@@ -64,26 +75,32 @@ def wallclock_oblivious_sort(
         for p in range(processors)
     ])
 
-    # Global phase: one barrier round per comparator stage.
+    # Global phase: one barrier round per comparator stage.  A stage's
+    # merges on one device coarsen into a single task (one shard descriptor,
+    # one write-back flush) — block merges inside a stage touch disjoint
+    # chunk pairs, so grouping by device changes neither the host image nor
+    # any per-device trace order.
     stage_plan, normalize = plan_global_phase(processors, chunk)
     exchanges = 0
     for number, stage in enumerate(stage_plan):
-        tasks = []
+        grouped: dict[int, list[list[int]]] = {}
         for device, indices in stage:
-            # The merge touches exactly two aligned chunks, which need not be
-            # adjacent — ship their two spans, not the hull between them.
-            low_chunk = min(indices) // chunk
-            high_chunk = max(indices) // chunk
-            spans = [(c * chunk, (c + 1) * chunk)
-                     for c in sorted({low_chunk, high_chunk})]
+            grouped.setdefault(device, []).append(indices)
+            exchanges += 1
+        tasks = []
+        for device, merges in grouped.items():
+            # Each merge touches exactly two aligned chunks, which need not
+            # be adjacent — ship the chunk spans, not the hull between them.
+            chunks = sorted({i // chunk for indices in merges for i in indices})
+            spans = [(c * chunk, (c + 1) * chunk) for c in chunks]
             tasks.append(ShardTask(
                 device=device,
-                fn=_merge_indices,
+                fn=_merge_stage_share,
                 io=_span_io(region, *spans),
-                args=(region, indices, key),
-                label=f"stage {number} merge of chunks {low_chunk},{high_chunk}",
+                args=(region, merges, key),
+                label=f"stage {number}: {len(merges)} merge(s) over chunks "
+                      f"{','.join(map(str, chunks))}",
             ))
-            exchanges += 1
         executor.run_tasks(cluster, tasks)
 
     # Normalization round: flip the chunks left descending.

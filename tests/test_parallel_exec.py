@@ -180,8 +180,35 @@ class TestClusterExecutor:
                               io=TaskIO(reads={"R": [(0, 1)]}),
                               args=("R", 1), label="out-of-shard probe"),
                 ])
-        assert "worker 1" in str(excinfo.value)
-        assert "out-of-shard probe" in str(excinfo.value)
+        # The original error survives untouched; the worker/device context
+        # rides along as an exception note (add_note), so both render in the
+        # traceback and neither is lost to an unreconstructible type.
+        assert "outside this worker's shard" in str(excinfo.value)
+        notes = "\n".join(getattr(excinfo.value, "__notes__", []))
+        assert "worker 1" in notes
+        assert "out-of-shard probe" in notes
+
+    def test_annotation_survives_unreconstructible_exception_type(self):
+        class Picky(Exception):
+            # Takes two required args: type(error)(message) would TypeError.
+            def __init__(self, a, b):
+                super().__init__(f"{a}/{b}")
+
+        def raise_picky(coprocessor, region, index):
+            raise Picky("left", "right")
+
+        _, cluster = rig(1)
+        load_region(cluster, [1])
+        with ClusterExecutor(workers=1) as executor:
+            with pytest.raises(Picky) as excinfo:
+                executor.run_tasks(cluster, [
+                    ShardTask(device=0, fn=raise_picky,
+                              io=TaskIO(reads={"R": None}),
+                              args=("R", 0), label="picky task"),
+                ])
+        assert "left/right" in str(excinfo.value)
+        notes = "\n".join(getattr(excinfo.value, "__notes__", []))
+        assert "worker 0" in notes and "picky task" in notes
 
     def test_run_partitioned_matches_cluster_partitions(self):
         _, cluster = rig(3)
