@@ -1,0 +1,265 @@
+"""Crash-recovery benchmark for the journalled server; emits BENCH_recovery.json.
+
+Standalone (not a pytest-benchmark module) so CI can run it as a smoke step::
+
+    PYTHONPATH=src python benchmarks/bench_recovery.py --smoke --check
+
+Two measurements:
+
+* **journal overhead** — the same batch of joins is driven twice through a
+  loopback :class:`~repro.net.server.JoinServer`, once with the durable job
+  journal off and once with it on (every submission fsync'd before the ack),
+  and the per-join latency distributions compared;
+* **recovery latency** — a journalled server accepts a batch of joins, runs
+  them to completion, and is then killed *before any result is fetched*.  A
+  fresh server (fresh :class:`~repro.core.service.JoinService`, empty
+  in-memory state) opens the same journal, replays the accepted jobs, and
+  re-executes them; the bench times the replay and verifies every recovered
+  job's trace and result fingerprints are bit-identical to the pre-crash
+  run before streaming the results out through re-attached handles.
+
+Honesty checks enforced with ``--check``:
+
+* every job submitted before the kill is recovered, re-executed, and
+  delivered by the restarted server — zero lost;
+* every recovered job's fingerprints match the pre-crash ones bit-for-bit
+  (both the journal's own verification counters and the client-side
+  comparison must agree);
+* the journal file is non-empty and its torn-tail count is zero.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import random
+import statistics
+import sys
+import tempfile
+import time
+
+from repro.core.service import JoinService
+from repro.net.client import JoinClient
+from repro.net.journal import JOURNAL_FILE
+from repro.net.server import JoinServer, ServerThread
+from repro.net.wire import PredicateSpec
+from repro.obs.metrics import MetricsRegistry
+from repro.relational.generate import equijoin_workload
+
+DEFAULT_OUTPUT = pathlib.Path(__file__).parent / "results" / "BENCH_recovery.json"
+
+
+def make_workloads(count: int, sizes: tuple[int, int, int]):
+    left, right, results = sizes
+    return [
+        equijoin_workload(left, right, results, rng=random.Random(700 + i),
+                          max_matches=2)
+        for i in range(count)
+    ]
+
+
+def _percentiles(latencies: list[float]) -> dict:
+    ordered = sorted(latencies)
+
+    def pct(p: float) -> float:
+        idx = min(len(ordered) - 1, int(p * (len(ordered) - 1)))
+        return ordered[idx]
+
+    return {
+        "mean": round(statistics.mean(ordered), 5) if ordered else 0.0,
+        "p50": round(pct(0.50), 5),
+        "p95": round(pct(0.95), 5),
+    }
+
+
+def run_batch(workloads, algorithm: str, journal_dir: str | None) -> dict:
+    """Drive one batch submit→wait→fetch; return latencies + journal size."""
+    service = JoinService(pool_size=2, queue_depth=len(workloads) + 2)
+    server = JoinServer(service, journal=journal_dir)
+    latencies: list[float] = []
+    try:
+        with ServerThread(server) as handle:
+            client = JoinClient("127.0.0.1", handle.port)
+            try:
+                for i, workload in enumerate(workloads):
+                    started = time.perf_counter()
+                    job = client.submit_join(
+                        f"c-bench-{i}",
+                        {"alice": workload.left, "bob": workload.right},
+                        PredicateSpec.equality(workload.join_attr),
+                        recipient="carol", algorithm=algorithm, page_size=8,
+                    )
+                    job.wait(timeout=120)
+                    job.result(timeout=120)
+                    latencies.append(time.perf_counter() - started)
+            finally:
+                client.close()
+    finally:
+        service.close()
+    journal_bytes = 0
+    if journal_dir is not None:
+        journal_bytes = (pathlib.Path(journal_dir) / JOURNAL_FILE).stat().st_size
+    return {"latency_seconds": _percentiles(latencies),
+            "journal_bytes": journal_bytes}
+
+
+def run_recovery(workloads, algorithm: str, journal_dir: str) -> dict:
+    """Accept + finish a batch, kill pre-fetch, restart, verify, deliver."""
+    # -- first life: accept everything, fetch nothing ------------------------
+    service = JoinService(pool_size=2, queue_depth=len(workloads) + 2)
+    server = JoinServer(service, journal=journal_dir)
+    accepted: list[dict] = []
+    handle = ServerThread(server).start()
+    try:
+        client = JoinClient("127.0.0.1", handle.port)
+        try:
+            for i, workload in enumerate(workloads):
+                job = client.submit_join(
+                    f"c-bench-{i}",
+                    {"alice": workload.left, "bob": workload.right},
+                    PredicateSpec.equality(workload.join_attr),
+                    recipient="carol", algorithm=algorithm, page_size=8,
+                )
+                status = job.wait(timeout=120)
+                accepted.append({
+                    "job_id": job.job_id,
+                    "token": job.token,
+                    "trace_fingerprint": status.trace_fingerprint,
+                    "result_fingerprint": status.result_fingerprint,
+                    "rows": status.rows,
+                })
+        finally:
+            client.close()
+    finally:
+        handle.stop()
+        service.close(cancel_pending=True)
+
+    # -- second life: same journal, empty memory -----------------------------
+    service2 = JoinService(pool_size=2, queue_depth=len(workloads) + 2)
+    metrics = MetricsRegistry()
+    server2 = JoinServer(service2, journal=journal_dir, metrics=metrics)
+    started = time.perf_counter()
+    handle2 = ServerThread(server2).start()
+    restart_seconds = time.perf_counter() - started
+    fingerprints_identical = True
+    delivered = 0
+    try:
+        client2 = JoinClient("127.0.0.1", handle2.port)
+        try:
+            for entry in accepted:
+                job = client2.attach(entry["job_id"], token=entry["token"])
+                status = job.wait(timeout=120)
+                if (status.trace_fingerprint != entry["trace_fingerprint"]
+                        or status.result_fingerprint
+                        != entry["result_fingerprint"]):
+                    fingerprints_identical = False
+                rows = job.result(timeout=120)
+                if len(rows) != entry["rows"]:
+                    fingerprints_identical = False
+                delivered += 1
+        finally:
+            client2.close()
+    finally:
+        handle2.stop()
+        service2.close()
+
+    return {
+        "jobs": len(workloads),
+        "restart_seconds": round(restart_seconds, 5),
+        "replay_seconds": round(
+            metrics.gauge("server_recovery_seconds").value, 5),
+        "recovered": int(metrics.counter("server_jobs_recovered_total").value),
+        "verified": int(
+            metrics.counter("server_recovered_verified_total").value),
+        "mismatches": int(
+            metrics.counter("server_recovered_mismatch_total").value),
+        "torn_bytes": int(
+            metrics.counter("server_journal_torn_bytes_total").value),
+        "delivered": delivered,
+        "fingerprints_identical": fingerprints_identical,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small sizes for CI smoke runs")
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero on lost/verification failures")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="joins per batch (default 12; smoke 6)")
+    parser.add_argument("--algorithm", default="algorithm5",
+                        choices=("algorithm4", "algorithm5", "algorithm6"))
+    parser.add_argument("--out", type=pathlib.Path, default=DEFAULT_OUTPUT)
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        jobs = args.jobs or 6
+        sizes = (6, 6, 3)
+    else:
+        jobs = args.jobs or 12
+        sizes = (12, 12, 6)
+
+    workloads = make_workloads(jobs, sizes)
+    with tempfile.TemporaryDirectory(prefix="ppj-bench-journal-") as tmp:
+        baseline = run_batch(workloads, args.algorithm, journal_dir=None)
+        journalled = run_batch(
+            workloads, args.algorithm, journal_dir=os.path.join(tmp, "on"))
+        recovery = run_recovery(
+            workloads, args.algorithm, journal_dir=os.path.join(tmp, "rec"))
+
+    off_p50 = baseline["latency_seconds"]["p50"]
+    on_p50 = journalled["latency_seconds"]["p50"]
+    report = {
+        "benchmark": "recovery",
+        "mode": "smoke" if args.smoke else "full",
+        "host_cpus": os.cpu_count(),
+        "workload": {"jobs": jobs, "left": sizes[0], "right": sizes[1],
+                     "results": sizes[2], "algorithm": args.algorithm},
+        "journal_overhead": {
+            "journal_off": baseline["latency_seconds"],
+            "journal_on": journalled["latency_seconds"],
+            "journal_bytes": journalled["journal_bytes"],
+            "overhead_ratio_p50": (
+                round(on_p50 / off_p50, 3) if off_p50 else None),
+        },
+        "recovery": recovery,
+    }
+
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+
+    if args.check:
+        failures = []
+        if recovery["recovered"] != jobs:
+            failures.append(
+                f"recovered {recovery['recovered']} of {jobs} jobs")
+        if recovery["delivered"] != jobs:
+            failures.append(
+                f"delivered {recovery['delivered']} of {jobs} jobs "
+                "after restart")
+        if recovery["verified"] != jobs or recovery["mismatches"]:
+            failures.append(
+                f"journal verification: {recovery['verified']} verified, "
+                f"{recovery['mismatches']} mismatched (want {jobs}/0)")
+        if not recovery["fingerprints_identical"]:
+            failures.append("recovered fingerprints differ from the "
+                            "pre-crash run")
+        if recovery["torn_bytes"]:
+            failures.append(f"{recovery['torn_bytes']} torn journal bytes "
+                            "on a clean shutdown")
+        if not report["journal_overhead"]["journal_bytes"]:
+            failures.append("journalled run produced an empty journal")
+        if failures:
+            print("CHECK FAILED:", "; ".join(failures), file=sys.stderr)
+            return 1
+        print("CHECK OK: every accepted job recovered, re-executed "
+              "bit-identically, and delivered after the restart")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -16,6 +16,7 @@ from __future__ import annotations
 import argparse
 import random
 import sys
+from pathlib import Path
 
 from repro.analysis.figures import figure_4_1, figure_5_1, figure_5_2, figure_5_3, figure_5_4
 from repro.analysis.report import render_many_series, render_series, render_table
@@ -222,10 +223,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_in_flight=args.max_in_flight,
         idle_timeout=args.idle_timeout,
         max_joins=args.max_joins if args.max_joins > 0 else None,
+        journal=args.journal or None,
     )
     handle = ServerThread(server).start()
+    recovered = int(server.metrics.counter("server_jobs_recovered_total").value)
+    journal_note = ""
+    if args.journal:
+        journal_note = (f", journal={args.journal}"
+                        + (f", recovered={recovered}" if recovered else ""))
     print(f"join service listening on {server.host}:{server.port} "
-          f"(pool={args.pool_size}, queue={args.queue_depth})", flush=True)
+          f"(pool={args.pool_size}, queue={args.queue_depth}"
+          f"{journal_note})", flush=True)
     try:
         if args.max_joins > 0:
             handle.join()
@@ -324,9 +332,14 @@ def _cmd_workload(args: argparse.Namespace) -> int:
         requests = args.requests
         if requests == 0:
             requests = spec.smoke_requests if args.smoke else spec.requests
+        # Each scenario journals into its own subdirectory: a restarted
+        # server must never replay another scenario's jobs.
+        journal_dir = (str(Path(args.journal_dir) / spec.code)
+                       if args.journal_dir else None)
         runner = WorkloadRunner(
             spec, mode=args.mode, seed=args.seed, requests=requests,
             pool_size=args.pool_size, queue_depth=args.queue_depth,
+            kills=args.kills, journal_dir=journal_dir,
         )
         try:
             report = runner.run(enforce_latency=args.enforce_slo)
@@ -350,6 +363,9 @@ def _cmd_workload(args: argparse.Namespace) -> int:
                 "p95 (s)": f"{r.latency(0.95):.3f}" if r.completed else "-",
                 "rps": f"{r.throughput_rps:.1f}",
                 "retries": r.retries,
+                **({"kills": r.kills, "recovered": r.recovered_jobs,
+                    "faults": r.proxy_faults}
+                   if args.mode == "chaosnet" else {}),
             }
             for r in reports
         ]
@@ -464,6 +480,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--idle-timeout", type=float, default=30.0)
     serve.add_argument("--max-joins", type=int, default=0,
                        help="exit after serving this many joins (0: forever)")
+    serve.add_argument("--journal", default="",
+                       help="directory for the durable job journal; on "
+                            "start, unfinished journalled jobs are replayed "
+                            "and re-executed bit-identically")
     serve.add_argument("--metrics", action="store_true",
                        help="print the Prometheus registry on exit")
 
@@ -476,8 +496,10 @@ def build_parser() -> argparse.ArgumentParser:
     workload.add_argument("--scenario", default="all",
                           help="scenario name, or 'all' (default)")
     workload.add_argument("--mode", default="service",
-                          choices=["service", "net"],
-                          help="service: in-process fast mode; net: loopback TCP")
+                          choices=["service", "net", "chaosnet"],
+                          help="service: in-process fast mode; net: loopback "
+                               "TCP; chaosnet: TCP through a fault-injecting "
+                               "proxy with mid-run server kill/restart")
     workload.add_argument("--requests", type=int, default=0,
                           help="request count (0: the scenario's own)")
     workload.add_argument("--smoke", action="store_true",
@@ -485,6 +507,12 @@ def build_parser() -> argparse.ArgumentParser:
     workload.add_argument("--seed", type=int, default=0)
     workload.add_argument("--pool-size", type=int, default=4)
     workload.add_argument("--queue-depth", type=int, default=8)
+    workload.add_argument("--kills", type=int, default=1,
+                          help="chaosnet only: mid-run server kill/restart "
+                               "count (journal-backed recovery each time)")
+    workload.add_argument("--journal-dir", default="",
+                          help="chaosnet only: job journal directory "
+                               "(default: a fresh temporary directory)")
     workload.add_argument("--enforce-slo", action="store_true",
                           help="exit 1 on latency SLO breach (zero lost/"
                                "incorrect is always enforced)")

@@ -104,6 +104,17 @@ class CheckpointError(ReproError):
     """
 
 
+class JournalError(ReproError):
+    """The durable job journal could not be opened, appended, or replayed.
+
+    Raised for unusable journal directories and for append-time I/O
+    failures.  *Not* raised for a torn tail found during replay: a torn
+    final record is the expected artifact of a crash mid-append and is
+    silently discarded (the client never got the ack, so the job was never
+    admitted).
+    """
+
+
 class WireError(ReproError):
     """Base class for failures at the client/server network boundary.
 
@@ -167,6 +178,7 @@ __all__ = [
     "TransientHostError",
     "CoprocessorCrashError",
     "CheckpointError",
+    "JournalError",
     "WireError",
     "WireProtocolError",
     "TransientWireError",

@@ -18,11 +18,18 @@ makes that reliance survivable without turning recovery into a side channel:
 """
 
 from repro.faults.plan import (
+    ALL_KINDS,
     CRASH,
     KINDS,
     SLOW,
     TRANSIENT_READ,
     TRANSIENT_WRITE,
+    WIRE_CORRUPT,
+    WIRE_DELAY,
+    WIRE_KINDS,
+    WIRE_RESET,
+    WIRE_SPLIT,
+    WIRE_TRUNCATE,
     CompiledFaultPlan,
     FaultPlan,
     FaultSpec,
@@ -47,7 +54,9 @@ from repro.hardware.faulty import FaultyHost
 from repro.hardware.resilience import JournalEntry, ReplayCursor, RetryPolicy
 
 __all__ = [
-    "CRASH", "KINDS", "SLOW", "TRANSIENT_READ", "TRANSIENT_WRITE",
+    "ALL_KINDS", "CRASH", "KINDS", "SLOW", "TRANSIENT_READ",
+    "TRANSIENT_WRITE", "WIRE_CORRUPT", "WIRE_DELAY", "WIRE_KINDS",
+    "WIRE_RESET", "WIRE_SPLIT", "WIRE_TRUNCATE",
     "CompiledFaultPlan", "FaultPlan", "FaultSpec", "crash_plan",
     "transient_plan",
     "CHECKPOINT_REGION", "CheckpointState", "CheckpointStore", "base_host",

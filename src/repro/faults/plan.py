@@ -22,20 +22,43 @@ from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError
 
-#: Fault kinds a spec may declare.
+#: Fault kinds a spec may declare against the simulated host's storage.
 TRANSIENT_READ = "transient-read"
 TRANSIENT_WRITE = "transient-write"
 SLOW = "slow"
 CRASH = "crash"
 KINDS = (TRANSIENT_READ, TRANSIENT_WRITE, SLOW, CRASH)
 
-#: Host operation classes each kind is eligible for (``ops`` narrows further).
+#: Fault kinds a spec may declare against the *wire* — consumed by the
+#: network chaos proxy (:mod:`repro.net.chaosproxy`), which reuses the same
+#: declarative triggers (at_ops / every / probability, counted per forwarded
+#: chunk) against the two socket directions ``c2s`` and ``s2c``.
+WIRE_RESET = "reset"          # close the connection abruptly
+WIRE_DELAY = "delay"          # stall the chunk before forwarding
+WIRE_SPLIT = "split"          # forward the chunk one byte, then the rest
+WIRE_TRUNCATE = "truncate"    # forward a prefix, then close the connection
+WIRE_CORRUPT = "corrupt"      # flip one byte (the CRC trailer must catch it)
+WIRE_KINDS = (WIRE_RESET, WIRE_DELAY, WIRE_SPLIT, WIRE_TRUNCATE, WIRE_CORRUPT)
+
+ALL_KINDS = KINDS + WIRE_KINDS
+
+#: The two wire directions a chaos-proxy spec may target.
+_WIRE_OPS = ("c2s", "s2c")
+
+#: Operation classes each kind is eligible for (``ops`` narrows further).
 _KIND_OPS = {
     TRANSIENT_READ: ("read",),
     TRANSIENT_WRITE: ("write", "append"),
     SLOW: ("read", "write", "append"),
     CRASH: ("read", "write", "append"),
+    WIRE_RESET: _WIRE_OPS,
+    WIRE_DELAY: _WIRE_OPS,
+    WIRE_SPLIT: _WIRE_OPS,
+    WIRE_TRUNCATE: _WIRE_OPS,
+    WIRE_CORRUPT: _WIRE_OPS,
 }
+
+_OP_CLASSES = ("read", "write", "append") + _WIRE_OPS
 
 
 @dataclass(frozen=True)
@@ -64,9 +87,9 @@ class FaultSpec:
     delay_cycles: int = 50
 
     def __post_init__(self) -> None:
-        if self.kind not in KINDS:
+        if self.kind not in ALL_KINDS:
             raise ConfigurationError(
-                f"unknown fault kind {self.kind!r} (choose from {KINDS})"
+                f"unknown fault kind {self.kind!r} (choose from {ALL_KINDS})"
             )
         if not (self.at_ops or self.every or self.probability):
             raise ConfigurationError(
@@ -83,8 +106,13 @@ class FaultSpec:
         if self.delay_cycles < 0:
             raise ConfigurationError("delay_cycles must be non-negative")
         for op in self.ops:
-            if op not in ("read", "write", "append"):
-                raise ConfigurationError(f"unknown host op class {op!r}")
+            if op not in _OP_CLASSES:
+                raise ConfigurationError(f"unknown op class {op!r}")
+            if op not in _KIND_OPS[self.kind]:
+                raise ConfigurationError(
+                    f"fault kind {self.kind!r} cannot target op class "
+                    f"{op!r} (choose from {_KIND_OPS[self.kind]})"
+                )
 
 
 @dataclass(frozen=True)

@@ -158,6 +158,7 @@ def run_with_recovery(
     trace_factory: TraceFactory | None = None,
     plaintext_cache: bool = True,
     name: str = "T0",
+    resume: bool = False,
 ) -> RecoveryReport:
     """Execute ``run(context)`` to completion across coprocessor crashes.
 
@@ -168,17 +169,29 @@ def run_with_recovery(
     :class:`~repro.errors.AuthenticationError` and retry-exhausted
     :class:`~repro.errors.TransientHostError`) propagate immediately —
     tampering still terminates, never restarts.
+
+    With ``resume=True`` a sealed checkpoint already on the host — left by
+    an earlier *process* over the same host image and provider, e.g. a
+    crashed server whose join the journal is replaying — is loaded instead
+    of being wiped by a fresh checkpoint zero, and the first attempt starts
+    as a mid-join resume: journalled boundary ops replay from the tape, then
+    execution goes live.  When the host carries no checkpoint the flag is a
+    no-op and the run starts fresh.  The provider must be the one that
+    sealed the checkpoint; anything else fails authentication and
+    terminates.
     """
     if checkpoint_interval < 1:
         raise ConfigurationError("checkpoint_interval must be at least 1")
     if max_attempts < 1:
         raise ConfigurationError("max_attempts must be at least 1")
     store = CheckpointStore(host, provider)
-    store.initialize()
+    resuming = resume and host.has_region(store.region)
+    if not resuming:
+        store.initialize()
     crashes = retries = replayed = 0
     for attempt in range(1, max_attempts + 1):
         cursor = None
-        if attempt > 1:
+        if attempt > 1 or resuming:
             state = store.load()
             store.restore(state)
             cursor = ReplayCursor(state.entries)

@@ -14,14 +14,29 @@ to an untrusted host and pull results back.  This package adds that boundary:
   idle/request timeouts);
 * :mod:`repro.net.client` — a sync-friendly :class:`JoinClient` with
   connect/request timeouts, bounded exponential-backoff retries on transient
-  failures, and streaming iteration over result pages.
+  failures, idempotency tokens on submission, and streaming iteration over
+  result pages;
+* :mod:`repro.net.journal` — the durable write-ahead job journal behind
+  crash-safe restarts: every accepted submission is fsync'd before the ack,
+  and replay re-admits unfinished jobs bit-identically;
+* :mod:`repro.net.chaosproxy` — a seed-deterministic TCP man-in-the-middle
+  injecting resets, delays, split writes, truncations, and byte corruption,
+  driven by the :mod:`repro.faults` plan machinery.
 
 Only ciphertexts cross the socket in either direction: uploads are encrypted
 under each owner's session key before framing, and results are re-encrypted
 for the recipient exactly as :meth:`JoinService.deliver` does in process.
 """
 
+from repro.net.chaosproxy import ChaosProxy, ProxyThread
 from repro.net.client import JoinClient, RemoteJob
+from repro.net.journal import (
+    JobAccepted,
+    JobDelivered,
+    JobFinished,
+    JobJournal,
+    RecoveredState,
+)
 from repro.net.server import JoinServer, ServerThread
 from repro.net.wire import (
     PROTOCOL_VERSION,
@@ -46,14 +61,21 @@ __all__ = [
     "PROTOCOL_VERSION",
     "Cancel",
     "Cancelled",
+    "ChaosProxy",
     "ErrorReply",
     "FetchPage",
+    "JobAccepted",
+    "JobDelivered",
+    "JobFinished",
+    "JobJournal",
     "JoinClient",
     "JoinServer",
     "Page",
     "Ping",
     "Pong",
     "PredicateSpec",
+    "ProxyThread",
+    "RecoveredState",
     "RemoteJob",
     "ServerThread",
     "Status",

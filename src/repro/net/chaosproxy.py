@@ -1,0 +1,329 @@
+"""A seed-deterministic TCP man-in-the-middle for chaos-testing the wire.
+
+`ChaosProxy` sits between a :class:`~repro.net.client.JoinClient` and a
+:class:`~repro.net.server.JoinServer`, forwarding bytes in both directions
+while injecting the network's real failure modes, driven by the same
+declarative :class:`~repro.faults.plan.FaultPlan` machinery that drives host
+storage faults:
+
+====================  =====================================================
+``reset``             abort the connection (client sees a dropped socket)
+``delay``             stall a chunk before forwarding it
+``split``             forward one byte, yield, then the rest (short reads)
+``truncate``          forward half a chunk, then abort (torn frames)
+``corrupt``           flip one byte — the frame CRC must catch it
+====================  =====================================================
+
+Specs target the two *wire directions* instead of host op classes:
+``c2s`` (client→server) and ``s2c`` (server→client); the trigger grammar
+(``at_ops`` / ``every`` / ``probability``, counted per forwarded chunk, plus
+``times`` caps) is unchanged.  Each accepted connection compiles its own
+plan from ``seed * 7919 + connection_index``, so concurrent connections
+draw independent, reproducible fault streams no matter how the scheduler
+interleaves them.
+
+Determinism caveat: the *decision sequence* is a pure function of the seed
+and each connection's chunk sequence.  Chunk boundaries follow TCP timing,
+so probability-based plans are statistically, not byte-for-byte,
+reproducible — exactly like the storage chaos sweeps, which is why every
+correctness claim rests on fingerprints, not on replaying identical faults.
+
+The proxy never parses frames: it is a hostile network, not a protocol
+peer.  Everything it can do to the bytes must be survived by the layers
+above — CRC trailers catch corruption, idempotency tokens make re-sends
+safe, and the retry policy re-dials through resets.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import threading
+
+from repro.faults.plan import (
+    WIRE_CORRUPT,
+    WIRE_DELAY,
+    WIRE_RESET,
+    WIRE_SPLIT,
+    WIRE_TRUNCATE,
+    CompiledFaultPlan,
+    FaultPlan,
+)
+from repro.obs.metrics import MetricsRegistry
+
+_CHUNK = 64 * 1024
+
+#: Directions a wire fault spec may target.
+CLIENT_TO_SERVER = "c2s"
+SERVER_TO_CLIENT = "s2c"
+
+
+class _ConnectionAborted(Exception):
+    """Internal control flow: a reset/truncate spec killed the connection."""
+
+
+class ChaosProxy:
+    """Forward TCP between client and server, injecting planned wire faults."""
+
+    def __init__(
+        self,
+        target_host: str,
+        target_port: int,
+        *,
+        plan: FaultPlan | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        delay_seconds: float = 0.005,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self.target_host = target_host
+        self.target_port = target_port
+        self.plan = plan if plan is not None else FaultPlan()
+        self.host = host
+        self.port = port
+        self.delay_seconds = delay_seconds
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._connection_ids = itertools.count()
+        self._server: asyncio.base_events.Server | None = None
+
+    # -- lifecycle -----------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the listening socket (port 0 picks a free port)."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # -- forwarding ----------------------------------------------------------
+    def _compile_for_connection(self, index: int) -> CompiledFaultPlan:
+        """An independent, reproducible fault stream per connection.
+
+        Deriving the seed from the connection index keeps concurrent
+        connections from sharing mutable trigger state (which would make
+        injection points depend on scheduling).
+        """
+        return FaultPlan(
+            seed=self.plan.seed * 7919 + index, specs=self.plan.specs
+        ).compile()
+
+    async def _handle_connection(
+        self, client_reader: asyncio.StreamReader,
+        client_writer: asyncio.StreamWriter,
+    ) -> None:
+        index = next(self._connection_ids)
+        self.metrics.counter(
+            "proxy_connections_total", "connections accepted by the proxy"
+        ).inc()
+        try:
+            server_reader, server_writer = await asyncio.open_connection(
+                self.target_host, self.target_port
+            )
+        except OSError:
+            # The real server is down (mid kill/restart): drop the client,
+            # which sees exactly what a dead server looks like.
+            self.metrics.counter(
+                "proxy_connect_failures_total",
+                "upstream connects refused while the server was down",
+            ).inc()
+            client_writer.close()
+            return
+        compiled = self._compile_for_connection(index)
+        pumps = [
+            asyncio.ensure_future(self._pump(
+                client_reader, server_writer, CLIENT_TO_SERVER, compiled
+            )),
+            asyncio.ensure_future(self._pump(
+                server_reader, client_writer, SERVER_TO_CLIENT, compiled
+            )),
+        ]
+        try:
+            done, pending = await asyncio.wait(
+                pumps, return_when=asyncio.FIRST_COMPLETED
+            )
+            for task in done:
+                task.exception()  # retrieve, so the loop never warns
+            for task in pending:
+                # One direction finished (EOF or fault): the conversation is
+                # over either way; tear the other direction down with it.
+                task.cancel()
+            await asyncio.gather(*pumps, return_exceptions=True)
+        except asyncio.CancelledError:
+            # Proxy shutdown cancelled this handler.  asyncio's stream-server
+            # machinery retrieves the handler's exception, so absorb the
+            # cancellation here (after killing the pumps) instead of letting
+            # it surface as loop noise.
+            for task in pumps:
+                task.cancel()
+            await asyncio.gather(*pumps, return_exceptions=True)
+        finally:
+            for writer in (client_writer, server_writer):
+                try:
+                    if writer.transport is not None:
+                        writer.transport.abort()
+                    else:
+                        writer.close()
+                except (ConnectionError, OSError, RuntimeError):
+                    pass
+
+    async def _pump(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter,
+        direction: str, compiled: CompiledFaultPlan,
+    ) -> None:
+        chunk_number = 0
+        try:
+            while True:
+                chunk = await reader.read(_CHUNK)
+                if not chunk:
+                    writer.write_eof()
+                    await writer.drain()
+                    return
+                chunk_number += 1
+                self.metrics.counter(
+                    "proxy_chunks_total", "chunks forwarded",
+                    direction=direction,
+                ).inc()
+                chunk = await self._apply_faults(
+                    writer, direction, compiled, chunk_number, chunk
+                )
+                writer.write(chunk)
+                await writer.drain()
+                self.metrics.counter(
+                    "proxy_bytes_total", "bytes forwarded", direction=direction,
+                ).inc(len(chunk))
+        except (ConnectionError, OSError):
+            raise _ConnectionAborted() from None
+
+    async def _apply_faults(
+        self, writer: asyncio.StreamWriter, direction: str,
+        compiled: CompiledFaultPlan, chunk_number: int, chunk: bytes,
+    ) -> bytes:
+        """Apply every firing spec to this chunk; may abort the connection."""
+        for spec in compiled.consult(chunk_number, direction, ""):
+            self.metrics.counter(
+                "proxy_faults_total", "wire faults injected", kind=spec.kind,
+            ).inc()
+            if spec.kind == WIRE_RESET:
+                raise _ConnectionAborted()
+            if spec.kind == WIRE_DELAY:
+                await asyncio.sleep(self.delay_seconds)
+            elif spec.kind == WIRE_SPLIT:
+                # Forward a one-byte prefix and yield, forcing the receiver
+                # through its partial-read path.
+                writer.write(chunk[:1])
+                await writer.drain()
+                await asyncio.sleep(0)
+                chunk = chunk[1:]
+            elif spec.kind == WIRE_TRUNCATE:
+                writer.write(chunk[:max(1, len(chunk) // 2)])
+                await writer.drain()
+                raise _ConnectionAborted()
+            elif spec.kind == WIRE_CORRUPT:
+                position = chunk_number % len(chunk)
+                flipped = chunk[position] ^ 0xFF
+                chunk = chunk[:position] + bytes((flipped,)) + chunk[position + 1:]
+        return chunk
+
+
+class ProxyThread:
+    """Run a :class:`ChaosProxy` on a background event loop.
+
+    The deployment shim mirroring :class:`~repro.net.server.ServerThread`::
+
+        with ProxyThread(ChaosProxy("127.0.0.1", server_port, plan=plan)) as p:
+            client = JoinClient("127.0.0.1", p.port)
+            ...
+
+    ``stop()`` is idempotent and safe when ``start()`` failed or was never
+    called.
+    """
+
+    def __init__(self, proxy: ChaosProxy) -> None:
+        self.proxy = proxy
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._started = threading.Event()
+        self._stop_event: asyncio.Event | None = None
+        self._failure: BaseException | None = None
+
+    @property
+    def port(self) -> int:
+        return self.proxy.port
+
+    @property
+    def host(self) -> str:
+        return self.proxy.host
+
+    def start(self) -> "ProxyThread":
+        if self._thread is not None:
+            raise RuntimeError("proxy thread already started")
+        self._thread = threading.Thread(
+            target=self._run, name="ppj-chaos-proxy", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout=30):
+            raise RuntimeError("chaos proxy failed to start in time")
+        if self._failure is not None:
+            failure, self._failure = self._failure, None
+            self._thread = None
+            raise RuntimeError("chaos proxy crashed on startup") from failure
+        return self
+
+    def _run(self) -> None:
+        self._loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self._loop)
+        try:
+            self._loop.run_until_complete(self._main())
+        except BaseException as exc:
+            self._failure = exc
+            self._started.set()
+        finally:
+            self._loop.close()
+
+    async def _main(self) -> None:
+        await self.proxy.start()
+        self._stop_event = asyncio.Event()
+        self._started.set()
+        try:
+            await self._stop_event.wait()
+        finally:
+            await self.proxy.stop()
+            pending = [
+                task for task in asyncio.all_tasks()
+                if task is not asyncio.current_task()
+            ]
+            for task in pending:
+                task.cancel()
+            await asyncio.gather(*pending, return_exceptions=True)
+
+    def stop(self) -> None:
+        thread, self._thread = self._thread, None
+        if thread is not None:
+            if self._loop is not None and self._stop_event is not None:
+                try:
+                    self._loop.call_soon_threadsafe(self._stop_event.set)
+                except RuntimeError:
+                    pass
+            thread.join(timeout=30)
+        if self._failure is not None:
+            failure, self._failure = self._failure, None
+            raise RuntimeError("chaos proxy thread failed") from failure
+
+    def __enter__(self) -> "ProxyThread":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+__all__ = [
+    "CLIENT_TO_SERVER",
+    "SERVER_TO_CLIENT",
+    "ChaosProxy",
+    "ProxyThread",
+]

@@ -29,8 +29,9 @@ from __future__ import annotations
 
 import socket
 import time
+import uuid
 from collections.abc import Callable, Iterator, Mapping
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.core.service import Party
 from repro.errors import (
@@ -140,9 +141,14 @@ class JoinClient:
             except OSError as exc:
                 raise TransientWireError(f"connection failed: {exc}") from exc
             if not chunk:
+                # A half-closed connection is a *transient* failure, never a
+                # protocol error: the retry policy re-dials and re-sends,
+                # and idempotency tokens make the resend safe.
+                received = count - remaining
                 raise TransientWireError(
-                    "server closed the connection mid-frame"
-                    if chunks or remaining != count
+                    f"server closed the connection mid-frame "
+                    f"({received} of {count} bytes received)"
+                    if received or chunks
                     else "server closed the connection"
                 )
             chunks.append(chunk)
@@ -163,12 +169,33 @@ class JoinClient:
             "client_bytes_written_total", "frame bytes sent"
         ).inc(len(data))
         header = self._recv_exactly(wire.HEADER_SIZE)
-        frame_type, length = wire.parse_header(header)
-        body = self._recv_exactly(length + wire.TRAILER_SIZE)
+        try:
+            frame_type, length = wire.parse_header(header)
+            body = self._recv_exactly(length + wire.TRAILER_SIZE)
+        except WireProtocolError as exc:
+            raise self._corrupt_reply(exc) from exc
         self.metrics.counter(
             "client_bytes_read_total", "frame bytes received"
         ).inc(len(header) + len(body))
-        return wire.decode_payload(frame_type, body[:length], body[length:])
+        try:
+            return wire.decode_payload(frame_type, body[:length], body[length:])
+        except WireProtocolError as exc:
+            raise self._corrupt_reply(exc) from exc
+
+    def _corrupt_reply(self, exc: WireProtocolError) -> TransientWireError:
+        """A reply that fails to decode was corrupted *on the wire*.
+
+        The CRC trailer (and header validation) caught it, so nothing wrong
+        was acted upon — and because requests are idempotent, re-sending on
+        a fresh connection is always safe.  Contrast with an explicit
+        ``protocol`` :class:`ErrorReply` from the server, which means *our*
+        frame was malformed and stays a hard error.
+        """
+        self.metrics.counter(
+            "client_corrupt_replies_total",
+            "undecodable replies discarded and retried",
+        ).inc()
+        return TransientWireError(f"undecodable reply ({exc}); retrying")
 
     def request(self, frame: Frame) -> Frame:
         """Send ``frame`` and return the reply, retrying transient failures.
@@ -197,6 +224,12 @@ class JoinClient:
             else:
                 if not isinstance(reply, ErrorReply):
                     return reply
+                if reply.code == "job_expired":
+                    # Resending the same request can never succeed against
+                    # this server generation — the job's results are gone.
+                    # Surface the code so RemoteJob can resubmit through
+                    # its idempotency token instead of burning retries.
+                    raise RemoteJoinError(reply.message, code=reply.code)
                 if reply.retryable:
                     transient = TransientWireError(
                         f"server busy ({reply.code}): {reply.message}"
@@ -231,13 +264,23 @@ class JoinClient:
         algorithm: str = "algorithm5",
         epsilon: float = 1e-20,
         page_size: int = 64,
+        token: str | None = None,
     ) -> "RemoteJob":
         """Encrypt ``relations`` (keyed by owner name) and submit the join.
 
         Each owner's relation is encrypted locally under that owner's
         session key; only ciphertexts are framed.  Returns a handle the
         caller can poll, stream, or cancel.
+
+        ``token`` is the idempotency token framed with the submission; by
+        default a fresh random one is generated, making the retry loop safe
+        end to end — if the ack is lost and the frame re-sent, the server
+        recognises the token and returns the original job instead of
+        executing the join twice.  Pass an explicit token to resume a
+        submission across client restarts, or ``""`` to opt out.
         """
+        if token is None:
+            token = uuid.uuid4().hex
         uploads = tuple(
             Upload(
                 owner=owner,
@@ -257,6 +300,7 @@ class JoinClient:
             algorithm=algorithm,
             epsilon=epsilon,
             page_size=page_size,
+            token=token,
         )
         reply = self.request(frame)
         if not isinstance(reply, Submitted):
@@ -266,7 +310,18 @@ class JoinClient:
         self.metrics.counter(
             "client_joins_submitted_total", "joins accepted by the server"
         ).inc()
-        return RemoteJob(client=self, job_id=reply.job_id)
+        return RemoteJob(
+            client=self, job_id=reply.job_id, token=token, submit_frame=frame
+        )
+
+    def attach(self, job_id: str, *, token: str = "") -> "RemoteJob":
+        """Re-attach to a job submitted earlier (possibly by another client).
+
+        The connection itself needs no ceremony — every request re-dials
+        transparently — so attaching is just rebuilding the handle from the
+        job ID (and optionally its idempotency token, kept for reference).
+        """
+        return RemoteJob(client=self, job_id=job_id, token=token)
 
 
 @dataclass
@@ -275,9 +330,44 @@ class RemoteJob:
 
     client: JoinClient
     job_id: str
+    #: The idempotency token the submission was framed with ("" if opted
+    #: out); resubmitting with the same token always resolves to ``job_id``.
+    token: str = ""
+    #: The original submission, kept so the handle can transparently
+    #: resubmit after a ``job_expired`` reply (job evicted on the server —
+    #: delivered before a crash, or aged out of the retention budget).
+    #: ``None`` for handles rebuilt via :meth:`JoinClient.attach`.
+    submit_frame: SubmitJoin | None = field(default=None, repr=False)
+
+    def _recover_expired(self, exc: RemoteJoinError) -> None:
+        """Resubmit after ``job_expired``; deterministic re-execution.
+
+        The server re-admits the identical frame (same idempotency token)
+        and re-executes it bit-identically, so the handle just swaps in the
+        new job ID.  Without the original frame there is nothing to resend
+        and the error stands.
+        """
+        if self.submit_frame is None:
+            raise exc
+        reply = self.client.request(self.submit_frame)
+        if not isinstance(reply, Submitted):
+            raise WireProtocolError(
+                f"expected Submitted, got {type(reply).__name__}"
+            )
+        self.client.metrics.counter(
+            "client_resubmissions_total",
+            "expired jobs transparently resubmitted via their token",
+        ).inc()
+        self.job_id = reply.job_id
 
     def status(self) -> StatusReply:
-        reply = self.client.request(Status(self.job_id))
+        try:
+            reply = self.client.request(Status(self.job_id))
+        except RemoteJoinError as exc:
+            if exc.code != "job_expired":
+                raise
+            self._recover_expired(exc)
+            reply = self.client.request(Status(self.job_id))
         if not isinstance(reply, StatusReply):
             raise WireProtocolError(
                 f"expected StatusReply, got {type(reply).__name__}"
@@ -317,10 +407,24 @@ class RemoteJob:
             delay = min(delay * 2, 0.25)
 
     def pages(self, timeout: float = 60.0) -> Iterator[Page]:
-        """Wait for completion, then stream result pages in order."""
+        """Wait for completion, then stream result pages in order.
+
+        If the job expires mid-stream (server crash after delivery was
+        journalled, or retention eviction), the handle resubmits, waits for
+        the bit-identical re-execution, and resumes at the same page index —
+        deterministic results mean page ``i`` is byte-equal across runs.
+        """
         status = self.wait(timeout)
-        for index in range(status.pages):
-            reply = self.client.request(FetchPage(self.job_id, index))
+        index = 0
+        while index < status.pages:
+            try:
+                reply = self.client.request(FetchPage(self.job_id, index))
+            except RemoteJoinError as exc:
+                if exc.code != "job_expired":
+                    raise
+                self._recover_expired(exc)
+                status = self.wait(timeout)
+                continue  # retry the same index against the re-execution
             if not isinstance(reply, Page):
                 raise WireProtocolError(
                     f"expected Page, got {type(reply).__name__}"
@@ -331,6 +435,7 @@ class RemoteJob:
             yield reply
             if reply.last:
                 return
+            index += 1
 
     def records(self, timeout: float = 60.0) -> Iterator[Record]:
         """Stream result records without materializing the whole relation."""

@@ -1,0 +1,342 @@
+"""Durable write-ahead job journal for the networked join server.
+
+The server's crash-safety contract is built on one file: every accepted
+:class:`~repro.net.wire.SubmitJoin` is appended here — encrypted uploads,
+predicate, contract terms, and the client-supplied idempotency token — and
+**fsync'd before the ack leaves the socket**.  A client that holds a
+``Submitted`` reply therefore holds a durable promise: the job survives any
+number of server crashes and restarts.
+
+Records reuse the wire codec's CRC-framed binary format (same header, same
+trailer, same deterministic serialization), but live in their own type
+registry so a journal record can never be confused with a socket frame.
+Three record types describe a job's durable lifecycle::
+
+    JobAccepted   0x41   the job was admitted; full SubmitJoin nested inside
+    JobFinished   0x42   execution completed; fingerprints + terminal state
+    JobDelivered  0x43   the client consumed the outcome; safe to forget
+
+Replay folds the record stream into a :class:`RecoveredState`:
+
+* accepted but not delivered → re-submit through the service on startup
+  (even if a ``JobFinished`` exists: results live only in memory, so a
+  finished-but-unfetched job must re-execute — and its recovered
+  fingerprints must match the journalled ones bit-for-bit);
+* accepted and delivered → remembered only as evicted IDs, so a late
+  ``Status`` poll gets the retryable ``job_expired`` code instead of a
+  confusing ``unknown_job``;
+* every accepted token → the dedup map, so resubmission stays idempotent
+  across restarts.
+
+**Torn tails are normal.**  A crash mid-append leaves a half-written final
+record; its CRC (or truncated header) fails to decode, and replay discards
+everything from the first undecodable byte to EOF.  That is always safe: the
+fsync-before-ack ordering means a torn record's client never received an
+ack, so from the client's view the job was never admitted and its retry will
+create it afresh.  The journal truncates the torn bytes on open so new
+appends extend the valid prefix.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import ClassVar
+
+from repro.errors import JournalError, WireProtocolError
+from repro.net import wire
+from repro.net.wire import Frame, _Reader, _Writer
+
+#: File name of the append-only record stream inside the journal directory.
+JOURNAL_FILE = "journal.wal"
+
+#: Terminal states a :class:`JobFinished` record may carry.
+FINISHED_STATES = ("done", "failed", "cancelled")
+
+_JOB_ID_RE = re.compile(r"^J-(\d+)$")
+
+
+@dataclass(frozen=True)
+class JobAccepted(Frame):
+    """A join was admitted: the full submission, nested as an encoded frame.
+
+    ``submit_frame`` holds the byte-exact :class:`~repro.net.wire.SubmitJoin`
+    frame (header, payload, CRC) as it would travel on the socket, so the
+    nested payload carries its own integrity check and replaying a job
+    re-parses exactly what the client sent.
+    """
+
+    TYPE: ClassVar[int] = 0x41
+
+    job_id: str
+    token: str
+    submit_frame: bytes
+
+    def _write_payload(self, writer: _Writer) -> None:
+        writer.text(self.job_id)
+        writer.text(self.token)
+        writer.blob(self.submit_frame)
+
+    @classmethod
+    def _read_payload(cls, reader: _Reader) -> "JobAccepted":
+        return cls(reader.text(), reader.text(), reader.blob())
+
+    def decode_submit(self) -> wire.SubmitJoin:
+        """Decode the nested submission; protocol errors mean corruption."""
+        frame, _ = wire.decode_frame(self.submit_frame)
+        if not isinstance(frame, wire.SubmitJoin):
+            raise WireProtocolError(
+                f"journal record {self.job_id} nests a "
+                f"{type(frame).__name__}, expected SubmitJoin"
+            )
+        return frame
+
+
+@dataclass(frozen=True)
+class JobFinished(Frame):
+    """A join reached a terminal state; fingerprints pin the outcome.
+
+    On recovery the server re-executes any undelivered job and verifies the
+    recomputed trace/result fingerprints against this record — the durable
+    half of the bit-identical guarantee.
+    """
+
+    TYPE: ClassVar[int] = 0x42
+
+    job_id: str
+    state: str
+    rows: int = 0
+    pages: int = 0
+    trace_fingerprint: str = ""
+    result_fingerprint: str = ""
+    error_code: str = ""
+    error: str = ""
+
+    def _write_payload(self, writer: _Writer) -> None:
+        writer.text(self.job_id)
+        writer.text(self.state)
+        writer.u64(self.rows)
+        writer.u32(self.pages)
+        writer.text(self.trace_fingerprint)
+        writer.text(self.result_fingerprint)
+        writer.text(self.error_code)
+        writer.text(self.error)
+
+    @classmethod
+    def _read_payload(cls, reader: _Reader) -> "JobFinished":
+        record = cls(
+            job_id=reader.text(), state=reader.text(), rows=reader.u64(),
+            pages=reader.u32(), trace_fingerprint=reader.text(),
+            result_fingerprint=reader.text(), error_code=reader.text(),
+            error=reader.text(),
+        )
+        if record.state not in FINISHED_STATES:
+            raise WireProtocolError(
+                f"journal record holds non-terminal state {record.state!r}"
+            )
+        return record
+
+
+@dataclass(frozen=True)
+class JobDelivered(Frame):
+    """The client consumed the job's outcome; recovery may forget it."""
+
+    TYPE: ClassVar[int] = 0x43
+
+    job_id: str
+
+    def _write_payload(self, writer: _Writer) -> None:
+        writer.text(self.job_id)
+
+    @classmethod
+    def _read_payload(cls, reader: _Reader) -> "JobDelivered":
+        return cls(reader.text())
+
+
+#: Registry of journal record types, disjoint from the socket frame codes.
+JOURNAL_RECORD_TYPES: dict[int, type[Frame]] = {
+    cls.TYPE: cls for cls in (JobAccepted, JobFinished, JobDelivered)
+}
+
+JournalRecord = JobAccepted | JobFinished | JobDelivered
+
+
+def scan_records(data: bytes) -> tuple[list[Frame], int]:
+    """Decode the longest valid record prefix of ``data``.
+
+    Returns ``(records, valid_bytes)`` where ``valid_bytes`` is the offset of
+    the first byte that does not begin a decodable record — the truncation
+    point for a torn tail.  Never raises for malformed input: once framing is
+    lost there is no way to resynchronise, so everything past the first bad
+    byte is discarded as a single torn tail.
+    """
+    records: list[Frame] = []
+    offset = 0
+    view = memoryview(data)
+    while offset < len(data):
+        try:
+            record, consumed = wire.decode_frame(
+                bytes(view[offset:]), JOURNAL_RECORD_TYPES)
+        except WireProtocolError:
+            break
+        records.append(record)
+        offset += consumed
+    return records, offset
+
+
+@dataclass
+class RecoveredState:
+    """The fold of a journal's record stream, ready for server startup."""
+
+    #: Accepted-but-undelivered records, in admission order; each must be
+    #: re-submitted through the service.
+    pending: list[JobAccepted] = field(default_factory=list)
+    #: Terminal outcomes by job ID — the fingerprints recovery verifies
+    #: against when it re-executes an undelivered finished job.
+    finished: dict[str, JobFinished] = field(default_factory=dict)
+    #: Job IDs whose outcome the client already consumed.
+    delivered: set[str] = field(default_factory=set)
+    #: Idempotency token → job ID, for every non-empty accepted token.
+    tokens: dict[str, str] = field(default_factory=dict)
+    #: Highest numeric suffix seen in a ``J-%06d`` job ID, so a restarted
+    #: server continues the sequence instead of reissuing old IDs.
+    max_job_number: int = 0
+    #: Bytes of torn tail discarded when the journal was opened.
+    torn_bytes: int = 0
+
+    @classmethod
+    def fold(cls, records: list[Frame], torn_bytes: int = 0) -> "RecoveredState":
+        state = cls(torn_bytes=torn_bytes)
+        accepted: dict[str, JobAccepted] = {}
+        for record in records:
+            if isinstance(record, JobAccepted):
+                accepted[record.job_id] = record
+                if record.token:
+                    state.tokens.setdefault(record.token, record.job_id)
+                match = _JOB_ID_RE.match(record.job_id)
+                if match:
+                    state.max_job_number = max(state.max_job_number,
+                                               int(match.group(1)))
+            elif isinstance(record, JobFinished):
+                state.finished[record.job_id] = record
+            elif isinstance(record, JobDelivered):
+                state.delivered.add(record.job_id)
+        state.pending = [rec for job_id, rec in accepted.items()
+                         if job_id not in state.delivered]
+        return state
+
+
+class JobJournal:
+    """Append-only, fsync'd, CRC-framed record log in one directory.
+
+    Opening the journal replays the existing file, truncates any torn tail,
+    and exposes the fold as :attr:`recovered`.  Appends are serialized by a
+    lock and durable before :meth:`append` returns — the server acks only
+    after the append.
+    """
+
+    def __init__(self, directory: str | os.PathLike[str]) -> None:
+        self._dir = Path(directory)
+        try:
+            self._dir.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise JournalError(
+                f"cannot create journal directory {self._dir}: {exc}"
+            ) from exc
+        self._path = self._dir / JOURNAL_FILE
+        self._lock = threading.Lock()
+        self._closed = False
+        try:
+            data = self._path.read_bytes() if self._path.exists() else b""
+        except OSError as exc:
+            raise JournalError(
+                f"cannot read journal {self._path}: {exc}") from exc
+        records, valid = scan_records(data)
+        self._torn_bytes = len(data) - valid
+        self._records = records
+        try:
+            self._fh = open(self._path, "ab")
+            if self._torn_bytes:
+                # Drop the torn tail so new records extend the valid prefix.
+                self._fh.truncate(valid)
+                self._fh.flush()
+                os.fsync(self._fh.fileno())
+        except OSError as exc:
+            raise JournalError(
+                f"cannot open journal {self._path} for append: {exc}"
+            ) from exc
+
+    @property
+    def path(self) -> Path:
+        """Location of the append-only record file."""
+        return self._path
+
+    @property
+    def directory(self) -> Path:
+        return self._dir
+
+    @property
+    def torn_bytes(self) -> int:
+        """Bytes discarded from the tail when the journal was opened."""
+        return self._torn_bytes
+
+    @property
+    def replayed(self) -> tuple[Frame, ...]:
+        """The records found (and kept) when the journal was opened."""
+        return tuple(self._records)
+
+    def recover(self) -> RecoveredState:
+        """Fold the replayed records into startup state for the server."""
+        return RecoveredState.fold(self._records, self._torn_bytes)
+
+    def append(self, record: Frame) -> None:
+        """Durably append one record: write, flush, fsync, then return."""
+        if record.TYPE not in JOURNAL_RECORD_TYPES:
+            raise JournalError(
+                f"{type(record).__name__} is not a journal record type")
+        data = wire.encode_frame(record)
+        with self._lock:
+            if self._closed:
+                raise JournalError("journal is closed")
+            try:
+                self._fh.write(data)
+                self._fh.flush()
+                os.fsync(self._fh.fileno())
+            except (OSError, ValueError) as exc:
+                # ValueError covers a race with close(): "write to closed
+                # file" during teardown is an append failure like any other.
+                raise JournalError(
+                    f"journal append to {self._path} failed: {exc}") from exc
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            try:
+                self._fh.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "JobJournal":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+__all__ = [
+    "JOURNAL_FILE",
+    "FINISHED_STATES",
+    "JOURNAL_RECORD_TYPES",
+    "JobAccepted",
+    "JobFinished",
+    "JobDelivered",
+    "JobJournal",
+    "JournalRecord",
+    "RecoveredState",
+    "scan_records",
+]

@@ -36,7 +36,9 @@ from __future__ import annotations
 import asyncio
 import hashlib
 import itertools
+import os
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from concurrent.futures import Future
 from dataclasses import dataclass, field as dataclass_field
@@ -53,6 +55,12 @@ from repro.errors import (
     WireProtocolError,
 )
 from repro.net import wire
+from repro.net.journal import (
+    JobAccepted,
+    JobDelivered,
+    JobFinished,
+    JobJournal,
+)
 from repro.net.wire import (
     Cancel,
     Cancelled,
@@ -103,6 +111,8 @@ class _Job:
     error_code: str = ""
     error: str = ""
     rendered: bool = dataclass_field(default=False)
+    delivered: bool = dataclass_field(default=False)
+    recovered: bool = dataclass_field(default=False)
     lock: threading.Lock = dataclass_field(default_factory=threading.Lock)
 
     @property
@@ -141,6 +151,7 @@ class JoinServer:
         max_joins: int | None = None,
         retain_jobs: int = 256,
         metrics: MetricsRegistry | None = None,
+        journal: JobJournal | str | os.PathLike | None = None,
     ) -> None:
         if retain_jobs < 1:
             raise ConfigurationError("the server must retain at least one job")
@@ -157,8 +168,22 @@ class JoinServer:
         self.max_joins = max_joins
         self.retain_jobs = retain_jobs
         self.metrics = metrics if metrics is not None else service.metrics
+        self._owns_journal = isinstance(journal, (str, os.PathLike))
+        if isinstance(journal, (str, os.PathLike)):
+            journal = JobJournal(journal)
+        self.journal = journal
         self._jobs: dict[str, _Job] = {}
         self._job_ids = itertools.count(1)
+        # Idempotency token -> job ID, for every non-empty token ever
+        # admitted (rebuilt from the journal across restarts).
+        self._tokens: dict[str, str] = {}
+        # IDs of jobs dropped by the retention budget or known-delivered
+        # from a previous life: lookups answer `job_expired`, not
+        # `unknown_job`, so clients can tell "gone forever" from "never was".
+        self._evicted: set[str] = set()
+        # Journalled terminal outcomes from a previous life, keyed by job
+        # ID — the fingerprints a recovered re-execution must reproduce.
+        self._finished_records: dict[str, JobFinished] = {}
         # Frames execute off the event loop so one slow render cannot stall
         # other connections; these locks serialize the shared mutable state.
         self._submit_lock = threading.Lock()
@@ -172,12 +197,19 @@ class JoinServer:
 
     # -- lifecycle -----------------------------------------------------------
     async def start(self) -> None:
-        """Bind the listening socket (port 0 picks a free port)."""
+        """Bind the listening socket (port 0 picks a free port).
+
+        With a journal attached, replay runs first — unfinished jobs are
+        re-admitted under their original IDs *before* the socket binds, so
+        no client request can race recovery.
+        """
         self._drained = asyncio.Event()
         self._dispatch_pool = ThreadPoolExecutor(
             max_workers=max(2, self.max_in_flight),
             thread_name_prefix="ppj-net-dispatch",
         )
+        if self.journal is not None:
+            self._recover()
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port
         )
@@ -198,6 +230,97 @@ class JoinServer:
         if self._dispatch_pool is not None:
             self._dispatch_pool.shutdown(wait=False, cancel_futures=True)
             self._dispatch_pool = None
+        if self.journal is not None and self._owns_journal:
+            self.journal.close()
+
+    # -- restart recovery ----------------------------------------------------
+    def _recover(self) -> None:
+        """Replay the journal: re-admit every accepted-but-undelivered job.
+
+        Recovered jobs keep their original IDs (the ID counter resumes past
+        the highest journalled number), the token map is rebuilt so
+        resubmission dedup survives the restart, and delivered jobs become
+        ``job_expired`` lookups.  A job that *finished* before the crash but
+        was never delivered still re-executes — its result pages lived only
+        in memory — and :meth:`_render_locked` verifies the recomputed
+        fingerprints against the journalled ones bit for bit.
+        """
+        assert self.journal is not None
+        started = time.monotonic()
+        state = self.journal.recover()
+        self._job_ids = itertools.count(state.max_job_number + 1)
+        self._tokens.update(state.tokens)
+        self._finished_records.update(state.finished)
+        self._evicted |= state.delivered
+        if state.torn_bytes:
+            self.metrics.counter(
+                "server_journal_torn_bytes_total",
+                "torn-tail bytes discarded during journal replay",
+            ).inc(state.torn_bytes)
+        recovered = 0
+        for record in state.pending:
+            try:
+                submit = record.decode_submit()
+                self._admit_recovered(record.job_id, submit)
+            except ReproError:
+                # A corrupt nested frame or a contract the service now
+                # refuses cannot be re-run; the ID answers `job_expired`
+                # so a polling client re-submits instead of hanging.
+                self._evicted.add(record.job_id)
+                self.metrics.counter(
+                    "server_recovery_failed_total",
+                    "journalled jobs that could not be re-admitted",
+                ).inc()
+                continue
+            recovered += 1
+        if recovered:
+            self.metrics.counter(
+                "server_jobs_recovered_total",
+                "journalled jobs re-admitted after a restart",
+            ).inc(recovered)
+        self.metrics.gauge(
+            "server_recovery_seconds", "wall-clock time spent in replay"
+        ).set(time.monotonic() - started)
+
+    def _admit_recovered(self, job_id: str, frame: SubmitJoin) -> None:
+        """Re-admit one journalled submission under its original job ID.
+
+        Unlike :meth:`_submit` this path never dedups (the journal already
+        proved admission), never re-journals, and blocks for a queue slot —
+        replay happens before the listener binds, so there is nobody to
+        answer ``saturated`` to and the pool drains the backlog on its own.
+        """
+        predicate = frame.predicate.build()
+        contract = Contract(
+            contract_id=frame.contract_id,
+            data_owners=frame.data_owners,
+            recipient=frame.recipient,
+            permitted_predicate=predicate.description,
+        )
+        with self._submit_lock:
+            existing = self.service._contracts.get(frame.contract_id)
+            if existing is None:
+                self.service.register_contract(contract)
+            elif existing != contract:
+                raise ContractError(
+                    f"journalled contract {frame.contract_id!r} conflicts "
+                    "with the registered terms"
+                )
+            for upload in frame.uploads:
+                self.service.ingest_upload(
+                    upload.owner, frame.contract_id, upload.schema,
+                    list(upload.ciphertexts),
+                )
+            future = self.service.submit(
+                frame.contract_id, predicate, algorithm=frame.algorithm,
+                epsilon=frame.epsilon, block=True,
+            )
+            page_size = max(1, min(frame.page_size, self.max_page_size))
+            self._jobs[job_id] = _Job(
+                job_id=job_id, contract_id=frame.contract_id,
+                recipient=frame.recipient, page_size=page_size,
+                future=future, recovered=True,
+            )
 
     async def wait_drained(self) -> None:
         """Wait for ``max_joins`` submissions to be served to completion.
@@ -270,6 +393,11 @@ class JoinServer:
             asyncio.TimeoutError,
         ):
             pass  # disconnects and idle timeouts are normal connection ends
+        except asyncio.CancelledError:
+            # Server shutdown cancelled this handler mid-read.  asyncio's
+            # stream machinery retrieves the handler's exception, so absorb
+            # the cancellation here instead of letting it surface as noise.
+            pass
         finally:
             self._connections -= 1
             self.metrics.gauge("server_connections_active").set(self._connections)
@@ -348,13 +476,20 @@ class JoinServer:
                 ).set(self._in_flight)
                 started = loop.time()
                 try:
-                    assert self._dispatch_pool is not None
+                    pool = self._dispatch_pool
+                    try:
+                        if pool is None:
+                            raise RuntimeError("dispatch pool is gone")
+                        future = loop.run_in_executor(
+                            pool, self._dispatch, frame)
+                    except RuntimeError:
+                        # Racing stop(): the dispatch pool is already torn
+                        # down (or tears down between the check and the
+                        # submit).  Drop the connection — to the client this
+                        # is indistinguishable from the crash in progress.
+                        return
                     reply = await asyncio.wait_for(
-                        loop.run_in_executor(
-                            self._dispatch_pool, self._dispatch, frame
-                        ),
-                        self.request_timeout,
-                    )
+                        future, self.request_timeout)
                 finally:
                     self._in_flight -= 1
                     self.metrics.gauge("server_in_flight_frames").set(
@@ -419,6 +554,26 @@ class JoinServer:
             permitted_predicate=predicate.description,
         )
         with self._submit_lock:
+            if frame.token:
+                known = self._tokens.get(frame.token)
+                if known is not None and known not in self._evicted:
+                    # The journal (or this life's table) already admitted
+                    # this exact submission: answer with the original job
+                    # instead of executing the join a second time.
+                    self.metrics.counter(
+                        "server_jobs_deduped_total",
+                        "resubmissions answered with the original job ID",
+                    ).inc()
+                    return Submitted(known)
+                if known is not None:
+                    # The token maps to an evicted job: its results are
+                    # gone (delivered before a crash, or aged out), so the
+                    # only way to honour the resubmission is a fresh —
+                    # deterministic, bit-identical — re-execution.
+                    self.metrics.counter(
+                        "server_jobs_readmitted_total",
+                        "expired jobs re-admitted via their idempotency token",
+                    ).inc()
             existing = self.service._contracts.get(frame.contract_id)
             if existing is None:
                 self.service.register_contract(contract)
@@ -455,6 +610,14 @@ class JoinServer:
                 job_id=job_id, contract_id=frame.contract_id,
                 recipient=frame.recipient, page_size=page_size, future=future,
             )
+            if self.journal is not None:
+                # Durable before the ack: once the client reads `Submitted`,
+                # this job survives any crash of the server process.
+                self.journal.append(JobAccepted(
+                    job_id, frame.token, wire.encode_frame(frame)
+                ))
+            if frame.token:
+                self._tokens[frame.token] = job_id
             self._submitted_joins += 1
             self._evict_finished_locked()
         self.metrics.counter(
@@ -485,6 +648,7 @@ class JoinServer:
         ][:excess]
         for job_id in evicted:
             del self._jobs[job_id]
+            self._evicted.add(job_id)
         if evicted:
             self.metrics.counter(
                 "server_jobs_evicted_total",
@@ -494,6 +658,20 @@ class JoinServer:
     def _job(self, job_id: str) -> _Job:
         job = self._jobs.get(job_id)
         if job is None:
+            if job_id in self._evicted:
+                # Distinct, retryable answer: the job existed but its slot
+                # was reclaimed (retention budget) or its outcome was
+                # already consumed before a restart.  Retryable so a client
+                # can fall back to resubmitting under the same token.
+                self.metrics.counter(
+                    "server_evicted_lookups_total",
+                    "Status/FetchPage hits on evicted jobs",
+                ).inc()
+                raise ErrorResponse(ErrorReply(
+                    "job_expired",
+                    f"job {job_id!r} was evicted by the retention budget",
+                    retryable=True,
+                ))
             raise ErrorResponse(ErrorReply(
                 "unknown_job", f"no job {job_id!r} on this server"
             ))
@@ -517,6 +695,7 @@ class JoinServer:
                 else "internal"
             )
             job.rendered = True
+            self._journal_finished(job, "failed")
             return
         if state != "done":
             return
@@ -535,10 +714,60 @@ class JoinServer:
         self.metrics.counter(
             "server_joins_completed_total", "networked joins fully rendered"
         ).inc()
+        self._journal_finished(job, "done")
+        self._verify_recovered(job)
+
+    def _journal_finished(self, job: _Job, state: str) -> None:
+        """Pin a terminal outcome — fingerprints included — in the journal."""
+        if self.journal is None:
+            return
+        self.journal.append(JobFinished(
+            job_id=job.job_id, state=state,
+            rows=len(job.rows) if job.rows is not None else 0,
+            pages=job.pages if job.rows is not None else 0,
+            trace_fingerprint=job.trace_fingerprint,
+            result_fingerprint=job.res_fingerprint,
+            error_code=job.error_code, error=job.error,
+        ))
+
+    def _verify_recovered(self, job: _Job) -> None:
+        """Check a recovered re-execution against its first-life outcome."""
+        record = self._finished_records.get(job.job_id)
+        if not job.recovered or record is None or record.state != "done":
+            return
+        if (record.trace_fingerprint == job.trace_fingerprint
+                and record.result_fingerprint == job.res_fingerprint):
+            self.metrics.counter(
+                "server_recovered_verified_total",
+                "recovered jobs with bit-identical fingerprints",
+            ).inc()
+        else:
+            self.metrics.counter(
+                "server_recovered_mismatch_total",
+                "recovered jobs whose fingerprints diverged from the journal",
+            ).inc()
+            job.error_code = "internal"
+            job.error = (
+                f"recovered job {job.job_id} diverged from its journalled "
+                "fingerprints"
+            )
+
+    def _journal_delivered(self, job: _Job) -> None:
+        """Record that the client consumed the outcome; recovery may forget it."""
+        with job.lock:
+            if job.delivered:
+                return
+            job.delivered = True
+        if self.journal is not None:
+            self.journal.append(JobDelivered(job.job_id))
 
     def _status(self, frame: Status) -> Frame:
         job = self._job(frame.job_id)
         self._render(job)
+        if job.state in ("failed", "cancelled"):
+            # The poll delivered the terminal outcome; there is nothing
+            # left for the client to fetch, so recovery may forget the job.
+            self._journal_delivered(job)
         return StatusReply(
             job_id=job.job_id,
             state=job.state,
@@ -576,9 +805,12 @@ class JoinServer:
         self.metrics.counter(
             "server_pages_served_total", "result pages shipped"
         ).inc()
+        last = frame.page == job.pages - 1
+        if last:
+            self._journal_delivered(job)
         return Page(
             job_id=job.job_id, page=frame.page,
-            last=frame.page == job.pages - 1, schema=job.schema, rows=rows,
+            last=last, schema=job.schema, rows=rows,
         )
 
     def _cancel(self, frame: Cancel) -> Frame:
@@ -588,6 +820,7 @@ class JoinServer:
             self.metrics.counter(
                 "server_joins_cancelled_total", "queued joins withdrawn"
             ).inc()
+            self._journal_delivered(job)
         return Cancelled(job.job_id, cancelled)
 
 
@@ -631,6 +864,8 @@ class ServerThread:
         return self.server.host
 
     def start(self) -> "ServerThread":
+        if self._thread is not None:
+            raise RuntimeError("server thread already started")
         self._thread = threading.Thread(
             target=self._run, name="ppj-net-server", daemon=True
         )
@@ -638,7 +873,11 @@ class ServerThread:
         if not self._started.wait(timeout=30):
             raise RuntimeError("network server failed to start in time")
         if self._failure is not None:
-            raise RuntimeError("network server crashed on startup") from self._failure
+            # Consume the failure here so a later stop() (say, in a finally
+            # block) is a clean no-op instead of raising a second time.
+            failure, self._failure = self._failure, None
+            self._thread = None
+            raise RuntimeError("network server crashed on startup") from failure
         return self
 
     def _run(self) -> None:
@@ -677,20 +916,29 @@ class ServerThread:
             await asyncio.gather(*pending, return_exceptions=True)
 
     def stop(self) -> None:
-        if self._loop is not None and self._stop_event is not None:
-            try:
-                self._loop.call_soon_threadsafe(self._stop_event.set)
-            except RuntimeError:
-                pass  # loop already closed (drained on its own)
-        if self._thread is not None:
-            self._thread.join(timeout=30)
+        """Stop the server and join its thread.
+
+        Idempotent and unconditionally safe: calling it twice, after a
+        failed :meth:`start`, or without ever starting is a no-op — there
+        is no live loop to assume.  A thread failure is raised exactly
+        once, by whichever call observes it first.
+        """
+        thread, self._thread = self._thread, None
+        if thread is not None:
+            if self._loop is not None and self._stop_event is not None:
+                try:
+                    self._loop.call_soon_threadsafe(self._stop_event.set)
+                except RuntimeError:
+                    pass  # loop already closed (drained on its own)
+            thread.join(timeout=30)
         if self._failure is not None:
-            raise RuntimeError("network server thread failed") from self._failure
+            failure, self._failure = self._failure, None
+            raise RuntimeError("network server thread failed") from failure
 
     def join(self, timeout: float | None = None) -> None:
         """Wait for a self-draining (``max_joins``) server to finish."""
-        assert self._thread is not None
-        self._thread.join(timeout=timeout)
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
 
     def __enter__(self) -> "ServerThread":
         return self.start()

@@ -49,7 +49,11 @@ from repro.relational.schema import Attribute, AttrType, Schema
 from repro.relational.tuples import TupleCodec
 
 MAGIC = b"PJ"
-PROTOCOL_VERSION = 1
+#: Version 2 added the client-supplied idempotency ``token`` to
+#: :class:`SubmitJoin`, the backbone of crash-safe resubmission: a server
+#: that lost the ack can recognise the retried frame and return the original
+#: job instead of executing the join twice.
+PROTOCOL_VERSION = 2
 HEADER_SIZE = 8          # magic + version + type + payload length
 TRAILER_SIZE = 4         # CRC32 of the payload
 
@@ -340,7 +344,14 @@ class Frame:
 
 @dataclass(frozen=True)
 class SubmitJoin(Frame):
-    """Submit a contracted join: contract terms, predicate, encrypted uploads."""
+    """Submit a contracted join: contract terms, predicate, encrypted uploads.
+
+    ``token`` is the client-supplied idempotency token: a server that
+    already admitted a submission with the same token answers with the
+    original job ID instead of executing the join again, so a client
+    retrying a lost ack can never double-execute.  An empty token opts out
+    of deduplication (legacy callers).
+    """
 
     TYPE: ClassVar[int] = 0x01
 
@@ -352,6 +363,7 @@ class SubmitJoin(Frame):
     algorithm: str = "algorithm5"
     epsilon: float = 1e-20
     page_size: int = 64
+    token: str = ""
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "data_owners", tuple(self.data_owners))
@@ -367,6 +379,7 @@ class SubmitJoin(Frame):
         writer.text(self.algorithm)
         writer.f64(self.epsilon)
         writer.u32(self.page_size)
+        writer.text(self.token)
         writer.u32(len(self.uploads))
         for upload in self.uploads:
             writer.text(upload.owner)
@@ -384,6 +397,7 @@ class SubmitJoin(Frame):
         algorithm = reader.text()
         epsilon = reader.f64()
         page_size = reader.u32()
+        token = reader.text()
         uploads = []
         for _ in range(reader.u32()):
             owner = reader.text()
@@ -391,7 +405,7 @@ class SubmitJoin(Frame):
             ciphertexts = tuple(reader.blob() for _ in range(reader.u32()))
             uploads.append(Upload(owner, schema, ciphertexts))
         return cls(contract_id, data_owners, recipient, predicate,
-                   tuple(uploads), algorithm, epsilon, page_size)
+                   tuple(uploads), algorithm, epsilon, page_size, token)
 
 
 @dataclass(frozen=True)
@@ -595,6 +609,8 @@ ERROR_CODES = (
     "not_ready",      # page requested before the join finished (retryable)
     "too_large",      # frame exceeded a byte budget (not retryable as-is)
     "unknown_job",    # job ID not found
+    "job_expired",    # job evicted by the retention budget (retryable
+                      # against a replica or after a journal recovery)
     "contract",       # contract arbitration rejected the join
     "protocol",       # the server could not decode the frame
     "shutting_down",  # server is draining (retryable against a replica)
@@ -648,8 +664,14 @@ def encode_frame(frame: Frame) -> bytes:
     return header + payload + struct.pack(">I", zlib.crc32(payload))
 
 
-def parse_header(header: bytes) -> tuple[int, int]:
-    """Validate an 8-byte frame header, returning (type code, payload length)."""
+def parse_header(header: bytes,
+                 registry: dict[int, type[Frame]] = FRAME_TYPES) -> tuple[int, int]:
+    """Validate an 8-byte frame header, returning (type code, payload length).
+
+    ``registry`` names the frame types legal in this stream — the socket
+    protocol by default; the durable job journal passes its own record
+    registry so journal records and socket frames can never be confused.
+    """
     if len(header) != HEADER_SIZE:
         raise WireProtocolError(
             f"frame header is {len(header)} bytes, expected {HEADER_SIZE}"
@@ -662,7 +684,7 @@ def parse_header(header: bytes) -> tuple[int, int]:
             f"unsupported protocol version {version} (speaking "
             f"{PROTOCOL_VERSION})"
         )
-    if frame_type not in FRAME_TYPES:
+    if frame_type not in registry:
         raise WireProtocolError(f"unknown frame type 0x{frame_type:02x}")
     if length > MAX_FRAME_BYTES:
         raise WireProtocolError(
@@ -672,7 +694,8 @@ def parse_header(header: bytes) -> tuple[int, int]:
     return frame_type, length
 
 
-def decode_payload(frame_type: int, payload: bytes, crc: bytes) -> Frame:
+def decode_payload(frame_type: int, payload: bytes, crc: bytes,
+                   registry: dict[int, type[Frame]] = FRAME_TYPES) -> Frame:
     """Decode a payload whose header already validated, checking the CRC."""
     if len(crc) != TRAILER_SIZE:
         raise WireProtocolError("truncated frame: missing CRC trailer")
@@ -680,12 +703,13 @@ def decode_payload(frame_type: int, payload: bytes, crc: bytes) -> Frame:
     if zlib.crc32(payload) != expected:
         raise WireProtocolError("frame CRC mismatch: payload corrupted in flight")
     reader = _Reader(payload)
-    frame = FRAME_TYPES[frame_type]._read_payload(reader)
+    frame = registry[frame_type]._read_payload(reader)
     reader.expect_end()
     return frame
 
 
-def decode_frame(data: bytes) -> tuple[Frame, int]:
+def decode_frame(data: bytes,
+                 registry: dict[int, type[Frame]] = FRAME_TYPES) -> tuple[Frame, int]:
     """Decode the first complete frame in ``data``.
 
     Returns ``(frame, bytes_consumed)``.  Raises
@@ -698,7 +722,7 @@ def decode_frame(data: bytes) -> tuple[Frame, int]:
         raise WireProtocolError(
             f"truncated frame: {len(data)} bytes, header needs {HEADER_SIZE}"
         )
-    frame_type, length = parse_header(bytes(data[:HEADER_SIZE]))
+    frame_type, length = parse_header(bytes(data[:HEADER_SIZE]), registry)
     total = HEADER_SIZE + length + TRAILER_SIZE
     if len(data) < total:
         raise WireProtocolError(
@@ -706,4 +730,4 @@ def decode_frame(data: bytes) -> tuple[Frame, int]:
         )
     payload = bytes(data[HEADER_SIZE:HEADER_SIZE + length])
     crc = bytes(data[HEADER_SIZE + length:total])
-    return decode_payload(frame_type, payload, crc), total
+    return decode_payload(frame_type, payload, crc, registry), total

@@ -17,8 +17,10 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    family_total,
     instrument_executor,
     instrument_join,
+    instrument_workload,
 )
 from repro.obs.sinks import (
     DivergenceTrace,
@@ -45,8 +47,10 @@ __all__ = [
     "StreamingTrace",
     "TeeTrace",
     "TraceSink",
+    "family_total",
     "instrument_executor",
     "instrument_join",
+    "instrument_workload",
     "one_shot",
     "read_jsonl_events",
 ]

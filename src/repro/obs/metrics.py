@@ -213,6 +213,22 @@ class MetricsRegistry:
         return "\n".join(lines) + ("\n" if lines else "")
 
 
+def family_total(registry: MetricsRegistry, name: str) -> float:
+    """Sum every series' value in one counter/gauge family.
+
+    Labelled families (``proxy_faults_total{kind=...}``,
+    ``server_errors_total{code=...}``) spread one logical quantity over many
+    series; chaos harnesses and benches want the total without enumerating
+    label values.  Returns 0.0 for an unknown family; histograms are not
+    summable this way and contribute nothing.
+    """
+    total = 0.0
+    for family, kind, _key, metric in registry:
+        if family == name and kind in ("counter", "gauge"):
+            total += metric.value
+    return total
+
+
 def instrument_join(registry: MetricsRegistry, algorithm: str, result) -> None:
     """Record the standard per-join metrics from a Join/ParallelJoinResult.
 
@@ -280,6 +296,20 @@ def instrument_workload(registry: MetricsRegistry, report) -> None:
     for outcome in report.outcomes:
         if outcome.ok:
             histogram.observe(outcome.latency_seconds)
+    # Chaos-mode extras: zero outside chaosnet runs, but recorded
+    # unconditionally so dashboards keep a stable series set.
+    registry.counter("workload_kills_total",
+                     "server kill+restart cycles injected mid-run",
+                     **labels).inc(getattr(report, "kills", 0))
+    registry.counter("workload_recovered_jobs_total",
+                     "journalled jobs re-admitted after a mid-run restart",
+                     **labels).inc(getattr(report, "recovered_jobs", 0))
+    registry.counter("workload_deduped_submissions_total",
+                     "resubmissions answered from the idempotency-token table",
+                     **labels).inc(getattr(report, "deduped_submissions", 0))
+    registry.counter("workload_proxy_faults_total",
+                     "wire faults injected by the chaos proxy",
+                     **labels).inc(getattr(report, "proxy_faults", 0))
 
 
 def instrument_executor(registry: MetricsRegistry, executor,

@@ -1,12 +1,17 @@
 """The closed-loop workload harness: drive a scenario, verify, enforce SLOs.
 
 :class:`WorkloadRunner` executes one :class:`~repro.workloads.scenarios.ScenarioSpec`
-plan against the join service in one of two modes:
+plan against the join service in one of three modes:
 
 * ``"net"`` — the production path: a real :class:`~repro.net.server.JoinServer`
   on a loopback TCP port, ``concurrency`` closed-loop client threads each
   owning a :class:`~repro.net.client.JoinClient`, client-side encryption,
   retryable backpressure, and paged result streaming;
+* ``"chaosnet"`` — the net path made hostile: every connection traverses a
+  seed-deterministic :class:`~repro.net.chaosproxy.ChaosProxy` injecting
+  resets, delays, split writes, truncations, and byte corruption, while a
+  controller thread kills and restarts the journal-backed server mid-run;
+  the zero-lost / zero-incorrect verdict is unchanged;
 * ``"service"`` — the fast mode: the same requests submitted straight to the
   in-process :class:`~repro.core.service.JoinService` pool, for tests and
   quick iteration.
@@ -28,6 +33,7 @@ queue.
 
 from __future__ import annotations
 
+import tempfile
 import threading
 import time
 from dataclasses import dataclass
@@ -36,20 +42,41 @@ from typing import Literal
 
 from repro.core.service import Contract, JoinService, Party
 from repro.errors import ConfigurationError, ServiceSaturatedError
+from repro.faults.plan import FaultPlan, FaultSpec
 from repro.hardware.resilience import RetryPolicy
+from repro.net.chaosproxy import ChaosProxy, ProxyThread
 from repro.net.client import JoinClient
 from repro.net.server import JoinServer, ServerThread, result_fingerprint
 from repro.net.wire import encode_relation
-from repro.obs.metrics import MetricsRegistry, instrument_workload
+from repro.obs.metrics import MetricsRegistry, family_total, instrument_workload
 from repro.workloads.scenarios import PlannedRequest, ScenarioSpec
 
-Mode = Literal["service", "net"]
+Mode = Literal["service", "net", "chaosnet"]
 
 #: Retry budget for the closed loop.  Saturation is backpressure, not
 #: failure: the harness keeps retrying with geometric backoff long enough to
 #: outlast a full pool plus queue of small joins, mirroring
 #: ``benchmarks/bench_net_service.py``.
 LOAD_RETRY = RetryPolicy(max_retries=12, base_delay_cycles=1, multiplier=2)
+
+#: Chaosnet clients ride out a full server kill + journal replay, so they
+#: need a longer horizon than LOAD_RETRY — but a *flat* schedule: an
+#: uncapped exponential would sleep for minutes on one attempt while the
+#: server is already back.  40 x 250 cycles at the default 2 ms unit is a
+#: 20 s budget probed every half second.
+CHAOS_RETRY = RetryPolicy(max_retries=40, base_delay_cycles=250, multiplier=1)
+
+#: The chaosnet mode's default wire-fault mix when no plan is given: frequent
+#: benign reorderings (split writes), occasional corruption the CRC must
+#: catch, delays, and rare connection resets.  Periods are co-prime so the
+#: faults drift across frame boundaries instead of always hitting the same
+#: offsets.
+DEFAULT_CHAOS_SPECS = (
+    FaultSpec(kind="split", ops=("c2s", "s2c"), every=5),
+    FaultSpec(kind="delay", ops=("c2s",), every=23),
+    FaultSpec(kind="corrupt", ops=("s2c",), every=17),
+    FaultSpec(kind="reset", ops=("s2c",), every=41),
+)
 
 _UNSET = object()
 
@@ -115,6 +142,14 @@ class ScenarioReport:
     saturation_rejections: int
     slo_p50_seconds: float
     slo_p95_seconds: float
+    # chaosnet-mode extras (zero elsewhere): server kill+restart cycles,
+    # journalled jobs re-admitted after those restarts, resubmissions
+    # answered from the idempotency-token table, and wire faults injected
+    # by the chaos proxy.
+    kills: int = 0
+    recovered_jobs: int = 0
+    deduped_submissions: int = 0
+    proxy_faults: int = 0
 
     @property
     def completed(self) -> int:
@@ -220,6 +255,12 @@ class ScenarioReport:
                 "p95_seconds": self.slo_p95_seconds,
             },
             "slo_met": not self.failures(enforce_latency=True),
+            "chaos": {
+                "kills": self.kills,
+                "recovered_jobs": self.recovered_jobs,
+                "deduped_submissions": self.deduped_submissions,
+                "proxy_faults": self.proxy_faults,
+            },
         }
 
 
@@ -241,11 +282,17 @@ class WorkloadRunner:
         request_timeout: float = 120.0,
         retry_delay_unit: float = 0.002,
         metrics: MetricsRegistry | None = None,
+        chaos_plan: FaultPlan | None = None,
+        kills: int = 1,
+        journal_dir: str | None = None,
     ) -> None:
-        if mode not in ("service", "net"):
+        if mode not in ("service", "net", "chaosnet"):
             raise ConfigurationError(
-                f"unknown workload mode {mode!r} (choose 'service' or 'net')"
+                f"unknown workload mode {mode!r} "
+                "(choose 'service', 'net', or 'chaosnet')"
             )
+        if kills < 0:
+            raise ConfigurationError("kills must be non-negative")
         self.scenario = scenario
         self.mode = mode
         self.seed = seed
@@ -266,6 +313,9 @@ class WorkloadRunner:
         self.request_timeout = request_timeout
         self.retry_delay_unit = retry_delay_unit
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.chaos_plan = chaos_plan
+        self.kills = kills
+        self.journal_dir = journal_dir
 
     # -- references ----------------------------------------------------------
     def _register(self, service: JoinService, request: PlannedRequest) -> None:
@@ -328,8 +378,10 @@ class WorkloadRunner:
         refs = self.references(plan)
         if self.mode == "service":
             report = self._run_service(plan, refs)
-        else:
+        elif self.mode == "net":
             report = self._run_net(plan, refs)
+        else:
+            report = self._run_chaosnet(plan, refs)
         instrument_workload(self.metrics, report)
         problems = report.failures(enforce_latency=enforce_latency)
         if problems:
@@ -343,8 +395,15 @@ class WorkloadRunner:
         self,
         plan: list[PlannedRequest],
         worker,
+        on_dispatch=None,
     ) -> tuple[list[RequestOutcome], float]:
-        """Shared closed-loop scheduler: pacing, worker pool, outcome slots."""
+        """Shared closed-loop scheduler: pacing, worker pool, outcome slots.
+
+        ``on_dispatch(index)``, when given, runs in the dispatching worker's
+        thread before each request is issued — the chaosnet mode hooks its
+        server kills here so every planned kill fires deterministically at
+        its dispatch point instead of racing a polling thread.
+        """
         outcomes: list[RequestOutcome | None] = [None] * len(plan)
         cursor_lock = threading.Lock()
         cursor = iter(range(len(plan)))
@@ -362,6 +421,8 @@ class WorkloadRunner:
                     delay = release - time.monotonic()
                     if delay > 0:
                         time.sleep(delay)
+                if on_dispatch is not None:
+                    on_dispatch(index)
                 outcomes[index] = worker(worker_index, request)
 
         threads = [
@@ -489,6 +550,56 @@ class WorkloadRunner:
         return self._report(outcomes, duration, counts["retries"], saturation)
 
     # -- net (production) mode -----------------------------------------------
+    def _make_net_worker(
+        self,
+        clients: list[JoinClient],
+        refs: dict[str, _Reference],
+    ):
+        """The shared per-request body of the net and chaosnet modes."""
+
+        def worker(worker_index: int,
+                   request: PlannedRequest) -> RequestOutcome:
+            client = clients[worker_index]
+            started = time.monotonic()
+            try:
+                job = client.submit_join(
+                    request.contract_id,
+                    dict(request.tables),
+                    request.query.predicate,
+                    recipient=self.scenario.recipient,
+                    algorithm=request.query.algorithm,
+                    epsilon=request.query.epsilon,
+                    page_size=self.page_size,
+                )
+                status = job.wait(timeout=self.request_timeout)
+                delivered = job.result(timeout=self.request_timeout)
+                _, rows = encode_relation(delivered)
+                latency = time.monotonic() - started
+                pages_fingerprint = result_fingerprint(rows)
+                if pages_fingerprint != status.result_fingerprint:
+                    # The streamed pages must re-assemble to the
+                    # exact bytes the server fingerprinted.
+                    outcome = self._outcome(
+                        request, refs, latency,
+                        fingerprint="pages!=" + pages_fingerprint,
+                        trace_fingerprint=status.trace_fingerprint,
+                        transfers=status.transfers,
+                        rows=len(rows),
+                    )
+                else:
+                    outcome = self._outcome(
+                        request, refs, latency,
+                        fingerprint=status.result_fingerprint,
+                        trace_fingerprint=status.trace_fingerprint,
+                        transfers=status.transfers,
+                        rows=len(rows),
+                    )
+            except Exception as exc:
+                outcome = self._lost(request, exc)
+            return outcome
+
+        return worker
+
     def _run_net(
         self, plan: list[PlannedRequest], refs: dict[str, _Reference]
     ) -> ScenarioReport:
@@ -512,47 +623,7 @@ class WorkloadRunner:
                     for _ in range(self.concurrency)
                 ]
                 try:
-                    def worker(worker_index: int,
-                               request: PlannedRequest) -> RequestOutcome:
-                        client = clients[worker_index]
-                        started = time.monotonic()
-                        try:
-                            job = client.submit_join(
-                                request.contract_id,
-                                dict(request.tables),
-                                request.query.predicate,
-                                recipient=self.scenario.recipient,
-                                algorithm=request.query.algorithm,
-                                epsilon=request.query.epsilon,
-                                page_size=self.page_size,
-                            )
-                            status = job.wait(timeout=self.request_timeout)
-                            delivered = job.result(
-                                timeout=self.request_timeout
-                            )
-                            _, rows = encode_relation(delivered)
-                            latency = time.monotonic() - started
-                            pages_fingerprint = result_fingerprint(rows)
-                            if pages_fingerprint != status.result_fingerprint:
-                                # The streamed pages must re-assemble to the
-                                # exact bytes the server fingerprinted.
-                                return self._outcome(
-                                    request, refs, latency,
-                                    fingerprint="pages!=" + pages_fingerprint,
-                                    trace_fingerprint=status.trace_fingerprint,
-                                    transfers=status.transfers,
-                                    rows=len(rows),
-                                )
-                            return self._outcome(
-                                request, refs, latency,
-                                fingerprint=status.result_fingerprint,
-                                trace_fingerprint=status.trace_fingerprint,
-                                transfers=status.transfers,
-                                rows=len(rows),
-                            )
-                        except Exception as exc:
-                            return self._lost(request, exc)
-
+                    worker = self._make_net_worker(clients, refs)
                     outcomes, duration = self._drive(plan, worker)
                 finally:
                     for client in clients:
@@ -566,6 +637,143 @@ class WorkloadRunner:
             + service.metrics.counter("service_jobs_rejected_total").value
         )
         return self._report(outcomes, duration, retries, saturation)
+
+    # -- chaosnet (hostile production) mode -----------------------------------
+    def _run_chaosnet(
+        self, plan: list[PlannedRequest], refs: dict[str, _Reference]
+    ) -> ScenarioReport:
+        """The net mode through a hostile network, with mid-run server kills.
+
+        Every client speaks to a :class:`~repro.net.chaosproxy.ChaosProxy`
+        on a fixed port; behind it the :class:`JoinServer` — journal-backed —
+        is killed and restarted ``kills`` times at evenly spaced progress
+        points.  The zero-lost / zero-incorrect verdict is unchanged: every
+        request must still complete bit-identical to its in-process
+        reference, surviving resets, corruption, torn frames, restart
+        recovery, and idempotent resubmission.
+        """
+        journal_dir = self.journal_dir or tempfile.mkdtemp(
+            prefix=f"ppj-journal-{self.scenario.code}-"
+        )
+        chaos_plan = (
+            self.chaos_plan if self.chaos_plan is not None
+            else FaultPlan(seed=self.seed, specs=DEFAULT_CHAOS_SPECS)
+        )
+        client_metrics = MetricsRegistry()
+        server_metrics = MetricsRegistry()  # shared across server generations
+        generations: list[JoinService] = []
+        generation_lock = threading.Lock()
+
+        def start_generation(port: int) -> tuple[JoinService, ServerThread]:
+            service = JoinService(
+                memory=self.scenario.memory,
+                pool_size=self.pool_size,
+                queue_depth=self.queue_depth,
+            )
+            server = JoinServer(
+                service, host="127.0.0.1", port=port,
+                journal=journal_dir, metrics=server_metrics,
+            )
+            handle = ServerThread(server).start()
+            with generation_lock:
+                generations.append(service)
+            return service, handle
+
+        service, handle = start_generation(0)
+        server_port = handle.port
+        proxy = ChaosProxy(
+            "127.0.0.1", server_port, plan=chaos_plan, metrics=server_metrics
+        )
+        kills_done = 0
+        # Kills fire at evenly spaced *dispatch* points — deterministic, no
+        # polling race: the worker dispatching request #k performs the kill
+        # before issuing it, while every other in-flight request rides out
+        # the outage through retries and resubmission.
+        total = len(plan)
+        kill_points = {
+            min(total - 1, max(1, round(total * k / (self.kills + 1))))
+            for k in range(1, self.kills + 1)
+        }
+        kill_lock = threading.Lock()
+
+        def on_dispatch(index: int) -> None:
+            nonlocal service, handle, kills_done
+            if index not in kill_points:
+                return
+            with kill_lock:
+                if index not in kill_points:
+                    return
+                kill_points.discard(index)
+                # Kill: stop accepting, drop every open connection, discard
+                # all in-memory job state.  Only the journal survives.
+                try:
+                    handle.stop()
+                except RuntimeError:
+                    pass
+                # A real process kill is instantaneous: do not gate the
+                # restart on the dead generation's pool draining its
+                # in-flight join (close blocks on running work).  Reap it
+                # in the background; the run's finally closes it again
+                # (idempotently) before reading metrics.
+                threading.Thread(
+                    target=service.close, kwargs={"cancel_pending": True},
+                    name=f"chaosnet-reaper-{self.scenario.code}",
+                    daemon=True,
+                ).start()
+                server_metrics.counter(
+                    "workload_server_kills_total",
+                    "servers killed mid-run by the chaos controller",
+                ).inc()
+                service, handle = start_generation(server_port)
+                kills_done += 1
+
+        try:
+            with ProxyThread(proxy) as proxy_handle:
+                clients = [
+                    JoinClient(
+                        "127.0.0.1", proxy_handle.port,
+                        retry=CHAOS_RETRY,
+                        retry_delay_unit=self.retry_delay_unit,
+                        request_timeout=self.request_timeout,
+                        metrics=client_metrics,
+                    )
+                    for _ in range(self.concurrency)
+                ]
+                try:
+                    worker = self._make_net_worker(clients, refs)
+                    outcomes, duration = self._drive(
+                        plan, worker, on_dispatch=on_dispatch)
+                finally:
+                    for client in clients:
+                        client.close()
+        finally:
+            try:
+                handle.stop()
+            except RuntimeError:
+                pass
+            with generation_lock:
+                for generation in generations:
+                    generation.close(cancel_pending=True)
+
+        retries = int(client_metrics.counter("client_retries_total").value)
+        saturation = int(
+            server_metrics.counter(
+                "server_errors_total", code="saturated").value
+            + sum(
+                generation.metrics.counter(
+                    "service_jobs_rejected_total").value
+                for generation in generations
+            )
+        )
+        report = self._report(outcomes, duration, retries, saturation)
+        report.kills = kills_done
+        report.recovered_jobs = int(server_metrics.counter(
+            "server_jobs_recovered_total").value)
+        report.deduped_submissions = int(server_metrics.counter(
+            "server_jobs_deduped_total").value)
+        report.proxy_faults = int(family_total(
+            server_metrics, "proxy_faults_total"))
+        return report
 
     def _report(
         self,

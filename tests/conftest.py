@@ -37,6 +37,11 @@ def pytest_addoption(parser):
         help="run tests marked workloads (closed-loop scenario runs over "
              "loopback TCP)",
     )
+    parser.addoption(
+        "--runchaosnet", action="store_true", default=False,
+        help="run tests marked chaosnet (workloads through the fault-"
+             "injecting proxy with mid-run server kill/restart)",
+    )
 
 
 def pytest_collection_modifyitems(config, items):
@@ -44,6 +49,7 @@ def pytest_collection_modifyitems(config, items):
         ("slow", "--runslow"),
         ("chaos", "--runchaos"),
         ("workloads", "--runworkloads"),
+        ("chaosnet", "--runchaosnet"),
     ]
     for marker, option in gates:
         if config.getoption(option):

@@ -1,0 +1,235 @@
+"""The chaos proxy: seed-deterministic wire faults the stack must survive.
+
+Each test routes a real client/server conversation through
+:class:`ChaosProxy` with a specific fault mix and proves the protocol's
+defences hold: CRC trailers catch corruption (counted, retried), resets and
+truncations re-dial transparently, split writes are invisible, and the
+joins' fingerprints stay bit-identical to an in-process run.
+"""
+
+import socket
+import threading
+
+import pytest
+
+from repro.core.service import Contract, JoinService, Party
+from repro.errors import ConfigurationError, TransientWireError
+from repro.faults.plan import ALL_KINDS, WIRE_KINDS, FaultPlan, FaultSpec
+from repro.hardware.resilience import RetryPolicy
+from repro.net.chaosproxy import ChaosProxy, ProxyThread
+from repro.net.client import JoinClient
+from repro.net.server import JoinServer, ServerThread, result_fingerprint
+from repro.net.wire import PredicateSpec, encode_relation
+from repro.obs.metrics import family_total
+
+
+def make_client(port, **overrides):
+    defaults = dict(
+        connect_timeout=5.0,
+        request_timeout=10.0,
+        retry=RetryPolicy(max_retries=8, base_delay_cycles=1, multiplier=2),
+        retry_delay_unit=0.01,
+    )
+    defaults.update(overrides)
+    return JoinClient("127.0.0.1", port, **defaults)
+
+
+def local_reference(workload, algorithm="algorithm5"):
+    service = JoinService(pool_size=1)
+    predicate = PredicateSpec.equality(workload.join_attr).build()
+    service.register_contract(Contract(
+        "c-ref", ("alice", "bob"), "carol", predicate.description,
+    ))
+    service.ingest(Party("alice"), "c-ref", workload.left)
+    service.ingest(Party("bob"), "c-ref", workload.right)
+    result = service.execute("c-ref", predicate, algorithm=algorithm)
+    delivered = service.deliver(result, Party("carol"), "c-ref")
+    service.close()
+    return result, delivered
+
+
+def run_through_proxy(workload, plan, **client_overrides):
+    """One join driven through the proxy; returns (status, rows, proxy)."""
+    service = JoinService(pool_size=1)
+    server = JoinServer(service)
+    try:
+        with ServerThread(server) as handle:
+            proxy = ChaosProxy("127.0.0.1", handle.port, plan=plan,
+                               delay_seconds=0.001)
+            with ProxyThread(proxy) as proxied:
+                client = make_client(proxied.port, **client_overrides)
+                try:
+                    job = client.submit_join(
+                        "c-chaos",
+                        {"alice": workload.left, "bob": workload.right},
+                        PredicateSpec.equality(workload.join_attr),
+                        recipient="carol", page_size=4,
+                    )
+                    status = job.wait(timeout=30)
+                    rows = job.result(timeout=30)
+                finally:
+                    client.close()
+    finally:
+        service.close()
+    return status, rows, proxy, client.metrics
+
+
+class TestFaultPlanWireKinds:
+    def test_wire_kinds_registered(self):
+        assert set(WIRE_KINDS) <= set(ALL_KINDS)
+
+    def test_wire_spec_validates_ops(self):
+        FaultSpec(kind="reset", ops=("s2c",), every=3)  # fine
+        with pytest.raises(ConfigurationError):
+            FaultSpec(kind="reset", ops=("read",), every=3)
+
+    def test_storage_kinds_reject_wire_ops(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec(kind="crash", ops=("c2s",), at_ops=(1,))
+
+
+class TestProxyTransparency:
+    def test_clean_proxy_is_invisible(self, small_workload):
+        reference, delivered = local_reference(small_workload)
+        status, rows, proxy, _ = run_through_proxy(
+            small_workload, FaultPlan(seed=1))
+        assert status.trace_fingerprint == reference.trace.fingerprint()
+        _, encoded = encode_relation(delivered)
+        assert status.result_fingerprint == result_fingerprint(encoded)
+        assert len(rows) == len(delivered)
+        assert proxy.metrics.counter("proxy_connections_total").value >= 1
+        assert family_total(proxy.metrics, "proxy_faults_total") == 0
+
+    def test_split_writes_are_invisible(self, small_workload):
+        reference, _ = local_reference(small_workload)
+        plan = FaultPlan(seed=2, specs=(
+            FaultSpec(kind="split", ops=("c2s", "s2c"), every=2),
+        ))
+        status, rows, proxy, _ = run_through_proxy(small_workload, plan)
+        assert status.trace_fingerprint == reference.trace.fingerprint()
+        assert proxy.metrics.counter(
+            "proxy_faults_total", kind="split").value >= 1
+
+    def test_corruption_caught_by_crc_and_retried(self, small_workload):
+        reference, _ = local_reference(small_workload)
+        plan = FaultPlan(seed=3, specs=(
+            FaultSpec(kind="corrupt", ops=("s2c",), every=3, times=2),
+        ))
+        status, rows, proxy, client_metrics = run_through_proxy(
+            small_workload, plan)
+        assert status.trace_fingerprint == reference.trace.fingerprint()
+        corrupted = proxy.metrics.counter(
+            "proxy_faults_total", kind="corrupt").value
+        assert corrupted >= 1
+        # Every corrupted reply was caught by the CRC and retried — none
+        # were acted on.
+        assert client_metrics.counter(
+            "client_corrupt_replies_total").value >= 1
+
+    def test_resets_redial_transparently(self, small_workload):
+        reference, _ = local_reference(small_workload)
+        plan = FaultPlan(seed=4, specs=(
+            FaultSpec(kind="reset", ops=("s2c",), at_ops=(2,)),
+        ))
+        status, rows, proxy, client_metrics = run_through_proxy(
+            small_workload, plan)
+        assert status.trace_fingerprint == reference.trace.fingerprint()
+        assert proxy.metrics.counter(
+            "proxy_faults_total", kind="reset").value >= 1
+        assert client_metrics.counter("client_retries_total").value >= 1
+
+    def test_truncation_mid_frame_survived(self, small_workload):
+        reference, _ = local_reference(small_workload)
+        plan = FaultPlan(seed=5, specs=(
+            FaultSpec(kind="truncate", ops=("s2c",), at_ops=(2,)),
+        ))
+        status, rows, proxy, _ = run_through_proxy(small_workload, plan)
+        assert status.trace_fingerprint == reference.trace.fingerprint()
+        assert proxy.metrics.counter(
+            "proxy_faults_total", kind="truncate").value >= 1
+
+    def test_the_full_hostile_mix(self, small_workload):
+        reference, _ = local_reference(small_workload)
+        plan = FaultPlan(seed=6, specs=(
+            FaultSpec(kind="split", ops=("c2s", "s2c"), every=2),
+            FaultSpec(kind="corrupt", ops=("s2c",), every=5, times=3),
+            FaultSpec(kind="delay", ops=("c2s",), every=7),
+            FaultSpec(kind="reset", ops=("s2c",), at_ops=(9,)),
+        ))
+        status, rows, proxy, _ = run_through_proxy(small_workload, plan)
+        assert status.trace_fingerprint == reference.trace.fingerprint()
+        assert family_total(proxy.metrics, "proxy_faults_total") >= 3
+
+
+class TestProxyDeterminism:
+    def test_same_seed_same_fault_decisions(self):
+        plan = FaultPlan(seed=9, specs=(
+            FaultSpec(kind="corrupt", ops=("s2c",), every=3),
+            FaultSpec(kind="reset", ops=("c2s",), at_ops=(5,)),
+        ))
+        proxy_a = ChaosProxy("127.0.0.1", 1, plan=plan)
+        proxy_b = ChaosProxy("127.0.0.1", 1, plan=plan)
+
+        def decisions(proxy):
+            out = []
+            for connection in range(3):
+                compiled = proxy._compile_for_connection(connection)
+                for chunk in range(1, 20):
+                    for direction in ("c2s", "s2c"):
+                        for fault in compiled.consult(chunk, direction, ""):
+                            out.append((connection, chunk, direction,
+                                        fault.kind))
+            return out
+
+        assert decisions(proxy_a) == decisions(proxy_b)
+
+    def test_connections_draw_independent_streams(self):
+        plan = FaultPlan(seed=9, specs=(
+            FaultSpec(kind="corrupt", ops=("s2c",), probability=0.5),
+        ))
+        proxy = ChaosProxy("127.0.0.1", 1, plan=plan)
+
+        def stream(connection):
+            compiled = proxy._compile_for_connection(connection)
+            return tuple(
+                bool(compiled.consult(chunk, "s2c", ""))
+                for chunk in range(1, 40)
+            )
+
+        assert stream(0) != stream(1)
+
+
+class TestProxyLifecycle:
+    def test_server_down_counts_connect_failures(self):
+        # Point the proxy at a dead port: clients see a dropped socket.
+        victim = socket.create_server(("127.0.0.1", 0))
+        dead_port = victim.getsockname()[1]
+        victim.close()
+        proxy = ChaosProxy("127.0.0.1", dead_port)
+        with ProxyThread(proxy) as proxied:
+            client = make_client(
+                proxied.port,
+                retry=RetryPolicy(max_retries=1, base_delay_cycles=1))
+            with pytest.raises(TransientWireError):
+                client.ping()
+            client.close()
+        assert proxy.metrics.counter(
+            "proxy_connect_failures_total").value >= 1
+
+    def test_stop_never_started_is_a_no_op(self):
+        handle = ProxyThread(ChaosProxy("127.0.0.1", 1))
+        handle.stop()
+        handle.stop()
+
+    def test_stop_twice_is_idempotent(self):
+        handle = ProxyThread(ChaosProxy("127.0.0.1", 1)).start()
+        handle.stop()
+        handle.stop()
+
+    def test_start_twice_refused(self):
+        handle = ProxyThread(ChaosProxy("127.0.0.1", 1)).start()
+        try:
+            with pytest.raises(RuntimeError):
+                handle.start()
+        finally:
+            handle.stop()

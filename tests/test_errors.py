@@ -12,7 +12,7 @@ ALL_ERRORS = [
     errors.TransientHostError, errors.CoprocessorCrashError,
     errors.CheckpointError, errors.ServiceSaturatedError,
     errors.ServiceClosedError, errors.WireError, errors.WireProtocolError,
-    errors.TransientWireError, errors.RemoteJoinError,
+    errors.TransientWireError, errors.RemoteJoinError, errors.JournalError,
 ]
 
 

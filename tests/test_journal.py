@@ -1,0 +1,264 @@
+"""The durable job journal: record codec, torn tails, and the recovery fold.
+
+The crash-safety claim rests on one mechanical property tested exhaustively
+here: a journal file cut off at *any* byte offset decodes to a whole-record
+prefix of the original stream — a torn final record is discarded, never
+misparsed, and everything before it survives intact.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import JournalError, WireProtocolError
+from repro.net import wire
+from repro.net.journal import (
+    FINISHED_STATES,
+    JOURNAL_FILE,
+    JobAccepted,
+    JobDelivered,
+    JobFinished,
+    JobJournal,
+    RecoveredState,
+    scan_records,
+)
+from repro.net.wire import PredicateSpec, SubmitJoin, Upload
+from repro.relational.generate import keyed_schema
+
+
+def submit_frame(token: str = "tok", contract: str = "c-j") -> SubmitJoin:
+    return SubmitJoin(
+        contract_id=contract,
+        data_owners=("alice", "bob"),
+        recipient="carol",
+        predicate=PredicateSpec.equality("key"),
+        uploads=(
+            Upload(owner="alice", schema=keyed_schema("alice"),
+                   ciphertexts=(b"ct-0", b"ct-1")),
+            Upload(owner="bob", schema=keyed_schema("bob"),
+                   ciphertexts=(b"ct-2",)),
+        ),
+        algorithm="algorithm5",
+        epsilon=1e-20,
+        page_size=8,
+        token=token,
+    )
+
+
+def accepted(job_id: str = "J-000001", token: str = "tok") -> JobAccepted:
+    return JobAccepted(job_id, token,
+                       wire.encode_frame(submit_frame(token=token)))
+
+
+_text = st.text(
+    alphabet=st.characters(codec="utf-8", exclude_categories=("Cs",)),
+    max_size=40,
+)
+
+
+class TestRecordCodec:
+    @given(job_id=_text, token=_text, blob=st.binary(max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_accepted_roundtrip(self, job_id, token, blob):
+        record = JobAccepted(job_id, token, blob)
+        decoded, consumed = wire.decode_frame(
+            wire.encode_frame(record), registry={JobAccepted.TYPE: JobAccepted}
+        )
+        assert decoded == record
+        assert consumed == len(wire.encode_frame(record))
+
+    @given(
+        job_id=_text,
+        state=st.sampled_from(FINISHED_STATES),
+        rows=st.integers(min_value=0, max_value=2**63 - 1),
+        pages=st.integers(min_value=0, max_value=2**32 - 1),
+        trace=_text, result=_text, code=_text, error=_text,
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_finished_roundtrip(self, job_id, state, rows, pages, trace,
+                                result, code, error):
+        record = JobFinished(job_id, state, rows, pages, trace, result,
+                             code, error)
+        decoded, _ = wire.decode_frame(
+            wire.encode_frame(record), registry={JobFinished.TYPE: JobFinished}
+        )
+        assert decoded == record
+
+    @given(job_id=_text)
+    @settings(max_examples=25, deadline=None)
+    def test_delivered_roundtrip(self, job_id):
+        record = JobDelivered(job_id)
+        decoded, _ = wire.decode_frame(
+            wire.encode_frame(record),
+            registry={JobDelivered.TYPE: JobDelivered},
+        )
+        assert decoded == record
+
+    def test_non_terminal_finished_state_rejected(self):
+        data = wire.encode_frame(JobFinished("J-000001", "done"))
+        # Patch the state text in the payload: 'done' -> 'runx' keeps lengths.
+        patched = data.replace(b"done", b"runx")
+        with pytest.raises(WireProtocolError):
+            wire.decode_frame(patched, registry={JobFinished.TYPE: JobFinished})
+
+    def test_nested_submit_decodes_back(self):
+        record = accepted()
+        assert record.decode_submit() == submit_frame()
+
+    def test_nested_non_submit_rejected(self):
+        record = JobAccepted("J-000001", "tok",
+                             wire.encode_frame(wire.Ping()))
+        with pytest.raises(WireProtocolError):
+            record.decode_submit()
+
+    def test_journal_records_not_socket_frames(self):
+        """Journal type codes must never decode via the socket registry."""
+        data = wire.encode_frame(accepted())
+        with pytest.raises(WireProtocolError):
+            wire.decode_frame(data)  # default registry = FRAME_TYPES
+
+
+class TestTornTails:
+    def stream(self) -> tuple[bytes, list]:
+        records = [
+            accepted("J-000001", "t1"),
+            JobFinished("J-000001", "done", rows=3, pages=1,
+                        trace_fingerprint="tf", result_fingerprint="rf"),
+            JobDelivered("J-000001"),
+            accepted("J-000002", "t2"),
+        ]
+        return b"".join(wire.encode_frame(r) for r in records), records
+
+    def test_crash_at_every_truncation_offset(self):
+        """Every prefix of the file decodes to a whole-record prefix."""
+        data, records = self.stream()
+        boundaries = []
+        offset = 0
+        for record in records:
+            offset += len(wire.encode_frame(record))
+            boundaries.append(offset)
+        for cut in range(len(data) + 1):
+            decoded, valid = scan_records(data[:cut])
+            whole = sum(1 for b in boundaries if b <= cut)
+            assert decoded == records[:whole], f"cut at {cut}"
+            assert valid == (boundaries[whole - 1] if whole else 0)
+
+    def test_corrupt_byte_discards_the_tail(self):
+        data, records = self.stream()
+        first = len(wire.encode_frame(records[0]))
+        corrupted = bytearray(data)
+        corrupted[first + 10] ^= 0xFF  # inside record 2
+        decoded, valid = scan_records(bytes(corrupted))
+        assert decoded == records[:1]
+        assert valid == first
+
+    def test_journal_truncates_torn_tail_and_appends_cleanly(self, tmp_path):
+        data, records = self.stream()
+        path = tmp_path / JOURNAL_FILE
+        path.write_bytes(data + b"\x50\x4a\x02")  # torn header start
+        journal = JobJournal(tmp_path)
+        assert journal.torn_bytes == 3
+        assert list(journal.replayed) == records
+        journal.append(JobDelivered("J-000002"))
+        journal.close()
+        reopened = JobJournal(tmp_path)
+        assert reopened.torn_bytes == 0
+        assert list(reopened.replayed) == records + [JobDelivered("J-000002")]
+        reopened.close()
+
+    @given(cut=st.integers(min_value=0, max_value=400), data=st.just(None))
+    @settings(max_examples=30, deadline=None)
+    def test_random_cut_reopens_consistently(self, tmp_path_factory, cut, data):
+        stream, records = self.stream()
+        cut = min(cut, len(stream))
+        directory = tmp_path_factory.mktemp("journal")
+        (directory / JOURNAL_FILE).write_bytes(stream[:cut])
+        journal = JobJournal(directory)
+        decoded, valid = scan_records(stream[:cut])
+        assert list(journal.replayed) == decoded
+        assert journal.torn_bytes == cut - valid
+        journal.close()
+
+
+class TestJournalLifecycle:
+    def test_append_requires_journal_record_type(self, tmp_path):
+        journal = JobJournal(tmp_path)
+        with pytest.raises(JournalError):
+            journal.append(wire.Ping())
+        journal.close()
+
+    def test_append_after_close_raises(self, tmp_path):
+        journal = JobJournal(tmp_path)
+        journal.close()
+        with pytest.raises(JournalError):
+            journal.append(JobDelivered("J-000001"))
+
+    def test_close_idempotent(self, tmp_path):
+        journal = JobJournal(tmp_path)
+        journal.close()
+        journal.close()
+
+    def test_context_manager(self, tmp_path):
+        with JobJournal(tmp_path) as journal:
+            journal.append(JobDelivered("J-000001"))
+        assert (tmp_path / JOURNAL_FILE).stat().st_size > 0
+
+    def test_unreadable_directory_raises_journal_error(self, tmp_path):
+        target = tmp_path / "file"
+        target.write_bytes(b"")
+        with pytest.raises(JournalError):
+            JobJournal(target / "sub")  # parent is a file, mkdir fails
+
+
+class TestRecoveredState:
+    def test_fold_partitions_records(self):
+        records = [
+            accepted("J-000001", "t1"),
+            JobFinished("J-000001", "done", rows=3, pages=1),
+            JobDelivered("J-000001"),
+            accepted("J-000002", "t2"),
+            JobFinished("J-000002", "failed", error_code="join"),
+            accepted("J-000007", "t3"),
+        ]
+        state = RecoveredState.fold(records, torn_bytes=5)
+        assert [r.job_id for r in state.pending] == ["J-000002", "J-000007"]
+        assert state.delivered == {"J-000001"}
+        assert state.finished["J-000002"].state == "failed"
+        assert state.tokens == {"t1": "J-000001", "t2": "J-000002",
+                                "t3": "J-000007"}
+        assert state.max_job_number == 7
+        assert state.torn_bytes == 5
+
+    def test_first_accepted_token_wins(self):
+        records = [accepted("J-000001", "tok"), accepted("J-000002", "tok")]
+        state = RecoveredState.fold(records)
+        assert state.tokens == {"tok": "J-000001"}
+
+    def test_empty_token_not_tracked(self):
+        state = RecoveredState.fold([accepted("J-000001", "")])
+        assert state.tokens == {}
+
+    def test_foreign_job_ids_do_not_advance_sequence(self):
+        state = RecoveredState.fold([accepted("ext-42", "t")])
+        assert state.max_job_number == 0
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_fold_pending_never_includes_delivered(self, seed):
+        rng = random.Random(seed)
+        records = []
+        for n in range(1, rng.randint(2, 12)):
+            job_id = f"J-{n:06d}"
+            records.append(accepted(job_id, f"t{n}"))
+            if rng.random() < 0.5:
+                records.append(JobFinished(job_id, "done"))
+            if rng.random() < 0.5:
+                records.append(JobDelivered(job_id))
+        state = RecoveredState.fold(records)
+        pending_ids = {r.job_id for r in state.pending}
+        assert not pending_ids & state.delivered
+        accepted_ids = {r.job_id for r in records
+                        if isinstance(r, JobAccepted)}
+        assert pending_ids | state.delivered == accepted_ids

@@ -1,0 +1,315 @@
+"""Crash-safe networked joins: journal-backed restart recovery end to end.
+
+Every test here kills a real :class:`ServerThread` and restarts a *fresh*
+server (fresh :class:`JoinService`, empty in-memory state) over the same
+journal directory, then proves the crash is invisible at the protocol layer:
+recovered jobs keep their IDs, re-execute bit-identically, dedup their
+idempotency tokens, and delivered jobs answer the retryable ``job_expired``
+code that triggers the client's transparent resubmission.
+"""
+
+import socket
+import threading
+
+import pytest
+
+from repro.core.service import JoinService
+from repro.errors import RemoteJoinError, TransientWireError
+from repro.hardware.resilience import RetryPolicy
+from repro.net.client import JoinClient
+from repro.net.journal import JOURNAL_FILE, JobJournal
+from repro.net.server import JoinServer, ServerThread
+from repro.net.wire import PredicateSpec
+
+
+def make_client(port, **overrides):
+    defaults = dict(
+        connect_timeout=5.0,
+        request_timeout=10.0,
+        retry=RetryPolicy(max_retries=6, base_delay_cycles=1, multiplier=2),
+        retry_delay_unit=0.01,
+    )
+    defaults.update(overrides)
+    return JoinClient("127.0.0.1", port, **defaults)
+
+
+def submit(client, workload, contract="c-rec", token=None, page_size=8):
+    return client.submit_join(
+        contract,
+        {"alice": workload.left, "bob": workload.right},
+        PredicateSpec.equality(workload.join_attr),
+        recipient="carol", page_size=page_size, token=token,
+    )
+
+
+def start_server(journal_dir, **kwargs):
+    service = JoinService(pool_size=2, queue_depth=8)
+    server = JoinServer(service, journal=journal_dir, **kwargs)
+    handle = ServerThread(server).start()
+    return service, server, handle
+
+
+class TestRestartRecovery:
+    def test_unfetched_job_survives_restart_bit_identically(
+            self, tmp_path, small_workload):
+        service, server, handle = start_server(tmp_path)
+        client = make_client(handle.port)
+        job = submit(client, small_workload)
+        before = job.wait(timeout=30)
+        client.close()
+        # Kill before any page is fetched: results lived only in memory.
+        handle.stop()
+        service.close(cancel_pending=True)
+
+        service2, server2, handle2 = start_server(tmp_path)
+        try:
+            assert int(server2.metrics.counter(
+                "server_jobs_recovered_total").value) == 1
+            client2 = make_client(handle2.port)
+            recovered = client2.attach(job.job_id, token=job.token)
+            after = recovered.wait(timeout=30)
+            assert after.trace_fingerprint == before.trace_fingerprint
+            assert after.result_fingerprint == before.result_fingerprint
+            assert after.rows == before.rows
+            assert len(recovered.result(timeout=30)) == before.rows
+            assert int(server2.metrics.counter(
+                "server_recovered_verified_total").value) == 1
+            assert int(server2.metrics.counter(
+                "server_recovered_mismatch_total").value) == 0
+            client2.close()
+        finally:
+            handle2.stop()
+            service2.close()
+
+    def test_job_id_sequence_resumes_past_journalled_ids(
+            self, tmp_path, small_workload):
+        service, server, handle = start_server(tmp_path)
+        client = make_client(handle.port)
+        first = submit(client, small_workload)
+        first.wait(timeout=30)
+        client.close()
+        handle.stop()
+        service.close(cancel_pending=True)
+
+        service2, server2, handle2 = start_server(tmp_path)
+        try:
+            client2 = make_client(handle2.port)
+            second = submit(client2, small_workload, contract="c-rec-2")
+            assert second.job_id != first.job_id
+            second.wait(timeout=30)
+            client2.close()
+        finally:
+            handle2.stop()
+            service2.close()
+
+    def test_token_dedup_survives_restart_without_reexecution(
+            self, tmp_path, small_workload):
+        service, server, handle = start_server(tmp_path)
+        client = make_client(handle.port)
+        job = submit(client, small_workload, token="tok-sticky")
+        job.wait(timeout=30)
+        client.close()
+        handle.stop()
+        service.close(cancel_pending=True)
+
+        service2, server2, handle2 = start_server(tmp_path)
+        try:
+            # Recovery re-executes the undelivered job exactly once ...
+            executed = int(server2.metrics.counter(
+                "server_joins_submitted_total").value)
+            client2 = make_client(handle2.port)
+            replay = submit(client2, small_workload, token="tok-sticky")
+            # ... and the replayed token resolves to the original job ID
+            # without executing the join again.
+            assert replay.job_id == job.job_id
+            assert int(server2.metrics.counter(
+                "server_jobs_deduped_total").value) == 1
+            assert int(server2.metrics.counter(
+                "server_joins_submitted_total").value) == executed
+            client2.close()
+        finally:
+            handle2.stop()
+            service2.close()
+
+    def test_torn_tail_is_discarded_and_counted(self, tmp_path, small_workload):
+        service, server, handle = start_server(tmp_path)
+        client = make_client(handle.port)
+        job = submit(client, small_workload)
+        job.wait(timeout=30)
+        client.close()
+        handle.stop()
+        service.close(cancel_pending=True)
+        # Simulate a crash mid-append: garbage at the tail of the file.
+        path = tmp_path / JOURNAL_FILE
+        path.write_bytes(path.read_bytes() + b"\x50\x4a\x02\x41\xff")
+
+        service2, server2, handle2 = start_server(tmp_path)
+        try:
+            assert int(server2.metrics.counter(
+                "server_journal_torn_bytes_total").value) == 5
+            assert int(server2.metrics.counter(
+                "server_jobs_recovered_total").value) == 1
+            client2 = make_client(handle2.port)
+            recovered = client2.attach(job.job_id, token=job.token)
+            recovered.wait(timeout=30)
+            client2.close()
+        finally:
+            handle2.stop()
+            service2.close()
+
+
+class TestJobExpired:
+    def test_delivered_job_expires_after_restart(self, tmp_path,
+                                                 small_workload):
+        service, server, handle = start_server(tmp_path)
+        client = make_client(handle.port)
+        job = submit(client, small_workload)
+        job.wait(timeout=30)
+        job.result(timeout=30)  # full delivery journals JobDelivered
+        client.close()
+        handle.stop()
+        service.close(cancel_pending=True)
+
+        service2, server2, handle2 = start_server(tmp_path)
+        try:
+            assert int(server2.metrics.counter(
+                "server_jobs_recovered_total").value) == 0
+            client2 = make_client(handle2.port)
+            stale = client2.attach(job.job_id)  # no submit frame to resend
+            with pytest.raises(RemoteJoinError) as excinfo:
+                stale.status()
+            assert excinfo.value.code == "job_expired"
+            assert int(server2.metrics.counter(
+                "server_evicted_lookups_total").value) >= 1
+            client2.close()
+        finally:
+            handle2.stop()
+            service2.close()
+
+    def test_client_transparently_resubmits_expired_job(
+            self, tmp_path, small_workload):
+        service, server, handle = start_server(tmp_path)
+        client = make_client(handle.port)
+        job = submit(client, small_workload)
+        original_id = job.job_id
+        before = job.wait(timeout=30)
+        rows = job.result(timeout=30)
+        client.close()
+        handle.stop()
+        service.close(cancel_pending=True)
+
+        service2, server2, handle2 = start_server(tmp_path)
+        try:
+            client2 = make_client(handle2.port)
+            # Rebuild the handle with its original submit frame, as a
+            # still-running client would hold it after the server bounced.
+            job.client = client2
+            after = job.wait(timeout=30)
+            assert after.trace_fingerprint == before.trace_fingerprint
+            assert after.result_fingerprint == before.result_fingerprint
+            assert len(job.result(timeout=30)) == len(rows)
+            assert int(client2.metrics.counter(
+                "client_resubmissions_total").value) >= 1
+            assert int(server2.metrics.counter(
+                "server_jobs_readmitted_total").value) >= 1
+            # The expired ID was swapped for the re-execution's fresh one.
+            assert job.job_id != original_id
+            client2.close()
+        finally:
+            handle2.stop()
+            service2.close()
+
+    def test_retention_eviction_answers_job_expired(self, tmp_path,
+                                                    small_workload):
+        service = JoinService(pool_size=2, queue_depth=8)
+        server = JoinServer(service, journal=tmp_path, retain_jobs=1)
+        handle = ServerThread(server).start()
+        try:
+            client = make_client(handle.port)
+            first = submit(client, small_workload, contract="c-a")
+            first.wait(timeout=30)
+            first.result(timeout=30)
+            second = submit(client, small_workload, contract="c-b")
+            second.wait(timeout=30)
+            second.result(timeout=30)
+            stale = client.attach(first.job_id)
+            with pytest.raises(RemoteJoinError) as excinfo:
+                stale.status()
+            assert excinfo.value.code == "job_expired"
+            client.close()
+        finally:
+            handle.stop()
+            service.close()
+
+
+class TestPartialReadClassification:
+    def half_frame_server(self):
+        """A TCP 'server' that sends half a header, then slams the door."""
+        listener = socket.create_server(("127.0.0.1", 0))
+        port = listener.getsockname()[1]
+
+        def serve():
+            conn, _ = listener.accept()
+            conn.recv(65536)
+            conn.sendall(b"\x50\x4a\x02")  # 3 of 8 header bytes
+            conn.close()
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        return listener, port
+
+    def test_mid_frame_close_is_transient_with_byte_count(self):
+        listener, port = self.half_frame_server()
+        client = make_client(
+            port, retry=RetryPolicy(max_retries=0, base_delay_cycles=1))
+        try:
+            with pytest.raises(TransientWireError) as excinfo:
+                client.ping()
+            assert "3 of 8 bytes received" in str(excinfo.value)
+        finally:
+            client.close()
+            listener.close()
+
+
+class TestServerThreadLifecycle:
+    def test_stop_never_started_is_a_no_op(self):
+        handle = ServerThread(JoinServer(JoinService(pool_size=1)))
+        handle.stop()
+        handle.join()
+
+    def test_stop_twice_is_idempotent(self):
+        service = JoinService(pool_size=1)
+        handle = ServerThread(JoinServer(service)).start()
+        handle.stop()
+        handle.stop()
+        service.close()
+
+    def test_start_twice_refused(self):
+        service = JoinService(pool_size=1)
+        handle = ServerThread(JoinServer(service)).start()
+        try:
+            with pytest.raises(RuntimeError):
+                handle.start()
+        finally:
+            handle.stop()
+            service.close()
+
+    def test_failed_start_leaves_handle_stoppable(self):
+        blocker = socket.create_server(("127.0.0.1", 0))
+        port = blocker.getsockname()[1]
+        service = JoinService(pool_size=1)
+        handle = ServerThread(JoinServer(service, port=port))
+        try:
+            with pytest.raises(RuntimeError):
+                handle.start()
+            handle.stop()  # must not re-raise or hang
+            handle.join()
+        finally:
+            blocker.close()
+            service.close()
+
+    def test_context_exit_after_manual_stop(self, small_workload):
+        service = JoinService(pool_size=1)
+        with ServerThread(JoinServer(service)) as handle:
+            handle.stop()
+        service.close()

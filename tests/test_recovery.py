@@ -193,6 +193,36 @@ class TestRunWithRecovery:
             run_with_recovery(host, FastProvider(KEY), runner,
                               checkpoint_interval=8, max_attempts=2)
 
+    def test_resume_continues_a_dead_processes_checkpoint(self):
+        """resume=True picks up a sealed checkpoint left by an earlier
+        *process*: the first life crashes terminally past a checkpoint, a
+        fresh run over the same host image and provider resumes mid-join
+        off the journal and finishes bit-identical to an uninterrupted
+        run."""
+        runner = join_runner()
+        baseline = plain_result(runner)
+        provider = FastProvider(KEY)
+        inner = HostMemory()
+        first_life = FaultyHost(inner, crash_plan(at_ops=(40,)))
+        with pytest.raises(CheckpointError, match="did not complete"):
+            run_with_recovery(first_life, provider, runner,
+                              checkpoint_interval=8, max_attempts=1)
+        report = run_with_recovery(inner, provider, runner,
+                                   checkpoint_interval=8, resume=True)
+        assert report.attempts == 1
+        assert report.replayed_transfers > 0
+        assert report.result.result.same_multiset(baseline.result)
+        assert report.result.trace.fingerprint() == baseline.trace.fingerprint()
+
+    def test_resume_on_pristine_host_starts_fresh(self):
+        runner = join_runner()
+        baseline = plain_result(runner)
+        report = run_with_recovery(HostMemory(), FastProvider(KEY), runner,
+                                   checkpoint_interval=8, resume=True)
+        assert report.attempts == 1
+        assert report.replayed_transfers == 0
+        assert report.result.trace.fingerprint() == baseline.trace.fingerprint()
+
     def test_multiway_algorithm_recovers(self):
         wl = workload()
 

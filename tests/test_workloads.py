@@ -445,11 +445,21 @@ class TestJobRetention:
                     )
                     job.wait(timeout=60)
                     jobs.append(job)
-                # Oldest finished jobs fell off the 1-deep retention budget.
+                # Oldest finished jobs fell off the 1-deep retention
+                # budget: a bare attach (no submit frame to resend)
+                # surfaces the retryable job_expired code ...
+                stale = client.attach(jobs[0].job_id)
                 with pytest.raises(RemoteJoinError) as err:
-                    jobs[0].status()
-                assert err.value.code == "unknown_job"
-                assert jobs[-1].status().state == "done"
+                    stale.status()
+                assert err.value.code == "job_expired"
+                # ... while the original handle, which still holds its
+                # submit frame, transparently resubmits.
+                assert jobs[0].wait(timeout=60).state == "done"
+                assert client.metrics.counter(
+                    "client_resubmissions_total").value >= 1
+                # jobs[0]'s re-execution in turn evicted the newest job
+                # under the 1-deep budget — its handle resubmits too.
+                assert jobs[-1].wait(timeout=60).state == "done"
         assert service.metrics.counter("server_jobs_evicted_total").value >= 1
         service.close()
 
@@ -519,3 +529,59 @@ def test_net_saturation_is_retried_to_success():
     assert report.completed == 8
     assert report.saturation_rejections > 0
     assert report.retries > 0
+
+
+# ---------------------------------------------------------------------------
+# the chaos-net closed loop (gated: proxy faults + server kill/restart)
+# ---------------------------------------------------------------------------
+
+@pytest.mark.chaosnet
+@pytest.mark.parametrize("name", [s.name for s in list_scenarios()])
+def test_scenario_through_chaos_proxy_with_server_kill(name, tmp_path):
+    """Every scenario through the fault-injecting proxy with at least one
+    mid-run server kill + journal-backed restart: zero lost, zero
+    incorrect, every fingerprint still bit-identical to the in-process
+    reference, and no duplicate executions."""
+    spec = get_scenario(name)
+    report = WorkloadRunner(
+        spec, mode="chaosnet", requests=max(spec.smoke_requests, 6),
+        arrival_rate=None, kills=1, journal_dir=str(tmp_path),
+    ).run()
+    assert report.completed == max(spec.smoke_requests, 6)
+    assert report.lost == 0 and report.incorrect == 0
+    assert report.kills == 1
+
+
+@pytest.mark.chaosnet
+def test_chaosnet_reports_chaos_metrics(tmp_path):
+    registry = MetricsRegistry()
+    spec = get_scenario("watchlist_screening")
+    report = WorkloadRunner(
+        spec, mode="chaosnet", requests=8, concurrency=3,
+        arrival_rate=None, kills=2, journal_dir=str(tmp_path),
+        metrics=registry,
+    ).run()
+    assert report.lost == 0 and report.incorrect == 0
+    assert report.kills == 2
+    snapshot = registry.to_dict()
+    assert snapshot["workload_kills_total"]["series"][0]["value"] == 2
+    assert "workload_recovered_jobs_total" in snapshot
+    assert "workload_proxy_faults_total" in snapshot
+
+
+def test_chaosnet_mode_tiny_run_is_clean(tmp_path):
+    # One tiny chaosnet run stays in tier 1 (the full per-scenario sweep
+    # is gated behind --runchaosnet).
+    report = WorkloadRunner(
+        get_scenario("watchlist_screening"), mode="chaosnet",
+        requests=4, arrival_rate=None, concurrency=2, kills=1,
+        journal_dir=str(tmp_path),
+    ).run()
+    assert report.completed == 4
+    assert report.lost == 0 and report.incorrect == 0
+
+
+def test_chaosnet_negative_kills_rejected():
+    with pytest.raises(ConfigurationError):
+        WorkloadRunner(get_scenario("watchlist_screening"),
+                       mode="chaosnet", kills=-1)
