@@ -6,13 +6,29 @@ Because pytest captures stdout, each exhibit is also written to
 run; pass ``-s`` to watch them scroll by live.
 """
 
+import os
 import pathlib
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
+def host_cpus() -> int:
+    """CPU count of the machine producing the numbers.
+
+    Every bench report carries this so speedup gates can skip consistently on
+    1-CPU runners and readers can judge parallel numbers in context.
+    """
+    return os.cpu_count() or 1
+
+
 def publish(name: str, text: str) -> None:
-    """Print an exhibit and persist it under benchmarks/results/."""
+    """Print an exhibit and persist it under benchmarks/results/.
+
+    Every exhibit carries a ``[host_cpus=N]`` footer so all bench artifacts
+    record the machine context uniformly, exactly like the ``host_cpus`` key
+    in the JSON reports.
+    """
+    stamped = f"{text}\n[host_cpus={host_cpus()}]"
     RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
-    print(f"\n{text}\n")
+    (RESULTS_DIR / f"{name}.txt").write_text(stamped + "\n")
+    print(f"\n{stamped}\n")

@@ -6,15 +6,20 @@ Standalone (not a pytest-benchmark module) so CI can run it as a smoke step::
 
 Measures, under the faithful OCB provider unless noted:
 
-* provider round-trip latency (OCB, SHAKE keystream, null);
-* oblivious-sort throughput (transfers/second), slot cache on vs off;
-* Algorithm 4 and Algorithm 6 end-to-end wall-clock, cache on vs off,
-  asserting the trace fingerprints are bit-identical either way and
-  reporting the cache hit rate.
+* provider round-trip latency (OCB, SHAKE keystream, null), scalar and via
+  the ``encrypt_many``/``decrypt_many`` batch surface;
+* oblivious-sort throughput (transfers/second) in three modes — scalar
+  (no cache, no batching), cache (slot cache only), batched (cache + the
+  vectorized gather/compare-exchange/scatter hot path);
+* Algorithm 4 and Algorithm 6 end-to-end wall-clock in the same three
+  modes, asserting the trace fingerprints are bit-identical across all of
+  them and reporting cache hit rate and batch row counts.
 
-``--check`` exits non-zero when the cache-on run is slower than cache-off
-(or slower than ``--min-speedup``), so a regression that turns the fast path
-into a slow path fails CI rather than silently shipping.
+``--check`` exits non-zero when the cache run is slower than scalar (or
+below ``--min-speedup``), and — on multi-CPU hosts — when the batched joins
+fall below ``--min-batched-speedup`` over scalar or the batched sort below
+``--min-sort-speedup``, so a regression that turns the fast path into a slow
+path fails CI rather than silently shipping.
 """
 
 from __future__ import annotations
@@ -25,6 +30,8 @@ import pathlib
 import random
 import sys
 import time
+
+from _bench_utils import host_cpus
 
 from repro.core.algorithm4 import algorithm4
 from repro.core.algorithm6 import algorithm6
@@ -38,6 +45,13 @@ from repro.relational.relation import Relation
 from repro.relational.schema import Schema, blob, integer
 
 KEY = b"bench-crypto-fastpath-key-01"
+
+#: (mode name, plaintext_cache, batched_io) — scalar is the reference path.
+MODES = (
+    ("scalar", False, False),
+    ("cache", True, False),
+    ("batched", True, True),
+)
 PRED = BinaryAsMulti(Equality("key"))
 DEFAULT_OUTPUT = pathlib.Path(__file__).parent / "results" / "BENCH_crypto.json"
 
@@ -48,8 +62,8 @@ def _timed(fn):
     return time.perf_counter() - start, result
 
 
-def bench_providers(rounds: int) -> dict:
-    """Encrypt+decrypt round-trip latency per provider, microseconds/op."""
+def bench_providers(rounds: int, batch: int = 64) -> dict:
+    """Round-trip latency per provider, scalar vs batched, microseconds/op."""
     out = {}
     message = bytes(range(48))
     for cls in (OcbProvider, FastProvider, NullProvider):
@@ -57,19 +71,31 @@ def bench_providers(rounds: int) -> dict:
         seconds, _ = _timed(lambda: [
             provider.decrypt(provider.encrypt(message)) for _ in range(rounds)
         ])
+        batch_rounds = max(1, rounds // batch)
+        messages = [message] * batch
+        batch_seconds, _ = _timed(lambda: [
+            provider.decrypt_many(provider.encrypt_many(messages))
+            for _ in range(batch_rounds)
+        ])
+        per_op = batch_seconds / (batch_rounds * batch)
         out[cls.__name__] = {
             "rounds": rounds,
             "roundtrip_us": round(seconds / rounds * 1e6, 2),
+            "batch_size": batch,
+            "batched_roundtrip_us": round(per_op * 1e6, 2),
+            "batched_speedup": round((seconds / rounds) / per_op, 2),
         }
     return out
 
 
 def bench_sort(items: int) -> dict:
-    """Oblivious sort of one region under OCB, slot cache on vs off."""
+    """Oblivious sort of one region under OCB: scalar vs cache vs batched."""
     results = {}
-    for cache in (False, True):
+    fingerprints = {}
+    for mode, cache, batched in MODES:
         host = HostMemory()
-        t = SecureCoprocessor(host, OcbProvider(KEY), plaintext_cache=cache)
+        t = SecureCoprocessor(host, OcbProvider(KEY), plaintext_cache=cache,
+                              batched_io=batched)
         host.allocate("R", items)
         rng = random.Random(9)
         values = [rng.randrange(1 << 30) for _ in range(items)]
@@ -77,14 +103,22 @@ def bench_sort(items: int) -> dict:
             t.put("R", i, v.to_bytes(8, "big"))
         seconds, _ = _timed(lambda: oblivious_sort(
             t, "R", items, key=lambda p: int.from_bytes(p, "big")))
-        results["on" if cache else "off"] = {
+        fingerprints[mode] = t.trace.fingerprint()
+        results[mode] = {
             "seconds": round(seconds, 4),
             "transfers": t.trace.transfer_count(),
             "transfers_per_sec": round(t.trace.transfer_count() / seconds),
             "cache_hit_rate": round(t.cache_hits / max(1, t.decryptions), 4),
+            "batched_ops": t.batched_ops,
+            "batch_rows": t.batch_rows,
         }
-    results["speedup"] = round(
-        results["off"]["seconds"] / results["on"]["seconds"], 2)
+    if len(set(fingerprints.values())) != 1:
+        raise AssertionError("oblivious sort: trace fingerprint differs across modes")
+    results["fingerprint_match"] = True
+    results["cache_speedup"] = round(
+        results["scalar"]["seconds"] / results["cache"]["seconds"], 2)
+    results["batched_speedup"] = round(
+        results["scalar"]["seconds"] / results["batched"]["seconds"], 2)
     return results
 
 
@@ -108,18 +142,25 @@ def wide_relations(left: int, right: int, results: int, width: int,
 
 def bench_join(name: str, runner, left: int, right: int, width: int,
                seed: int) -> dict:
-    """One algorithm end-to-end under OCB, cache on vs off; fingerprints must match."""
+    """One algorithm end-to-end under OCB in all three modes.
+
+    Trace fingerprints and modeled decryption counts must be bit-identical
+    across scalar, cache, and batched runs — the invariant the vectorized
+    hot path is built on.
+    """
     workload = wide_relations(left, right, min(8, left, right), width,
                               rng=random.Random(1200 + seed))
     results = {}
     fingerprints = {}
-    for cache in (False, True):
+    modeled = {}
+    for mode, cache, batched in MODES:
         context = JoinContext.fresh(provider=OcbProvider(KEY), seed=seed,
-                                    plaintext_cache=cache)
+                                    plaintext_cache=cache, batched_io=batched)
         seconds, out = _timed(lambda: runner(context, workload))
         t = context.coprocessor
-        fingerprints[cache] = out.trace.fingerprint()
-        results["on" if cache else "off"] = {
+        fingerprints[mode] = out.trace.fingerprint()
+        modeled[mode] = (t.encryptions, t.decryptions)
+        results[mode] = {
             "seconds": round(seconds, 4),
             "transfers": out.transfers,
             "result_tuples": len(out.result),
@@ -127,13 +168,20 @@ def bench_join(name: str, runner, left: int, right: int, width: int,
             "physical_decryptions": t.physical_decryptions,
             "cache_hits": t.cache_hits,
             "cache_hit_rate": round(t.cache_hits / max(1, t.decryptions), 4),
+            "batched_ops": t.batched_ops,
+            "batch_rows": t.batch_rows,
         }
-    if fingerprints[False] != fingerprints[True]:
+    if len(set(fingerprints.values())) != 1:
         raise AssertionError(
-            f"{name}: trace fingerprint differs cache-on vs cache-off")
+            f"{name}: trace fingerprint differs across scalar/cache/batched")
+    if len(set(modeled.values())) != 1:
+        raise AssertionError(
+            f"{name}: modeled crypto counts differ across modes: {modeled}")
     results["fingerprint_match"] = True
     results["speedup"] = round(
-        results["off"]["seconds"] / results["on"]["seconds"], 2)
+        results["scalar"]["seconds"] / results["cache"]["seconds"], 2)
+    results["batched_speedup"] = round(
+        results["scalar"]["seconds"] / results["batched"]["seconds"], 2)
     return results
 
 
@@ -148,10 +196,11 @@ def run(small: bool) -> dict:
         dict(memory=8, epsilon=1e-20, segment_size=256)
     tuple_width = 192 if small else 960
     report = {
-        "benchmark": "crypto fast path (slot cache + batched boundary ops)",
+        "benchmark": "crypto fast path (slot cache + vectorized batch ops)",
         "scale": scale,
         "provider": "OcbProvider (providers table covers all three)",
         "tuple_payload_bytes": tuple_width,
+        "host_cpus": host_cpus(),
         "providers": bench_providers(provider_rounds),
         "oblivious_sort": bench_sort(sort_items),
         "algorithm4": bench_join(
@@ -171,9 +220,17 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--small", action="store_true",
                         help="CI smoke scale (seconds, not minutes)")
     parser.add_argument("--check", action="store_true",
-                        help="exit 1 unless cache-on beats cache-off by "
-                             "--min-speedup on both join benches")
-    parser.add_argument("--min-speedup", type=float, default=1.0)
+                        help="exit 1 unless the cache and batched paths hold "
+                             "their speedup floors (batched gates skip on "
+                             "1-CPU hosts)")
+    parser.add_argument("--min-speedup", type=float, default=1.0,
+                        help="cache-vs-scalar floor for both join benches")
+    parser.add_argument("--min-batched-speedup", type=float, default=2.0,
+                        help="batched-vs-scalar floor for both join benches "
+                             "(multi-CPU hosts only)")
+    parser.add_argument("--min-sort-speedup", type=float, default=5.0,
+                        help="batched-vs-scalar floor for the oblivious sort "
+                             "(multi-CPU hosts only)")
     parser.add_argument("--output", type=pathlib.Path, default=DEFAULT_OUTPUT)
     args = parser.parse_args(argv)
 
@@ -181,21 +238,40 @@ def main(argv: list[str] | None = None) -> int:
     args.output.parent.mkdir(exist_ok=True)
     args.output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
 
+    sort = report["oblivious_sort"]
+    print(f"oblivious_sort: {sort['scalar']['seconds']}s -> "
+          f"{sort['batched']['seconds']}s (x{sort['batched_speedup']} batched, "
+          f"x{sort['cache_speedup']} cache-only, fingerprints match)")
     for name in ("algorithm4", "algorithm6"):
         section = report[name]
-        print(f"{name}: {section['off']['seconds']}s -> {section['on']['seconds']}s "
-              f"(x{section['speedup']}, hit rate "
-              f"{section['on']['cache_hit_rate']:.0%}, fingerprints match)")
+        print(f"{name}: {section['scalar']['seconds']}s -> "
+              f"{section['batched']['seconds']}s (x{section['batched_speedup']} "
+              f"batched, x{section['speedup']} cache-only, hit rate "
+              f"{section['batched']['cache_hit_rate']:.0%}, fingerprints match)")
     print(f"report written to {args.output}")
 
     if args.check:
         failed = [name for name in ("algorithm4", "algorithm6")
                   if report[name]["speedup"] < args.min_speedup]
         if failed:
-            print(f"FAIL: cache-on did not reach x{args.min_speedup} on: "
+            print(f"FAIL: cache path did not reach x{args.min_speedup} on: "
                   f"{', '.join(failed)}", file=sys.stderr)
             return 1
-        print(f"check passed: cache-on >= x{args.min_speedup} on both joins")
+        if report["host_cpus"] >= 2:
+            failed = [name for name in ("algorithm4", "algorithm6")
+                      if report[name]["batched_speedup"] < args.min_batched_speedup]
+            if sort["batched_speedup"] < args.min_sort_speedup:
+                failed.append("oblivious_sort")
+            if failed:
+                print(f"FAIL: batched path below its floor on: "
+                      f"{', '.join(failed)}", file=sys.stderr)
+                return 1
+            print(f"check passed: cache >= x{args.min_speedup}, batched joins "
+                  f">= x{args.min_batched_speedup}, batched sort "
+                  f">= x{args.min_sort_speedup}")
+        else:
+            print(f"check passed: cache >= x{args.min_speedup} "
+                  f"(batched gates skipped on a {report['host_cpus']}-CPU host)")
     return 0
 
 

@@ -30,6 +30,8 @@ import random
 import sys
 import time
 
+from _bench_utils import host_cpus
+
 from repro.core.algorithm1 import algorithm1
 from repro.core.algorithm5 import algorithm5
 from repro.core.base import JoinContext
@@ -115,6 +117,7 @@ def run(small: bool, interval: int) -> dict:
         "benchmark": "fault tolerance (sealed checkpoints + crash recovery)",
         "scale": "small" if small else "full",
         "provider": "FastProvider",
+        "host_cpus": host_cpus(),
         **{name: bench_algorithm(name, runner, interval)
            for name, runner in _runners(small).items()},
     }

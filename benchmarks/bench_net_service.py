@@ -26,13 +26,14 @@ from __future__ import annotations
 
 import argparse
 import json
-import os
 import pathlib
 import random
 import statistics
 import sys
 import threading
 import time
+
+from _bench_utils import host_cpus
 
 from repro.core.service import Contract, JoinService, Party
 from repro.hardware.resilience import RetryPolicy
@@ -230,7 +231,7 @@ def main(argv=None) -> int:
     report = {
         "benchmark": "net_service_load",
         "mode": "smoke" if args.smoke else "full",
-        "host_cpus": os.cpu_count(),
+        "host_cpus": host_cpus(),
         "load": run_load(clients, jobs, sizes, args.algorithm),
     }
 

@@ -11,6 +11,12 @@ verifying on every run that the executor is *observationally identical* to
 the simulation: same per-coprocessor trace fingerprints, same results, and a
 data-independent (privacy-accepted) access pattern.
 
+Every section also measures the sequential simulation with batched I/O
+disabled (``batched_io=False`` on every coprocessor): the vectorized hot
+path must be trace-identical to the scalar one, and its wall-clock win is
+reported as ``batched_vs_scalar``.  The worker runs use the production
+configuration (batching on, in the parent and in every pool worker).
+
 Honesty notes recorded in the JSON:
 
 * ``host_cpus`` — ``os.cpu_count()`` where the numbers were produced.  On a
@@ -33,11 +39,12 @@ from __future__ import annotations
 
 import argparse
 import json
-import os
 import pathlib
 import random
 import sys
 import time
+
+from _bench_utils import host_cpus
 
 from repro.core.base import JoinContext
 from repro.core.parallel import (
@@ -63,10 +70,11 @@ def make_provider(name: str):
     return OcbProvider(KEY) if name == "ocb" else FastProvider(KEY)
 
 
-def rig(processors: int, provider_name: str):
+def rig(processors: int, provider_name: str, batched: bool = True):
     provider = make_provider(provider_name)
-    context = JoinContext.fresh(provider=provider)
-    cluster = Cluster(context.host, provider, count=processors)
+    context = JoinContext.fresh(provider=provider, batched_io=batched)
+    cluster = Cluster(context.host, provider, count=processors,
+                      batched_io=batched)
     return context, cluster
 
 
@@ -105,6 +113,13 @@ def bench_sort(size: int, provider_name: str, processors: int = 4) -> dict:
     """Sequential simulation vs executor wall clock for the parallel sort."""
     values = random.Random(7).sample(range(1 << 30), size)
 
+    _, cluster = rig(processors, provider_name, batched=False)
+    load_values(cluster, values)
+    scalar_seconds, _ = _timed(
+        lambda: parallel_oblivious_sort(cluster, "R", size, int_key)
+    )
+    scalar_prints = fingerprints(cluster)
+
     _, cluster = rig(processors, provider_name)
     load_values(cluster, values)
     seq_seconds, seq_report = _timed(
@@ -134,6 +149,10 @@ def bench_sort(size: int, provider_name: str, processors: int = 4) -> dict:
         "size": size,
         "cluster_processors": processors,
         "sequential_seconds": round(seq_seconds, 4),
+        "scalar_sequential_seconds": round(scalar_seconds, 4),
+        "batched_vs_scalar": round(scalar_seconds / seq_seconds, 2)
+        if seq_seconds else None,
+        "batched_identical_to_scalar": seq_prints == scalar_prints,
         "modeled_speedup": round(seq_report.speedup, 2),
         "workers": runs,
     }
@@ -173,9 +192,18 @@ def bench_join(name: str, sizes: tuple[int, int], memory: int,
                provider_name: str, processors: int = 4) -> dict:
     run_join = _join_case(name, sizes, memory)
 
+    context, cluster = rig(processors, provider_name, batched=False)
+    scalar_seconds, scalar_out = _timed(lambda: run_join(context, cluster))
+    scalar_prints = fingerprints(cluster)
+
     context, cluster = rig(processors, provider_name)
     seq_seconds, seq_out = _timed(lambda: run_join(context, cluster))
     seq_prints = fingerprints(cluster)
+    batched_identical = (
+        seq_prints == scalar_prints
+        and seq_out.result.same_multiset(scalar_out.result)
+        and seq_out.makespan_transfers == scalar_out.makespan_transfers
+    )
 
     runs = {}
     for workers in WORKER_COUNTS:
@@ -202,6 +230,10 @@ def bench_join(name: str, sizes: tuple[int, int], memory: int,
         "memory": memory,
         "cluster_processors": processors,
         "sequential_seconds": round(seq_seconds, 4),
+        "scalar_sequential_seconds": round(scalar_seconds, 4),
+        "batched_vs_scalar": round(scalar_seconds / seq_seconds, 2)
+        if seq_seconds else None,
+        "batched_identical_to_scalar": batched_identical,
         "modeled_speedup": round(seq_out.speedup, 2),
         "workers": runs,
     }
@@ -274,10 +306,10 @@ def main(argv=None) -> int:
                       "algorithm4": (24, 24), "algorithm5": (48, 48),
                       "algorithm6": (48, 48)}
 
-    host_cpus = os.cpu_count() or 1
+    cpus = host_cpus()
     report = {
         "benchmark": "parallel wall-clock speedup",
-        "host_cpus": host_cpus,
+        "host_cpus": cpus,
         "provider": args.provider,
         "smoke": args.smoke,
         "sort": bench_sort(sort_size, args.provider),
@@ -298,6 +330,10 @@ def main(argv=None) -> int:
         (name, data) for name, data in report["algorithms"].items()
     ]
     for name, data in sections:
+        if not data["batched_identical_to_scalar"]:
+            failures.append(
+                f"{name} batched sequential run diverged from the scalar one"
+            )
         for workers, run in data["workers"].items():
             if not run["identical_to_sequential"]:
                 failures.append(
@@ -308,7 +344,7 @@ def main(argv=None) -> int:
         if not accepted:
             failures.append(f"{name} parallel trace depends on the data")
 
-    if host_cpus >= 2:
+    if cpus >= 2:
         sort_p2 = report["sort"]["workers"]["2"]["speedup"]
         if sort_p2 is not None and sort_p2 < args.min_speedup:
             failures.append(
@@ -318,7 +354,7 @@ def main(argv=None) -> int:
         # actually has the CPUs for the requested worker count.
         for name, data in sections:
             for workers, run in data["workers"].items():
-                if int(workers) < 2 or host_cpus < int(workers):
+                if int(workers) < 2 or cpus < int(workers):
                     continue
                 if run["speedup"] is not None and \
                         run["speedup"] < args.floor_speedup:
@@ -327,9 +363,9 @@ def main(argv=None) -> int:
                         f"{run['speedup']} < floor {args.floor_speedup}"
                     )
     else:
-        print(f"NOTE: host has {host_cpus} CPU; speedup thresholds skipped "
+        print(f"NOTE: host has {cpus} CPU; speedup thresholds skipped "
               "(identity and privacy checks still enforced)", file=sys.stderr)
-    if host_cpus >= 4:
+    if cpus >= 4:
         best = max(
             run["speedup"] or 0.0
             for _, data in sections

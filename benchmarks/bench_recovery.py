@@ -40,6 +40,8 @@ import sys
 import tempfile
 import time
 
+from _bench_utils import host_cpus
+
 from repro.core.service import JoinService
 from repro.net.client import JoinClient
 from repro.net.journal import JOURNAL_FILE
@@ -215,7 +217,7 @@ def main(argv=None) -> int:
     report = {
         "benchmark": "recovery",
         "mode": "smoke" if args.smoke else "full",
-        "host_cpus": os.cpu_count(),
+        "host_cpus": host_cpus(),
         "workload": {"jobs": jobs, "left": sizes[0], "right": sizes[1],
                      "results": sizes[2], "algorithm": args.algorithm},
         "journal_overhead": {

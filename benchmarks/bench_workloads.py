@@ -28,10 +28,11 @@ from __future__ import annotations
 
 import argparse
 import json
-import os
 import pathlib
 import sys
 import time
+
+from _bench_utils import host_cpus
 
 from repro.workloads import WorkloadRunner, get_scenario, list_scenarios
 
@@ -80,14 +81,14 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     names = args.scenario or [spec.name for spec in list_scenarios()]
-    host_cpus = os.cpu_count() or 1
-    enforce_slo = host_cpus >= MIN_CPUS_FOR_SLO
+    cpus = host_cpus()
+    enforce_slo = cpus >= MIN_CPUS_FOR_SLO
 
     report = {
         "benchmark": "workload_suite",
         "mode": "smoke" if args.smoke else "full",
         "transport": args.mode,
-        "host_cpus": host_cpus,
+        "host_cpus": cpus,
         "slo_enforced": enforce_slo,
         "scenarios": [
             run_scenario(name, args.mode, args.smoke, args.seed)
@@ -119,7 +120,7 @@ def main(argv=None) -> int:
         slo_note = (
             "every scenario met its latency SLO"
             if enforce_slo
-            else f"SLO not asserted ({host_cpus} CPU host)"
+            else f"SLO not asserted ({cpus} CPU host)"
         )
         print(
             f"CHECK OK: {len(report['scenarios'])} scenarios, zero lost and "

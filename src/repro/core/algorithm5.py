@@ -34,7 +34,7 @@ from repro.core.base import (
     finish,
     multi_party_output_schema,
 )
-from repro.core.cartesian import joined_values, upload_tables
+from repro.core.cartesian import joined_values, scan_blocks as _scan_blocks, upload_tables
 from repro.errors import ConfigurationError
 from repro.obs.spans import PhaseProfile
 from repro.relational.predicates import MultiPredicate
@@ -71,12 +71,17 @@ def algorithm5(
         buffer = coprocessor.buffer(memory)
         lindex = pindex  # last index stored THIS scan
         with profile.span("scan"), coprocessor.hold(1):
-            for logical in range(total):
-                records = reader.read(logical)
-                if logical > pindex and not buffer.full and predicate.satisfies(records):
-                    payload = out_codec.encode(Record(out_schema, joined_values(records)))
-                    buffer.append(payload)
-                    lindex = logical
+            # The scan always visits every iTuple (no data-dependent early
+            # exit), so the batched path may stream it in fixed-size blocks
+            # through the columnar codec — same per-slot trace either way.
+            for block in _scan_blocks(coprocessor, reader, total):
+                for logical, records in block:
+                    if logical > pindex and not buffer.full and predicate.satisfies(records):
+                        payload = out_codec.encode(
+                            Record(out_schema, joined_values(records))
+                        )
+                        buffer.append(payload)
+                        lindex = logical
         scans += 1
         was_full = buffer.full
         with profile.span("flush"):

@@ -24,7 +24,12 @@ import random
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
-from repro.crypto.provider import CryptoProvider, OcbProvider
+from repro.crypto.provider import (
+    CryptoProvider,
+    OcbProvider,
+    decrypt_batch,
+    encrypt_batch,
+)
 from repro.errors import ConfigurationError
 from repro.hardware.coprocessor import SecureCoprocessor, TraceFactory
 from repro.hardware.counters import TransferStats
@@ -34,6 +39,7 @@ from repro.hardware.host import HostMemory
 from repro.relational.joins import joined_schema, multiway_schema
 from repro.relational.predicates import Predicate
 from repro.relational.relation import Relation
+from repro.relational.batch import BatchCodec
 from repro.relational.schema import Schema
 from repro.relational.tuples import Record, TupleCodec
 
@@ -82,21 +88,24 @@ class JoinContext:
         key: bytes = b"repro-session-key",
         trace_factory: TraceFactory | None = None,
         plaintext_cache: bool = True,
+        batched_io: bool = True,
     ) -> "JoinContext":
         """A new context with a single coprocessor attached to a new host.
 
         ``trace_factory`` selects how the coprocessor captures its access
         stream — the default materialized :class:`Trace`, or one of the
         bounded-memory sinks from :mod:`repro.obs.sinks`.
-        ``plaintext_cache`` toggles the coprocessor's crypto fast path
-        (observable behaviour is identical either way; off is the reference
-        slow path for differential tests and benchmarks).
+        ``plaintext_cache`` toggles the coprocessor's crypto fast path, and
+        ``batched_io`` the vectorized batch execution on top of it
+        (observable behaviour is identical either way; both off is the
+        reference slow path for differential tests and benchmarks).
         """
         host = HostMemory()
         provider = provider if provider is not None else OcbProvider(key)
         coprocessor = SecureCoprocessor(host, provider, memory_limit=memory_limit,
                                         trace_factory=trace_factory,
-                                        plaintext_cache=plaintext_cache)
+                                        plaintext_cache=plaintext_cache,
+                                        batched_io=batched_io)
         return cls(host=host, coprocessor=coprocessor, provider=provider,
                    rng=random.Random(seed))
 
@@ -110,7 +119,8 @@ class JoinContext:
         several joins in sequence.
         """
         codec = relation.codec()
-        ciphertexts = [self.provider.encrypt(codec.encode(r)) for r in relation]
+        payloads = BatchCodec(relation.schema).encode_rows(list(relation))
+        ciphertexts = encrypt_batch(self.provider, payloads)
         if self.host.has_region(region):
             self.host.free(region)
         self.host.allocate_from(region, ciphertexts)
@@ -130,17 +140,13 @@ class JoinContext:
         When ``flagged`` is True the slots carry flag-byte oTuples and decoys
         are filtered out; otherwise the slots are bare record payloads.
         """
-        codec = TupleCodec(out_schema)
+        cells = [c for c in self.host.region_bytes(region) if c is not None]
+        plains = decrypt_batch(self.provider, cells)
+        if flagged:
+            plains = [plain[1:] for plain in plains if is_real(plain)]
         out = Relation(out_schema)
-        for ciphertext in self.host.region_bytes(region):
-            if ciphertext is None:
-                continue
-            plain = self.provider.decrypt(ciphertext)
-            if flagged:
-                if not is_real(plain):
-                    continue
-                plain = plain[1:]
-            out.append(codec.decode(plain))
+        for record in BatchCodec(out_schema).decode_rows(plains):
+            out.append(record)
         return out
 
 
@@ -212,6 +218,24 @@ def compute_n_exactly(
     """
     coprocessor = context.coprocessor
     best = 0
+    if coprocessor.batched_hot_path:
+        # Same G(A,i), G(B,0..m-1) event sequence, but each inner pass is one
+        # ranged read and the B records are decoded once per pass columnarly.
+        right_batch = BatchCodec(right_codec.schema)
+        b_records = None
+        with coprocessor.hold(2):
+            for i in range(left_size):
+                a = left_codec.decode(coprocessor.get(left_region, i))
+                payloads = coprocessor.get_range(right_region, 0, right_size)
+                if b_records is None:
+                    # B is never written during the scan, so the decoded
+                    # records from the first pass stay valid for every pass.
+                    b_records = right_batch.decode_rows(payloads)
+                matches = sum(
+                    1 for b in b_records if predicate.matches(a, b)
+                )
+                best = max(best, matches)
+        return best
     with coprocessor.hold(2):
         for i in range(left_size):
             a = left_codec.decode(coprocessor.get(left_region, i))

@@ -34,6 +34,7 @@ class Cluster:
         memory_limit: int | None = None,
         trace_factory: TraceFactory | None = None,
         plaintext_cache: bool = True,
+        batched_io: bool = True,
     ) -> None:
         if count < 1:
             raise ConfigurationError("a cluster needs at least one coprocessor")
@@ -44,7 +45,8 @@ class Cluster:
         self.coprocessors = [
             SecureCoprocessor(host, provider, memory_limit=memory_limit, name=f"T{i}",
                               trace_factory=trace_factory,
-                              plaintext_cache=plaintext_cache)
+                              plaintext_cache=plaintext_cache,
+                              batched_io=batched_io)
             for i in range(count)
         ]
 

@@ -19,7 +19,7 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Any, Callable, Iterable, Iterator, Sequence
 
-from repro.crypto.provider import CryptoProvider
+from repro.crypto.provider import CryptoProvider, decrypt_batch, encrypt_batch
 from repro.errors import EnclaveMemoryError
 from repro.hardware.events import GET, PUT, Trace
 from repro.hardware.host import HostMemory
@@ -138,6 +138,7 @@ class SecureCoprocessor:
         replay: ReplayCursor | None = None,
         checkpoint_store: Any | None = None,
         checkpoint_interval: int | None = None,
+        batched_io: bool = True,
     ) -> None:
         self.host = host
         self.provider = provider
@@ -157,6 +158,15 @@ class SecureCoprocessor:
         self.cache_hits = 0
         self.cache_enabled = plaintext_cache
         self._cache: dict[tuple[str, int], tuple[bytes, bytes]] = {}
+        #: Vectorized physical execution: number of batched boundary calls and
+        #: total rows they moved.  Like ``physical_decryptions``/``cache_hits``
+        #: these describe the physical path only — modeled counters and traces
+        #: are identical whether batching is on or off.
+        self.batched_io = batched_io
+        self.batched_ops = 0
+        self.batch_rows = 0
+        self._batch_physical_pending = 0
+        self._host_batch_safe: bool | None = None
         #: Fault tolerance: bounded transient-fault retry and, when recovery
         #: is wired up, the sealed checkpoint store and replay cursor.
         self.retry = retry
@@ -317,28 +327,285 @@ class SecureCoprocessor:
         return index
 
     # -- batched boundary ops --------------------------------------------------
+    def _batch_safe(self) -> bool:
+        """True when batched physical execution cannot be observed.
+
+        Batching collapses many boundary crossings into one physical pass, so
+        it is only legal when nothing hangs semantics off the *per-call*
+        physical sequence: no retry policy (fault injection counts physical
+        attempts), no checkpoint journal (entries are sealed per boundary op),
+        no replay cursor, and a host whose slot methods are the unmodified
+        :class:`HostMemory` ones — adversarial hosts override ``read_slot`` to
+        tamper with the n-th physical read, and wrapper hosts (faulty, chaos,
+        recovery) interpose per-call behaviour.  A host class may declare
+        itself safe explicitly with a ``supports_batched_io = True`` class
+        attribute (the shared-memory shard host does).
+        """
+        if not self.batched_io or self.retry is not None:
+            return False
+        if self.checkpoint_store is not None or self.replaying:
+            return False
+        safe = self._host_batch_safe
+        if safe is None:
+            host_type = type(self.host)
+            safe = bool(getattr(host_type, "supports_batched_io", False)) or (
+                host_type.read_slot is HostMemory.read_slot
+                and host_type.write_slot is HostMemory.write_slot
+                and host_type.append_slot is HostMemory.append_slot
+            )
+            self._host_batch_safe = safe
+        return safe
+
+    @property
+    def batched_hot_path(self) -> bool:
+        """True when vectorized (tier-2) primitives may run.
+
+        On top of :meth:`_batch_safe`, the gather/scatter path needs the
+        plaintext cache: elided re-reads of enclave-resident batch plaintexts
+        are charged as ``cache_hits``, which only balances the
+        ``physical + hits == decryptions`` ledger when the cache is on.  With
+        the cache off every modeled decryption must be physical, so callers
+        fall back to the scalar network.
+        """
+        return self.cache_enabled and self._batch_safe()
+
     def get_many(self, slots: Iterable[tuple[str, int]]) -> list[bytes]:
         """Read several host slots in one boundary call.
 
         Per-slot trace events, modeled counters, and cache behaviour are
         identical to the equivalent sequence of :meth:`get` calls — batching
-        only collapses the call overhead (one call per comparator pair / per
-        iTuple instead of one per slot).  The caller must hold enough enclave
-        slots for every plaintext returned.
+        only collapses the physical work (one :meth:`CryptoProvider.decrypt_many`
+        pass over the cache misses instead of one provider roundtrip per
+        slot).  The caller must hold enough enclave slots for every plaintext
+        returned.
         """
-        get = self.get
-        return [get(region, index) for region, index in slots]
+        slots = list(slots)
+        if len(slots) < 2 or not self._batch_safe():
+            get = self.get
+            return [get(region, index) for region, index in slots]
+        return self._get_batch(slots)
+
+    def _get_batch(self, slots: list[tuple[str, int]]) -> list[bytes]:
+        """Batched GET: one physical decrypt pass over the cache misses.
+
+        Re-creates the scalar cache semantics exactly, including duplicate
+        slots within one batch: the first occurrence of a slot that misses
+        pays the physical decrypt, later occurrences of the same (slot,
+        ciphertext) count as cache hits just as they would after the scalar
+        path filled the cache.
+        """
+        host = self.host
+        read = host.read_slot
+        ciphertexts = [read(region, index) for region, index in slots]
+        n = len(slots)
+        trace = self.trace
+        if not self.cache_enabled:
+            plaintexts = decrypt_batch(self.provider, ciphertexts)
+            for region, index in slots:
+                trace.record(GET, region, index)
+            self.decryptions += n
+            self.physical_decryptions += n
+            self.ops_completed += n
+            self.batched_ops += 1
+            self.batch_rows += n
+            return plaintexts
+        cache = self._cache
+        results: list[bytes | None] = [None] * n
+        #: (region, index) -> (ciphertext, miss position) for misses resolved
+        #: in this batch; later equal-byte occurrences are cache hits.
+        pending: dict[tuple[str, int], tuple[bytes, int]] = {}
+        miss_positions: list[int] = []
+        miss_ciphertexts: list[bytes] = []
+        hits = 0
+        for k, ((region, index), ciphertext) in enumerate(zip(slots, ciphertexts)):
+            key = (region, index)
+            entry = cache.get(key)
+            if entry is not None and entry[0] == ciphertext:
+                results[k] = entry[1]
+                hits += 1
+                continue
+            earlier = pending.get(key)
+            if earlier is not None and earlier[0] == ciphertext:
+                results[k] = earlier[1]  # placeholder: miss position
+                hits += 1
+                continue
+            pending[key] = (ciphertext, k)
+            miss_positions.append(k)
+            miss_ciphertexts.append(ciphertext)
+        if miss_ciphertexts:
+            decrypted = decrypt_batch(self.provider, miss_ciphertexts)
+            for k, ciphertext, plaintext in zip(
+                miss_positions, miss_ciphertexts, decrypted
+            ):
+                results[k] = plaintext
+                cache[(slots[k][0], slots[k][1])] = (ciphertext, plaintext)
+        # Resolve in-batch duplicate hits (their placeholder is the position
+        # of the miss that produced the plaintext).
+        for k in range(n):
+            if isinstance(results[k], int):
+                results[k] = results[results[k]]
+        for region, index in slots:
+            trace.record(GET, region, index)
+        self.decryptions += n
+        self.cache_hits += hits
+        self.physical_decryptions += len(miss_ciphertexts)
+        self.ops_completed += n
+        self.batched_ops += 1
+        self.batch_rows += n
+        return results  # type: ignore[return-value]
 
     def put_many(self, slots: Iterable[tuple[str, int, bytes]]) -> None:
         """Write several plaintexts out in one boundary call (fresh nonces each)."""
-        put = self.put
-        for region, index, plaintext in slots:
-            put(region, index, plaintext)
+        slots = list(slots)
+        if len(slots) < 2 or not self._batch_safe():
+            put = self.put
+            for region, index, plaintext in slots:
+                put(region, index, plaintext)
+            return
+        ciphertexts = encrypt_batch(self.provider, [p for _, _, p in slots])
+        write = self.host.write_slot
+        trace = self.trace
+        cache = self._cache if self.cache_enabled else None
+        for (region, index, plaintext), ciphertext in zip(slots, ciphertexts):
+            write(region, index, ciphertext)
+            trace.record(PUT, region, index)
+            if cache is not None:
+                cache[(region, index)] = (ciphertext, plaintext)
+        n = len(slots)
+        self.encryptions += n
+        self.ops_completed += n
+        self.batched_ops += 1
+        self.batch_rows += n
 
     def append_many(self, region: str, plaintexts: Sequence[bytes]) -> list[int]:
         """Append several encrypted tuples to a growable region in one call."""
-        put_append = self.put_append
-        return [put_append(region, plaintext) for plaintext in plaintexts]
+        plaintexts = list(plaintexts)
+        if len(plaintexts) < 2 or not self._batch_safe():
+            put_append = self.put_append
+            return [put_append(region, plaintext) for plaintext in plaintexts]
+        ciphertexts = encrypt_batch(self.provider, plaintexts)
+        append = self.host.append_slot
+        trace = self.trace
+        cache = self._cache if self.cache_enabled else None
+        indices = []
+        for plaintext, ciphertext in zip(plaintexts, ciphertexts):
+            index = append(region, ciphertext)
+            trace.record(PUT, region, index)
+            if cache is not None:
+                cache[(region, index)] = (ciphertext, plaintext)
+            indices.append(index)
+        n = len(plaintexts)
+        self.encryptions += n
+        self.ops_completed += n
+        self.batched_ops += 1
+        self.batch_rows += n
+        return indices
+
+    # -- ranged boundary ops ---------------------------------------------------
+    def get_range(self, region: str, start: int, count: int) -> list[bytes]:
+        """Read ``count`` contiguous slots starting at ``start`` in one pass.
+
+        Trace events and modeled counters equal the scalar sequence
+        ``get(region, start) .. get(region, start + count - 1)``.
+        """
+        return self.get_many((region, start + i) for i in range(count))
+
+    def put_range(self, region: str, start: int, plaintexts: Sequence[bytes]) -> None:
+        """Write contiguous slots starting at ``start`` in one pass."""
+        self.put_many(
+            (region, start + i, plaintext)
+            for i, plaintext in enumerate(plaintexts)
+        )
+
+    # -- vectorized physical execution (tier 2) --------------------------------
+    #
+    # The comparator-network primitives below split the logical ledger from
+    # physical execution: ``gather_slots``/``scatter_slots`` move whole slot
+    # sets across the boundary *without* recording anything, and
+    # ``charge_boundary`` then records the scalar network's per-slot events
+    # and modeled counts in their original order.  Legal only under
+    # ``batched_hot_path`` and only for sections whose scalar equivalent is a
+    # sequence of wire-disjoint read-modify-write steps over the gathered
+    # slots (a comparator network): the final host state, the declared trace
+    # and every modeled counter match the scalar execution exactly, while the
+    # physical crypto collapses to one decrypt pass and one encrypt pass.
+
+    def gather_slots(self, region: str, indices: Sequence[int]) -> list[bytes]:
+        """Physically read a slot set for a vectorized section (unrecorded).
+
+        Decrypts cache misses in one batch; the physical decrypts performed
+        here are remembered in a pending ledger that the next
+        :meth:`charge_boundary` settles against the section's modeled GETs.
+        """
+        read = self.host.read_slot
+        cache = self._cache
+        ciphertexts = [read(region, index) for index in indices]
+        plaintexts: list[bytes | None] = [None] * len(indices)
+        miss_positions: list[int] = []
+        miss_ciphertexts: list[bytes] = []
+        for k, (index, ciphertext) in enumerate(zip(indices, ciphertexts)):
+            entry = cache.get((region, index))
+            if entry is not None and entry[0] == ciphertext:
+                plaintexts[k] = entry[1]
+            else:
+                miss_positions.append(k)
+                miss_ciphertexts.append(ciphertext)
+        if miss_ciphertexts:
+            decrypted = decrypt_batch(self.provider, miss_ciphertexts)
+            for k, ciphertext, plaintext in zip(
+                miss_positions, miss_ciphertexts, decrypted
+            ):
+                plaintexts[k] = plaintext
+                cache[(region, indices[k])] = (ciphertext, plaintext)
+            self.physical_decryptions += len(miss_ciphertexts)
+            self._batch_physical_pending += len(miss_ciphertexts)
+        self.batched_ops += 1
+        self.batch_rows += len(indices)
+        return plaintexts  # type: ignore[return-value]
+
+    def scatter_slots(
+        self, region: str, indices: Sequence[int], plaintexts: Sequence[bytes]
+    ) -> None:
+        """Physically write a slot set for a vectorized section (unrecorded).
+
+        One batch encrypt under fresh nonces; modeled PUTs are charged by the
+        section's :meth:`charge_boundary` call.
+        """
+        ciphertexts = encrypt_batch(self.provider, plaintexts)
+        write = self.host.write_slot
+        cache = self._cache
+        for index, ciphertext, plaintext in zip(indices, ciphertexts, plaintexts):
+            write(region, index, ciphertext)
+            cache[(region, index)] = (ciphertext, plaintext)
+        self.batched_ops += 1
+        self.batch_rows += len(plaintexts)
+
+    def charge_boundary(self, events: Iterable[tuple[str, str, int]]) -> None:
+        """Settle the logical ledger for a completed vectorized section.
+
+        Records the declared ``(op, region, index)`` events in order — the
+        exact sequence the scalar execution would have emitted — and charges
+        the modeled counters.  GETs beyond the physical decrypts pending from
+        :meth:`gather_slots` were served from enclave-resident batch
+        plaintexts, the vectorized analogue of a slot-cache hit, and are
+        charged as ``cache_hits`` so the ``physical + hits == decryptions``
+        ledger keeps balancing.
+        """
+        record = self.trace.record
+        gets = 0
+        puts = 0
+        for op, region, index in events:
+            record(op, region, index)
+            if op == GET:
+                gets += 1
+            else:
+                puts += 1
+        pending = self._batch_physical_pending
+        self._batch_physical_pending = 0
+        self.decryptions += gets
+        self.encryptions += puts
+        self.cache_hits += gets - pending
+        self.ops_completed += gets + puts
 
     # -- cache management ------------------------------------------------------
     @property

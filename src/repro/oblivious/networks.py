@@ -96,6 +96,42 @@ def bitonic_merge_network(n: int) -> tuple[Comparator, ...]:
     return tuple(out)
 
 
+def schedule_stages(
+    network: tuple[Comparator, ...],
+) -> tuple[tuple[Comparator, ...], ...]:
+    """Partition a comparator sequence into wire-disjoint stages (ASAP).
+
+    Each comparator is placed in the earliest stage after every earlier
+    comparator it shares a wire with.  Comparators within one stage touch
+    disjoint positions, so executing a stage as one vectorized
+    compare-exchange is equivalent to executing its comparators in network
+    order — the per-wire comparator order (the only order that matters for
+    the result) is preserved, and wire-disjoint compare-exchanges commute.
+    """
+    next_free: dict[int, int] = {}
+    stages: list[list[Comparator]] = []
+    for comp in network:
+        stage = max(next_free.get(comp.low, 0), next_free.get(comp.high, 0))
+        if stage == len(stages):
+            stages.append([])
+        stages[stage].append(comp)
+        next_free[comp.low] = stage + 1
+        next_free[comp.high] = stage + 1
+    return tuple(tuple(stage) for stage in stages)
+
+
+@lru_cache(maxsize=256)
+def bitonic_stages(n: int) -> tuple[tuple[Comparator, ...], ...]:
+    """The size-``n`` sorting network scheduled into wire-disjoint stages."""
+    return schedule_stages(bitonic_network(n))
+
+
+@lru_cache(maxsize=256)
+def merge_stages(n: int) -> tuple[tuple[Comparator, ...], ...]:
+    """The size-``n`` merge network scheduled into wire-disjoint stages."""
+    return schedule_stages(bitonic_merge_network(n))
+
+
 def merge_comparator_count(n: int) -> int:
     """Exact number of compare-exchanges in the size-``n`` merge network."""
     return len(bitonic_merge_network(n))

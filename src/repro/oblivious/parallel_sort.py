@@ -33,14 +33,15 @@ from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
 from repro.hardware.cluster import Cluster
+from repro.hardware.events import GET, PUT
 from repro.oblivious.networks import (
     Comparator,
     bitonic_merge_network,
-    bitonic_network,
+    bitonic_stages,
     exact_transfers,
     merge_comparator_count,
 )
-from repro.oblivious.sort import KeyFunction, oblivious_sort
+from repro.oblivious.sort import KeyFunction, oblivious_sort, run_network_vectorized
 
 
 def network_stages(n: int) -> list[list[Comparator]]:
@@ -52,17 +53,12 @@ def network_stages(n: int) -> list[list[Comparator]]:
     disjoint positions and can run concurrently — the synchronization
     structure of Section 5.3.5.  For n = 2^k inputs this recovers the
     classical k(k+1)/2 stage depth.
+
+    The scheduling itself lives in :func:`repro.oblivious.networks.schedule_stages`
+    (shared with the vectorized compare-exchange executor); this wrapper keeps
+    the historical list-of-lists shape.
     """
-    stages: list[list[Comparator]] = []
-    wire_stage: dict[int, int] = {}
-    for comp in bitonic_network(n):
-        stage = max(wire_stage.get(comp.low, -1), wire_stage.get(comp.high, -1)) + 1
-        if stage == len(stages):
-            stages.append([])
-        stages[stage].append(comp)
-        wire_stage[comp.low] = stage
-        wire_stage[comp.high] = stage
-    return stages
+    return [list(stage) for stage in bitonic_stages(n)]
 
 
 @dataclass(frozen=True)
@@ -84,6 +80,12 @@ class ParallelSortReport:
 
 def _merge_indices(coprocessor, region: str, indices: list[int], key: KeyFunction) -> None:
     """Run the ascending bitonic merge network over explicit slot indices."""
+    if coprocessor.batched_hot_path:
+        run_network_vectorized(
+            coprocessor, region, indices,
+            bitonic_merge_network(len(indices)), key, ascending=True,
+        )
+        return
     get_many = coprocessor.get_many
     put_many = coprocessor.put_many
     with coprocessor.hold(2):
@@ -104,6 +106,27 @@ def _normalize_chunk(
     coprocessor, region: str, base: int, chunk: int
 ) -> None:
     """Physically reverse a chunk left descending (data-independent pass)."""
+    if chunk >= 2 and coprocessor.batched_hot_path:
+        indices = list(range(base, base + chunk))
+        with coprocessor.hold(2):
+            plains = coprocessor.gather_slots(region, indices)
+            coprocessor.scatter_slots(region, indices, plains[::-1])
+
+            def reversal_events():
+                for offset in range(chunk // 2):
+                    front = base + offset
+                    back = base + chunk - 1 - offset
+                    yield (GET, region, front)
+                    yield (GET, region, back)
+                    yield (PUT, region, front)
+                    yield (PUT, region, back)
+                if chunk % 2:
+                    middle = base + chunk // 2
+                    yield (GET, region, middle)
+                    yield (PUT, region, middle)
+
+            coprocessor.charge_boundary(reversal_events())
+        return
     with coprocessor.hold(2):
         for offset in range(chunk // 2):
             front, back = coprocessor.get_many(

@@ -11,13 +11,61 @@ positions.
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Sequence
 
 from repro.hardware.coprocessor import SecureCoprocessor
-from repro.oblivious.networks import comparators
+from repro.hardware.events import GET, PUT
+from repro.oblivious.networks import Comparator, bitonic_network, comparators
 
 #: Extracts a sort key from a plaintext tuple.  Keys must be comparable.
 KeyFunction = Callable[[bytes], object]
+
+
+def run_network_vectorized(
+    coprocessor: SecureCoprocessor,
+    region: str,
+    indices: Sequence[int],
+    network: tuple[Comparator, ...],
+    key: KeyFunction,
+    ascending: bool = True,
+) -> None:
+    """Execute a comparator network as one gather / in-memory pass / scatter.
+
+    The physical execution differs from the scalar walk — one batched
+    decrypt pass over the gathered slots, compare-exchanges on resident
+    plaintexts with each slot's key evaluated exactly once, one batched
+    encrypt pass on scatter — but every observable is identical: the logical
+    trace is the scalar network's event sequence (settled afterwards via
+    ``charge_boundary``, valid because within-wire comparator order is
+    preserved and wire-disjoint comparators commute), modeled counters match
+    the scalar path op for op, and the final host plaintexts are the same.
+
+    Callers must check ``coprocessor.batched_hot_path`` first.
+    """
+    if not network:
+        with coprocessor.hold(2):
+            return
+    with coprocessor.hold(2):
+        plains = coprocessor.gather_slots(region, indices)
+        keys = [key(plain) for plain in plains]
+        for comp in network:
+            low, high = comp.low, comp.high
+            want_ascending = comp.ascending == ascending
+            if (keys[low] > keys[high]) == want_ascending:
+                plains[low], plains[high] = plains[high], plains[low]
+                keys[low], keys[high] = keys[high], keys[low]
+        coprocessor.scatter_slots(region, indices, plains)
+
+        def network_events():
+            for comp in network:
+                low_index = indices[comp.low]
+                high_index = indices[comp.high]
+                yield (GET, region, low_index)
+                yield (GET, region, high_index)
+                yield (PUT, region, low_index)
+                yield (PUT, region, high_index)
+
+        coprocessor.charge_boundary(network_events())
 
 
 def oblivious_sort_indices(
@@ -34,6 +82,12 @@ def oblivious_sort_indices(
     whose slots need not be contiguous.  The comparator positions depend
     only on ``len(indices)``, so obliviousness is preserved.
     """
+    if coprocessor.batched_hot_path:
+        run_network_vectorized(
+            coprocessor, region, indices, bitonic_network(len(indices)),
+            key, ascending,
+        )
+        return
     get_many = coprocessor.get_many
     put_many = coprocessor.put_many
     with coprocessor.hold(2):

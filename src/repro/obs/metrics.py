@@ -381,6 +381,12 @@ def instrument_coprocessor(registry: MetricsRegistry, coprocessor,
          coprocessor.physical_decryptions),
         ("crypto_cache_hits_total", "gets served by the write-back slot cache",
          coprocessor.cache_hits),
+        ("crypto_batched_ops_total",
+         "batched boundary calls executed by the vectorized hot path",
+         getattr(coprocessor, "batched_ops", 0)),
+        ("crypto_batch_rows_total",
+         "slots moved by batched boundary calls",
+         getattr(coprocessor, "batch_rows", 0)),
         ("fault_retries_total", "transient host faults retried at the boundary",
          getattr(coprocessor, "retries", 0)),
         ("checkpoints_sealed_total", "sealed recovery checkpoints committed",

@@ -69,6 +69,8 @@ _COUNTERS = (
     "decryptions",
     "physical_decryptions",
     "cache_hits",
+    "batched_ops",
+    "batch_rows",
     "ops_completed",
 )
 
@@ -129,6 +131,7 @@ def _run_shard_task(
     name: str,
     memory_limit: int | None,
     plaintext_cache: bool,
+    batched_io: bool,
     fn: Callable[..., Any],
     args: tuple,
     kwargs: dict,
@@ -138,7 +141,7 @@ def _run_shard_task(
     host = ShardHostMemory(shards)
     coprocessor = SecureCoprocessor(
         host, provider, memory_limit=memory_limit, name=name,
-        plaintext_cache=plaintext_cache,
+        plaintext_cache=plaintext_cache, batched_io=batched_io,
     )
     attempt = 0
     while True:
@@ -172,6 +175,7 @@ def _execute_shard_task(
     name: str,
     memory_limit: int | None,
     plaintext_cache: bool,
+    batched_io: bool,
     fn: Callable[..., Any],
     args: tuple,
     kwargs: dict,
@@ -179,7 +183,7 @@ def _execute_shard_task(
 ) -> ShardResult:
     """Dictionary-shard entry point (inline mode and tests)."""
     return _run_shard_task(
-        shards, provider, name, memory_limit, plaintext_cache,
+        shards, provider, name, memory_limit, plaintext_cache, batched_io,
         fn, args, kwargs, transient_retries,
     )
 
@@ -191,6 +195,7 @@ def _execute_arena_task(
     name: str,
     memory_limit: int | None,
     plaintext_cache: bool,
+    batched_io: bool,
     fn: Callable[..., Any],
     args: tuple,
     kwargs: dict,
@@ -202,7 +207,7 @@ def _execute_arena_task(
         worker_provider = _worker_provider(provider_token, provider)
         return _run_shard_task(
             shards, worker_provider, name, memory_limit, plaintext_cache,
-            fn, args, kwargs, transient_retries,
+            batched_io, fn, args, kwargs, transient_retries,
         )
     finally:
         # Drop shard views before closing so no exported buffer outlives the
@@ -363,8 +368,8 @@ class ClusterExecutor:
             shards = build_shards(cluster.host, task.io)
             results.append(self._guarded(task, cluster, lambda: _execute_shard_task(
                 shards, provider, device.name, device.memory_limit,
-                device.cache_enabled, task.fn, task.args, task.kwargs,
-                transient_retries,
+                device.cache_enabled, device.batched_io,
+                task.fn, task.args, task.kwargs, transient_retries,
             )))
         return results
 
@@ -390,6 +395,7 @@ class ClusterExecutor:
                 device = cluster[task.device]
                 tail = (
                     device.name, device.memory_limit, device.cache_enabled,
+                    device.batched_io,
                     task.fn, task.args, task.kwargs, transient_retries,
                 )
                 if arena is not None:

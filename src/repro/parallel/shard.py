@@ -448,6 +448,12 @@ class ShardHostMemory:
     bit-identical to the sequential run's.
     """
 
+    #: Slot methods are plain dict/arena operations with no per-call
+    #: interposition, so the coprocessor may batch boundary ops over them;
+    #: with shared-memory shards workers then move whole packed slot spans
+    #: per crypto pass instead of re-encoding tuple by tuple.
+    supports_batched_io = True
+
     def __init__(self, shards: dict[str, RegionShard | SharedRegionShard]) -> None:
         self._shards = shards
         self._written: dict[str, dict[int, bytes]] = {name: {} for name in shards}

@@ -104,11 +104,27 @@ def _decode_value(attr, raw: bytes) -> Any:
 
 
 class TupleCodec:
-    """Fixed-width serializer for records of one schema."""
+    """Fixed-width serializer for records of one schema.
+
+    The per-attribute layout — byte offset and slot width of every attribute —
+    is a pure function of the schema, so it is derived once here instead of on
+    every ``encode``/``decode`` call.  :class:`~repro.relational.batch.BatchCodec`
+    shares the same cached layout for its columnar form.
+    """
 
     def __init__(self, schema: Schema) -> None:
         self.schema = schema
         self.record_size = schema.record_size
+        offsets = []
+        offset = 0
+        for attr in schema.attributes:
+            offsets.append(offset)
+            offset += attr.slot_size
+        #: (attribute, byte offset, slot width) per attribute, in schema order.
+        self.layout = tuple(
+            (attr, off, attr.slot_size)
+            for attr, off in zip(schema.attributes, offsets)
+        )
 
     def encode(self, record: Record) -> bytes:
         """Serialize ``record`` into exactly :attr:`record_size` bytes."""
@@ -116,7 +132,7 @@ class TupleCodec:
             raise CodecError("record schema is incompatible with this codec")
         parts = [
             _encode_value(attr, value)
-            for attr, value in zip(self.schema.attributes, record.values)
+            for (attr, _, _), value in zip(self.layout, record.values)
         ]
         payload = b"".join(parts)
         if len(payload) != self.record_size:
@@ -131,13 +147,11 @@ class TupleCodec:
             raise CodecError(
                 f"payload is {len(payload)} bytes, schema needs {self.record_size}"
             )
-        values = []
-        offset = 0
-        for attr in self.schema.attributes:
-            slot = attr.slot_size
-            values.append(_decode_value(attr, payload[offset:offset + slot]))
-            offset += slot
-        return Record(self.schema, tuple(values))
+        values = tuple(
+            _decode_value(attr, payload[offset:offset + slot])
+            for attr, offset, slot in self.layout
+        )
+        return Record(self.schema, values)
 
     def encode_all(self, records: Iterable[Record]) -> list[bytes]:
         """Encode every record in an iterable."""
