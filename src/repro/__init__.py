@@ -32,6 +32,8 @@ from repro.core import (
     algorithm4,
     algorithm5,
     algorithm6,
+    algorithm7,
+    algorithm8,
 )
 from repro.errors import (
     AuthenticationError,
@@ -86,5 +88,7 @@ __all__ = [
     "algorithm4",
     "algorithm5",
     "algorithm6",
+    "algorithm7",
+    "algorithm8",
     "__version__",
 ]

@@ -89,6 +89,8 @@ def _cmd_demo(args: argparse.Namespace) -> None:
     from repro.core.algorithm4 import algorithm4
     from repro.core.algorithm5 import algorithm5
     from repro.core.algorithm6 import algorithm6
+    from repro.core.algorithm7 import algorithm7
+    from repro.core.algorithm8 import algorithm8
     from repro.core.base import JoinContext
     from repro.relational.generate import equijoin_workload
     from repro.relational.predicates import BinaryAsMulti, Equality
@@ -102,6 +104,11 @@ def _cmd_demo(args: argparse.Namespace) -> None:
     elif args.algorithm == "algorithm5":
         out = algorithm5(context, [workload.left, workload.right], predicate,
                          memory=args.memory)
+    elif args.algorithm == "algorithm7":
+        out = algorithm7(context, [workload.left, workload.right], predicate)
+    elif args.algorithm == "algorithm8":
+        out = algorithm8(context, [workload.left, workload.right], predicate,
+                         mode="semi")
     else:
         out = algorithm6(context, [workload.left, workload.right], predicate,
                          memory=args.memory, epsilon=args.epsilon)
@@ -121,6 +128,7 @@ def _run_workload_join(args: argparse.Namespace, trace_factory=None):
     from repro.core.algorithm4 import algorithm4
     from repro.core.algorithm5 import algorithm5
     from repro.core.algorithm6 import algorithm6
+    from repro.core.algorithm7 import algorithm7
     from repro.core.base import JoinContext
     from repro.relational.generate import equijoin_workload
     from repro.relational.predicates import BinaryAsMulti, Equality
@@ -134,6 +142,8 @@ def _run_workload_join(args: argparse.Namespace, trace_factory=None):
     if args.algorithm == "algorithm5":
         return algorithm5(context, [workload.left, workload.right], predicate,
                           memory=args.memory), context
+    if args.algorithm == "algorithm7":
+        return algorithm7(context, [workload.left, workload.right], predicate), context
     return algorithm6(context, [workload.left, workload.right], predicate,
                       memory=args.memory, epsilon=args.epsilon), context
 
@@ -411,7 +421,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     demo = sub.add_parser("demo", help="run a real traced join")
     demo.add_argument("--algorithm", default="algorithm5",
-                      choices=["algorithm4", "algorithm5", "algorithm6"])
+                      choices=["algorithm4", "algorithm5", "algorithm6",
+                               "algorithm7", "algorithm8"])
     demo.add_argument("--left", type=int, default=20)
     demo.add_argument("--right", type=int, default=20)
     demo.add_argument("--results", type=int, default=8)
@@ -421,7 +432,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     def add_workload_args(command: argparse.ArgumentParser) -> None:
         command.add_argument("--algorithm", default="algorithm5",
-                             choices=["algorithm4", "algorithm5", "algorithm6"])
+                             choices=["algorithm4", "algorithm5", "algorithm6",
+                                      "algorithm7"])
         command.add_argument("--left", type=int, default=20)
         command.add_argument("--right", type=int, default=20)
         command.add_argument("--results", type=int, default=8)
@@ -525,7 +537,8 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--host", default="127.0.0.1")
     submit.add_argument("--port", type=int, default=7734)
     submit.add_argument("--algorithm", default="algorithm5",
-                        choices=["algorithm4", "algorithm5", "algorithm6"])
+                        choices=["algorithm4", "algorithm5", "algorithm6",
+                                 "algorithm7"])
     submit.add_argument("--left", type=int, default=20)
     submit.add_argument("--right", type=int, default=20)
     submit.add_argument("--results", type=int, default=8)

@@ -20,6 +20,8 @@ from repro.core.algorithm3 import algorithm3
 from repro.core.algorithm4 import algorithm4
 from repro.core.algorithm5 import algorithm5
 from repro.core.algorithm6 import algorithm6
+from repro.core.algorithm7 import algorithm7
+from repro.core.algorithm8 import algorithm8
 from repro.core.base import (
     DECOY_FLAG,
     OUTPUT_REGION,
@@ -47,6 +49,7 @@ from repro.core.parallel import (
     parallel_algorithm4,
     parallel_algorithm5,
     parallel_algorithm6,
+    parallel_algorithm7,
 )
 from repro.core.service import (
     Attestation,
@@ -89,6 +92,8 @@ __all__ = [
     "algorithm4",
     "algorithm5",
     "algorithm6",
+    "algorithm7",
+    "algorithm8",
     "compute_n_exactly",
     "decoy_priority",
     "gamma_for",
@@ -101,6 +106,7 @@ __all__ = [
     "parallel_algorithm2",
     "parallel_algorithm4",
     "parallel_algorithm5",
+    "parallel_algorithm7",
     "unsafe_blocked_output",
     "unsafe_commutative",
     "unsafe_hash_partition",

@@ -753,3 +753,60 @@ def parallel_algorithm6(
               "S": result_count, "segments": segments, "segment_size": n_star,
               "phases": profile.breakdown()},
     )
+
+
+def parallel_algorithm7(
+    context: JoinContext,
+    cluster: Cluster,
+    relations: Sequence[Relation],
+    predicate: MultiPredicate | Predicate,
+) -> ParallelJoinResult:
+    """Algorithm 7 with its phases mapped onto a cluster.
+
+    The sort-merge join parallelizes along two seams: the big sorts over the
+    union region run as the parallel bitonic sort (every coprocessor owns a
+    contiguous slice of the network's wires whenever ``n`` divides evenly
+    across the cluster), and the two expansion stages — independent by
+    construction, one per table — run on different coprocessors, so the
+    modelled makespan charges only the larger of the two.  The counting
+    passes are inherently sequential (a running register crosses every
+    slot) and stay on the coordinator, as do build and emit.
+    """
+    from repro.core.algorithm7 import SortMergeEngine, sort_merge_equijoin
+    from repro.oblivious.parallel_sort import parallel_oblivious_sort
+
+    coordinator = cluster[0]
+    profile = PhaseProfile.for_cluster(cluster)
+    parallel_sorts = 0
+
+    def union_sort(region, size, key):
+        nonlocal parallel_sorts
+        if len(cluster) > 1 and size % len(cluster) == 0:
+            parallel_oblivious_sort(cluster, region, size, key)
+            parallel_sorts += 1
+        else:
+            oblivious_sort(coordinator, region, size, key=key)
+
+    engine = SortMergeEngine(
+        build=coordinator,
+        count=coordinator,
+        left=coordinator,
+        right=cluster[1 % len(cluster)],
+        emit=coordinator,
+        union_sort=union_sort,
+    )
+    out_schema, meta = sort_merge_equijoin(
+        context, relations, predicate, profile, engine
+    )
+    result = context.download_output(out_schema, flagged=False)
+    return ParallelJoinResult(
+        result=result,
+        per_coprocessor=[TransferStats.from_trace(t.trace) for t in cluster],
+        meta={
+            **meta,
+            "algorithm": "parallel_algorithm7",
+            "P": len(cluster),
+            "parallel_sorts": parallel_sorts,
+            "phases": profile.breakdown(),
+        },
+    )

@@ -24,9 +24,11 @@ from typing import Literal, Sequence
 from repro.core.algorithm4 import algorithm4
 from repro.core.algorithm5 import algorithm5
 from repro.core.algorithm6 import algorithm6
+from repro.core.algorithm7 import algorithm7
 from repro.core.base import JoinContext, JoinResult
 from repro.costs.chapter4 import paper_algorithm1, paper_algorithm2, paper_algorithm3
 from repro.costs.chapter5 import paper_algorithm4, paper_algorithm5, paper_algorithm6
+from repro.costs.oblivious_join import paper_algorithm7
 from repro.errors import ConfigurationError
 from repro.relational.predicates import MultiPredicate
 from repro.relational.relation import Relation
@@ -89,6 +91,12 @@ def plan_join(
         candidates["algorithm6"] = paper_algorithm6(
             total, result_size, memory, epsilon
         ).total
+    if predicate_class == "equality":
+        # The oblivious sort-merge join replaces the L = |A|*|B| scan with
+        # O((n + S) log^2 (n + S)) sorts — admissible for equi-joins only.
+        candidates["algorithm7"] = paper_algorithm7(
+            left_size, right_size, result_size
+        ).total
 
     if privacy == "definition1":
         if n_max is None:
@@ -138,6 +146,8 @@ def execute_plan(
     if plan.algorithm == "algorithm6":
         return algorithm6(context, relations, predicate, memory=memory,
                           epsilon=epsilon)
+    if plan.algorithm == "algorithm7":
+        return algorithm7(context, relations, predicate)
     raise ConfigurationError(
         f"plan names the Chapter 4 algorithm {plan.algorithm!r}; call it directly"
     )

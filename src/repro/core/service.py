@@ -33,6 +33,8 @@ from typing import Callable, Literal
 from repro.core.algorithm4 import algorithm4
 from repro.core.algorithm5 import algorithm5
 from repro.core.algorithm6 import algorithm6
+from repro.core.algorithm7 import algorithm7
+from repro.core.algorithm8 import algorithm8
 from repro.core.base import JoinContext, JoinResult
 from repro.crypto.provider import FastProvider, OcbProvider, clone_provider
 from repro.errors import (
@@ -50,7 +52,9 @@ from repro.relational.relation import Relation
 from repro.relational.schema import Schema
 from repro.relational.tuples import TupleCodec
 
-AlgorithmName = Literal["algorithm4", "algorithm5", "algorithm6"]
+AlgorithmName = Literal[
+    "algorithm4", "algorithm5", "algorithm6", "algorithm7", "algorithm8"
+]
 
 
 @dataclass(frozen=True)
@@ -374,6 +378,10 @@ class JoinService:
             runner = lambda context: algorithm6(
                 context, relations, predicate, memory=self.memory, epsilon=epsilon
             )
+        elif algorithm == "algorithm7":
+            runner = lambda context: algorithm7(context, relations, predicate)
+        elif algorithm == "algorithm8":
+            runner = lambda context: algorithm8(context, relations, predicate)
         else:
             raise ContractError(f"unknown algorithm {algorithm!r}")
 

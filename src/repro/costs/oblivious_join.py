@@ -1,0 +1,104 @@
+"""Closed-form costs of the oblivious sort-merge joins (algorithms 7/8).
+
+Same two views as the Chapter 4/5 models: ``paper_*`` evaluates the
+asymptotic ``n (log2 n)^2`` sort form the source papers state
+(Krastnikov et al. arXiv 2003.09481; Arasu-Kaushik arXiv 1312.4012), and
+``exact_*`` mirrors the executors transfer for transfer — real bitonic
+network sizes, every linear pass charged one get plus one put per slot —
+which is what the model-vs-trace tests assert against.
+
+The point of the models is the asymptotic crossover: the Chapter 5
+algorithms charge ``Theta(n1 * n2)`` for the cartesian scan, while the
+sort-merge join charges ``O((n + S) log^2 (n + S))`` with ``n = n1 + n2``
+— the reason Algorithm 7 overtakes Algorithm 4 as the tables grow
+(``benchmarks/bench_oblivious_join.py``).
+"""
+
+from __future__ import annotations
+
+from repro.costs.bitonic import exact_sort_transfers, paper_sort_transfers
+from repro.costs.chapter4 import CostBreakdown
+from repro.errors import ConfigurationError
+
+
+def _check(n1: int, n2: int, results: int, result_cap: int) -> None:
+    if n1 < 1 or n2 < 1:
+        raise ConfigurationError("relation sizes must be positive")
+    if not 0 <= results <= result_cap:
+        raise ConfigurationError(
+            f"S must be in [0, {result_cap}] (got {results})"
+        )
+
+
+# --------------------------------------------------------------------------
+# Algorithm 7 — oblivious sort-merge equi-join
+# --------------------------------------------------------------------------
+def paper_algorithm7(n1: int, n2: int, results: int) -> CostBreakdown:
+    """The O(n log^2 n) form: two union sorts, four expansion sorts,
+    the counting/fill passes, and the S-row emission."""
+    _check(n1, n2, results, n1 * n2)
+    n = n1 + n2
+    expansion = sum(
+        2 * paper_sort_transfers(nt + results) + 3 * (nt + results) + results
+        for nt in (n1, n2)
+    )
+    return CostBreakdown.of(
+        build=2 * n,
+        union_sorts=2 * paper_sort_transfers(n),
+        count=6 * n,
+        expansion=expansion,
+        emit=3 * results,
+    )
+
+
+def exact_algorithm7(n1: int, n2: int, results: int) -> CostBreakdown:
+    """Exact transfers of the Algorithm 7 executor.
+
+    Per table t: the 2*n_t expansion copy, S filler writes, the
+    distribution sort of n_t + S, the 2*(n_t + S) fill pass, and the
+    alignment sort of n_t + S.
+    """
+    _check(n1, n2, results, n1 * n2)
+    n = n1 + n2
+    expansion = sum(
+        2 * nt
+        + results
+        + exact_sort_transfers(nt + results)
+        + 2 * (nt + results)
+        + exact_sort_transfers(nt + results)
+        for nt in (n1, n2)
+    )
+    return CostBreakdown.of(
+        build=2 * n,
+        union_sorts=2 * exact_sort_transfers(n),
+        count=6 * n,
+        expansion=expansion,
+        emit=3 * results,
+    )
+
+
+# --------------------------------------------------------------------------
+# Algorithm 8 — oblivious semi-join / foreign-key fast path
+# --------------------------------------------------------------------------
+def paper_algorithm8(n1: int, n2: int, results: int) -> CostBreakdown:
+    """Two sorts of n plus two linear passes: ``4n + 2 n (log2 n)^2 + 2S``."""
+    _check(n1, n2, results, n1)
+    n = n1 + n2
+    return CostBreakdown.of(
+        build=2 * n,
+        sorts=2 * paper_sort_transfers(n),
+        merge=2 * n,
+        emit=2 * results,
+    )
+
+
+def exact_algorithm8(n1: int, n2: int, results: int) -> CostBreakdown:
+    """Exact transfers of the Algorithm 8 executor."""
+    _check(n1, n2, results, n1)
+    n = n1 + n2
+    return CostBreakdown.of(
+        build=2 * n,
+        sorts=2 * exact_sort_transfers(n),
+        merge=2 * n,
+        emit=2 * results,
+    )

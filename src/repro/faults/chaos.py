@@ -1,6 +1,6 @@
 """The seeded chaos sweep: crash every safe algorithm, prove recovery is invisible.
 
-For each safe algorithm (1, 1v, 2, 3, 4, 5, 6) the sweep:
+For each safe algorithm (1, 1v, 2, 3, 4, 5, 6, 7, 8) the sweep:
 
 1. runs two data instances that agree on the public parameters (sizes + N
    for Chapter 4, sizes + S for Chapter 5) fault-free, recording their
@@ -37,6 +37,8 @@ from repro.core.algorithm3 import algorithm3
 from repro.core.algorithm4 import algorithm4
 from repro.core.algorithm5 import algorithm5
 from repro.core.algorithm6 import algorithm6
+from repro.core.algorithm7 import algorithm7
+from repro.core.algorithm8 import algorithm8
 from repro.core.base import JoinContext, JoinResult
 from repro.crypto.provider import FastProvider
 from repro.errors import AuthenticationError
@@ -59,7 +61,7 @@ N_MAX = 2
 #: Every trace-safe algorithm, by registry name.
 SAFE_ALGORITHMS = (
     "algorithm1", "algorithm1v", "algorithm2", "algorithm3",
-    "algorithm4", "algorithm5", "algorithm6",
+    "algorithm4", "algorithm5", "algorithm6", "algorithm7", "algorithm8",
 )
 _CHAPTER4 = ("algorithm1", "algorithm1v", "algorithm2", "algorithm3")
 
@@ -92,6 +94,10 @@ def _make_runner(name: str, workload) -> Runner:
         if name == "algorithm6":
             return algorithm6(context, relations, multi, memory=100,
                               epsilon=1e-20, seed=3)
+        if name == "algorithm7":
+            return algorithm7(context, relations, multi)
+        if name == "algorithm8":
+            return algorithm8(context, relations, multi, mode="semi")
         raise ValueError(f"unknown safe algorithm {name!r}")
 
     return run
@@ -105,6 +111,14 @@ def _runners(name: str, small: bool) -> tuple[Runner, Runner]:
                                  rng=random.Random(1), max_matches=2)
         wl_b = equijoin_workload(left, right, 2 if small else 4,
                                  rng=random.Random(2), max_matches=2)
+    elif name == "algorithm8":
+        # One-to-one matches: the semi-join's S equals the pair count, so
+        # the two instances agree on (n1, n2, S).
+        results = 5 if small else 6
+        wl_a = equijoin_workload(left, right, results, rng=random.Random(10),
+                                 max_matches=1)
+        wl_b = equijoin_workload(left, right, results, rng=random.Random(20),
+                                 max_matches=1)
     else:
         results = 5 if small else 6  # Definition 3 families share S
         wl_a = equijoin_workload(left, right, results, rng=random.Random(10))

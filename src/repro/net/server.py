@@ -77,7 +77,9 @@ from repro.net.wire import (
 )
 from repro.obs.metrics import MetricsRegistry
 
-KNOWN_ALGORITHMS = ("algorithm4", "algorithm5", "algorithm6")
+KNOWN_ALGORITHMS = (
+    "algorithm4", "algorithm5", "algorithm6", "algorithm7", "algorithm8"
+)
 
 _DRAIN_CHUNK = 64 * 1024
 

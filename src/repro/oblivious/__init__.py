@@ -1,5 +1,11 @@
 """Data-oblivious primitives: bitonic networks, sort, shuffle, decoy filter."""
 
+from repro.oblivious.expand import (
+    INFINITY,
+    oblivious_linear_pass,
+    oblivious_transform_copy,
+    oblivious_zip_write,
+)
 from repro.oblivious.filterbuf import emit_kept, oblivious_filter
 from repro.oblivious.networks import (
     Comparator,
@@ -26,6 +32,7 @@ from repro.oblivious.sort import KeyFunction, oblivious_sort, oblivious_sort_ind
 
 __all__ = [
     "Comparator",
+    "INFINITY",
     "KeyFunction",
     "bitonic_network",
     "comparator_count",
@@ -34,9 +41,12 @@ __all__ = [
     "exact_transfers",
     "is_sorting_network",
     "oblivious_filter",
+    "oblivious_linear_pass",
     "oblivious_shuffle",
     "oblivious_sort",
     "oblivious_sort_indices",
+    "oblivious_transform_copy",
+    "oblivious_zip_write",
     "ParallelFilterReport",
     "parallel_oblivious_filter",
     "ParallelSortReport",

@@ -1,0 +1,175 @@
+"""Oblivious linear-pass, copy, and zip primitives for the O(n log n) joins.
+
+The sort-merge equi-join of Krastnikov/Kerschbaum/Stebila (arXiv 2003.09481)
+and the Arasu-Kaushik oblivious query-processing primitives (arXiv 1312.4012)
+replace the cartesian scan with phases that are either oblivious sorts
+(:mod:`repro.oblivious.sort`) or *linear passes*: every slot of a region is
+read and rewritten exactly once in a fixed order, with a constant number of
+in-enclave register slots carrying state between steps.  Because each slot is
+always rewritten under a fresh nonce, the host observes the same
+``G(r,i) P(r,i)`` sequence whatever the data — the access pattern depends
+only on the region size.
+
+Each primitive has two physical executions with identical observables:
+
+* **scalar** — one ``get``/``put`` pair per slot through the traced boundary;
+* **vectorized** — one :meth:`~repro.hardware.coprocessor.SecureCoprocessor.
+  gather_slots` batch decrypt, the pass on resident plaintexts, one
+  :meth:`scatter_slots` batch encrypt, and a :meth:`charge_boundary`
+  settlement declaring the scalar event sequence.  Legal for the same reason
+  as :func:`repro.oblivious.sort.run_network_vectorized`: a linear pass is a
+  sequence of wire-disjoint read-modify-write steps, so collapsing the
+  physical crypto cannot change the declared trace, the modeled counters, or
+  the final host state.
+
+Callers never choose: each primitive checks ``coprocessor.batched_hot_path``
+itself, so retry/checkpoint/replay/adversarial hosts automatically take the
+scalar path.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.hardware.coprocessor import SecureCoprocessor
+from repro.hardware.events import GET, PUT
+
+#: Sentinel destination/extraction key ordering after every real position.
+#: Encoded as a big-endian signed 64-bit integer it stays positive, so
+#: byte-lexicographic comparison agrees with numeric comparison.
+INFINITY = 1 << 62
+
+#: Rewrites one slot: (slot index, plaintext in) -> plaintext out.
+StepFunction = Callable[[int, bytes], bytes]
+
+#: Transforms one tuple while copying between regions.
+TransformFunction = Callable[[int, bytes], bytes]
+
+#: Combines two aligned tuples into one output tuple.
+CombineFunction = Callable[[int, bytes, bytes], bytes]
+
+
+def oblivious_linear_pass(
+    coprocessor: SecureCoprocessor,
+    region: str,
+    size: int,
+    step: StepFunction,
+    reverse: bool = False,
+    start: int = 0,
+) -> None:
+    """Read and rewrite every slot of ``region[start:start+size]`` once.
+
+    ``step`` may carry state across slots through its closure (the in-enclave
+    registers of the counting/filling passes); it must return a plaintext for
+    every slot so the write pattern is unconditional.  ``reverse`` walks the
+    slots high-to-low (the backward counting pass).
+    """
+    if size <= 0:
+        return
+    if reverse:
+        indices = list(range(start + size - 1, start - 1, -1))
+    else:
+        indices = list(range(start, start + size))
+    if coprocessor.batched_hot_path:
+        with coprocessor.hold(2):
+            plains = coprocessor.gather_slots(region, indices)
+            outs = [step(i, plain) for i, plain in zip(indices, plains)]
+            coprocessor.scatter_slots(region, indices, outs)
+
+            def pass_events():
+                for i in indices:
+                    yield (GET, region, i)
+                    yield (PUT, region, i)
+
+            coprocessor.charge_boundary(pass_events())
+        return
+    get = coprocessor.get
+    put = coprocessor.put
+    with coprocessor.hold(2):
+        for i in indices:
+            put(region, i, step(i, get(region, i)))
+
+
+def oblivious_transform_copy(
+    coprocessor: SecureCoprocessor,
+    source_region: str,
+    source_start: int,
+    dest_region: str,
+    dest_start: int,
+    count: int,
+    transform: TransformFunction,
+) -> None:
+    """Copy ``count`` tuples between regions, transforming each in-enclave.
+
+    Step ``k`` reads ``source[source_start+k]`` and writes
+    ``dest[dest_start+k]`` — one get and one put per tuple in a fixed order,
+    with ``transform`` receiving the *relative* index ``k``.
+    """
+    if count <= 0:
+        return
+    if coprocessor.batched_hot_path:
+        src_indices = list(range(source_start, source_start + count))
+        dst_indices = list(range(dest_start, dest_start + count))
+        with coprocessor.hold(2):
+            plains = coprocessor.gather_slots(source_region, src_indices)
+            outs = [transform(k, plain) for k, plain in enumerate(plains)]
+            coprocessor.scatter_slots(dest_region, dst_indices, outs)
+
+            def copy_events():
+                for src, dst in zip(src_indices, dst_indices):
+                    yield (GET, source_region, src)
+                    yield (PUT, dest_region, dst)
+
+            coprocessor.charge_boundary(copy_events())
+        return
+    get = coprocessor.get
+    put = coprocessor.put
+    with coprocessor.hold(2):
+        for k in range(count):
+            plain = get(source_region, source_start + k)
+            put(dest_region, dest_start + k, transform(k, plain))
+
+
+def oblivious_zip_write(
+    coprocessor: SecureCoprocessor,
+    left_region: str,
+    right_region: str,
+    count: int,
+    output_region: str,
+    combine: CombineFunction,
+) -> None:
+    """Pair up two aligned regions into ``output_region[0:count]``.
+
+    Step ``r`` reads ``left[r]`` and ``right[r]`` and writes ``output[r]`` —
+    the final filter-free emission of the expanded join: exactly ``count``
+    output tuples, no decoys, pattern a function of ``count`` alone.  The
+    output region must be pre-allocated with ``count`` slots.
+    """
+    if count <= 0:
+        return
+    if coprocessor.batched_hot_path:
+        indices = list(range(count))
+        with coprocessor.hold(3):
+            left_plains = coprocessor.gather_slots(left_region, indices)
+            right_plains = coprocessor.gather_slots(right_region, indices)
+            outs = [
+                combine(r, a, b)
+                for r, (a, b) in enumerate(zip(left_plains, right_plains))
+            ]
+            coprocessor.scatter_slots(output_region, indices, outs)
+
+            def zip_events():
+                for r in indices:
+                    yield (GET, left_region, r)
+                    yield (GET, right_region, r)
+                    yield (PUT, output_region, r)
+
+            coprocessor.charge_boundary(zip_events())
+        return
+    get = coprocessor.get
+    put = coprocessor.put
+    with coprocessor.hold(3):
+        for r in range(count):
+            a = get(left_region, r)
+            b = get(right_region, r)
+            put(output_region, r, combine(r, a, b))

@@ -124,7 +124,8 @@ class QueryTemplate:
 
     def __post_init__(self) -> None:
         _require(self.weight > 0, "query weights must be positive")
-        _require(self.algorithm in ("algorithm4", "algorithm5", "algorithm6"),
+        _require(self.algorithm in ("algorithm4", "algorithm5", "algorithm6",
+                                    "algorithm7", "algorithm8"),
                  f"unknown algorithm {self.algorithm!r}")
 
 
@@ -509,6 +510,30 @@ def _catalog() -> tuple[ScenarioSpec, ...]:
             slo=SLO(p50_seconds=1.5, p95_seconds=4.0),
             requests=14, smoke_requests=5, concurrency=3,
             arrival_rate=25.0, repeat_fraction=0.25, memory=24,
+        ),
+        ScenarioSpec(
+            name="ad_conversion_attribution",
+            code="adtech",
+            description=(
+                "Conversion attribution: an ad network's click log is "
+                "equijoined against a merchant's purchase log — a skewed "
+                "many-to-many mix served by the oblivious sort-merge "
+                "Algorithm 7, the O(n log^2 n) equi-join path."
+            ),
+            recipient="advertiser",
+            tables=(
+                TableSpec(owner="adnetwork", generator="uniform", size=9,
+                          key_range=6),
+                TableSpec(owner="merchant", generator="uniform", size=9,
+                          key_range=6),
+            ),
+            queries=(
+                QueryTemplate("attribute", PredicateSpec.equality("key"),
+                              algorithm="algorithm7"),
+            ),
+            slo=SLO(p50_seconds=1.5, p95_seconds=4.0),
+            requests=14, smoke_requests=5, concurrency=3,
+            arrival_rate=25.0, repeat_fraction=0.25, memory=16,
         ),
     )
 

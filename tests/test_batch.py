@@ -8,7 +8,7 @@ Three layers of guarantees:
 * ``encrypt_many``/``decrypt_many`` interoperate with the scalar surface on
   every provider, reject tampering, and never reuse nonces — including across
   ``clone()``d instances (the regression that motivated per-clone prefixes).
-* Whole-algorithm differential runs: with batching on vs off, all seven safe
+* Whole-algorithm differential runs: with batching on vs off, all nine safe
   algorithms produce bit-identical trace fingerprints, identical results,
   identical *modeled* counters, and the privacy checker still passes — while
   the batched run actually exercises the batched machinery.
@@ -27,6 +27,8 @@ from repro.core.algorithm3 import algorithm3
 from repro.core.algorithm4 import algorithm4
 from repro.core.algorithm5 import algorithm5
 from repro.core.algorithm6 import algorithm6
+from repro.core.algorithm7 import algorithm7
+from repro.core.algorithm8 import algorithm8
 from repro.core.base import JoinContext
 from repro.crypto.provider import (
     FastProvider,
@@ -304,7 +306,7 @@ import random
 
 PRED = BinaryAsMulti(Equality("key"))
 
-#: name -> runner(context, workload); all seven safe algorithms.
+#: name -> runner(context, workload); all nine safe algorithms.
 ALGORITHMS = {
     "algorithm1": lambda ctx, wl: algorithm1(
         ctx, wl.left, wl.right, Equality("key"), max(1, wl.max_matches)),
@@ -319,6 +321,10 @@ ALGORITHMS = {
         ctx, [wl.left, wl.right], PRED, memory=3),
     "algorithm6": lambda ctx, wl: algorithm6(
         ctx, [wl.left, wl.right], PRED, memory=3, epsilon=1e-20),
+    "algorithm7": lambda ctx, wl: algorithm7(ctx, [wl.left, wl.right], PRED),
+    # semi mode: the generated right tables may repeat join keys.
+    "algorithm8": lambda ctx, wl: algorithm8(
+        ctx, [wl.left, wl.right], PRED, mode="semi"),
 }
 
 MODELED = ("encryptions", "decryptions", "ops_completed")
@@ -358,7 +364,8 @@ class TestBatchingIsObservablyInvisible:
         assert t_scalar.batch_rows == 0
 
 
-@pytest.mark.parametrize("name", ["algorithm4", "algorithm5", "algorithm6"])
+@pytest.mark.parametrize("name", ["algorithm4", "algorithm5", "algorithm6",
+                                  "algorithm7", "algorithm8"])
 def test_batched_machinery_actually_engages(name):
     (_, _), (_, t_batched) = run_both(name)
     assert t_batched.batched_ops > 0

@@ -16,6 +16,8 @@ from tests.conftest import fresh_context
 from repro.core.algorithm4 import algorithm4
 from repro.core.algorithm5 import algorithm5
 from repro.core.algorithm6 import algorithm6
+from repro.core.algorithm7 import algorithm7
+from repro.core.algorithm8 import algorithm8
 from repro.costs.chapter4 import exact_algorithm1, paper_algorithm1
 from repro.costs.chapter5 import (
     exact_algorithm5,
@@ -77,6 +79,49 @@ def test_definition3_property_algorithm6(size, s, seeds):
         wl = equijoin_workload(size, size, s, rng=random.Random(seed))
         out = algorithm6(fresh_context(), [wl.left, wl.right], PRED,
                          memory=2, epsilon=0.0, seed=11)
+        traces.append(out.trace)
+    assert traces[0] == traces[1]
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    st.integers(min_value=3, max_value=7),   # |A|
+    st.integers(min_value=3, max_value=7),   # |B|
+    st.integers(min_value=0, max_value=5),   # S
+    st.tuples(st.integers(0, 10_000), st.integers(10_001, 20_000)),  # seeds
+)
+def test_definition3_property_algorithm7(a_size, b_size, s, seeds):
+    """ANY two same-(sizes, S) workloads give identical sort-merge traces:
+    the expansion join's access pattern depends only on (n1, n2, S)."""
+    s = min(s, b_size)  # the generator plants one right record per match
+    traces = []
+    for seed in seeds:
+        wl = equijoin_workload(a_size, b_size, s, rng=random.Random(seed))
+        out = algorithm7(fresh_context(), [wl.left, wl.right], PRED)
+        traces.append(out.trace)
+    assert traces[0] == traces[1]
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    st.integers(min_value=3, max_value=7),
+    st.integers(min_value=3, max_value=7),
+    st.integers(min_value=0, max_value=5),
+    st.sampled_from(["join", "semi"]),
+    st.tuples(st.integers(0, 10_000), st.integers(10_001, 20_000)),
+)
+def test_definition3_property_algorithm8(a_size, b_size, s, mode, seeds):
+    """Same property for the FK fast path, in both output modes.
+
+    max_matches=1 keeps every right key unique, so the join-mode FK
+    precondition holds for every generated instance.
+    """
+    s = min(s, a_size, b_size)
+    traces = []
+    for seed in seeds:
+        wl = equijoin_workload(a_size, b_size, s, rng=random.Random(seed),
+                               max_matches=1)
+        out = algorithm8(fresh_context(), [wl.left, wl.right], PRED, mode=mode)
         traces.append(out.trace)
     assert traces[0] == traces[1]
 

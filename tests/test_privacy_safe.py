@@ -18,6 +18,8 @@ from repro.core.algorithm3 import algorithm3
 from repro.core.algorithm4 import algorithm4
 from repro.core.algorithm5 import algorithm5
 from repro.core.algorithm6 import algorithm6
+from repro.core.algorithm7 import algorithm7
+from repro.core.algorithm8 import algorithm8
 from repro.privacy.checker import check_definition1, check_definition3
 from repro.privacy.definitions import (
     Definition1Experiment,
@@ -45,6 +47,23 @@ def definition3_family(results=5):
     instances = []
     for seed in (10, 20, 30):
         wl = equijoin_workload(8, 10, results, rng=random.Random(seed))
+        instances.append(
+            Definition3Instance((wl.left, wl.right), BinaryAsMulti(Equality("key")))
+        )
+    return Definition3Experiment.build(instances)
+
+
+def foreign_key_family(results=5):
+    """Definition 3 instances whose right tables have unique join keys.
+
+    ``max_matches=1`` plants one-to-one matches and every other key globally
+    unique, so these satisfy Algorithm 8's foreign-key contract while still
+    differing completely in content across seeds.
+    """
+    instances = []
+    for seed in (10, 20, 30):
+        wl = equijoin_workload(8, 10, results, rng=random.Random(seed),
+                               max_matches=1)
         instances.append(
             Definition3Instance((wl.left, wl.right), BinaryAsMulti(Equality("key")))
         )
@@ -123,12 +142,69 @@ class TestChapter5Safety:
         )
         assert report.safe, report.describe()
 
+    def test_algorithm7_satisfies_definition3(self, family):
+        report = check_definition3(
+            family, lambda ctx, inst: algorithm7(ctx, list(inst.relations),
+                                                 inst.predicate)
+        )
+        assert report.safe, report.describe()
+
     def test_all_runs_produced_correct_results(self, family):
         report = check_definition3(
             family, lambda ctx, inst: algorithm5(ctx, list(inst.relations),
                                                  inst.predicate, memory=3)
         )
         for result, instance in zip(report.results, family.instances):
+            assert result.result.same_multiset(reference_output_multi(instance))
+
+    def test_algorithm7_runs_produced_correct_results(self, family):
+        report = check_definition3(
+            family, lambda ctx, inst: algorithm7(ctx, list(inst.relations),
+                                                 inst.predicate)
+        )
+        for result, instance in zip(report.results, family.instances):
+            assert result.result.same_multiset(reference_output_multi(instance))
+
+
+class TestSortMergeForeignKeySafety:
+    """Algorithm 8's Definition 3 guarantee on foreign-key workloads.
+
+    The FK family keeps right-table keys unique, so both join and semi modes
+    are well-defined; in both, S equals the planted one-to-one match count.
+    """
+
+    @pytest.fixture(scope="class")
+    def fk_family(self):
+        return foreign_key_family()
+
+    def test_algorithm8_join_satisfies_definition3(self, fk_family):
+        report = check_definition3(
+            fk_family, lambda ctx, inst: algorithm8(ctx, list(inst.relations),
+                                                    inst.predicate, mode="join")
+        )
+        assert report.safe, report.describe()
+
+    def test_algorithm8_semi_satisfies_definition3(self, fk_family):
+        report = check_definition3(
+            fk_family, lambda ctx, inst: algorithm8(ctx, list(inst.relations),
+                                                    inst.predicate, mode="semi")
+        )
+        assert report.safe, report.describe()
+
+    def test_algorithm7_on_fk_family_too(self, fk_family):
+        # Algorithm 7 must of course stay safe on the FK subfamily as well.
+        report = check_definition3(
+            fk_family, lambda ctx, inst: algorithm7(ctx, list(inst.relations),
+                                                    inst.predicate)
+        )
+        assert report.safe, report.describe()
+
+    def test_join_mode_runs_produced_correct_results(self, fk_family):
+        report = check_definition3(
+            fk_family, lambda ctx, inst: algorithm8(ctx, list(inst.relations),
+                                                    inst.predicate, mode="join")
+        )
+        for result, instance in zip(report.results, fk_family.instances):
             assert result.result.same_multiset(reference_output_multi(instance))
 
 

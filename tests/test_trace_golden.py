@@ -4,7 +4,7 @@ The access-pattern trace IS the privacy guarantee: Definition 1 and
 Definition 3 quantify over the distribution of T/H transfer sequences, and
 every safety argument in the repo reduces to "the trace depends only on the
 public parameters".  These tests pin the SHA-256 trace fingerprint of all
-seven safe algorithms on one fixed workload, so *any* change to what an
+nine safe algorithms on one fixed workload, so *any* change to what an
 algorithm reads or writes — an extra get, a reordered put, a different decoy
 count — fails loudly instead of silently altering the access pattern the
 privacy checker reasons about.
@@ -30,6 +30,8 @@ from repro.core.algorithm3 import algorithm3
 from repro.core.algorithm4 import algorithm4
 from repro.core.algorithm5 import algorithm5
 from repro.core.algorithm6 import algorithm6
+from repro.core.algorithm7 import algorithm7
+from repro.core.algorithm8 import algorithm8
 from repro.relational.generate import equijoin_workload
 from repro.relational.predicates import BinaryAsMulti, Equality
 
@@ -46,6 +48,8 @@ GOLDEN_FINGERPRINTS = {
     "algorithm4": "c01860a367afbbbe505d8c7885e17daafd062c2df95a45ed68a07100ad475f31",
     "algorithm5": "80541dd973fe874312ca7b91ef1b40406d85ef8d134b33c46b3a35a897b2b4a7",
     "algorithm6": "9a352559fab47f08a5391876fb1e7e7b724e274e3d90d1f795257f097d6f2c1f",
+    "algorithm7": "e2d23ef28b0863c4feecb8b5dcb3bc76285fbe83d2503bd493cc3c46baae1e8b",
+    "algorithm8": "dc54e569113cb58b0a20518253a86e2a2dc7c18526cad5b8044951c55fda6b29",
 }
 
 #: Total T/H transfers per algorithm on the same workload — a coarser pin
@@ -58,6 +62,8 @@ GOLDEN_TRANSFERS = {
     "algorithm4": 2692,
     "algorithm5": 486,
     "algorithm6": 166,
+    "algorithm7": 2126,
+    "algorithm8": 812,
 }
 
 
@@ -91,6 +97,11 @@ def _run(name: str):
     if name == "algorithm6":
         return algorithm6(context, relations, multi, memory=100,
                           epsilon=1e-20, seed=3)
+    if name == "algorithm7":
+        return algorithm7(context, relations, multi)
+    if name == "algorithm8":
+        # semi mode: the golden workload's right table repeats join keys.
+        return algorithm8(context, relations, multi, mode="semi")
     raise ValueError(name)
 
 
@@ -114,8 +125,16 @@ def test_trace_is_reproducible_across_contexts(name):
 
 def test_all_golden_runs_produce_correct_results():
     workload = _workload()
+    # algorithm8 runs as a semi-join here, so its S counts matching left
+    # tuples rather than join pairs.
+    matching_lefts = sum(
+        1 for a in workload.left
+        if any(a["key"] == b["key"] for b in workload.right)
+    )
     for name in GOLDEN_FINGERPRINTS:
-        assert len(_run(name).result) == workload.result_size, name
+        expected = (matching_lefts if name == "algorithm8"
+                    else workload.result_size)
+        assert len(_run(name).result) == expected, name
 
 
 # ---------------------------------------------------------------------------

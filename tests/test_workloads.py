@@ -19,6 +19,7 @@ from repro.cli import main as cli_main
 from repro.core.algorithm4 import algorithm4
 from repro.core.algorithm5 import algorithm5
 from repro.core.algorithm6 import algorithm6
+from repro.core.algorithm7 import algorithm7
 from repro.core.service import Contract, JoinService, Party
 from repro.errors import ConfigurationError, ContractError, RemoteJoinError
 from repro.net.client import JoinClient
@@ -185,6 +186,8 @@ def _run_algorithm(spec, query, tables, trace_factory=None):
         return algorithm4(context, relations, predicate)
     if query.algorithm == "algorithm5":
         return algorithm5(context, relations, predicate, memory=spec.memory)
+    if query.algorithm == "algorithm7":
+        return algorithm7(context, relations, predicate)
     return algorithm6(context, relations, predicate, memory=spec.memory,
                       epsilon=query.epsilon)
 
